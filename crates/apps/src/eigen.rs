@@ -1,0 +1,170 @@
+//! Symmetric eigendecomposition via the one-sided Jacobi SVD.
+//!
+//! The paper's lineage (Brent & Luk \[2\]) treats the symmetric eigenvalue
+//! problem with the same machinery: for symmetric `A`, the SVD gives
+//! `A = U Σ Vᵀ` with `|λ_i| = σ_i`, and the sign of each eigenvalue is the
+//! sign of the Rayleigh quotient `v_iᵀ A v_i`. The eigenvectors are the
+//! right singular vectors.
+
+use treesvd_core::{HestenesSvd, Matrix, SvdError, SvdOptions};
+
+/// A symmetric eigendecomposition `A = Q Λ Qᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted by decreasing magnitude.
+    pub lambda: Vec<f64>,
+    /// Orthogonal eigenvectors (column `i` pairs with `lambda[i]`).
+    pub q: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Residual `‖AQ − QΛ‖_F / ‖A‖_F`.
+    pub fn residual(&self, a: &Matrix) -> f64 {
+        let aq = a.matmul(&self.q).expect("shape agreement");
+        let mut ql = self.q.clone();
+        for (i, &l) in self.lambda.iter().enumerate() {
+            treesvd_matrix::ops::scal(l, ql.col_mut(i));
+        }
+        let num = aq.sub(&ql).expect("same shape").frobenius_norm();
+        let den = a.frobenius_norm();
+        if den == 0.0 {
+            num
+        } else {
+            num / den
+        }
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix via the tree-machine SVD.
+///
+/// # Errors
+/// Propagates solver errors.
+///
+/// # Panics
+/// Panics if `a` is not square or not symmetric to `1e-10 · ‖A‖` (callers
+/// should symmetrize noisy inputs first).
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, SvdError> {
+    let (m, n) = a.shape();
+    assert_eq!(m, n, "matrix must be square");
+    let scale = a.max_abs().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                (a.get(i, j) - a.get(j, i)).abs() <= 1e-10 * scale,
+                "matrix is not symmetric at ({i},{j})"
+            );
+        }
+    }
+    let run = HestenesSvd::new(SvdOptions::default()).compute(a)?;
+    let svd = run.svd;
+    let mut lambda = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = svd.sigma[i];
+        if s == 0.0 {
+            lambda.push(0.0);
+            continue;
+        }
+        // sign via the Rayleigh quotient of the right singular vector
+        let v = svd.v.col(i);
+        let mut av = vec![0.0; n];
+        for (j, &vj) in v.iter().enumerate() {
+            treesvd_matrix::ops::axpy(vj, a.col(j), &mut av);
+        }
+        let rq = treesvd_matrix::ops::dot(v, &av);
+        lambda.push(if rq < 0.0 { -s } else { s });
+    }
+    Ok(SymmetricEigen { lambda, q: svd.v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_matrix::generate;
+
+    /// Build a symmetric matrix with prescribed eigenvalues.
+    fn with_eigenvalues(lambda: &[f64], seed: u64) -> Matrix {
+        let n = lambda.len();
+        let q = generate::random_orthogonal(n, seed);
+        let d = Matrix::diagonal(n, lambda).expect("square");
+        q.matmul(&d).unwrap().matmul(&q.transpose()).unwrap()
+    }
+
+    #[test]
+    fn positive_definite_case() {
+        let lambda = [5.0, 3.0, 1.0, 0.5];
+        let a = with_eigenvalues(&lambda, 1);
+        let eig = symmetric_eigen(&a).unwrap();
+        for (c, e) in eig.lambda.iter().zip(lambda.iter()) {
+            assert!((c - e).abs() < 1e-9, "{c} vs {e}");
+        }
+        assert!(eig.residual(&a) < 1e-10);
+        assert!(treesvd_matrix::checks::orthogonality_residual(&eig.q) < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_signs_recovered() {
+        let lambda = [4.0, -3.0, 2.0, -1.0];
+        let a = with_eigenvalues(&lambda, 2);
+        let eig = symmetric_eigen(&a).unwrap();
+        // sorted by magnitude: 4, -3, 2, -1
+        let expect = [4.0, -3.0, 2.0, -1.0];
+        for (c, e) in eig.lambda.iter().zip(expect.iter()) {
+            assert!((c - e).abs() < 1e-9, "{c} vs {e}");
+        }
+        assert!(eig.residual(&a) < 1e-9);
+    }
+
+    #[test]
+    fn singular_symmetric_matrix() {
+        let lambda = [2.0, -1.0, 0.0, 0.0];
+        let a = with_eigenvalues(&lambda, 3);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert!((eig.lambda[0] - 2.0).abs() < 1e-9);
+        assert!((eig.lambda[1] + 1.0).abs() < 1e-9);
+        assert_eq!(eig.lambda[2], 0.0);
+        assert_eq!(eig.lambda[3], 0.0);
+        assert!(eig.residual(&a) < 1e-9);
+    }
+
+    #[test]
+    fn negative_definite_case() {
+        let lambda = [-1.0, -2.0, -5.0];
+        let a = with_eigenvalues(&lambda, 4);
+        let eig = symmetric_eigen(&a).unwrap();
+        let expect = [-5.0, -2.0, -1.0]; // sorted by magnitude
+        for (c, e) in eig.lambda.iter().zip(expect.iter()) {
+            assert!((c - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let _ = symmetric_eigen(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rectangular_rejected() {
+        let a = Matrix::zeros(3, 2).unwrap();
+        let _ = symmetric_eigen(&a);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_av_equals_lv() {
+        let lambda = [3.0, -2.0, 1.0, 0.5, -0.25];
+        let a = with_eigenvalues(&lambda, 5);
+        let eig = symmetric_eigen(&a).unwrap();
+        for i in 0..5 {
+            let v = eig.q.col(i);
+            let mut av = vec![0.0; 5];
+            for (j, &vj) in v.iter().enumerate() {
+                treesvd_matrix::ops::axpy(vj, a.col(j), &mut av);
+            }
+            for (x, &vi) in av.iter().zip(v.iter()) {
+                assert!((x - eig.lambda[i] * vi).abs() < 1e-9, "eigenpair {i}");
+            }
+        }
+    }
+}

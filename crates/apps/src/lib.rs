@@ -1,0 +1,37 @@
+//! SVD applications on top of the tree-machine solver — the workloads the
+//! paper's introduction motivates ("applications where sufficiently small
+//! singular values are regarded as zero"): rank-revealing least squares,
+//! pseudoinverses, symmetric eigenproblems, and principal component
+//! analysis.
+//!
+//! Every routine here consumes the [`treesvd_core::HestenesSvd`] driver, so
+//! each one exercises the full stack: orderings → simulated tree machine →
+//! sorted singular values.
+//!
+//! ```
+//! use treesvd_apps::{lstsq, condition_number};
+//! use treesvd_matrix::generate;
+//!
+//! let a = generate::with_singular_values(10, &[4.0, 2.0, 1.0], 1);
+//! // b = A [1, 1, 1]^T
+//! let mut b = vec![0.0; 10];
+//! for j in 0..3 {
+//!     treesvd_matrix::ops::axpy(1.0, a.col(j), &mut b);
+//! }
+//! let sol = lstsq(&a, &b, None).unwrap();
+//! assert_eq!(sol.effective_rank, 3);
+//! assert!(sol.residual_norm < 1e-10);
+//! assert!((condition_number(&a).unwrap() - 4.0).abs() < 1e-8);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod eigen;
+pub mod lstsq;
+pub mod pca;
+pub mod procrustes;
+
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use lstsq::{condition_number, lstsq, pseudoinverse, ridge, LstsqResult};
+pub use pca::{pca, Pca};
+pub use procrustes::orthogonal_procrustes;

@@ -1,0 +1,290 @@
+//! Rank-revealing least squares and pseudoinverses via the tree-machine
+//! SVD.
+
+use treesvd_core::{HestenesSvd, Matrix, SvdError, SvdOptions};
+
+/// Result of a least-squares solve `min ‖Ax − b‖₂`.
+#[derive(Debug, Clone)]
+pub struct LstsqResult {
+    /// The minimum-norm solution.
+    pub x: Vec<f64>,
+    /// The residual norm `‖Ax − b‖₂`.
+    pub residual_norm: f64,
+    /// Effective rank used (singular values below `rcond · σ₁` dropped).
+    pub effective_rank: usize,
+    /// The singular values of `A`.
+    pub sigma: Vec<f64>,
+}
+
+/// Solve `min ‖Ax − b‖₂` by the SVD, dropping singular values below
+/// `rcond · σ₁` (pass `None` for the default `max(m,n) · ε`).
+///
+/// Returns the **minimum-norm** solution for rank-deficient problems —
+/// exactly the "small singular values regarded as zero" regime the paper's
+/// intro mentions.
+///
+/// # Errors
+/// Propagates solver errors; shape mismatches return
+/// [`SvdError::EmptyMatrix`]-adjacent panics earlier.
+///
+/// # Panics
+/// Panics if `b.len() != a.rows()`.
+pub fn lstsq(a: &Matrix, b: &[f64], rcond: Option<f64>) -> Result<LstsqResult, SvdError> {
+    assert_eq!(b.len(), a.rows(), "rhs length must equal row count");
+    let run = HestenesSvd::new(SvdOptions::default()).compute(a)?;
+    let svd = run.svd;
+    let (m, n) = a.shape();
+    let rcond = rcond.unwrap_or(m.max(n) as f64 * f64::EPSILON);
+    let cutoff = rcond * svd.sigma.first().copied().unwrap_or(0.0);
+
+    // x = V Σ⁺ Uᵀ b ; for a wide input the driver already swapped factors,
+    // so handle both orientations through the returned shapes:
+    // svd.u: m x k, svd.v: n x k with k = min(m, n) in the tall case.
+    let k = svd.sigma.len();
+    let mut x = vec![0.0; n];
+    let mut rank = 0usize;
+    for t in 0..k {
+        let s = svd.sigma[t];
+        if s <= cutoff || s == 0.0 {
+            continue;
+        }
+        rank += 1;
+        let ut = svd.u.col(t);
+        let coeff = treesvd_matrix::ops::dot(ut, b) / s;
+        let vt = svd.v.col(t);
+        for (xi, &vi) in x.iter_mut().zip(vt.iter()) {
+            *xi += coeff * vi;
+        }
+    }
+
+    // residual
+    let mut r = b.to_vec();
+    for (j, &xj) in x.iter().enumerate() {
+        if xj != 0.0 {
+            treesvd_matrix::ops::axpy(-xj, a.col(j), &mut r);
+        }
+    }
+    Ok(LstsqResult {
+        x,
+        residual_norm: treesvd_matrix::ops::norm2(&r),
+        effective_rank: rank,
+        sigma: svd.sigma,
+    })
+}
+
+/// The Moore–Penrose pseudoinverse `A⁺ = V Σ⁺ Uᵀ` with the same `rcond`
+/// truncation rule as [`lstsq`].
+///
+/// # Errors
+/// Propagates solver errors.
+pub fn pseudoinverse(a: &Matrix, rcond: Option<f64>) -> Result<Matrix, SvdError> {
+    let run = HestenesSvd::new(SvdOptions::default()).compute(a)?;
+    let svd = run.svd;
+    let (m, n) = a.shape();
+    let rcond = rcond.unwrap_or(m.max(n) as f64 * f64::EPSILON);
+    let cutoff = rcond * svd.sigma.first().copied().unwrap_or(0.0);
+
+    let mut pinv = Matrix::zeros(n, m).map_err(|_| SvdError::EmptyMatrix)?;
+    for t in 0..svd.sigma.len() {
+        let s = svd.sigma[t];
+        if s <= cutoff || s == 0.0 {
+            continue;
+        }
+        let vt = svd.v.col(t).to_vec();
+        let ut = svd.u.col(t).to_vec();
+        // pinv += (1/s) * v_t * u_tᵀ, column by column of pinv (n x m)
+        for (j, &uj) in ut.iter().enumerate() {
+            let w = uj / s;
+            if w != 0.0 {
+                let col = pinv.col_mut(j);
+                for (c, &vi) in col.iter_mut().zip(vt.iter()) {
+                    *c += w * vi;
+                }
+            }
+        }
+    }
+    Ok(pinv)
+}
+
+/// Ridge (Tikhonov-regularized) least squares:
+/// `x = V · diag(σ/(σ² + λ²)) · Uᵀ b` — the standard SVD filter form of
+/// `min ‖Ax − b‖² + λ²‖x‖²`.
+///
+/// # Errors
+/// Propagates solver errors.
+///
+/// # Panics
+/// Panics if `b.len() != a.rows()` or `lambda < 0`.
+pub fn ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, SvdError> {
+    assert_eq!(b.len(), a.rows(), "rhs length must equal row count");
+    assert!(lambda >= 0.0, "lambda must be nonnegative");
+    let run = HestenesSvd::new(SvdOptions::default()).compute(a)?;
+    let svd = run.svd;
+    let n = a.cols();
+    let mut x = vec![0.0; n];
+    for t in 0..svd.sigma.len() {
+        let s = svd.sigma[t];
+        if s == 0.0 {
+            continue;
+        }
+        let filter = s / (s * s + lambda * lambda);
+        let coeff = treesvd_matrix::ops::dot(svd.u.col(t), b) * filter;
+        for (xi, &vi) in x.iter_mut().zip(svd.v.col(t).iter()) {
+            *xi += coeff * vi;
+        }
+    }
+    Ok(x)
+}
+
+/// The 2-norm condition number `σ₁ / σ_min` (infinite for singular
+/// matrices).
+///
+/// # Errors
+/// Propagates solver errors.
+pub fn condition_number(a: &Matrix) -> Result<f64, SvdError> {
+    let run = HestenesSvd::new(SvdOptions::default().with_vectors(false)).compute(a)?;
+    let sigma = &run.svd.sigma;
+    let max = sigma.first().copied().unwrap_or(0.0);
+    let min = sigma.last().copied().unwrap_or(0.0);
+    Ok(if min == 0.0 { f64::INFINITY } else { max / min })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_matrix::generate;
+
+    fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; a.rows()];
+        for (j, &xj) in x.iter().enumerate() {
+            treesvd_matrix::ops::axpy(xj, a.col(j), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn exact_system_solved() {
+        // consistent overdetermined system: b = A x_true
+        let a = generate::with_singular_values(12, &[5.0, 3.0, 2.0, 1.0], 1);
+        let x_true = [1.0, -2.0, 0.5, 3.0];
+        let b = matvec(&a, &x_true);
+        let sol = lstsq(&a, &b, None).unwrap();
+        assert_eq!(sol.effective_rank, 4);
+        assert!(sol.residual_norm < 1e-10, "residual {}", sol.residual_norm);
+        for (x, t) in sol.x.iter().zip(x_true.iter()) {
+            assert!((x - t).abs() < 1e-9, "{x} vs {t}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_system_minimizes_residual() {
+        let a = generate::with_singular_values(10, &[4.0, 2.0, 1.0], 2);
+        let mut b = matvec(&a, &[1.0, 1.0, 1.0]);
+        // perturb b out of the column space
+        let noise = generate::random_uniform(10, 1, 3);
+        for (bi, r) in b.iter_mut().zip(noise.col(0).iter()) {
+            *bi += r;
+        }
+        let sol = lstsq(&a, &b, None).unwrap();
+        // the residual must be orthogonal to the column space: check that
+        // perturbing x in any coordinate does not decrease the residual
+        let base = sol.residual_norm;
+        for j in 0..3 {
+            for delta in [1e-4, -1e-4] {
+                let mut x2 = sol.x.clone();
+                x2[j] += delta;
+                let mut r = b.clone();
+                for (jj, &xj) in x2.iter().enumerate() {
+                    treesvd_matrix::ops::axpy(-xj, a.col(jj), &mut r);
+                }
+                assert!(treesvd_matrix::ops::norm2(&r) >= base - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_gives_minimum_norm_solution() {
+        let a = generate::rank_deficient(10, 5, 3, 4);
+        let b = matvec(&a, &[1.0, 1.0, 1.0, 1.0, 1.0]);
+        let sol = lstsq(&a, &b, None).unwrap();
+        assert_eq!(sol.effective_rank, 3);
+        assert!(sol.residual_norm < 1e-9);
+        // minimum-norm: x lies in the row space; verify x ⊥ null(A) by
+        // computing A⁺(A x) == x
+        let pinv = pseudoinverse(&a, None).unwrap();
+        let ax = matvec(&a, &sol.x);
+        let x_back = matvec(&pinv, &ax);
+        for (x1, x2) in sol.x.iter().zip(x_back.iter()) {
+            assert!((x1 - x2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pseudoinverse_moore_penrose_conditions() {
+        let a = generate::rank_deficient(8, 5, 4, 5);
+        let p = pseudoinverse(&a, None).unwrap();
+        // A A+ A = A
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.sub(&a).unwrap().frobenius_norm() < 1e-9 * a.frobenius_norm().max(1.0));
+        // A+ A A+ = A+
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(pap.sub(&p).unwrap().frobenius_norm() < 1e-9 * p.frobenius_norm().max(1.0));
+        // (A A+) symmetric
+        let aap = a.matmul(&p).unwrap();
+        assert!(aap.sub(&aap.transpose()).unwrap().frobenius_norm() < 1e-9);
+        // (A+ A) symmetric
+        let paa = p.matmul(&a).unwrap();
+        assert!(paa.sub(&paa.transpose()).unwrap().frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn pseudoinverse_of_full_rank_square_is_inverse() {
+        let a = generate::with_singular_values(4, &[3.0, 2.0, 1.5, 1.0], 6);
+        let p = pseudoinverse(&a, None).unwrap();
+        let ap = a.matmul(&p).unwrap();
+        let i = Matrix::identity(4, 4).unwrap();
+        assert!(ap.sub(&i).unwrap().frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn condition_number_matches_construction() {
+        let a = generate::with_singular_values(8, &[100.0, 10.0, 1.0], 7);
+        let k = condition_number(&a).unwrap();
+        assert!((k - 100.0).abs() < 1e-8, "kappa {k}");
+        let singular = generate::rank_deficient(8, 4, 2, 8);
+        assert!(condition_number(&singular).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn ridge_zero_lambda_equals_lstsq() {
+        let a = generate::with_singular_values(10, &[4.0, 2.0, 1.0], 11);
+        let b = matvec(&a, &[1.0, -1.0, 2.0]);
+        let plain = lstsq(&a, &b, None).unwrap();
+        let r = ridge(&a, &b, 0.0).unwrap();
+        for (x, y) in plain.x.iter().zip(r.iter()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_the_solution() {
+        let a = generate::with_singular_values(10, &[4.0, 2.0, 0.01], 12);
+        let b = matvec(&a, &[1.0, 1.0, 1.0]);
+        let x0 = treesvd_matrix::ops::norm2(&ridge(&a, &b, 0.0).unwrap());
+        let x1 = treesvd_matrix::ops::norm2(&ridge(&a, &b, 0.5).unwrap());
+        let x2 = treesvd_matrix::ops::norm2(&ridge(&a, &b, 5.0).unwrap());
+        assert!(x1 < x0, "{x1} !< {x0}");
+        assert!(x2 < x1, "{x2} !< {x1}");
+    }
+
+    #[test]
+    fn rcond_truncation_regularizes() {
+        // tiny trailing singular value amplifies noise unless truncated
+        let a = generate::with_singular_values(12, &[1.0, 1.0, 1e-12], 9);
+        let b = matvec(&a, &[1.0, 1.0, 1.0]);
+        let strict = lstsq(&a, &b, Some(1e-6)).unwrap();
+        assert_eq!(strict.effective_rank, 2);
+        // solution stays bounded
+        assert!(treesvd_matrix::ops::norm2(&strict.x) < 10.0);
+    }
+}

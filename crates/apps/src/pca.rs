@@ -1,0 +1,165 @@
+//! Principal component analysis via the tree-machine SVD.
+//!
+//! Samples are rows of the data matrix; components are the right singular
+//! vectors of the centered data, and explained variances are `σ²/(m−1)` —
+//! all falling out of one sorted SVD.
+
+use treesvd_core::{HestenesSvd, Matrix, SvdError, SvdOptions};
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-feature means subtracted before the SVD.
+    pub mean: Vec<f64>,
+    /// Principal axes (columns, sorted by decreasing variance), `d × k`.
+    pub components: Matrix,
+    /// Variance explained by each component.
+    pub explained_variance: Vec<f64>,
+    /// Fraction of total variance per component (sums to 1 for full rank).
+    pub explained_ratio: Vec<f64>,
+}
+
+impl Pca {
+    /// Project a sample (length-`d` row) onto the first `k` components.
+    ///
+    /// # Panics
+    /// Panics if the sample length disagrees or `k` exceeds the components.
+    pub fn transform(&self, sample: &[f64], k: usize) -> Vec<f64> {
+        assert_eq!(sample.len(), self.mean.len(), "feature count mismatch");
+        assert!(k <= self.components.cols(), "k exceeds component count");
+        let centered: Vec<f64> =
+            sample.iter().zip(self.mean.iter()).map(|(x, m)| x - m).collect();
+        (0..k)
+            .map(|t| treesvd_matrix::ops::dot(&centered, self.components.col(t)))
+            .collect()
+    }
+
+    /// Reconstruct a sample from its first-`k` projection.
+    ///
+    /// # Panics
+    /// Panics if `scores.len()` exceeds the component count.
+    pub fn inverse_transform(&self, scores: &[f64]) -> Vec<f64> {
+        assert!(scores.len() <= self.components.cols());
+        let mut out = self.mean.clone();
+        for (t, &s) in scores.iter().enumerate() {
+            treesvd_matrix::ops::axpy(s, self.components.col(t), &mut out);
+        }
+        out
+    }
+}
+
+/// Fit PCA to `data` (`m` samples × `d` features, samples as rows).
+///
+/// # Errors
+/// Propagates solver errors.
+///
+/// # Panics
+/// Panics if there are fewer than two samples.
+pub fn pca(data: &Matrix) -> Result<Pca, SvdError> {
+    let (m, d) = data.shape();
+    assert!(m >= 2, "need at least two samples");
+
+    // center
+    let mut mean = vec![0.0; d];
+    for (j, mj) in mean.iter_mut().enumerate() {
+        *mj = data.col(j).iter().sum::<f64>() / m as f64;
+    }
+    let centered = Matrix::from_fn(m, d, |i, j| data.get(i, j) - mean[j])
+        .map_err(|_| SvdError::EmptyMatrix)?;
+
+    let run = HestenesSvd::new(SvdOptions::default()).compute(&centered)?;
+    let svd = run.svd;
+    let k = svd.sigma.len();
+    let denom = (m - 1) as f64;
+    let explained_variance: Vec<f64> = svd.sigma.iter().map(|s| s * s / denom).collect();
+    let total: f64 = explained_variance.iter().sum();
+    let explained_ratio: Vec<f64> = if total > 0.0 {
+        explained_variance.iter().map(|v| v / total).collect()
+    } else {
+        vec![0.0; k]
+    };
+    // components = right singular vectors of the centered data. For a wide
+    // (d > m) input the driver transposes internally and swaps factors, so
+    // the feature-space directions are whichever factor has d rows.
+    let components = if svd.v.rows() == d { svd.v } else { svd.u };
+    Ok(Pca { mean, components, explained_variance, explained_ratio })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_matrix::generate;
+
+    /// Synthetic data concentrated along known directions.
+    fn line_data(m: usize, d: usize, seed: u64) -> Matrix {
+        // samples = t * e0_direction + small noise
+        let noise = generate::random_uniform(m, d, seed);
+        Matrix::from_fn(m, d, |i, j| {
+            let t = i as f64 - m as f64 / 2.0;
+            let principal = if j == 0 { t } else { 0.0 };
+            principal + 0.01 * noise.get(i, j)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn dominant_direction_found() {
+        let data = line_data(40, 5, 1);
+        let model = pca(&data).unwrap();
+        // first component is ±e0
+        let c0 = model.components.col(0);
+        assert!(c0[0].abs() > 0.999, "c0 = {c0:?}");
+        assert!(model.explained_ratio[0] > 0.99);
+    }
+
+    #[test]
+    fn ratios_sum_to_one() {
+        let data = generate::random_uniform(30, 6, 2);
+        let model = pca(&data).unwrap();
+        let sum: f64 = model.explained_ratio.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // variances sorted descending
+        assert!(treesvd_matrix::checks::is_nonincreasing(&model.explained_variance));
+    }
+
+    #[test]
+    fn transform_round_trip_full_rank() {
+        let data = generate::random_uniform(20, 4, 3);
+        let model = pca(&data).unwrap();
+        let sample: Vec<f64> = (0..4).map(|j| data.get(7, j)).collect();
+        let scores = model.transform(&sample, 4);
+        let back = model.inverse_transform(&scores);
+        for (x, y) in sample.iter().zip(back.iter()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn truncated_reconstruction_loses_little_on_low_rank_data() {
+        let data = line_data(50, 8, 4);
+        let model = pca(&data).unwrap();
+        let sample: Vec<f64> = (0..8).map(|j| data.get(10, j)).collect();
+        let scores = model.transform(&sample, 1);
+        let back = model.inverse_transform(&scores);
+        let err: f64 = sample
+            .iter()
+            .zip(back.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let scale = treesvd_matrix::ops::norm2(&sample).max(1.0);
+        assert!(err / scale < 0.05, "relative err {}", err / scale);
+    }
+
+    #[test]
+    fn wide_data_more_features_than_samples() {
+        let data = generate::random_uniform(5, 12, 5);
+        let model = pca(&data).unwrap();
+        assert_eq!(model.components.rows(), 12);
+        assert_eq!(model.mean.len(), 12);
+        let sample: Vec<f64> = (0..12).map(|j| data.get(2, j)).collect();
+        let k = model.components.cols();
+        let scores = model.transform(&sample, k);
+        assert_eq!(scores.len(), k);
+    }
+}

@@ -1,0 +1,70 @@
+//! The orthogonal Procrustes problem: the rotation best aligning one point
+//! set with another — solved, as always, by one SVD.
+
+use treesvd_core::{HestenesSvd, Matrix, SvdError, SvdOptions};
+
+/// Solve `min_R ‖A R − B‖_F` over orthogonal `R`: with `AᵀB = U Σ Vᵀ`,
+/// the minimizer is `R = U Vᵀ`.
+///
+/// `A` and `B` are `m × n` point sets (rows are points).
+///
+/// # Errors
+/// Propagates solver errors.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn orthogonal_procrustes(a: &Matrix, b: &Matrix) -> Result<Matrix, SvdError> {
+    assert_eq!(a.shape(), b.shape(), "point sets must have the same shape");
+    let m = a.transpose().matmul(b).map_err(|_| SvdError::EmptyMatrix)?;
+    let run = HestenesSvd::new(SvdOptions::default()).compute(&m)?;
+    run.svd
+        .u
+        .matmul(&run.svd.v.transpose())
+        .map_err(|_| SvdError::EmptyMatrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_matrix::{checks, generate};
+
+    #[test]
+    fn recovers_a_known_rotation() {
+        let a = generate::random_uniform(30, 4, 1);
+        let q = generate::random_orthogonal(4, 2);
+        let b = a.matmul(&q).unwrap();
+        let r = orthogonal_procrustes(&a, &b).unwrap();
+        // R recovers Q (up to machine precision) and is orthogonal
+        assert!(checks::orthogonality_residual(&r) < 1e-10);
+        assert!(r.sub(&q).unwrap().frobenius_norm() < 1e-9);
+        // and actually aligns the sets
+        let aligned = a.matmul(&r).unwrap();
+        assert!(aligned.sub(&b).unwrap().frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_alignment_is_orthogonal_and_near_optimal() {
+        let a = generate::random_uniform(25, 3, 3);
+        let q = generate::random_orthogonal(3, 4);
+        let mut b = a.matmul(&q).unwrap();
+        let noise = generate::random_uniform(25, 3, 5);
+        for i in 0..25 {
+            for j in 0..3 {
+                b.set(i, j, b.get(i, j) + 1e-3 * noise.get(i, j));
+            }
+        }
+        let r = orthogonal_procrustes(&a, &b).unwrap();
+        assert!(checks::orthogonality_residual(&r) < 1e-10);
+        let err = a.matmul(&r).unwrap().sub(&b).unwrap().frobenius_norm();
+        // residual is on the order of the injected noise
+        assert!(err < 0.05, "residual {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(3, 2).unwrap();
+        let b = Matrix::zeros(3, 3).unwrap();
+        let _ = orthogonal_procrustes(&a, &b);
+    }
+}

@@ -1,0 +1,61 @@
+//! E1 bench: per-sweep communication analysis, ordering × machine size,
+//! on a perfect fat-tree (paper claim C1, §3).
+//!
+//! Besides wall-clock timing of the analysis kernel, the bench prints the
+//! simulated communication time per configuration once at startup, so the
+//! "who wins" shape is visible straight from `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treesvd_core::{OrderingKind, TopologyKind};
+use treesvd_sim::{analyze_program, Machine};
+
+const KINDS: [OrderingKind; 6] = [
+    OrderingKind::Ring,
+    OrderingKind::RoundRobin,
+    OrderingKind::FatTree,
+    OrderingKind::NewRing,
+    OrderingKind::Llb,
+    OrderingKind::Hybrid,
+];
+
+fn print_simulated_times() {
+    println!("\n== E1: simulated per-sweep comm time on a perfect fat-tree (64-word columns) ==");
+    for n in [32usize, 64, 128] {
+        print!("n = {n:4}:");
+        for kind in KINDS {
+            let ord = kind.build(n).expect("size ok");
+            let machine = Machine::with_kind(TopologyKind::PerfectFatTree, n / 2);
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            let rep = analyze_program(&machine, &prog, 64);
+            print!("  {}={:.0}", kind.name(), rep.comm_time);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn bench_comm_cost(c: &mut Criterion) {
+    print_simulated_times();
+    let mut group = c.benchmark_group("comm_cost/perfect_fat_tree");
+    for n in [32usize, 128] {
+        for kind in KINDS {
+            let ord = kind.build(n).expect("size ok");
+            let machine = Machine::with_kind(TopologyKind::PerfectFatTree, n / 2);
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &(&machine, &prog),
+                |b, (machine, prog)| {
+                    b.iter(|| {
+                        let rep = analyze_program(machine, prog, 64);
+                        std::hint::black_box(rep.comm_time)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm_cost);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E2 bench: contention factors on skinny trees (paper claim C5, §5) —
+//! fat-tree ordering vs hybrid on the CM-5-like tree and the binary tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treesvd_core::{OrderingKind, TopologyKind};
+use treesvd_orderings::{HybridOrdering, JacobiOrdering};
+use treesvd_sim::{analyze_program, Machine};
+
+fn print_contention_table() {
+    println!("\n== E2: worst-phase contention factor (<= 1 means contention-free) ==");
+    let n = 64;
+    let mut rows: Vec<(String, Box<dyn JacobiOrdering>)> = vec![
+        ("ring".into(), OrderingKind::Ring.build(n).unwrap()),
+        ("round-robin".into(), OrderingKind::RoundRobin.build(n).unwrap()),
+        ("fat-tree".into(), OrderingKind::FatTree.build(n).unwrap()),
+        ("new-ring".into(), OrderingKind::NewRing.build(n).unwrap()),
+    ];
+    let hy = HybridOrdering::new(n, n / 4).unwrap();
+    rows.push((hy.name(), Box::new(hy)));
+    for (name, ord) in &rows {
+        print!("{name:>14}:");
+        for kind in [TopologyKind::PerfectFatTree, TopologyKind::Cm5, TopologyKind::BinaryTree] {
+            let machine = Machine::with_kind(kind, n / 2);
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            let rep = analyze_program(&machine, &prog, 64);
+            print!("  {kind}={:.2}", rep.max_contention);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    print_contention_table();
+    let mut group = c.benchmark_group("contention");
+    let n = 64;
+    for topo in [TopologyKind::Cm5, TopologyKind::BinaryTree] {
+        let machine = Machine::with_kind(topo, n / 2);
+        let ft = OrderingKind::FatTree.build(n).unwrap();
+        let ft_prog = ft.sweep_program(0, &ft.initial_layout());
+        group.bench_with_input(
+            BenchmarkId::new("fat-tree", topo.to_string()),
+            &(&machine, &ft_prog),
+            |b, (machine, prog)| {
+                b.iter(|| std::hint::black_box(analyze_program(machine, prog, 64).max_contention))
+            },
+        );
+        let hy = HybridOrdering::new(n, n / 4).unwrap();
+        let hy_prog = hy.sweep_program(0, &hy.initial_layout());
+        group.bench_with_input(
+            BenchmarkId::new("hybrid", topo.to_string()),
+            &(&machine, &hy_prog),
+            |b, (machine, prog)| {
+                b.iter(|| std::hint::black_box(analyze_program(machine, prog, 64).max_contention))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

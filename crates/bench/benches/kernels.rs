@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the numerical kernels in the sweep's hot path:
+//! fused Gram evaluation, plain rotation, and rotation-with-swap
+//! (equation (3) — the bench verifies it costs the same as eq. (1)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treesvd_matrix::ops::gram3;
+use treesvd_matrix::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation};
+
+fn columns(m: usize) -> (Vec<f64>, Vec<f64>) {
+    let a: Vec<f64> = (0..m).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
+    let b: Vec<f64> = (0..m).map(|i| ((i * 40503 + 7) % 1000) as f64 / 500.0 - 1.0).collect();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for m in [64usize, 512, 4096] {
+        let (a, b) = columns(m);
+        group.bench_with_input(BenchmarkId::new("gram3", m), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| std::hint::black_box(gram3(a, b)))
+        });
+
+        let (alpha, beta, gamma) = gram3(&a, &b);
+        let rot = compute_rotation(alpha, beta, gamma, 0.0);
+        group.bench_with_input(BenchmarkId::new("rotate_eq1", m), &m, |bch, _| {
+            let (mut x, mut y) = (a.clone(), b.clone());
+            bch.iter(|| {
+                apply_rotation(rot, &mut x, &mut y);
+                std::hint::black_box(x[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rotate_eq3_swapped", m), &m, |bch, _| {
+            let (mut x, mut y) = (a.clone(), b.clone());
+            bch.iter(|| {
+                apply_rotation_swapped(rot, &mut x, &mut y);
+                std::hint::black_box(x[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compute_rotation", m), &m, |bch, _| {
+            bch.iter(|| std::hint::black_box(compute_rotation(alpha, beta, gamma, 1e-14)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Print every paper figure's regenerated schedule table.
+//!
+//! ```text
+//! cargo run -p treesvd-bench --bin figures
+//! ```
+
+fn main() {
+    println!("{}", treesvd_bench::figures::all_figures());
+}

@@ -1,0 +1,198 @@
+//! Paper-figure regeneration: the schedule tables of Figs. 1–9.
+
+use treesvd_orderings::render::render_sweep;
+use treesvd_orderings::{
+    two_block::{two_block_movements, RotatingSide},
+    FatTreeOrdering, HybridOrdering, JacobiOrdering, ModifiedRingOrdering, NewRingOrdering,
+    PairStep, Program, RingOrdering, RoundRobinOrdering,
+};
+
+fn sweep(ord: &dyn JacobiOrdering) -> Program {
+    ord.sweep_program(0, &ord.initial_layout())
+}
+
+/// Fig. 1(a): the baseline ring ordering, n = 8.
+pub fn fig1a() -> String {
+    let ord = RingOrdering::new(8).expect("n = 8 valid");
+    format!("Figure 1(a) — ring ordering, n = 8\n{}", render_sweep(&sweep(&ord), None))
+}
+
+/// Fig. 1(b): the Brent–Luk round-robin ordering, n = 8.
+pub fn fig1b() -> String {
+    let ord = RoundRobinOrdering::new(8).expect("n = 8 valid");
+    format!("Figure 1(b) — round-robin ordering, n = 8\n{}", render_sweep(&sweep(&ord), None))
+}
+
+/// Fig. 2: the two-block basic module (block size 2).
+pub fn fig2() -> String {
+    let movements = two_block_movements(4, 0, 2, RotatingSide::Odd);
+    let prog = Program {
+        n: 4,
+        initial_layout: vec![0, 1, 2, 3],
+        steps: movements.into_iter().map(|move_after| PairStep { move_after }).collect(),
+    };
+    format!(
+        "Figure 2 — two-block basic module: block 1 = {{1, 3}} in the even slots,\n\
+         block 2 = {{2, 4}} in the odd slots (interleaved); pairs are cross-block.\n{}",
+        render_sweep(&prog, None)
+    )
+}
+
+/// Fig. 3: the two-block ordering of size 4.
+pub fn fig3() -> String {
+    let movements = two_block_movements(8, 0, 4, RotatingSide::Odd);
+    let prog = Program {
+        n: 8,
+        initial_layout: (0..8).collect(),
+        steps: movements.into_iter().map(|move_after| PairStep { move_after }).collect(),
+    };
+    format!(
+        "Figure 3 — two-block ordering of size 4 (even slots = block 1, odd = block 2)\n{}",
+        render_sweep(&prog, None)
+    )
+}
+
+/// Fig. 4(a) and 4(b): the four-block basic modules.
+pub fn fig4() -> String {
+    let build = |ms: [treesvd_orderings::schedule::Permutation; 3]| Program {
+        n: 4,
+        initial_layout: vec![0, 1, 2, 3],
+        steps: ms.into_iter().map(|move_after| PairStep { move_after }).collect(),
+    };
+    let a = build(treesvd_orderings::four_block::module_a_movements(4, 0));
+    let b = build(treesvd_orderings::four_block::module_b_movements(4, 0));
+    format!(
+        "Figure 4(a) — four-block basic module A (order restored every sweep,\n\
+         smaller index always left; the step-3 in-pair swap uses eq. (3))\n{}\n\
+         Figure 4(b) — module B (indices 3,4 reversed after one sweep)\n{}",
+        render_sweep(&a, None),
+        render_sweep(&b, None)
+    )
+}
+
+/// Fig. 5: the merge-procedure scheme (stages of the fat-tree ordering).
+pub fn fig5() -> String {
+    let mut out = String::from("Figure 5 — the merge procedure for n = 16\n");
+    let mut size = 4;
+    let mut stage = 1;
+    while size <= 16 {
+        let groups: Vec<String> = (0..16 / size)
+            .map(|g| {
+                let lo = g * size + 1;
+                let hi = (g + 1) * size;
+                format!("({lo}..{hi})")
+            })
+            .collect();
+        out.push_str(&format!("stage {stage}: {}\n", groups.join(" ")));
+        size *= 2;
+        stage += 1;
+    }
+    out
+}
+
+/// Fig. 6: the fat-tree (four-block merge) ordering for eight indices.
+pub fn fig6() -> String {
+    let ord = FatTreeOrdering::new(8).expect("n = 8 valid");
+    format!("Figure 6 — fat-tree ordering, n = 8\n{}", render_sweep(&sweep(&ord), None))
+}
+
+/// Fig. 7(a): the new ring ordering, n = 8 (one sweep; the second sweep of
+/// the period-2 schedule is appended for completeness).
+pub fn fig7a() -> String {
+    let ord = NewRingOrdering::new(8).expect("n = 8 valid");
+    let progs = ord.programs(2);
+    format!(
+        "Figure 7(a) — new ring ordering, n = 8 (sweep 1)\n{}\n(sweep 2; layout restored after it)\n{}",
+        render_sweep(&progs[0], None),
+        render_sweep(&progs[1], None)
+    )
+}
+
+/// Fig. 7(b): the equivalent round-robin ordering with the §4 relabelling.
+pub fn fig7b() -> String {
+    let nr = NewRingOrdering::new(8).expect("n = 8 valid");
+    let rr = RoundRobinOrdering::new(8).expect("n = 8 valid");
+    let pn = sweep(&nr);
+    let pr = sweep(&rr);
+    let pi = treesvd_orderings::equivalence::find_relabelling(&pn, &pr)
+        .expect("paper §4: new ring is equivalent to round-robin");
+    let map: Vec<String> =
+        pi.iter().enumerate().map(|(i, &p)| format!("{} -> {}", i + 1, p + 1)).collect();
+    format!(
+        "Figure 7(b) — round-robin, with the relabelling proving equivalence (Definition 1):\n\
+         relabelling: {}\n{}",
+        map.join(", "),
+        render_sweep(&pr, None)
+    )
+}
+
+/// Fig. 8: the modified ring ordering, n = 8.
+pub fn fig8() -> String {
+    let ord = ModifiedRingOrdering::new(8).expect("n = 8 valid");
+    let progs = ord.programs(2);
+    format!(
+        "Figure 8 — modified ring ordering, n = 8 (sweep 1; one sweep fully reverses\n\
+         the layout, so sigma is nondecreasing after odd sweeps)\n{}\n(sweep 2)\n{}",
+        render_sweep(&progs[0], None),
+        render_sweep(&progs[1], None)
+    )
+}
+
+/// Fig. 9: the hybrid ordering for sixteen indices, four groups.
+pub fn fig9() -> String {
+    let ord = HybridOrdering::new(16, 4).expect("16 indices, 4 groups valid");
+    let prog = sweep(&ord);
+    format!(
+        "Figure 9 — hybrid ordering, n = 16, 4 groups (global = inter-group block move)\n{}",
+        render_sweep(&prog, Some(4))
+    )
+}
+
+/// All figures concatenated, in paper order.
+pub fn all_figures() -> String {
+    [fig1a(), fig1b(), fig2(), fig3(), fig4(), fig5(), fig6(), fig7a(), fig7b(), fig8(), fig9()]
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_renders() {
+        let all = all_figures();
+        for marker in [
+            "Figure 1(a)",
+            "Figure 1(b)",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4(a)",
+            "Figure 4(b)",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7(a)",
+            "Figure 7(b)",
+            "Figure 8",
+            "Figure 9",
+        ] {
+            assert!(all.contains(marker), "missing {marker}");
+        }
+    }
+
+    #[test]
+    fn fig6_has_seven_steps() {
+        let f = fig6();
+        assert!(f.contains("   7  "));
+        assert!(!f.contains("   8  "));
+    }
+
+    #[test]
+    fn fig9_marks_globals() {
+        assert_eq!(fig9().matches("global").count(), 7 + 1); // 7 rows + title mention
+    }
+
+    #[test]
+    fn fig7b_reports_a_relabelling() {
+        assert!(fig7b().contains("->"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness: regenerates every figure and quantifies every claim
+//! of Zhou & Brent (ICPP 1993).
+//!
+//! The paper is a *concise* paper: its figures are ordering schedules
+//! (Figs. 1–9) and its evaluation is the set of communication/contention/
+//! convergence claims in §§3–6 (the CM-5 implementation was still in
+//! progress). Correspondingly this crate provides:
+//!
+//! * [`figures`] — paper-style schedule tables for every figure;
+//! * [`experiments`] — the claim-quantifying tables (E1–E7 in DESIGN.md);
+//! * two binaries, `figures` and `experiments`, that print everything; the
+//!   `experiments` output is the source of `EXPERIMENTS.md`;
+//! * Criterion benches (`benches/`) timing the same experiment kernels.
+
+#![deny(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod figures;
+pub mod table;

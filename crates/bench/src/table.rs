@@ -1,0 +1,107 @@
+//! Minimal markdown table builder for the experiment reports.
+
+/// A markdown table under construction.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", dashes.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float compactly for a table cell.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["33", "4"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a "));
+        assert!(md.contains("| -"));
+        assert!(md.contains("| 33 | 4 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.2345), "1.23");
+        assert!(fnum(12345.0).contains('e'));
+        assert!(fnum(0.0001).contains('e'));
+    }
+}

@@ -1,0 +1,334 @@
+//! Argument parsing and command dispatch (hand-rolled; no external deps).
+
+use crate::io;
+use std::path::PathBuf;
+use treesvd_core::{
+    blocked_svd, BlockedOptions, HestenesSvd, OrderingKind, SvdOptions, TopologyKind,
+};
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "\
+usage:
+  treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
+              [--distributed] [--processors P] [--sigma-out FILE]
+              [--u-out FILE] [--v-out FILE]
+  treesvd lstsq <matrix-file> <rhs-file> [--rcond X]
+  treesvd cond <matrix-file>
+  treesvd info
+
+orderings:  ring | round-robin | fat-tree | new-ring | modified-ring |
+            llb-fat-tree | hybrid          (default: fat-tree)
+topologies: perfect | cm5 | binary | skinny-above-K   (default: perfect)";
+
+fn parse_ordering(name: &str) -> Result<OrderingKind, String> {
+    OrderingKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown ordering {name:?}"))
+}
+
+fn parse_topology(name: &str) -> Result<TopologyKind, String> {
+    if let Some(cut) = name.strip_prefix("skinny-above-") {
+        let cut: u32 = cut.parse().map_err(|e| format!("bad cut level in {name:?}: {e}"))?;
+        return Ok(TopologyKind::SkinnyAbove(cut));
+    }
+    match name {
+        "perfect" | "perfect-fat-tree" => Ok(TopologyKind::PerfectFatTree),
+        "cm5" | "cm5-tree" => Ok(TopologyKind::Cm5),
+        "binary" | "binary-tree" => Ok(TopologyKind::BinaryTree),
+        _ => Err(format!("unknown topology {name:?}")),
+    }
+}
+
+/// Run the CLI on `argv`, returning the stdout text.
+///
+/// # Errors
+/// A human-readable message for any usage or runtime failure.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing command".to_string());
+    };
+    match cmd.as_str() {
+        "svd" => cmd_svd(&argv[1..]),
+        "lstsq" => cmd_lstsq(&argv[1..]),
+        "cond" => cmd_cond(&argv[1..]),
+        "info" => Ok(cmd_info()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Pull `--flag value` out of a mutable arg list; returns the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pull a boolean `--flag` out of a mutable arg list.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_svd(rest: &[String]) -> Result<String, String> {
+    let mut args = rest.to_vec();
+    let ordering = match take_flag(&mut args, "--ordering")? {
+        Some(name) => parse_ordering(&name)?,
+        None => OrderingKind::FatTree,
+    };
+    let topology = match take_flag(&mut args, "--topology")? {
+        Some(name) => parse_topology(&name)?,
+        None => TopologyKind::PerfectFatTree,
+    };
+    let sigma_out = take_flag(&mut args, "--sigma-out")?.map(PathBuf::from);
+    let u_out = take_flag(&mut args, "--u-out")?.map(PathBuf::from);
+    let v_out = take_flag(&mut args, "--v-out")?.map(PathBuf::from);
+    let processors = take_flag(&mut args, "--processors")?
+        .map(|p| p.parse::<usize>().map_err(|e| format!("--processors: {e}")))
+        .transpose()?;
+    let no_vectors = take_switch(&mut args, "--no-vectors");
+    let distributed = take_switch(&mut args, "--distributed");
+    let [path] = args.as_slice() else {
+        return Err("svd needs exactly one matrix file".to_string());
+    };
+
+    let a = io::read_matrix(&PathBuf::from(path))?;
+    let opts = SvdOptions::default()
+        .with_ordering(ordering)
+        .with_topology(topology)
+        .with_vectors(!no_vectors);
+
+    let mut out = String::new();
+    let (svd, sweeps, extra) = if let Some(p) = processors {
+        let run = blocked_svd(&a, &BlockedOptions { processors: p, svd: opts })
+            .map_err(|e| e.to_string())?;
+        (run.svd, run.sweeps, format!("block size {}", run.block_size))
+    } else if distributed {
+        let run = HestenesSvd::new(opts).compute_distributed(&a).map_err(|e| e.to_string())?;
+        (run.svd, run.sweeps, "distributed executor".to_string())
+    } else {
+        let run = HestenesSvd::new(opts).compute(&a).map_err(|e| e.to_string())?;
+        (
+            run.svd,
+            run.sweeps,
+            format!("simulated time {:.3e} on {topology}", run.simulated_time),
+        )
+    };
+    let sigma = svd.sigma.clone();
+
+    out.push_str(&format!(
+        "# {}x{} matrix, ordering {}, {sweeps} sweeps, {extra}\n",
+        a.rows(),
+        a.cols(),
+        ordering.name()
+    ));
+    out.push_str("# singular values (descending):\n");
+    out.push_str(&io::format_vector(&sigma));
+    if let Some(p) = sigma_out {
+        std::fs::write(&p, io::format_vector(&sigma)).map_err(|e| format!("{}: {e}", p.display()))?;
+        out.push_str(&format!("# sigma written to {}\n", p.display()));
+    }
+    if let Some(p) = u_out {
+        std::fs::write(&p, io::format_matrix(&svd.u)).map_err(|e| format!("{}: {e}", p.display()))?;
+        out.push_str(&format!("# U written to {}\n", p.display()));
+    }
+    if let Some(p) = v_out {
+        std::fs::write(&p, io::format_matrix(&svd.v)).map_err(|e| format!("{}: {e}", p.display()))?;
+        out.push_str(&format!("# V written to {}\n", p.display()));
+    }
+    Ok(out)
+}
+
+fn cmd_lstsq(rest: &[String]) -> Result<String, String> {
+    let mut args = rest.to_vec();
+    let rcond = take_flag(&mut args, "--rcond")?
+        .map(|x| x.parse::<f64>().map_err(|e| format!("--rcond: {e}")))
+        .transpose()?;
+    let [a_path, b_path] = args.as_slice() else {
+        return Err("lstsq needs a matrix file and a rhs file".to_string());
+    };
+    let a = io::read_matrix(&PathBuf::from(a_path))?;
+    let b_mat = io::read_matrix(&PathBuf::from(b_path))?;
+    if b_mat.cols() != 1 {
+        return Err(format!("rhs must be a single column, got {} columns", b_mat.cols()));
+    }
+    let b: Vec<f64> = b_mat.col(0).to_vec();
+    if b.len() != a.rows() {
+        return Err(format!("rhs has {} rows, matrix has {}", b.len(), a.rows()));
+    }
+    let sol = treesvd_apps::lstsq(&a, &b, rcond).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "# effective rank {}, residual norm {:.6e}\n# solution:\n",
+        sol.effective_rank, sol.residual_norm
+    );
+    out.push_str(&io::format_vector(&sol.x));
+    Ok(out)
+}
+
+fn cmd_cond(rest: &[String]) -> Result<String, String> {
+    let [path] = rest else {
+        return Err("cond needs exactly one matrix file".to_string());
+    };
+    let a = io::read_matrix(&PathBuf::from(path))?;
+    let kappa = treesvd_apps::condition_number(&a).map_err(|e| e.to_string())?;
+    Ok(format!("{kappa:.6e}\n"))
+}
+
+fn cmd_info() -> String {
+    let mut out = String::from("treesvd — Zhou & Brent (ICPP 1993) reproduction\n\norderings:\n");
+    for kind in OrderingKind::ALL {
+        out.push_str(&format!("  {}\n", kind.name()));
+    }
+    out.push_str(
+        "\ntopologies:\n  perfect (binary fat-tree)\n  cm5 (skinny, ×√2 capacity per level)\n  binary (capacity 1 everywhere)\n  skinny-above-K (perfect up to level K, frozen above)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, content: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("treesvd-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    #[test]
+    fn info_lists_all_orderings() {
+        let out = run(&argv(&["info"])).unwrap();
+        for k in OrderingKind::ALL {
+            assert!(out.contains(k.name()), "missing {}", k.name());
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn svd_on_a_small_file() {
+        let p = write_temp("a.txt", "3 0\n0 4\n0 0\n");
+        let out = run(&argv(&["svd", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 sweeps") || out.contains("sweeps"));
+        // sigma descending: 4 then 3
+        let nums: Vec<f64> = out
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(|l| l.trim().parse::<f64>().ok())
+            .collect();
+        assert!((nums[0] - 4.0).abs() < 1e-12);
+        assert!((nums[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_flags_parse() {
+        let p = write_temp("b.txt", "1 0\n0 2\n1 1\n");
+        let out = run(&argv(&[
+            "svd",
+            p.to_str().unwrap(),
+            "--ordering",
+            "new-ring",
+            "--topology",
+            "cm5",
+            "--no-vectors",
+        ]))
+        .unwrap();
+        assert!(out.contains("new-ring"));
+        assert!(run(&argv(&["svd", p.to_str().unwrap(), "--ordering", "nope"])).is_err());
+        assert!(run(&argv(&["svd", p.to_str().unwrap(), "--topology", "nope"])).is_err());
+        let out = run(&argv(&["svd", p.to_str().unwrap(), "--topology", "skinny-above-2"]))
+            .unwrap();
+        assert!(out.contains("skinny-above-2"));
+        assert!(run(&argv(&["svd", p.to_str().unwrap(), "--topology", "skinny-above-x"])).is_err());
+    }
+
+    #[test]
+    fn svd_distributed_and_blocked_paths() {
+        let p = write_temp("c.txt", "2 0 0 0\n0 3 0 0\n0 0 1 0\n0 0 0 4\n1 1 1 1\n");
+        let out = run(&argv(&["svd", p.to_str().unwrap(), "--distributed"])).unwrap();
+        assert!(out.contains("distributed"));
+        let out = run(&argv(&["svd", p.to_str().unwrap(), "--processors", "2"])).unwrap();
+        assert!(out.contains("block size"));
+    }
+
+    #[test]
+    fn lstsq_solves() {
+        let a = write_temp("lsq_a.txt", "1 0\n0 1\n1 1\n");
+        let b = write_temp("lsq_b.txt", "1\n2\n3\n");
+        let out = run(&argv(&["lstsq", a.to_str().unwrap(), b.to_str().unwrap()])).unwrap();
+        assert!(out.contains("effective rank 2"));
+    }
+
+    #[test]
+    fn lstsq_shape_errors() {
+        let a = write_temp("lsq_a2.txt", "1 0\n0 1\n");
+        let b = write_temp("lsq_b2.txt", "1\n2\n3\n");
+        assert!(run(&argv(&["lstsq", a.to_str().unwrap(), b.to_str().unwrap()])).is_err());
+        let b2 = write_temp("lsq_b3.txt", "1 2\n3 4\n");
+        assert!(run(&argv(&["lstsq", a.to_str().unwrap(), b2.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn cond_of_identity_is_one() {
+        let p = write_temp("id.txt", "1 0\n0 1\n");
+        let out = run(&argv(&["cond", p.to_str().unwrap()])).unwrap();
+        let k: f64 = out.trim().parse().unwrap();
+        assert!((k - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn u_v_out_write_orthogonal_factors() {
+        let p = write_temp("uv.txt", "3 0\n0 4\n1 1\n");
+        let dir = std::env::temp_dir().join("treesvd-cli-tests");
+        let up = dir.join("u.txt");
+        let vp = dir.join("v.txt");
+        run(&argv(&[
+            "svd",
+            p.to_str().unwrap(),
+            "--u-out",
+            up.to_str().unwrap(),
+            "--v-out",
+            vp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let u = crate::io::read_matrix(&up).unwrap();
+        let v = crate::io::read_matrix(&vp).unwrap();
+        assert_eq!(u.shape(), (3, 2));
+        assert_eq!(v.shape(), (2, 2));
+        assert!(treesvd_matrix::checks::orthogonality_residual(&v) < 1e-10);
+        assert!(treesvd_matrix::checks::orthogonality_residual(&u) < 1e-10);
+    }
+
+    #[test]
+    fn sigma_out_writes_file() {
+        let p = write_temp("d.txt", "5 0\n0 12\n");
+        let outfile = std::env::temp_dir().join("treesvd-cli-tests").join("sigma.txt");
+        let _ = std::fs::remove_file(&outfile);
+        run(&argv(&["svd", p.to_str().unwrap(), "--sigma-out", outfile.to_str().unwrap()]))
+            .unwrap();
+        let text = std::fs::read_to_string(&outfile).unwrap();
+        let first: f64 = text.lines().next().unwrap().parse().unwrap();
+        assert!((first - 12.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,127 @@
+//! Plain-text matrix I/O: whitespace/comma-separated rows, `#` comments.
+
+use std::path::Path;
+use treesvd_matrix::Matrix;
+
+/// Parse a matrix from text: one row per line, entries separated by
+/// whitespace or commas; empty lines and lines starting with `#` ignored.
+///
+/// # Errors
+/// Returns a message describing the first malformed line.
+pub fn parse_matrix(text: &str) -> Result<Matrix, String> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::new();
+        for tok in line.split(|c: char| c.is_whitespace() || c == ',') {
+            if tok.is_empty() {
+                continue;
+            }
+            row.push(
+                tok.parse::<f64>()
+                    .map_err(|e| format!("line {}: bad number {tok:?}: {e}", lineno + 1))?,
+            );
+        }
+        if !row.is_empty() {
+            if let Some(first) = rows.first() {
+                if row.len() != first.len() {
+                    return Err(format!(
+                        "line {}: {} entries, expected {}",
+                        lineno + 1,
+                        row.len(),
+                        first.len()
+                    ));
+                }
+            }
+            rows.push(row);
+        }
+    }
+    if rows.is_empty() {
+        return Err("no data rows found".to_string());
+    }
+    let (m, n) = (rows.len(), rows[0].len());
+    let flat: Vec<f64> = rows.into_iter().flatten().collect();
+    Matrix::from_row_major(m, n, &flat).map_err(|e| e.to_string())
+}
+
+/// Read and parse a matrix file.
+///
+/// # Errors
+/// I/O errors and parse errors, as messages.
+pub fn read_matrix(path: &Path) -> Result<Matrix, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_matrix(&text)
+}
+
+/// Format a vector, one entry per line with full precision.
+pub fn format_vector(v: &[f64]) -> String {
+    let mut out = String::new();
+    for x in v {
+        out.push_str(&format!("{x:.17e}\n"));
+    }
+    out
+}
+
+/// Format a matrix row-major, whitespace separated, full precision.
+pub fn format_matrix(m: &Matrix) -> String {
+    let mut out = String::new();
+    for i in 0..m.rows() {
+        let row: Vec<String> = (0..m.cols()).map(|j| format!("{:.17e}", m.get(i, j))).collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_whitespace_and_commas() {
+        let m = parse_matrix("1 2 3\n4,5,6\n").unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let m = parse_matrix("# header\n\n1 2\n# middle\n3 4\n").unwrap();
+        assert_eq!(m.shape(), (2, 2));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = parse_matrix("1 2\n3\n").unwrap_err();
+        assert!(err.contains("expected 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let err = parse_matrix("1 x\n").unwrap_err();
+        assert!(err.contains("bad number"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_matrix("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = parse_matrix("1.5 -2\n0 3.25\n").unwrap();
+        let text = format_matrix(&m);
+        let back = parse_matrix(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn scientific_notation_accepted() {
+        let m = parse_matrix("1e-3 2.5E+2\n").unwrap();
+        assert_eq!(m.get(0, 0), 1e-3);
+        assert_eq!(m.get(0, 1), 250.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Collectives built on the point-to-point layer: a dissemination barrier
+//! and a recursive-doubling allreduce — the two operations the distributed
+//! SVD driver needs (sweep synchronization and the global convergence
+//! test).
+
+use crate::world::{Communicator, RecvError};
+
+/// Tag space reserved for collectives (high bit set, round in the low
+/// bits); the SVD executor's data tags stay below this.
+const COLLECTIVE_BASE: u64 = 1 << 63;
+
+/// Dissemination barrier over all ranks: rank r waits, in round k, for
+/// rank `r − 2^k` and signals rank `r + 2^k` (mod P). `epoch` keeps
+/// successive barriers' messages apart.
+///
+/// # Errors
+/// Propagates receive errors (a timeout means a rank died or diverged).
+pub fn barrier(comm: &mut Communicator, epoch: u64) -> Result<(), RecvError> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let rounds = usize::BITS - (p - 1).leading_zeros();
+    for k in 0..rounds {
+        let dist = 1usize << k;
+        let to = (rank + dist) % p;
+        let from = (rank + p - dist) % p;
+        let tag = COLLECTIVE_BASE | (epoch << 8) | k as u64;
+        comm.send(to, tag, Vec::new());
+        comm.recv(from, tag)?;
+    }
+    Ok(())
+}
+
+/// Allreduce (sum) of a small vector over all ranks: gather to rank 0,
+/// sum, broadcast back. Exact for any rank count (a tree reduction would
+/// cut latency, but the SVD driver only reduces a handful of scalars once
+/// per sweep).
+///
+/// # Errors
+/// Propagates receive errors.
+///
+/// # Panics
+/// Panics if ranks pass different-length vectors.
+pub fn allreduce_sum(
+    comm: &mut Communicator,
+    epoch: u64,
+    mut local: Vec<f64>,
+) -> Result<Vec<f64>, RecvError> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(local);
+    }
+    let rank = comm.rank();
+    let up_tag = COLLECTIVE_BASE | (1 << 62) | (epoch << 8);
+    let down_tag = up_tag | 1;
+    if rank == 0 {
+        for from in 1..p {
+            let incoming = comm.recv(from, up_tag)?;
+            assert_eq!(incoming.len(), local.len(), "allreduce length mismatch");
+            for (l, r) in local.iter_mut().zip(incoming.iter()) {
+                *l += r;
+            }
+        }
+        for to in 1..p {
+            comm.send(to, down_tag, local.clone());
+        }
+        Ok(local)
+    } else {
+        comm.send(0, up_tag, local);
+        comm.recv(0, down_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::ThreadWorld;
+    use std::thread;
+
+    #[test]
+    fn barrier_all_ranks_pass() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let world = ThreadWorld::new(p);
+            let handles: Vec<_> = world
+                .into_communicators()
+                .into_iter()
+                .map(|mut c| {
+                    thread::spawn(move || {
+                        for epoch in 0..3 {
+                            super::barrier(&mut c, epoch).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for p in [1usize, 2, 4, 5, 8] {
+            let world = ThreadWorld::new(p);
+            let handles: Vec<_> = world
+                .into_communicators()
+                .into_iter()
+                .map(|mut c| {
+                    thread::spawn(move || {
+                        let rank = c.rank() as f64;
+                        super::allreduce_sum(&mut c, 0, vec![rank, 1.0]).unwrap()
+                    })
+                })
+                .collect();
+            let expect_sum: f64 = (0..p).map(|r| r as f64).sum();
+            for h in handles {
+                let v = h.join().unwrap();
+                assert_eq!(v, vec![expect_sum, p as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_exact_for_non_power_of_two() {
+        let p = 3;
+        let world = ThreadWorld::new(p);
+        let handles: Vec<_> = world
+            .into_communicators()
+            .into_iter()
+            .map(|mut c| {
+                thread::spawn(move || {
+                    super::allreduce_sum(&mut c, 9, vec![1.0]).unwrap()[0]
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3.0);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let p = 4;
+        let world = ThreadWorld::new(p);
+        let handles: Vec<_> = world
+            .into_communicators()
+            .into_iter()
+            .map(|mut c| {
+                thread::spawn(move || {
+                    let mut sums = Vec::new();
+                    for epoch in 0..5u64 {
+                        super::barrier(&mut c, epoch).unwrap();
+                        let v = super::allreduce_sum(&mut c, epoch, vec![epoch as f64]).unwrap();
+                        sums.push(v[0]);
+                    }
+                    sums
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0.0, 4.0, 8.0, 12.0, 16.0]);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The communicator and its threaded implementation.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// A point-to-point message: payload plus matching metadata.
+#[derive(Debug, Clone)]
+struct Envelope {
+    source: usize,
+    tag: u64,
+    payload: Vec<f64>,
+}
+
+/// Errors from a blocking receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The matching message did not arrive within the timeout — almost
+    /// always a schedule bug (mismatched send/recv pattern).
+    Timeout {
+        /// Rank that was waiting.
+        rank: usize,
+        /// Expected source rank.
+        source: usize,
+        /// Expected tag.
+        tag: u64,
+    },
+    /// The world has been torn down (a peer hung up).
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout { rank, source, tag } => {
+                write!(f, "rank {rank}: timed out waiting for message (source {source}, tag {tag})")
+            }
+            RecvError::Disconnected => write!(f, "communicator torn down"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// One rank's endpoint: send to any rank, receive tag-matched messages.
+///
+/// Receives match on `(source, tag)`; out-of-order arrivals are parked in a
+/// local pending buffer, so any send/recv interleaving consistent with the
+/// schedule is accepted.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    inbox: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    pending: Vec<Envelope>,
+    recv_timeout: Duration,
+}
+
+impl Communicator {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Asynchronous (buffered) send of `payload` to `dest` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range. Sending to self is allowed (the
+    /// message is received like any other).
+    pub fn send(&self, dest: usize, tag: u64, payload: Vec<f64>) {
+        assert!(dest < self.size, "rank {dest} out of range");
+        // unbounded channel: cannot block, cannot deadlock
+        self.peers[dest]
+            .send(Envelope { source: self.rank, tag, payload })
+            .expect("world torn down during send");
+    }
+
+    /// Blocking receive of the message with exactly `(source, tag)`.
+    ///
+    /// # Errors
+    /// [`RecvError::Timeout`] if nothing matching arrives in time (a
+    /// schedule bug) or [`RecvError::Disconnected`] if the world died.
+    pub fn recv(&mut self, source: usize, tag: u64) -> Result<Vec<f64>, RecvError> {
+        // check the pending buffer first
+        if let Some(idx) =
+            self.pending.iter().position(|e| e.source == source && e.tag == tag)
+        {
+            return Ok(self.pending.swap_remove(idx).payload);
+        }
+        loop {
+            match self.inbox.recv_timeout(self.recv_timeout) {
+                Ok(env) => {
+                    if env.source == source && env.tag == tag {
+                        return Ok(env.payload);
+                    }
+                    self.pending.push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(RecvError::Timeout { rank: self.rank, source, tag })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
+            }
+        }
+    }
+
+    /// Exchange with a peer: send ours, receive theirs (same tag). The
+    /// common idiom of the Jacobi schedules.
+    ///
+    /// # Errors
+    /// Propagates [`Communicator::recv`] errors.
+    pub fn exchange(
+        &mut self,
+        peer: usize,
+        tag: u64,
+        payload: Vec<f64>,
+    ) -> Result<Vec<f64>, RecvError> {
+        self.send(peer, tag, payload);
+        self.recv(peer, tag)
+    }
+}
+
+/// A "world": builds the communicators for `size` ranks sharing one
+/// process.
+pub struct ThreadWorld {
+    comms: Vec<Communicator>,
+}
+
+impl ThreadWorld {
+    /// Create a world of `size` ranks with the default 5-second receive
+    /// timeout.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        Self::with_timeout(size, Duration::from_secs(5))
+    }
+
+    /// Create a world with an explicit receive timeout (tests use short
+    /// ones to exercise the failure path).
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn with_timeout(size: usize, recv_timeout: Duration) -> Self {
+        assert!(size > 0, "world needs at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let comms = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| Communicator {
+                rank,
+                size,
+                inbox,
+                peers: senders.clone(),
+                pending: Vec::new(),
+                recv_timeout,
+            })
+            .collect();
+        Self { comms }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// Take the per-rank communicators (consumes the world's endpoints;
+    /// call once, then move each into its thread).
+    pub fn into_communicators(self) -> Vec<Communicator> {
+        self.comms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ping_pong() {
+        let world = ThreadWorld::new(2);
+        let mut comms = world.into_communicators();
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let h = thread::spawn(move || {
+            let msg = c1.recv(0, 7).unwrap();
+            c1.send(0, 8, msg.iter().map(|x| x * 2.0).collect());
+        });
+        c0.send(1, 7, vec![1.0, 2.0]);
+        let back = c0.recv(1, 8).unwrap();
+        assert_eq!(back, vec![2.0, 4.0]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let world = ThreadWorld::new(2);
+        let mut comms = world.into_communicators();
+        let mut c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        c0.send(1, 2, vec![2.0]);
+        c0.send(1, 1, vec![1.0]);
+        // receive in the opposite order
+        assert_eq!(c1.recv(0, 1).unwrap(), vec![1.0]);
+        assert_eq!(c1.recv(0, 2).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let world = ThreadWorld::new(1);
+        let mut comms = world.into_communicators();
+        let mut c = comms.pop().unwrap();
+        c.send(0, 0, vec![9.0]);
+        assert_eq!(c.recv(0, 0).unwrap(), vec![9.0]);
+    }
+
+    #[test]
+    fn timeout_reports_context() {
+        let world = ThreadWorld::with_timeout(2, Duration::from_millis(20));
+        let mut comms = world.into_communicators();
+        let _c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let err = c0.recv(1, 42).unwrap_err();
+        assert_eq!(err, RecvError::Timeout { rank: 0, source: 1, tag: 42 });
+        assert!(err.to_string().contains("tag 42"));
+    }
+
+    #[test]
+    fn exchange_is_symmetric() {
+        let world = ThreadWorld::new(2);
+        let mut comms = world.into_communicators();
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let h = thread::spawn(move || c1.exchange(0, 3, vec![10.0]).unwrap());
+        let got0 = c0.exchange(1, 3, vec![20.0]).unwrap();
+        let got1 = h.join().unwrap();
+        assert_eq!(got0, vec![10.0]);
+        assert_eq!(got1, vec![20.0]);
+    }
+
+    #[test]
+    fn many_ranks_ring_pass() {
+        let p = 8;
+        let world = ThreadWorld::new(p);
+        let comms = world.into_communicators();
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut c| {
+                thread::spawn(move || {
+                    let rank = c.rank();
+                    let next = (rank + 1) % c.size();
+                    let prev = (rank + c.size() - 1) % c.size();
+                    // pass a token all the way around
+                    let mut token = vec![rank as f64];
+                    for round in 0..c.size() as u64 {
+                        c.send(next, round, token);
+                        token = c.recv(prev, round).unwrap();
+                    }
+                    token[0]
+                })
+            })
+            .collect();
+        let results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // after P hops every token is back home
+        for (rank, v) in results.iter().enumerate() {
+            assert_eq!(*v, rank as f64);
+        }
+    }
+}

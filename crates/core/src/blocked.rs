@@ -1,0 +1,364 @@
+//! Blocked execution for undersized machines (Schreiber \[14\]).
+//!
+//! The paper's orderings assume one column pair per processor, i.e.
+//! `P = n/2`. Real machines are *undersized*: the ANU CM-5 had 32 nodes
+//! but problems have hundreds of columns. Schreiber's partitioning — which
+//! §5 builds its block ring ordering on — fixes this by letting every slot
+//! hold a *block* of `c` columns: the same sweep schedules then move
+//! blocks instead of single columns, and a "rotation" of a resident pair
+//! becomes a full orthogonalization pass over the two blocks' columns.
+//!
+//! When the blocks `(X, Y)` of a super-pair meet, one cyclic pass
+//! orthogonalizes every column pair of `X ∪ Y` with the sorted-storage
+//! rule, so at convergence the norms are globally ordered exactly as in
+//! the unblocked case (the block ordering meets every block pair, and
+//! within a meeting the columns are fully sorted — an odd-even-merge
+//! argument at block granularity). Termination is unchanged: a full sweep
+//! with no rotation and no interchange anywhere.
+
+use crate::options::{OrderingChoice, SvdError, SvdOptions};
+use crate::result::{complete_orthonormal, Svd};
+use treesvd_matrix::rotation::orthogonalize_pair;
+use treesvd_matrix::Matrix;
+use treesvd_orderings::JacobiOrdering;
+
+/// Options for the blocked driver: the machine size plus the usual knobs.
+#[derive(Debug)]
+pub struct BlockedOptions {
+    /// Number of physical processors `P`; the columns are distributed over
+    /// `2P` block slots.
+    pub processors: usize,
+    /// Everything else (ordering, threshold, sweep cap, sorting, vectors).
+    pub svd: SvdOptions,
+}
+
+impl BlockedOptions {
+    /// Default options for a `P`-processor machine.
+    pub fn for_processors(processors: usize) -> Self {
+        Self { processors, svd: SvdOptions::default() }
+    }
+}
+
+/// Result of a blocked run.
+#[derive(Debug)]
+pub struct BlockedRun {
+    /// The decomposition of the (unpadded) input.
+    pub svd: Svd,
+    /// Sweeps of the block-level ordering performed.
+    pub sweeps: usize,
+    /// Columns per block slot (after padding).
+    pub block_size: usize,
+    /// Total column rotations applied.
+    pub total_rotations: usize,
+}
+
+/// A column with its (possibly empty) accumulated `V` column.
+type ColPair = (Vec<f64>, Vec<f64>);
+
+/// One block slot: `c` columns (and optional `V` columns) in label order.
+#[derive(Debug, Clone, Default)]
+struct BlockSlot {
+    cols: Vec<ColPair>, // (a, v) pairs
+}
+
+/// Compute the SVD of `a` on an undersized machine of `opts.processors`
+/// processors using blocked sweeps.
+///
+/// # Errors
+/// As [`crate::HestenesSvd::compute`].
+///
+/// # Panics
+/// Panics if `opts.processors == 0`.
+pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdError> {
+    assert!(opts.processors > 0, "need at least one processor");
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(SvdError::EmptyMatrix);
+    }
+    if a.rows() < a.cols() {
+        let at = a.transpose();
+        let mut run = blocked_svd(&at, opts)?;
+        std::mem::swap(&mut run.svd.u, &mut run.svd.v);
+        return Ok(run);
+    }
+
+    let (m, n) = a.shape();
+    let n_super = 2 * opts.processors;
+    // block size: smallest c with n <= c * n_super
+    let c = n.div_ceil(n_super).max(1);
+    let n_pad = c * n_super;
+
+    let ordering: Box<dyn JacobiOrdering> = match &opts.svd.ordering {
+        OrderingChoice::Kind(k) => k.build(n_super)?,
+        OrderingChoice::Custom(f) => f(n_super)?,
+    };
+
+    // distribute columns: super-slot s holds labels [s*c, (s+1)*c)
+    let mut columns = a.clone().into_columns();
+    columns.resize(n_pad, vec![0.0; m]);
+    let vectors = opts.svd.vectors;
+    let mut slots: Vec<BlockSlot> = (0..n_super)
+        .map(|s| BlockSlot {
+            cols: (0..c)
+                .map(|k| {
+                    let j = s * c + k;
+                    let v = if vectors {
+                        let mut e = vec![0.0; n_pad];
+                        e[j] = 1.0;
+                        e
+                    } else {
+                        Vec::new()
+                    };
+                    (std::mem::take(&mut columns[j]), v)
+                })
+                .collect(),
+        })
+        .collect();
+
+    let threshold = opts.svd.threshold.unwrap_or(n_pad as f64 * f64::EPSILON);
+    let sort = matches!(opts.svd.sort, treesvd_sim::SortMode::Descending);
+
+    let mut layout = ordering.initial_layout();
+    let mut sweeps = 0usize;
+    let mut total_rotations = 0usize;
+    let mut converged = false;
+
+    for sweep in 0..opts.svd.max_sweeps {
+        let prog = ordering.sweep_program(sweep, &layout);
+        let layouts = prog.layouts();
+        let mut rotations = 0usize;
+        let mut swaps = 0usize;
+
+        for (step_no, step) in prog.steps.iter().enumerate() {
+            let lay = &layouts[step_no];
+            for p in 0..opts.processors {
+                // the two resident blocks, in label order
+                let (s_lo, s_hi) = if lay[2 * p] < lay[2 * p + 1] {
+                    (2 * p, 2 * p + 1)
+                } else {
+                    (2 * p + 1, 2 * p)
+                };
+                let (r, s) = local_pass(&mut slots, s_lo, s_hi, threshold, sort);
+                rotations += r;
+                swaps += s;
+            }
+            // move the blocks
+            let mut next: Vec<BlockSlot> = (0..n_super).map(|_| BlockSlot::default()).collect();
+            let mut next_layout = vec![0usize; n_super];
+            for (s, slot) in slots.iter_mut().enumerate() {
+                let d = step.move_after.dest_of(s);
+                next[d] = std::mem::take(slot);
+                next_layout[d] = lay[s];
+            }
+            slots = next;
+            let _ = next_layout;
+        }
+        layout = prog.final_layout();
+        total_rotations += rotations;
+        sweeps = sweep + 1;
+        if rotations == 0 && swaps == 0 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(SvdError::NoConvergence { sweeps, last_coupling: f64::NAN });
+    }
+
+    // collect columns back in label order
+    let mut by_label: Vec<Option<ColPair>> = vec![None; n_pad];
+    for (s, slot) in slots.into_iter().enumerate() {
+        let label_block = layout[s];
+        for (k, col) in slot.cols.into_iter().enumerate() {
+            by_label[label_block * c + k] = Some(col);
+        }
+    }
+    let cols: Vec<ColPair> =
+        by_label.into_iter().map(|o| o.expect("layout is a permutation")).collect();
+
+    // extraction (mirrors the unblocked driver)
+    let norms: Vec<f64> = cols.iter().map(|(a, _)| treesvd_matrix::ops::norm2(a)).collect();
+    let max_norm = norms.iter().fold(0.0_f64, |acc, &x| acc.max(x));
+    let rank_tol = max_norm * n_pad as f64 * f64::EPSILON;
+    let mut u = Matrix::zeros(m, n).map_err(|_| SvdError::EmptyMatrix)?;
+    let mut sigma = vec![0.0; n];
+    let mut zero_u = Vec::new();
+    for j in 0..n {
+        if norms[j] > rank_tol {
+            sigma[j] = norms[j];
+            let mut col = cols[j].0.clone();
+            treesvd_matrix::ops::scal(1.0 / norms[j], &mut col);
+            u.set_col(j, &col);
+        } else {
+            zero_u.push(j);
+        }
+    }
+    let rank = n - zero_u.len();
+    complete_orthonormal(&mut u, &zero_u);
+
+    let v = if vectors {
+        let mut v = Matrix::zeros(n, n).map_err(|_| SvdError::EmptyMatrix)?;
+        let mut zero_v = Vec::new();
+        for j in 0..n {
+            let vj = &cols[j].1;
+            let head_norm = treesvd_matrix::ops::norm2(&vj[..n]);
+            if sigma[j] > 0.0 || head_norm > 0.5 {
+                v.set_col(j, &vj[..n]);
+            } else {
+                zero_v.push(j);
+            }
+        }
+        complete_orthonormal(&mut v, &zero_v);
+        v
+    } else {
+        Matrix::identity(n, n).map_err(|_| SvdError::EmptyMatrix)?
+    };
+
+    Ok(BlockedRun {
+        svd: Svd { u, sigma, v, rank },
+        sweeps,
+        block_size: c,
+        total_rotations,
+    })
+}
+
+/// One cyclic pass over all column pairs of the two resident blocks, in
+/// label order (the lower-labelled block's columns first). Returns
+/// (rotations, interchanges).
+fn local_pass(
+    slots: &mut [BlockSlot],
+    s_lo: usize,
+    s_hi: usize,
+    threshold: f64,
+    sort: bool,
+) -> (usize, usize) {
+    debug_assert_ne!(s_lo, s_hi);
+    // take both blocks out to get clean disjoint access
+    let mut lo = std::mem::take(&mut slots[s_lo]);
+    let mut hi = std::mem::take(&mut slots[s_hi]);
+    let c = lo.cols.len();
+    let total = c + hi.cols.len();
+    let mut rotations = 0usize;
+    let mut swaps = 0usize;
+
+    for i in 0..total {
+        for j in (i + 1)..total {
+            // borrow the two distinct union entries safely: both-in-lo,
+            // both-in-hi, or one in each
+            let (ci, cj): (&mut ColPair, &mut ColPair) = if j < c {
+                let (a, b) = lo.cols.split_at_mut(j);
+                (&mut a[i], &mut b[0])
+            } else if i >= c {
+                let (a, b) = hi.cols.split_at_mut(j - c);
+                (&mut a[i - c], &mut b[0])
+            } else {
+                (&mut lo.cols[i], &mut hi.cols[j - c])
+            };
+            let out = orthogonalize_pair(&mut ci.0, &mut cj.0, threshold, sort);
+            if !ci.1.is_empty() {
+                use treesvd_matrix::rotation::{apply_rotation, apply_rotation_swapped};
+                if out.used_swap {
+                    apply_rotation_swapped(out.rotation, &mut ci.1, &mut cj.1);
+                } else {
+                    apply_rotation(out.rotation, &mut ci.1, &mut cj.1);
+                }
+            }
+            if !out.rotation.skipped {
+                rotations += 1;
+            }
+            if out.used_swap {
+                swaps += 1;
+            }
+        }
+    }
+    slots[s_lo] = lo;
+    slots[s_hi] = hi;
+    (rotations, swaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HestenesSvd, SvdOptions};
+    use treesvd_matrix::{checks, generate};
+
+    #[test]
+    fn blocked_matches_unblocked_spectra() {
+        let a = generate::random_uniform(40, 32, 1);
+        let full = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        for procs in [2usize, 4, 8] {
+            let run = blocked_svd(&a, &BlockedOptions::for_processors(procs)).unwrap();
+            assert_eq!(run.block_size, 32 / (2 * procs));
+            assert!(
+                checks::spectrum_distance(&run.svd.sigma, &full.svd.sigma) < 1e-9,
+                "P = {procs}"
+            );
+            assert!(run.svd.residual(&a) < 1e-10, "P = {procs}");
+            assert!(run.svd.orthogonality() < 1e-10, "P = {procs}");
+            assert!(checks::is_nonincreasing(&run.svd.sigma), "P = {procs}");
+        }
+    }
+
+    #[test]
+    fn blocked_handles_non_divisible_columns() {
+        // 30 columns on 4 processors: c = ceil(30/8) = 4, padded to 32
+        let a = generate::random_uniform(36, 30, 2);
+        let run = blocked_svd(&a, &BlockedOptions::for_processors(4)).unwrap();
+        assert_eq!(run.svd.sigma.len(), 30);
+        assert!(run.svd.residual(&a) < 1e-10);
+        assert!(run.svd.orthogonality() < 1e-10);
+    }
+
+    #[test]
+    fn blocked_on_two_processors_known_spectrum() {
+        let sigma: Vec<f64> = (1..=12).rev().map(|k| k as f64).collect();
+        let a = generate::with_singular_values(20, &sigma, 3);
+        let run = blocked_svd(&a, &BlockedOptions::for_processors(2)).unwrap();
+        assert!(checks::spectrum_distance(&run.svd.sigma, &sigma) < 1e-9);
+    }
+
+    #[test]
+    fn blocked_rank_deficient() {
+        let a = generate::rank_deficient(24, 16, 10, 4);
+        let run = blocked_svd(&a, &BlockedOptions::for_processors(4)).unwrap();
+        assert_eq!(run.svd.rank, 10);
+        assert!(run.svd.orthogonality() < 1e-10);
+    }
+
+    #[test]
+    fn blocked_wide_input() {
+        let at = generate::with_singular_values(20, &[5.0, 3.0, 1.0], 5);
+        let a = at.transpose();
+        let run = blocked_svd(&a, &BlockedOptions::for_processors(2)).unwrap();
+        assert_eq!(run.svd.sigma.len(), 3);
+        let recon = checks::reconstruction_residual(
+            &a.transpose(),
+            &run.svd.v,
+            &run.svd.sigma,
+            &run.svd.u,
+        );
+        assert!(recon < 1e-10);
+    }
+
+    #[test]
+    fn blocked_sweep_counts_reasonable() {
+        // blocked sweeps do more work per step, so fewer sweeps than the
+        // unblocked driver on the same matrix
+        let a = generate::random_uniform(48, 32, 6);
+        let full = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        let run = blocked_svd(&a, &BlockedOptions::for_processors(4)).unwrap();
+        assert!(run.sweeps <= full.sweeps, "{} vs {}", run.sweeps, full.sweeps);
+        assert!(run.total_rotations > 0);
+    }
+
+    #[test]
+    fn blocked_with_ring_ordering() {
+        let a = generate::random_uniform(30, 24, 7);
+        let opts = BlockedOptions {
+            processors: 3,
+            svd: SvdOptions::default().with_ordering(crate::OrderingKind::NewRing),
+        };
+        let run = blocked_svd(&a, &opts).unwrap();
+        assert!(run.svd.residual(&a) < 1e-10);
+        assert_eq!(run.block_size, 4);
+    }
+}

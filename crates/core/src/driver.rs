@@ -1,0 +1,590 @@
+//! The parallel Hestenes SVD driver.
+//!
+//! Orchestrates: shape normalization (transpose wide inputs, pad the
+//! column count to the ordering's requirement with zero columns),
+//! distribution over the simulated machine, sweeping until the paper's
+//! termination criterion holds (a complete sweep with no rotation and no
+//! interchange), and extraction of `U`, `σ`, `V` in index order with
+//! rank handling.
+
+use crate::options::{OrderingChoice, SvdError, SvdOptions};
+use crate::result::{complete_orthonormal, Svd};
+use treesvd_matrix::Matrix;
+use treesvd_net::Topology;
+use treesvd_orderings::{JacobiOrdering, OrderingError, OrderingKind};
+use treesvd_sim::{execute_program, ColumnStore, ExecConfig, Machine, SweepStats};
+
+/// A completed SVD run: the decomposition plus everything the experiments
+/// need to know about how it went.
+#[derive(Debug)]
+pub struct SvdRun {
+    /// The decomposition (of the original, unpadded, untransposed matrix).
+    pub svd: Svd,
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Whether the termination criterion was met within `max_sweeps`.
+    pub converged: bool,
+    /// Per-sweep execution statistics (rotations, couplings, simulated
+    /// times, contention).
+    pub sweep_stats: Vec<SweepStats>,
+    /// Total simulated machine time (compute + communication).
+    pub simulated_time: f64,
+    /// Whether the result was transposed back (input had `m < n`).
+    pub transposed: bool,
+    /// Padded column count actually used by the ordering.
+    pub padded_n: usize,
+    /// Exact off-diagonal measure before the first sweep and after each
+    /// sweep (empty unless `track_off` was set).
+    pub off_history: Vec<f64>,
+}
+
+impl SvdRun {
+    /// Per-sweep maximum normalized couplings — the convergence trace
+    /// (ultimately quadratic, §1).
+    pub fn coupling_history(&self) -> Vec<f64> {
+        self.sweep_stats.iter().map(|s| s.max_coupling).collect()
+    }
+
+    /// Total rotations applied across all sweeps.
+    pub fn total_rotations(&self) -> usize {
+        self.sweep_stats.iter().map(|s| s.rotations).sum()
+    }
+}
+
+/// The parallel one-sided Jacobi SVD solver.
+#[derive(Debug)]
+pub struct HestenesSvd {
+    options: SvdOptions,
+}
+
+impl HestenesSvd {
+    /// Create a solver with the given options.
+    pub fn new(options: SvdOptions) -> Self {
+        Self { options }
+    }
+
+    /// Convenience: solver with default options and the given ordering.
+    pub fn with_ordering(kind: OrderingKind) -> Self {
+        Self::new(SvdOptions::default().with_ordering(kind))
+    }
+
+    /// Compute the SVD of `a`.
+    ///
+    /// Accepts any shape: wide matrices are transposed internally
+    /// (`A = UΣVᵀ ⇔ Aᵀ = VΣUᵀ`), and the column count is padded with zero
+    /// columns up to the ordering's size requirement (even, or a power of
+    /// two for the tree orderings); padding contributes exact zero
+    /// singular values that are stripped before returning.
+    ///
+    /// # Errors
+    /// [`SvdError::EmptyMatrix`] for degenerate shapes,
+    /// [`SvdError::Ordering`] if no padded size suits the ordering, and
+    /// [`SvdError::NoConvergence`] if `max_sweeps` is exhausted.
+    pub fn compute(&self, a: &Matrix) -> Result<SvdRun, SvdError> {
+        if a.rows() == 0 || a.cols() == 0 {
+            return Err(SvdError::EmptyMatrix);
+        }
+        if a.rows() >= a.cols() {
+            self.compute_tall(a, false)
+        } else {
+            let at = a.transpose();
+            let mut run = self.compute_tall(&at, true)?;
+            // A = U Σ Vᵀ with Aᵀ = V Σ Uᵀ: swap the factors back
+            std::mem::swap(&mut run.svd.u, &mut run.svd.v);
+            Ok(run)
+        }
+    }
+
+    /// Instantiate the configured ordering for `n_padded` columns.
+    fn build_ordering(&self, n_padded: usize) -> Result<Box<dyn JacobiOrdering>, OrderingError> {
+        match &self.options.ordering {
+            OrderingChoice::Kind(k) => k.build(n_padded),
+            OrderingChoice::Custom(f) => f(n_padded),
+        }
+    }
+
+    /// The padded size for `n` columns: the smallest size ≥ max(n, 4) the
+    /// ordering accepts (try even sizes, then powers of two).
+    fn padded_size(&self, n: usize) -> Result<usize, OrderingError> {
+        let start = n.max(4);
+        // even candidate
+        let even = start + start % 2;
+        if self.build_ordering(even).is_ok() {
+            return Ok(even);
+        }
+        let pow2 = start.next_power_of_two();
+        self.build_ordering(pow2).map(|_| pow2)
+    }
+
+    fn compute_tall(&self, a: &Matrix, transposed: bool) -> Result<SvdRun, SvdError> {
+        let (m, n) = a.shape();
+        debug_assert!(m >= n);
+        let n_pad = self.padded_size(n)?;
+        let ordering = self.build_ordering(n_pad)?;
+
+        // distribute columns (zero columns as padding)
+        let mut columns = a.clone().into_columns();
+        columns.resize(n_pad, vec![0.0; m]);
+        let mut store = ColumnStore::from_columns(columns, self.options.vectors);
+
+        // ring orderings accept any even n, so the processor count may not
+        // be a power of two; embed the processors in the smallest complete
+        // binary tree that holds them (extra leaves stay idle)
+        let leaves = (n_pad / 2).next_power_of_two().max(2);
+        let machine = Machine::new(Topology::new(self.options.topology, leaves), self.options.cost);
+        let threshold =
+            self.options.threshold.unwrap_or(n_pad as f64 * f64::EPSILON);
+        let config = ExecConfig {
+            threshold,
+            sort: self.options.sort,
+            cached_norms: self.options.cached_norms,
+        };
+
+        // the layout cycle repeats with the ordering's restore period, so
+        // the sweep programs can be generated once and reused
+        let period = ordering.restore_period().max(1);
+        let cached_programs = ordering.programs(period);
+
+        let mut sweep_stats: Vec<SweepStats> = Vec::new();
+        let mut off_history: Vec<f64> = Vec::new();
+        if self.options.track_off {
+            off_history.push(treesvd_sim::off_measure(&store));
+        }
+        let mut converged = false;
+        for k in 0..self.options.max_sweeps {
+            let prog = &cached_programs[k % period];
+            debug_assert_eq!(store.layout, prog.initial_layout, "layout cycle broken");
+            let stats = execute_program(&machine, prog, &mut store, &config);
+            if self.options.track_off {
+                off_history.push(treesvd_sim::off_measure(&store));
+            }
+            let done = stats.is_converged();
+            sweep_stats.push(stats);
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(SvdError::NoConvergence {
+                sweeps: sweep_stats.len(),
+                last_coupling: sweep_stats.last().map_or(f64::NAN, |s| s.max_coupling),
+            });
+        }
+
+        let simulated_time = sweep_stats.iter().map(|s| s.total_time()).sum();
+        let svd = self.extract(a, &store, m, n, n_pad)?;
+        Ok(SvdRun {
+            svd,
+            sweeps: sweep_stats.len(),
+            converged,
+            sweep_stats,
+            simulated_time,
+            transposed,
+            padded_n: n_pad,
+            off_history,
+        })
+    }
+
+    /// Compute the SVD by the *distributed* executor: one thread per
+    /// processor exchanging columns through `treesvd-comm` (the CMMD-style
+    /// message-passing path), instead of the synchronous simulated machine.
+    ///
+    /// Numerically identical to [`HestenesSvd::compute`] (the executors are
+    /// bitwise-equivalent); no simulated timing is produced, so
+    /// `simulated_time` is 0 and `sweep_stats` is empty.
+    ///
+    /// # Errors
+    /// As [`HestenesSvd::compute`], plus an internal communication failure
+    /// surfaces as [`SvdError::NoConvergence`] with zero sweeps.
+    pub fn compute_distributed(&self, a: &Matrix) -> Result<SvdRun, SvdError> {
+        if a.rows() == 0 || a.cols() == 0 {
+            return Err(SvdError::EmptyMatrix);
+        }
+        if a.rows() < a.cols() {
+            let at = a.transpose();
+            let mut run = self.compute_distributed(&at)?;
+            std::mem::swap(&mut run.svd.u, &mut run.svd.v);
+            run.transposed = true;
+            return Ok(run);
+        }
+        let (m, n) = a.shape();
+        let n_pad = self.padded_size(n)?;
+        let ordering = self.build_ordering(n_pad)?;
+        let mut columns = a.clone().into_columns();
+        columns.resize(n_pad, vec![0.0; m]);
+        let threshold = self.options.threshold.unwrap_or(n_pad as f64 * f64::EPSILON);
+        let config = treesvd_sim::ExecConfig {
+            threshold,
+            sort: self.options.sort,
+            cached_norms: false, // the distributed path keeps the reference kernel
+        };
+        let outcome = treesvd_sim::distributed_svd(
+            ordering.as_ref(),
+            columns,
+            self.options.vectors,
+            config,
+            self.options.max_sweeps,
+        )
+        .map_err(|_| SvdError::NoConvergence { sweeps: 0, last_coupling: f64::NAN })?;
+        if !outcome.converged {
+            return Err(SvdError::NoConvergence {
+                sweeps: outcome.sweeps,
+                last_coupling: f64::NAN,
+            });
+        }
+        let store = ColumnStore { slots: outcome.slots, layout: outcome.layout };
+        let svd = self.extract(a, &store, m, n, n_pad)?;
+        Ok(SvdRun {
+            svd,
+            sweeps: outcome.sweeps,
+            converged: true,
+            sweep_stats: Vec::new(),
+            simulated_time: 0.0,
+            transposed: false,
+            padded_n: n_pad,
+            off_history: Vec::new(),
+        })
+    }
+
+    /// Extract `U`, `σ`, `V` from the converged store.
+    fn extract(
+        &self,
+        a: &Matrix,
+        store: &ColumnStore,
+        m: usize,
+        n: usize,
+        n_pad: usize,
+    ) -> Result<Svd, SvdError> {
+        let cols = store.columns_in_index_order();
+        debug_assert_eq!(cols.len(), n_pad);
+
+        // singular values = column norms of the converged H = A·V
+        let norms: Vec<f64> = cols.iter().map(|c| treesvd_matrix::ops::norm2(&c.a)).collect();
+        let max_norm = norms.iter().fold(0.0_f64, |acc, &v| acc.max(v));
+        let rank_tol = max_norm * n_pad as f64 * f64::EPSILON;
+
+        // keep the first n (for descending sort the padding zeros are at
+        // the tail; without sorting the padded columns never swap, so they
+        // also sit at labels >= n)
+        let mut u = Matrix::zeros(m, n).map_err(|_| SvdError::EmptyMatrix)?;
+        let mut sigma = vec![0.0; n];
+        let mut zero_u = Vec::new();
+        for j in 0..n {
+            sigma[j] = norms[j];
+            if norms[j] > rank_tol {
+                let mut col = cols[j].a.clone();
+                treesvd_matrix::ops::scal(1.0 / norms[j], &mut col);
+                u.set_col(j, &col);
+            } else {
+                sigma[j] = 0.0;
+                zero_u.push(j);
+            }
+        }
+        let rank = n - zero_u.len();
+        complete_orthonormal(&mut u, &zero_u);
+
+        let v = if self.options.vectors {
+            let mut v = Matrix::zeros(n, n).map_err(|_| SvdError::EmptyMatrix)?;
+            let mut zero_v = Vec::new();
+            for j in 0..n {
+                let vj = &cols[j].v;
+                // rotations only ever mix V columns within the original
+                // coordinates (padded columns never rotate), so a column
+                // belonging to a nonzero singular value is supported on
+                // the first n coordinates; a padded column that was
+                // swapped into the leading block is a unit vector in a
+                // padded coordinate and gets re-completed below.
+                let head_norm = treesvd_matrix::ops::norm2(&vj[..n]);
+                if sigma[j] > 0.0 || head_norm > 0.5 {
+                    let head: Vec<f64> = vj[..n].to_vec();
+                    v.set_col(j, &head);
+                } else {
+                    zero_v.push(j);
+                }
+            }
+            complete_orthonormal(&mut v, &zero_v);
+            v
+        } else {
+            Matrix::identity(n, n).map_err(|_| SvdError::EmptyMatrix)?
+        };
+
+        let _ = a;
+        Ok(Svd { u, sigma, v, rank })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::SvdOptions;
+    use treesvd_matrix::{checks, generate};
+    use treesvd_orderings::OrderingKind;
+    use treesvd_sim::SortMode;
+
+    fn assert_good_svd(a: &Matrix, run: &SvdRun, tol: f64) {
+        assert!(run.converged);
+        let svd = &run.svd;
+        assert!(svd.residual(a) < tol, "residual {}", svd.residual(a));
+        assert!(svd.orthogonality() < tol, "orthogonality {}", svd.orthogonality());
+        assert!(checks::is_nonincreasing(&svd.sigma), "sigma not sorted: {:?}", svd.sigma);
+    }
+
+    #[test]
+    fn default_solver_on_random_matrix() {
+        let a = generate::random_uniform(20, 16, 1);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert_good_svd(&a, &run, 1e-11);
+    }
+
+    #[test]
+    fn known_spectrum_recovered() {
+        let sigma = [9.0, 4.0, 2.0, 1.0, 0.25];
+        let a = generate::with_singular_values(12, &sigma, 2);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert!(checks::spectrum_distance(&run.svd.sigma, &sigma) < 1e-10);
+    }
+
+    #[test]
+    fn every_ordering_computes_the_same_svd() {
+        let sigma = [8.0, 5.0, 3.0, 2.0, 1.5, 1.0, 0.5, 0.25];
+        let a = generate::with_singular_values(16, &sigma, 3);
+        for kind in OrderingKind::ALL {
+            let run = HestenesSvd::with_ordering(kind).compute(&a).unwrap();
+            assert_good_svd(&a, &run, 1e-10);
+            assert!(
+                checks::spectrum_distance(&run.svd.sigma, &sigma) < 1e-9,
+                "{kind}: {:?}",
+                run.svd.sigma
+            );
+        }
+    }
+
+    #[test]
+    fn wide_matrix_transposed_internally() {
+        let at = generate::with_singular_values(10, &[4.0, 2.0, 1.0], 4);
+        let a = at.transpose(); // 3 x 10
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert!(run.transposed);
+        // for a wide matrix the thin factors swap roles: U is 3x10? No —
+        // we return A = U Σ Vᵀ with U: 3×3? Our convention: factors of Aᵀ
+        // swapped, so u is m×k with k = min-dim... check reconstruction
+        // through the returned shapes instead:
+        let svd = &run.svd;
+        assert_eq!(svd.sigma.len(), 3);
+        // Aᵀ = (V) Σ (U)ᵀ reconstructs, hence A = U Σ Vᵀ with the swap
+        let recon = checks::reconstruction_residual(&a.transpose(), &svd.v, &svd.sigma, &svd.u);
+        assert!(recon < 1e-11, "residual {recon}");
+    }
+
+    #[test]
+    fn odd_and_non_power_sizes_padded() {
+        // 7 columns with the fat-tree ordering: pads to 8
+        let a = generate::random_uniform(9, 7, 5);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert_eq!(run.padded_n, 8);
+        assert_good_svd(&a, &run, 1e-11);
+        assert_eq!(run.svd.sigma.len(), 7);
+
+        // 10 columns with a ring ordering: even already, no padding needed
+        let a = generate::random_uniform(12, 10, 6);
+        let run = HestenesSvd::with_ordering(OrderingKind::NewRing).compute(&a).unwrap();
+        assert_eq!(run.padded_n, 10);
+        assert_good_svd(&a, &run, 1e-11);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        let a = generate::rank_deficient(10, 6, 3, 7);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert_eq!(run.svd.rank, 3);
+        assert_good_svd(&a, &run, 1e-10);
+        for &s in &run.svd.sigma[3..] {
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn already_orthogonal_converges_in_low_sweeps() {
+        let a = generate::already_orthogonal(12, 8, 8);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        // norms are 1..8 ascending by label: sorting must reverse them,
+        // which costs extra sweeps but must still converge quickly
+        assert!(run.sweeps <= 6, "sweeps {}", run.sweeps);
+        assert!(checks::is_nonincreasing(&run.svd.sigma));
+    }
+
+    #[test]
+    fn no_vectors_mode_skips_v() {
+        let a = generate::random_uniform(10, 8, 9);
+        let run = HestenesSvd::new(SvdOptions::default().with_vectors(false))
+            .compute(&a)
+            .unwrap();
+        assert!(run.converged);
+        // sigma still correct vs a full run
+        let full = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert!(checks::spectrum_distance(&run.svd.sigma, &full.svd.sigma) < 1e-10);
+    }
+
+    #[test]
+    fn ill_conditioned_graded_matrix() {
+        let a = generate::graded(24, 16, 1e-8, 10);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert!(run.converged);
+        assert!(run.svd.residual(&a) < 1e-10);
+        // the small singular values are still resolved relatively well —
+        // one-sided Jacobi's high relative accuracy
+        let expect: Vec<f64> =
+            (0..16).map(|k| 1e-8_f64.powf(k as f64 / 15.0)).collect();
+        let mut sorted = expect.clone();
+        sorted.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        for (c, e) in run.svd.sigma.iter().zip(sorted.iter()) {
+            assert!((c - e).abs() <= 1e-6 * e.max(1e-12), "{c} vs {e}");
+        }
+    }
+
+    #[test]
+    fn hilbert_matrix() {
+        let a = generate::hilbert(10, 8);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert_good_svd(&a, &run, 1e-10);
+    }
+
+    #[test]
+    fn unsorted_mode_still_correct() {
+        let a = generate::random_uniform(12, 8, 11);
+        let run = HestenesSvd::new(SvdOptions::default().with_sort(SortMode::None))
+            .compute(&a)
+            .unwrap();
+        assert!(run.converged);
+        assert!(run.svd.residual(&a) < 1e-11);
+        // not necessarily sorted in this mode — but the multiset matches
+        let sorted_run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        let mut ours = run.svd.sigma.clone();
+        ours.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!(checks::spectrum_distance(&ours, &sorted_run.svd.sigma) < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix_all_zero_sigma() {
+        let a = Matrix::zeros(6, 4).unwrap();
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert_eq!(run.svd.rank, 0);
+        assert!(run.svd.sigma.iter().all(|&s| s == 0.0));
+        assert!(run.svd.orthogonality() < 1e-12);
+    }
+
+    #[test]
+    fn simulated_time_positive_and_history_recorded() {
+        let a = generate::random_uniform(16, 8, 12);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert!(run.simulated_time > 0.0);
+        let hist = run.coupling_history();
+        assert_eq!(hist.len(), run.sweeps);
+        assert!(run.total_rotations() > 0);
+        // couplings decay (ultimately quadratically)
+        assert!(hist.last().unwrap() < &1e-7);
+    }
+}
+
+#[cfg(test)]
+mod distributed_tests {
+    use super::*;
+    use crate::options::SvdOptions;
+    use treesvd_matrix::{checks, generate};
+    use treesvd_orderings::OrderingKind;
+
+    #[test]
+    fn distributed_driver_matches_simulated_driver() {
+        let a = generate::random_uniform(20, 12, 31);
+        let solver = HestenesSvd::new(SvdOptions::default());
+        let sim = solver.compute(&a).unwrap();
+        let dist = solver.compute_distributed(&a).unwrap();
+        assert_eq!(sim.sweeps, dist.sweeps);
+        assert_eq!(sim.svd.sigma, dist.svd.sigma, "bitwise-identical spectra expected");
+        assert!(dist.svd.residual(&a) < 1e-11);
+        assert!(dist.svd.orthogonality() < 1e-11);
+    }
+
+    #[test]
+    fn distributed_driver_all_orderings() {
+        let a = generate::random_uniform(16, 8, 32);
+        for kind in OrderingKind::ALL {
+            let run = HestenesSvd::with_ordering(kind).compute_distributed(&a).unwrap();
+            assert!(run.converged, "{kind}");
+            assert!(run.svd.residual(&a) < 1e-10, "{kind}");
+            assert!(checks::is_nonincreasing(&run.svd.sigma), "{kind}");
+        }
+    }
+
+    #[test]
+    fn distributed_driver_wide_input() {
+        let at = generate::with_singular_values(10, &[3.0, 2.0, 1.0, 0.5], 33);
+        let a = at.transpose();
+        let run = HestenesSvd::new(SvdOptions::default()).compute_distributed(&a).unwrap();
+        assert!(run.transposed);
+        let recon = checks::reconstruction_residual(
+            &a.transpose(),
+            &run.svd.v,
+            &run.svd.sigma,
+            &run.svd.u,
+        );
+        assert!(recon < 1e-11);
+    }
+}
+
+#[cfg(test)]
+mod off_tracking_tests {
+    use super::*;
+    use crate::options::SvdOptions;
+    use treesvd_matrix::generate;
+
+    #[test]
+    fn off_history_decays_quadratically() {
+        let a = generate::random_uniform(32, 16, 41);
+        let run = HestenesSvd::new(SvdOptions::default().with_track_off(true))
+            .compute(&a)
+            .unwrap();
+        let h = &run.off_history;
+        assert_eq!(h.len(), run.sweeps + 1);
+        // strictly decreasing until roundoff
+        for w in h.windows(2) {
+            assert!(w[1] <= w[0] * 1.0000001, "off increased: {:?}", h);
+        }
+        // the tail contraction is at least quadratic-ish: once off is small
+        // relative to ||A||^2, one more sweep crushes it
+        let f2 = a.frobenius_norm().powi(2);
+        if let Some(idx) = h.iter().position(|&x| x / f2 < 1e-3) {
+            if idx + 1 < h.len() {
+                assert!(
+                    h[idx + 1] / f2 <= 1e-5,
+                    "weak contraction: {:e} -> {:e}",
+                    h[idx] / f2,
+                    h[idx + 1] / f2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn off_history_empty_by_default() {
+        let a = generate::random_uniform(10, 8, 42);
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
+        assert!(run.off_history.is_empty());
+    }
+
+    #[test]
+    fn cached_programs_change_nothing() {
+        // sweeps and spectra agree with the sequential reference, which
+        // regenerates nothing — guarding the period-based program cache
+        let a = generate::random_uniform(24, 16, 43);
+        for kind in [OrderingKind::NewRing, OrderingKind::Llb, OrderingKind::Hybrid] {
+            let run = HestenesSvd::with_ordering(kind).compute(&a).unwrap();
+            let seq = crate::sequential::sequential_svd(&a, 60).unwrap();
+            assert!(
+                treesvd_matrix::checks::spectrum_distance(&run.svd.sigma, &seq.svd.sigma) < 1e-9,
+                "{kind}"
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The SVD result type and orthonormal completion.
+
+use treesvd_matrix::{Matrix, MatrixError};
+
+/// A thin singular value decomposition `A = U · diag(σ) · Vᵀ` of an
+/// `m × n` matrix (`m ≥ n`): `U` is `m × n` with orthonormal columns,
+/// `σ` has length `n` (sorted according to the driver's sort mode), and
+/// `V` is `n × n` orthogonal.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × n`.
+    pub u: Matrix,
+    /// Singular values.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n × n`.
+    pub v: Matrix,
+    /// Numerical rank: the number of singular values above the driver's
+    /// rank tolerance (`‖A‖ · n · ε` scaled).
+    pub rank: usize,
+}
+
+impl Svd {
+    /// Relative reconstruction residual `‖A − UΣVᵀ‖_F / ‖A‖_F`.
+    pub fn residual(&self, a: &Matrix) -> f64 {
+        treesvd_matrix::checks::reconstruction_residual(a, &self.u, &self.sigma, &self.v)
+    }
+
+    /// `max(‖UᵀU − I‖_F, ‖VᵀV − I‖_F)` — orthogonality of the factors.
+    pub fn orthogonality(&self) -> f64 {
+        treesvd_matrix::checks::orthogonality_residual(&self.u)
+            .max(treesvd_matrix::checks::orthogonality_residual(&self.v))
+    }
+
+    /// The best rank-`k` approximation `U_k Σ_k V_kᵀ` (requires sorted σ).
+    ///
+    /// # Errors
+    /// Returns a [`MatrixError`] if `k` is 0 or exceeds `σ.len()`.
+    pub fn truncate(&self, k: usize) -> Result<Matrix, MatrixError> {
+        if k == 0 || k > self.sigma.len() {
+            return Err(MatrixError::IndexOutOfBounds { index: k, bound: self.sigma.len() + 1 });
+        }
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n)?;
+        for t in 0..k {
+            let ut = self.u.col(t);
+            let vt = self.v.col(t);
+            let s = self.sigma[t];
+            for (j, &vtj) in vt.iter().enumerate() {
+                let col = out.col_mut(j);
+                let w = s * vtj;
+                for (o, &u) in col.iter_mut().zip(ut.iter()) {
+                    *o += u * w;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Replace (near-)zero columns of `q` with unit vectors orthonormal to all
+/// other columns, via modified Gram–Schmidt over candidate axis vectors.
+///
+/// Used to complete `U` and `V` when the matrix is rank-deficient (or was
+/// padded): columns whose singular value is zero carry no direction of
+/// their own but the factors must still be orthonormal.
+///
+/// # Panics
+/// Panics if completion is impossible (`q` has more columns than rows).
+pub fn complete_orthonormal(q: &mut Matrix, zero_cols: &[usize]) {
+    let m = q.rows();
+    let n = q.cols();
+    assert!(m >= n, "cannot complete a wide matrix to orthonormal columns");
+    for &j in zero_cols {
+        let mut best: Option<Vec<f64>> = None;
+        let mut best_norm = 0.0_f64;
+        // try axis vectors; keep the one with the largest residual after
+        // orthogonalization for stability
+        for axis in 0..m {
+            let mut cand = vec![0.0; m];
+            cand[axis] = 1.0;
+            for other in 0..n {
+                if other == j {
+                    continue;
+                }
+                // not-yet-completed zero columns are zero vectors, so
+                // orthogonalizing against them is a harmless no-op
+                let col = q.col(other);
+                let proj = treesvd_matrix::ops::dot(&cand, col);
+                treesvd_matrix::ops::axpy(-proj, col, &mut cand);
+            }
+            let norm = treesvd_matrix::ops::norm2(&cand);
+            if norm > best_norm {
+                best_norm = norm;
+                best = Some(cand);
+            }
+            if best_norm > 0.7 {
+                break; // good enough, avoid O(m²) scans
+            }
+        }
+        let mut cand = best.expect("completion candidate exists");
+        let norm = treesvd_matrix::ops::norm2(&cand);
+        assert!(norm > 1e-8, "orthonormal completion failed");
+        treesvd_matrix::ops::scal(1.0 / norm, &mut cand);
+        // one re-orthogonalization pass for numerical hygiene
+        for other in 0..n {
+            if other == j {
+                continue;
+            }
+            let col = q.col(other).to_vec();
+            let proj = treesvd_matrix::ops::dot(&cand, &col);
+            treesvd_matrix::ops::axpy(-proj, &col, &mut cand);
+        }
+        let norm = treesvd_matrix::ops::norm2(&cand);
+        treesvd_matrix::ops::scal(1.0 / norm, &mut cand);
+        q.set_col(j, &cand);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_matrix::generate;
+
+    #[test]
+    fn truncate_reproduces_full_matrix_at_full_rank() {
+        let sigma = [3.0, 2.0, 1.0];
+        let a = generate::with_singular_values(5, &sigma, 3);
+        // build an exact SVD by construction
+        let u = generate::random_orthogonal(5, 100);
+        let v = generate::random_orthogonal(3, 101);
+        let mut um = Matrix::zeros(5, 3).unwrap();
+        for j in 0..3 {
+            let src = u.col(j).to_vec();
+            um.set_col(j, &src);
+        }
+        let d = Matrix::diagonal(5, &sigma).unwrap();
+        let a2 = u.matmul(&d).unwrap().matmul(&v.transpose()).unwrap();
+        let svd = Svd { u: um, sigma: sigma.to_vec(), v: v.clone(), rank: 3 };
+        let full = svd.truncate(3).unwrap();
+        assert!(full.sub(&a2).unwrap().frobenius_norm() < 1e-12);
+        let _ = a;
+    }
+
+    #[test]
+    fn truncate_rejects_bad_k() {
+        let svd = Svd {
+            u: Matrix::identity(3, 2).unwrap(),
+            sigma: vec![1.0, 0.5],
+            v: Matrix::identity(2, 2).unwrap(),
+            rank: 2,
+        };
+        assert!(svd.truncate(0).is_err());
+        assert!(svd.truncate(3).is_err());
+        assert!(svd.truncate(2).is_ok());
+    }
+
+    #[test]
+    fn truncation_error_is_tail_sigma() {
+        // ‖A − A_k‖_F = sqrt(σ_{k+1}² + …) for the best rank-k approximation
+        let sigma = [4.0, 2.0, 1.0];
+        let a = generate::with_singular_values(6, &sigma, 9);
+        let run = crate::HestenesSvd::new(crate::SvdOptions::default()).compute(&a).unwrap();
+        let a1 = run.svd.truncate(1).unwrap();
+        let err = a.sub(&a1).unwrap().frobenius_norm();
+        let expect = (4.0_f64 + 1.0).sqrt(); // sqrt(2² + 1²)
+        assert!((err - expect).abs() < 1e-8, "err {err} vs {expect}");
+    }
+
+    #[test]
+    fn completion_fills_zero_columns() {
+        let mut q = Matrix::zeros(4, 3).unwrap();
+        // columns 0 and 2 orthonormal, column 1 zero
+        q.set(0, 0, 1.0);
+        q.set(1, 2, 1.0);
+        complete_orthonormal(&mut q, &[1]);
+        assert!(treesvd_matrix::checks::orthogonality_residual(&q) < 1e-12);
+    }
+
+    #[test]
+    fn completion_of_multiple_columns() {
+        let mut q = Matrix::zeros(5, 4).unwrap();
+        q.set(2, 0, 1.0);
+        complete_orthonormal(&mut q, &[1, 2, 3]);
+        assert!(treesvd_matrix::checks::orthogonality_residual(&q) < 1e-12);
+    }
+
+    #[test]
+    fn svd_quality_metrics() {
+        let a = generate::with_singular_values(8, &[5.0, 3.0, 1.0, 0.5], 17);
+        let run = crate::HestenesSvd::new(crate::SvdOptions::default()).compute(&a).unwrap();
+        assert!(run.svd.residual(&a) < 1e-12);
+        assert!(run.svd.orthogonality() < 1e-12);
+        assert_eq!(run.svd.rank, 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for matrix construction and shape mismatches.
+
+use std::fmt;
+
+/// Errors produced by matrix constructors and shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The number of supplied elements does not match `rows * cols`.
+    DataLength {
+        /// Expected element count (`rows * cols`).
+        expected: usize,
+        /// Actual element count supplied.
+        actual: usize,
+    },
+    /// A dimension was zero where a non-empty matrix is required.
+    EmptyDimension,
+    /// Two matrices (or a matrix and a vector) have incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A column (or row) index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must be below.
+        bound: usize,
+    },
+    /// The same column was requested twice where distinct columns are needed.
+    DuplicateColumn(usize),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match rows*cols = {expected}")
+            }
+            MatrixError::EmptyDimension => write!(f, "matrix dimensions must be nonzero"),
+            MatrixError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            MatrixError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+            MatrixError::DuplicateColumn(i) => {
+                write!(f, "column {i} requested twice where distinct columns are required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MatrixError::DataLength { expected: 6, actual: 5 };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+        let e = MatrixError::ShapeMismatch { left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("(2, 3)"));
+        let e = MatrixError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = MatrixError::DuplicateColumn(3);
+        assert!(e.to_string().contains('3'));
+        assert!(MatrixError::EmptyDimension.to_string().contains("nonzero"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<MatrixError>();
+    }
+}

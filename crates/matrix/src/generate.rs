@@ -1,0 +1,205 @@
+//! Reproducible test-matrix generators.
+//!
+//! The SVD experiments need matrices with *known* singular spectra so that
+//! accuracy can be asserted, plus unstructured random matrices for
+//! convergence studies. Orthogonal factors are built as products of random
+//! Householder reflectors — no external linear algebra required.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random `rows × cols` matrix with i.i.d. entries uniform on `[-1, 1]`.
+///
+/// # Panics
+/// Panics if a dimension is zero.
+pub fn random_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..=1.0)).expect("nonzero dims")
+}
+
+/// Apply a random Householder reflector `H = I − 2vvᵀ/(vᵀv)` to every column
+/// of `m` (left multiplication), in place.
+fn apply_random_reflector(m: &mut Matrix, rng: &mut StdRng) {
+    let rows = m.rows();
+    let mut v: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+    let vv = crate::ops::norm2_sq(&v);
+    if vv == 0.0 {
+        v[0] = 1.0;
+    }
+    let vv = crate::ops::norm2_sq(&v).max(f64::MIN_POSITIVE);
+    for j in 0..m.cols() {
+        let col = m.col_mut(j);
+        let proj = crate::ops::dot(&v, col);
+        let coeff = 2.0 * proj / vv;
+        for (c, vi) in col.iter_mut().zip(v.iter()) {
+            *c -= coeff * vi;
+        }
+    }
+}
+
+/// A random `n × n` orthogonal matrix: a product of `n` random Householder
+/// reflectors applied to the identity.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn random_orthogonal(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut q = Matrix::identity(n, n).expect("nonzero dims");
+    for _ in 0..n.max(2) {
+        apply_random_reflector(&mut q, &mut rng);
+    }
+    q
+}
+
+/// A `rows × cols` matrix with the *prescribed* singular values `sigma`
+/// (not necessarily sorted): `A = U · diag(sigma) · Vᵀ` with random
+/// orthogonal `U`, `V`.
+///
+/// # Panics
+/// Panics if `sigma.len() != cols`, `rows < cols`, or any dimension is zero.
+pub fn with_singular_values(rows: usize, sigma: &[f64], seed: u64) -> Matrix {
+    let cols = sigma.len();
+    assert!(rows >= cols, "need rows >= cols (paper assumes m >= n)");
+    let u = random_orthogonal(rows, seed ^ 0x5eed_0001);
+    let v = random_orthogonal(cols, seed ^ 0x5eed_0002);
+    let d = Matrix::diagonal(rows, sigma).expect("rows >= cols");
+    u.matmul(&d).expect("shapes agree").matmul(&v.transpose()).expect("shapes agree")
+}
+
+/// A matrix with geometrically graded singular values
+/// `sigma_k = ratio^(k/(n-1))`, so the condition number is `1/ratio`.
+///
+/// # Panics
+/// Panics if `rows < cols`, `cols == 0`, or `ratio <= 0`.
+pub fn graded(rows: usize, cols: usize, ratio: f64, seed: u64) -> Matrix {
+    assert!(ratio > 0.0, "grading ratio must be positive");
+    let sigma: Vec<f64> = (0..cols)
+        .map(|k| {
+            if cols == 1 {
+                1.0
+            } else {
+                ratio.powf(k as f64 / (cols - 1) as f64)
+            }
+        })
+        .collect();
+    with_singular_values(rows, &sigma, seed)
+}
+
+/// A rank-deficient matrix: the trailing `cols − rank` singular values are
+/// exactly zero.
+///
+/// # Panics
+/// Panics if `rank > cols` or `rows < cols`.
+pub fn rank_deficient(rows: usize, cols: usize, rank: usize, seed: u64) -> Matrix {
+    assert!(rank <= cols, "rank cannot exceed column count");
+    let sigma: Vec<f64> =
+        (0..cols).map(|k| if k < rank { 1.0 + k as f64 } else { 0.0 }).collect();
+    with_singular_values(rows, &sigma, seed)
+}
+
+/// The (notoriously ill-conditioned) Hilbert-like matrix
+/// `a_ij = 1 / (i + j + 1)`, truncated to `rows × cols`.
+///
+/// # Panics
+/// Panics if a dimension is zero.
+pub fn hilbert(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| 1.0 / (i + j + 1) as f64).expect("nonzero dims")
+}
+
+/// A matrix whose columns are already mutually orthogonal (a scaled
+/// orthogonal matrix) — the Jacobi iteration must converge in one sweep
+/// with zero rotations.
+///
+/// # Panics
+/// Panics if `rows < cols` or a dimension is zero.
+pub fn already_orthogonal(rows: usize, cols: usize, seed: u64) -> Matrix {
+    assert!(rows >= cols);
+    let q = random_orthogonal(rows, seed);
+    let mut m = Matrix::zeros(rows, cols).expect("nonzero dims");
+    for j in 0..cols {
+        let src = q.col(j).to_vec();
+        let dst = m.col_mut(j);
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d = s * (j + 1) as f64; // distinct norms => distinct singular values
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks;
+
+    #[test]
+    fn random_uniform_is_reproducible_and_bounded() {
+        let a = random_uniform(5, 4, 42);
+        let b = random_uniform(5, 4, 42);
+        assert_eq!(a, b);
+        let c = random_uniform(5, 4, 43);
+        assert_ne!(a, c);
+        assert!(a.max_abs() <= 1.0);
+    }
+
+    #[test]
+    fn random_orthogonal_is_orthogonal() {
+        let q = random_orthogonal(8, 7);
+        assert!(checks::orthogonality_residual(&q) < 1e-12);
+        // and genuinely random: not the identity
+        assert!(q.sub(&Matrix::identity(8, 8).unwrap()).unwrap().frobenius_norm() > 0.1);
+    }
+
+    #[test]
+    fn prescribed_singular_values_survive_construction() {
+        // Frobenius norm of A equals the 2-norm of sigma.
+        let sigma = [3.0, 2.0, 1.0];
+        let a = with_singular_values(6, &sigma, 11);
+        let expect = (9.0_f64 + 4.0 + 1.0).sqrt();
+        assert!((a.frobenius_norm() - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn graded_condition_number() {
+        let a = graded(8, 4, 1e-3, 5);
+        // Frobenius norm² = sum of sigma² with sigma = 1e-3^(k/3), k=0..3
+        let expect: f64 = (0..4).map(|k| 1e-3_f64.powf(k as f64 / 3.0).powi(2)).sum();
+        assert!((a.frobenius_norm().powi(2) - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_has_dependent_columns() {
+        let a = rank_deficient(6, 4, 2, 9);
+        // Frobenius² = 1² + 2² = 5
+        assert!((a.frobenius_norm().powi(2) - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hilbert_entries() {
+        let h = hilbert(3, 3);
+        assert_eq!(h.get(0, 0), 1.0);
+        assert_eq!(h.get(1, 1), 1.0 / 3.0);
+        assert_eq!(h.get(2, 2), 0.2);
+        assert_eq!(h.get(0, 2), h.get(2, 0));
+    }
+
+    #[test]
+    fn already_orthogonal_matrix_has_orthogonal_columns() {
+        let m = already_orthogonal(6, 4, 3);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(m.col_dot(i, j).abs() < 1e-12, "columns {i},{j} not orthogonal");
+            }
+        }
+        // column norms are 1, 2, 3, 4
+        for j in 0..4 {
+            assert!((m.col_norm(j) - (j + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_matrices_are_rejected() {
+        let _ = with_singular_values(2, &[1.0, 2.0, 3.0], 0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Dense column-major matrix.
+
+use crate::error::MatrixError;
+
+/// A dense `rows × cols` matrix of `f64` stored **column-major**.
+///
+/// Column-major storage is the natural layout for one-sided Jacobi SVD:
+/// every plane rotation reads and writes exactly two contiguous columns,
+/// and the simulated processors of `treesvd-sim` each own two columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major data: element `(i, j)` lives at `data[j * rows + i]`.
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::EmptyDimension`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, MatrixError> {
+        if rows == 0 || cols == 0 {
+            return Err(MatrixError::EmptyDimension);
+        }
+        Ok(Self { rows, cols, data: vec![0.0; rows * cols] })
+    }
+
+    /// Create an identity-like matrix (ones on the main diagonal).
+    ///
+    /// For rectangular shapes this is the leading `min(rows, cols)` diagonal.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::EmptyDimension`] if either dimension is zero.
+    pub fn identity(rows: usize, cols: usize) -> Result<Self, MatrixError> {
+        let mut m = Self::zeros(rows, cols)?;
+        for d in 0..rows.min(cols) {
+            m.set(d, d, 1.0);
+        }
+        Ok(m)
+    }
+
+    /// Build a matrix from column-major data.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DataLength`] if `data.len() != rows * cols`,
+    /// or [`MatrixError::EmptyDimension`] for zero dimensions.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
+        if rows == 0 || cols == 0 {
+            return Err(MatrixError::EmptyDimension);
+        }
+        if data.len() != rows * cols {
+            return Err(MatrixError::DataLength { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Build a matrix from row-major data (convenient for literals in tests).
+    ///
+    /// # Errors
+    /// Same as [`Matrix::from_col_major`].
+    pub fn from_row_major(rows: usize, cols: usize, data: &[f64]) -> Result<Self, MatrixError> {
+        if rows == 0 || cols == 0 {
+            return Err(MatrixError::EmptyDimension);
+        }
+        if data.len() != rows * cols {
+            return Err(MatrixError::DataLength { expected: rows * cols, actual: data.len() });
+        }
+        let mut m = Self::zeros(rows, cols)?;
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, data[i * cols + j]);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Build an `rows × cols` matrix by evaluating `f(i, j)` at every entry.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::EmptyDimension`] for zero dimensions.
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Result<Self, MatrixError> {
+        let mut m = Self::zeros(rows, cols)?;
+        for j in 0..cols {
+            for i in 0..rows {
+                m.set(i, j, f(i, j));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Build a diagonal matrix from `diag`, shaped `rows × diag.len()`.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::EmptyDimension`] if `rows == 0` or `diag` is
+    /// empty, and [`MatrixError::ShapeMismatch`] if `rows < diag.len()`.
+    pub fn diagonal(rows: usize, diag: &[f64]) -> Result<Self, MatrixError> {
+        if rows < diag.len() {
+            return Err(MatrixError::ShapeMismatch {
+                left: (rows, diag.len()),
+                right: (diag.len(), diag.len()),
+            });
+        }
+        let mut m = Self::zeros(rows, diag.len())?;
+        for (d, &v) in diag.iter().enumerate() {
+            m.set(d, d, v);
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[j * self.rows + i]
+    }
+
+    /// Set element `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[j * self.rows + i] = v;
+    }
+
+    /// Immutable view of column `j` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "column {j} out of bounds");
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable view of column `j` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols, "column {j} out of bounds");
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable views of two *distinct* columns simultaneously.
+    ///
+    /// This is the access pattern of a plane rotation. Borrow-checker-safe
+    /// via `split_at_mut`.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DuplicateColumn`] if `a == b` and
+    /// [`MatrixError::IndexOutOfBounds`] if either index is out of range.
+    pub fn col_pair_mut(&mut self, a: usize, b: usize) -> Result<(&mut [f64], &mut [f64]), MatrixError> {
+        if a == b {
+            return Err(MatrixError::DuplicateColumn(a));
+        }
+        let bound = self.cols;
+        for idx in [a, b] {
+            if idx >= bound {
+                return Err(MatrixError::IndexOutOfBounds { index: idx, bound });
+            }
+        }
+        let rows = self.rows;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (left, right) = self.data.split_at_mut(hi * rows);
+        let lo_col = &mut left[lo * rows..(lo + 1) * rows];
+        let hi_col = &mut right[..rows];
+        if a < b {
+            Ok((lo_col, hi_col))
+        } else {
+            Ok((hi_col, lo_col))
+        }
+    }
+
+    /// Swap columns `a` and `b` in place (no-op if `a == b`).
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        assert!(a < self.cols && b < self.cols, "column index out of bounds");
+        if a == b {
+            return;
+        }
+        let rows = self.rows;
+        let (x, y) = self.col_pair_mut(a, b).expect("distinct in-bounds columns");
+        for r in 0..rows {
+            std::mem::swap(&mut x[r], &mut y[r]);
+        }
+    }
+
+    /// Replace the contents of column `j` with `src`.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of bounds or `src.len() != rows`.
+    pub fn set_col(&mut self, j: usize, src: &[f64]) {
+        assert_eq!(src.len(), self.rows, "column length mismatch");
+        self.col_mut(j).copy_from_slice(src);
+    }
+
+    /// Euclidean norm of column `j`.
+    #[inline]
+    pub fn col_norm(&self, j: usize) -> f64 {
+        crate::ops::norm2(self.col(j))
+    }
+
+    /// Dot product of columns `i` and `j`.
+    #[inline]
+    pub fn col_dot(&self, i: usize, j: usize) -> f64 {
+        crate::ops::dot(self.col(i), self.col(j))
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows).expect("nonzero dims");
+        for j in 0..self.cols {
+            let c = self.col(j);
+            for (i, &v) in c.iter().enumerate() {
+                t.set(j, i, v);
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// A straightforward jki-ordered kernel, adequate for verification-sized
+    /// problems (the SVD itself never multiplies full matrices).
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch { left: self.shape(), right: rhs.shape() });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols)?;
+        for j in 0..rhs.cols {
+            let rcol = rhs.col(j);
+            let ocol = out.col_mut(j);
+            for (k, &rkj) in rcol.iter().enumerate() {
+                if rkj == 0.0 {
+                    continue;
+                }
+                let acol = self.col(k);
+                for (o, &a) in ocol.iter_mut().zip(acol.iter()) {
+                    *o += a * rkj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm of the whole matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::ops::norm2(&self.data)
+    }
+
+    /// Elementwise difference `self - rhs`.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::ShapeMismatch`] on shape disagreement.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.shape() != rhs.shape() {
+            return Err(MatrixError::ShapeMismatch { left: self.shape(), right: rhs.shape() });
+        }
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect();
+        Matrix::from_col_major(self.rows, self.cols, data)
+    }
+
+    /// Scale every entry by `s`, in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// The raw column-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume the matrix, returning its columns as owned vectors.
+    ///
+    /// Used by the simulator to distribute columns over leaf processors.
+    pub fn into_columns(self) -> Vec<Vec<f64>> {
+        let rows = self.rows;
+        self.data.chunks(rows).map(|c| c.to_vec()).collect()
+    }
+
+    /// Rebuild a matrix from owned columns (inverse of [`Matrix::into_columns`]).
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::EmptyDimension`] if `cols` is empty or columns
+    /// are empty, and [`MatrixError::ShapeMismatch`] if lengths disagree.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Result<Self, MatrixError> {
+        if cols.is_empty() || cols[0].is_empty() {
+            return Err(MatrixError::EmptyDimension);
+        }
+        let rows = cols[0].len();
+        for (j, c) in cols.iter().enumerate() {
+            if c.len() != rows {
+                return Err(MatrixError::ShapeMismatch { left: (rows, cols.len()), right: (c.len(), j) });
+            }
+        }
+        let mut data = Vec::with_capacity(rows * cols.len());
+        for c in cols {
+            data.extend_from_slice(c);
+        }
+        Matrix::from_col_major(rows, cols.len(), data)
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 2).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.get(2, 1), 0.0);
+        assert_eq!(Matrix::zeros(0, 2), Err(MatrixError::EmptyDimension));
+        assert_eq!(Matrix::zeros(2, 0), Err(MatrixError::EmptyDimension));
+    }
+
+    #[test]
+    fn identity_rectangular() {
+        let m = Matrix::identity(3, 2).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(2, 1), 0.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn row_major_round_trip() {
+        let m = Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        // column-major layout: col 0 = [1,4]
+        assert_eq!(m.col(0), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn from_col_major_checks_length() {
+        assert!(matches!(
+            Matrix::from_col_major(2, 2, vec![1.0; 3]),
+            Err(MatrixError::DataLength { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn col_pair_mut_disjoint_access() {
+        let mut m = Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        {
+            let (a, b) = m.col_pair_mut(0, 2).unwrap();
+            a[0] = 10.0;
+            b[1] = 60.0;
+        }
+        assert_eq!(m.get(0, 0), 10.0);
+        assert_eq!(m.get(1, 2), 60.0);
+        // reversed order yields the same slices swapped
+        let (b, a) = m.col_pair_mut(2, 0).unwrap();
+        assert_eq!(b[1], 60.0);
+        assert_eq!(a[0], 10.0);
+    }
+
+    #[test]
+    fn col_pair_mut_rejects_duplicates_and_oob() {
+        let mut m = Matrix::zeros(2, 2).unwrap();
+        assert_eq!(m.col_pair_mut(1, 1).unwrap_err(), MatrixError::DuplicateColumn(1));
+        assert_eq!(
+            m.col_pair_mut(0, 5).unwrap_err(),
+            MatrixError::IndexOutOfBounds { index: 5, bound: 2 }
+        );
+    }
+
+    #[test]
+    fn swap_cols_works() {
+        let mut m = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        m.swap_cols(0, 1);
+        assert_eq!(m.col(0), &[2.0, 4.0]);
+        assert_eq!(m.col(1), &[1.0, 3.0]);
+        m.swap_cols(1, 1); // no-op
+        assert_eq!(m.col(1), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 0), 3.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_and_shapes() {
+        let a = Matrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let i3 = Matrix::identity(3, 3).unwrap();
+        assert_eq!(a.matmul(&i3).unwrap(), a);
+        let i2 = Matrix::identity(2, 2).unwrap();
+        assert_eq!(i2.matmul(&a).unwrap(), a);
+        assert!(a.matmul(&i2).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_row_major(2, 2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_row_major(2, 2, &[19.0, 22.0, 43.0, 50.0]).unwrap());
+    }
+
+    #[test]
+    fn columns_round_trip() {
+        let m = Matrix::from_row_major(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let cols = m.clone().into_columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0], vec![1.0, 3.0, 5.0]);
+        let back = Matrix::from_columns(&cols).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged() {
+        let cols = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(Matrix::from_columns(&cols).is_err());
+        assert!(Matrix::from_columns(&[]).is_err());
+    }
+
+    #[test]
+    fn diagonal_and_norms() {
+        let d = Matrix::diagonal(3, &[3.0, 4.0]).unwrap();
+        assert_eq!(d.shape(), (3, 2));
+        assert_eq!(d.get(0, 0), 3.0);
+        assert_eq!(d.get(1, 1), 4.0);
+        assert!((d.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!(Matrix::diagonal(1, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn sub_and_scale() {
+        let a = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut b = a.clone();
+        b.scale(2.0);
+        let d = b.sub(&a).unwrap();
+        assert_eq!(d, a);
+        let wrong = Matrix::zeros(3, 2).unwrap();
+        assert!(a.sub(&wrong).is_err());
+    }
+
+    #[test]
+    fn col_dot_and_norm() {
+        let m = Matrix::from_row_major(2, 2, &[3.0, 1.0, 4.0, 0.0]).unwrap();
+        assert_eq!(m.col_dot(0, 1), 3.0);
+        assert_eq!(m.col_norm(0), 5.0);
+    }
+
+    #[test]
+    fn max_abs_entry() {
+        let m = Matrix::from_row_major(2, 2, &[1.0, -7.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.max_abs(), 7.0);
+    }
+
+    #[test]
+    fn from_fn_builder() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64).unwrap();
+        assert_eq!(m.get(1, 0), 10.0);
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+}

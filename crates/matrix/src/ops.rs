@@ -1,0 +1,145 @@
+//! Low-level vector kernels: dot products, norms, axpy.
+//!
+//! These are the only kernels in the hot path of a Jacobi sweep, so they are
+//! written over plain slices (contiguous, bounds-check-friendly loops that
+//! the compiler vectorizes) rather than through the `Matrix` abstraction.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Euclidean norm with scaling to avoid overflow/underflow on extreme data.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0_f64;
+    for &v in x {
+        scale = scale.max(v.abs());
+    }
+    if scale == 0.0 || !scale.is_finite() {
+        return scale;
+    }
+    let inv = 1.0 / scale;
+    let mut ssq = 0.0;
+    for &v in x {
+        let t = v * inv;
+        ssq += t * t;
+    }
+    scale * ssq.sqrt()
+}
+
+/// Squared Euclidean norm (no overflow guard; used where magnitudes are tame).
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a slice in place.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// The three Gram entries `(a·a, b·b, a·b)` of a column pair, in one pass.
+///
+/// One fused pass halves the memory traffic of the convergence test that
+/// precedes every rotation.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn gram3(a: &[f64], b: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(a.len(), b.len(), "gram3: length mismatch");
+    let (mut aa, mut bb, mut ab) = (0.0, 0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        aa += x * x;
+        bb += y * y;
+        ab += x * y;
+    }
+    (aa, bb, ab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm2_matches_naive_on_tame_data() {
+        let x = [3.0, 4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-15);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norm2_survives_extreme_scales() {
+        let big = [1e200, 1e200];
+        let n = norm2(&big);
+        assert!(n.is_finite());
+        assert!((n - 1e200 * 2.0_f64.sqrt()).abs() / n < 1e-14);
+        let small = [1e-200, 1e-200];
+        let n = norm2(&small);
+        assert!(n > 0.0);
+        assert!((n - 1e-200 * 2.0_f64.sqrt()).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn axpy_and_scal() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0]);
+    }
+
+    #[test]
+    fn gram3_consistent_with_dot() {
+        let a = [1.0, 2.0, -1.0];
+        let b = [0.5, -3.0, 2.0];
+        let (aa, bb, ab) = gram3(&a, &b);
+        assert_eq!(aa, dot(&a, &a));
+        assert_eq!(bb, dot(&b, &b));
+        assert_eq!(ab, dot(&a, &b));
+    }
+
+    #[test]
+    fn norm2_sq_is_dot_with_self() {
+        let a = [1.5, -2.0];
+        assert_eq!(norm2_sq(&a), dot(&a, &a));
+    }
+}

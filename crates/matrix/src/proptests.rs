@@ -1,0 +1,139 @@
+//! Property-based tests of the numerical kernels (proptest).
+//!
+//! These pin down the *algebraic* invariants the SVD's correctness rests
+//! on: rotations are orthogonal maps (norms and dot products transform
+//! exactly as the 2×2 algebra says), the Gram kernel agrees with the naive
+//! definitions, and the generators honour their advertised spectra.
+
+#![cfg(test)]
+
+use crate::ops::{dot, gram3, norm2, norm2_sq};
+use crate::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation, orthogonalize_pair};
+use crate::{generate, Matrix};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0..100.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gram3_matches_naive(a in finite_vec(12), b in finite_vec(12)) {
+        let (aa, bb, ab) = gram3(&a, &b);
+        prop_assert!((aa - dot(&a, &a)).abs() <= 1e-9 * aa.abs().max(1.0));
+        prop_assert!((bb - dot(&b, &b)).abs() <= 1e-9 * bb.abs().max(1.0));
+        prop_assert!((ab - dot(&a, &b)).abs() <= 1e-9 * ab.abs().max(1.0));
+    }
+
+    #[test]
+    fn rotation_always_orthogonalizes(a in finite_vec(8), b in finite_vec(8)) {
+        let (alpha, beta, gamma) = gram3(&a, &b);
+        prop_assume!(alpha > 1e-6 && beta > 1e-6);
+        let rot = compute_rotation(alpha, beta, gamma, 0.0);
+        let (mut x, mut y) = (a.clone(), b.clone());
+        apply_rotation(rot, &mut x, &mut y);
+        let scale = norm2(&x) * norm2(&y);
+        prop_assert!(dot(&x, &y).abs() <= 1e-10 * scale.max(1.0),
+            "coupling {} after rotation", dot(&x, &y));
+    }
+
+    #[test]
+    fn rotation_preserves_energy(a in finite_vec(10), b in finite_vec(10)) {
+        let (alpha, beta, gamma) = gram3(&a, &b);
+        let rot = compute_rotation(alpha, beta, gamma, 0.0);
+        let before = norm2_sq(&a) + norm2_sq(&b);
+        let (mut x, mut y) = (a, b);
+        apply_rotation(rot, &mut x, &mut y);
+        let after = norm2_sq(&x) + norm2_sq(&y);
+        prop_assert!((before - after).abs() <= 1e-9 * before.max(1.0));
+    }
+
+    #[test]
+    fn rotation_is_inner(alpha in 1e-6..1e6f64, beta in 1e-6..1e6f64, gamma in -1e6..1e6f64) {
+        // |s| <= c always (rotation angle <= pi/4), the convergence-critical
+        // property of the Rutishauser formulas
+        prop_assume!(gamma.abs() <= (alpha * beta).sqrt()); // Cauchy-Schwarz feasible
+        let r = compute_rotation(alpha, beta, gamma, 0.0);
+        prop_assert!(r.s.abs() <= r.c + 1e-12);
+        prop_assert!((r.c * r.c + r.s * r.s - 1.0).abs() <= 1e-12 || r.skipped);
+    }
+
+    #[test]
+    fn swapped_rotation_equals_rotate_then_swap(a in finite_vec(6), b in finite_vec(6)) {
+        let (alpha, beta, gamma) = gram3(&a, &b);
+        let rot = compute_rotation(alpha, beta, gamma, 0.0);
+        let (mut x1, mut y1) = (a.clone(), b.clone());
+        apply_rotation(rot, &mut x1, &mut y1);
+        std::mem::swap(&mut x1, &mut y1);
+        let (mut x2, mut y2) = (a, b);
+        apply_rotation_swapped(rot, &mut x2, &mut y2);
+        for k in 0..6 {
+            prop_assert!((x1[k] - x2[k]).abs() <= 1e-12 * x1[k].abs().max(1.0));
+            prop_assert!((y1[k] - y2[k]).abs() <= 1e-12 * y1[k].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn orthogonalize_pair_sorted_invariant(a in finite_vec(7), b in finite_vec(7)) {
+        let (mut x, mut y) = (a, b);
+        let out = orthogonalize_pair(&mut x, &mut y, 0.0, true);
+        // reported norms match reality and are ordered
+        prop_assert!(out.norms_sq_after.0 >= out.norms_sq_after.1);
+        prop_assert!((out.norms_sq_after.0 - norm2_sq(&x)).abs() <= 1e-8 * out.norms_sq_after.0.max(1.0));
+        prop_assert!((out.norms_sq_after.1 - norm2_sq(&y)).abs() <= 1e-8 * out.norms_sq_after.1.max(1.0));
+    }
+
+    #[test]
+    fn prescribed_spectrum_frobenius(sigma in proptest::collection::vec(0.01..50.0f64, 1..6), seed in 0u64..1000) {
+        let rows = sigma.len() + 2;
+        let a = generate::with_singular_values(rows, &sigma, seed);
+        let expect: f64 = sigma.iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!((a.frobenius_norm() - expect).abs() <= 1e-8 * expect);
+    }
+
+    #[test]
+    fn random_orthogonal_stays_orthogonal(n in 2usize..10, seed in 0u64..500) {
+        let q = generate::random_orthogonal(n, seed);
+        prop_assert!(crate::checks::orthogonality_residual(&q) < 1e-11);
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..100) {
+        let a = generate::random_uniform(rows, cols, seed);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(rows in 1usize..6, cols in 1usize..6, seed in 0u64..100) {
+        let a = generate::random_uniform(rows, cols, seed);
+        let i = Matrix::identity(cols, cols).unwrap();
+        prop_assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn col_pair_mut_is_really_disjoint(n in 2usize..8, i in 0usize..8, j in 0usize..8) {
+        prop_assume!(i < n && j < n && i != j);
+        let mut m = generate::random_uniform(3, n, 7);
+        let before_i = m.col(i).to_vec();
+        let before_j = m.col(j).to_vec();
+        {
+            let (ci, cj) = m.col_pair_mut(i, j).unwrap();
+            prop_assert_eq!(&ci[..], &before_i[..]);
+            prop_assert_eq!(&cj[..], &before_j[..]);
+            ci[0] += 1.0;
+            cj[0] += 2.0;
+        }
+        prop_assert!((m.get(0, i) - (before_i[0] + 1.0)).abs() < 1e-15);
+        prop_assert!((m.get(0, j) - (before_j[0] + 2.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm2_scale_invariance(v in finite_vec(9), scale in 1e-10..1e10f64) {
+        let scaled: Vec<f64> = v.iter().map(|x| x * scale).collect();
+        let n1 = norm2(&v) * scale;
+        let n2 = norm2(&scaled);
+        prop_assert!((n1 - n2).abs() <= 1e-9 * n1.max(1e-30));
+    }
+}

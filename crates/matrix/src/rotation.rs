@@ -1,0 +1,292 @@
+//! Plane rotations for the one-sided (Hestenes) Jacobi method.
+//!
+//! Given two columns `a_i`, `a_j` of `A`, the paper's equation (1) applies
+//!
+//! ```text
+//! [a_i' a_j'] = [a_i a_j] · [[ c, s],
+//!                            [-s, c]]
+//! ```
+//!
+//! with `c = cos θ`, `s = sin θ` chosen to make `a_i'` and `a_j'`
+//! orthogonal. When the schedule additionally needs the two columns to end
+//! up exchanged (the ↔ arrow in the paper's Fig. 4(a)), equation (3) folds
+//! the swap into the rotation:
+//!
+//! ```text
+//! [a_i'' a_j''] = [a_i a_j] · [[s, c],
+//!                              [c, -s]]
+//! ```
+//!
+//! so no explicit column interchange is ever performed.
+
+use crate::ops::gram3;
+
+/// A computed plane rotation `(c, s)` together with the Gram data that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rotation {
+    /// Cosine of the rotation angle.
+    pub c: f64,
+    /// Sine of the rotation angle.
+    pub s: f64,
+    /// Whether the pair was already orthogonal under the threshold and the
+    /// rotation is the identity.
+    pub skipped: bool,
+}
+
+impl Rotation {
+    /// The identity rotation (used for thresholded / skipped pairs).
+    pub const IDENTITY: Rotation = Rotation { c: 1.0, s: 0.0, skipped: true };
+}
+
+/// Outcome of orthogonalizing one column pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairOutcome {
+    /// The rotation that was applied (identity if skipped).
+    pub rotation: Rotation,
+    /// `|a_i · a_j|` before the rotation — the pair's contribution to the
+    /// off-diagonal measure.
+    pub off: f64,
+    /// Squared norms `(‖a_i‖², ‖a_j‖²)` *after* the update.
+    pub norms_sq_after: (f64, f64),
+    /// Whether the swapped form (equation (3)) was used, i.e. the columns
+    /// were interchanged as part of the update.
+    pub used_swap: bool,
+}
+
+/// Compute the Hestenes rotation for Gram entries `alpha = a_i·a_i`,
+/// `beta = a_j·a_j`, `gamma = a_i·a_j`.
+///
+/// Uses the standard stable formulas (Rutishauser): with
+/// `zeta = (beta - alpha) / (2 gamma)`,
+/// `t = sign(zeta) / (|zeta| + sqrt(1 + zeta²))`,
+/// `c = 1 / sqrt(1 + t²)`, `s = c·t`.
+///
+/// `threshold` implements the paper's threshold strategy (§1, citing
+/// Wilkinson): if `|gamma| <= threshold * sqrt(alpha * beta)` the pair is
+/// declared orthogonal and the identity is returned with `skipped = true`.
+#[must_use]
+pub fn compute_rotation(alpha: f64, beta: f64, gamma: f64, threshold: f64) -> Rotation {
+    // A zero column is orthogonal to everything.
+    if alpha == 0.0 || beta == 0.0 {
+        return Rotation::IDENTITY;
+    }
+    let limit = threshold * (alpha.sqrt() * beta.sqrt());
+    if gamma.abs() <= limit {
+        return Rotation::IDENTITY;
+    }
+    let zeta = (beta - alpha) / (2.0 * gamma);
+    let t = {
+        let denom = zeta.abs() + (1.0 + zeta * zeta).sqrt();
+        if zeta >= 0.0 {
+            1.0 / denom
+        } else {
+            -1.0 / denom
+        }
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = c * t;
+    Rotation { c, s, skipped: false }
+}
+
+/// Apply equation (1) to a column pair: `a' = c·a − s·b`, `b' = s·a + c·b`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn apply_rotation(rot: Rotation, a: &mut [f64], b: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "apply_rotation: length mismatch");
+    if rot.skipped {
+        return;
+    }
+    let (c, s) = (rot.c, rot.s);
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let (ax, bx) = (*x, *y);
+        *x = c * ax - s * bx;
+        *y = s * ax + c * bx;
+    }
+}
+
+/// Apply equation (3): the rotation *and* a column interchange in one pass:
+/// `a'' = s·a + c·b`, `b'' = c·a − s·b`.
+///
+/// Note that even for a skipped (identity) rotation the columns are still
+/// exchanged — the swap is demanded by the schedule, not by the numerics.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn apply_rotation_swapped(rot: Rotation, a: &mut [f64], b: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "apply_rotation_swapped: length mismatch");
+    let (c, s) = (rot.c, rot.s);
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let (ax, bx) = (*x, *y);
+        *x = s * ax + c * bx;
+        *y = c * ax - s * bx;
+    }
+}
+
+/// Orthogonalize a column pair in place, optionally keeping the larger-norm
+/// column on the *left* (first) slot, as required for sorted singular values
+/// (paper §3.2.1).
+///
+/// Returns the [`PairOutcome`] describing what happened. When
+/// `sort_descending` is set and the right column would end up larger, the
+/// swapped form of the update (equation (3)) is used, so the exchange costs
+/// nothing extra.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn orthogonalize_pair(a: &mut [f64], b: &mut [f64], threshold: f64, sort_descending: bool) -> PairOutcome {
+    let (alpha, beta, gamma) = gram3(a, b);
+    let rot = compute_rotation(alpha, beta, gamma, threshold);
+    // Norms after a true rotation: the rotation transfers "mass" between the
+    // columns; alpha' = alpha - t*gamma, beta' = beta + t*gamma where
+    // t = s/c. Derive from the update directly to stay exact.
+    let (alpha_new, beta_new) = if rot.skipped {
+        (alpha, beta)
+    } else {
+        let (c, s) = (rot.c, rot.s);
+        (
+            c * c * alpha - 2.0 * c * s * gamma + s * s * beta,
+            s * s * alpha + 2.0 * c * s * gamma + c * c * beta,
+        )
+    };
+    let want_swap = sort_descending && beta_new > alpha_new;
+    if want_swap {
+        apply_rotation_swapped(rot, a, b);
+        PairOutcome {
+            rotation: rot,
+            off: gamma.abs(),
+            norms_sq_after: (beta_new, alpha_new),
+            used_swap: true,
+        }
+    } else {
+        apply_rotation(rot, a, b);
+        PairOutcome {
+            rotation: rot,
+            off: gamma.abs(),
+            norms_sq_after: (alpha_new, beta_new),
+            used_swap: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{dot, norm2_sq};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn rotation_orthogonalizes() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![2.0, 0.5, 1.0];
+        let (alpha, beta, gamma) = gram3(&a, &b);
+        let rot = compute_rotation(alpha, beta, gamma, 0.0);
+        assert!(!rot.skipped);
+        apply_rotation(rot, &mut a, &mut b);
+        assert_close(dot(&a, &b), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_frobenius_mass() {
+        let mut a = vec![1.0, -2.0, 0.5];
+        let mut b = vec![3.0, 1.0, 1.0];
+        let before = norm2_sq(&a) + norm2_sq(&b);
+        let (alpha, beta, gamma) = gram3(&a, &b);
+        apply_rotation(compute_rotation(alpha, beta, gamma, 0.0), &mut a, &mut b);
+        let after = norm2_sq(&a) + norm2_sq(&b);
+        assert_close(before, after, 1e-12 * before);
+    }
+
+    #[test]
+    fn threshold_skips_nearly_orthogonal_pairs() {
+        let rot = compute_rotation(1.0, 1.0, 1e-15, 1e-12);
+        assert!(rot.skipped);
+        assert_eq!(rot.c, 1.0);
+        assert_eq!(rot.s, 0.0);
+        // but a genuinely coupled pair is not skipped
+        assert!(!compute_rotation(1.0, 1.0, 0.5, 1e-12).skipped);
+    }
+
+    #[test]
+    fn zero_column_is_skipped() {
+        assert!(compute_rotation(0.0, 3.0, 0.0, 0.0).skipped);
+        assert!(compute_rotation(3.0, 0.0, 0.0, 0.0).skipped);
+    }
+
+    #[test]
+    fn swapped_form_equals_rotate_then_swap() {
+        let a0 = vec![1.0, 2.0, 3.0];
+        let b0 = vec![-1.0, 0.5, 2.0];
+        let (alpha, beta, gamma) = gram3(&a0, &b0);
+        let rot = compute_rotation(alpha, beta, gamma, 0.0);
+
+        let (mut a1, mut b1) = (a0.clone(), b0.clone());
+        apply_rotation(rot, &mut a1, &mut b1);
+        std::mem::swap(&mut a1, &mut b1);
+
+        let (mut a2, mut b2) = (a0, b0);
+        apply_rotation_swapped(rot, &mut a2, &mut b2);
+
+        for k in 0..3 {
+            assert_close(a1[k], a2[k], 1e-15);
+            assert_close(b1[k], b2[k], 1e-15);
+        }
+    }
+
+    #[test]
+    fn swapped_form_swaps_even_identity() {
+        let mut a = vec![1.0, 0.0];
+        let mut b = vec![0.0, 1.0];
+        apply_rotation_swapped(Rotation::IDENTITY, &mut a, &mut b);
+        assert_eq!(a, vec![0.0, 1.0]);
+        assert_eq!(b, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn orthogonalize_pair_sorts_descending() {
+        // left column much smaller than right: sorted mode must leave the
+        // larger-norm column on the left.
+        let mut a = vec![0.1, 0.0, 0.0];
+        let mut b = vec![0.0, 5.0, 0.1];
+        let out = orthogonalize_pair(&mut a, &mut b, 0.0, true);
+        assert!(norm2_sq(&a) >= norm2_sq(&b));
+        assert!(out.norms_sq_after.0 >= out.norms_sq_after.1);
+        assert_close(dot(&a, &b), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn orthogonalize_pair_reports_norms() {
+        let mut a = vec![1.0, 2.0];
+        let mut b = vec![0.5, -1.0];
+        let out = orthogonalize_pair(&mut a, &mut b, 0.0, false);
+        assert_close(out.norms_sq_after.0, norm2_sq(&a), 1e-12);
+        assert_close(out.norms_sq_after.1, norm2_sq(&b), 1e-12);
+    }
+
+    #[test]
+    fn outcome_off_is_pre_rotation_coupling() {
+        let a0 = vec![1.0, 1.0];
+        let b0 = vec![1.0, -0.5];
+        let expected = dot(&a0, &b0).abs();
+        let mut a = a0;
+        let mut b = b0;
+        let out = orthogonalize_pair(&mut a, &mut b, 0.0, false);
+        assert_close(out.off, expected, 0.0);
+    }
+
+    #[test]
+    fn rotation_angle_is_bounded_by_pi_over_4() {
+        // |t| <= 1 always, i.e. |s| <= c, the classic inner-rotation choice
+        // needed for convergence.
+        for &(alpha, beta, gamma) in
+            &[(1.0, 2.0, 0.7), (5.0, 0.1, -0.3), (1.0, 1.0, 0.999), (2.0, 2.0, -1.9)]
+        {
+            let r = compute_rotation(alpha, beta, gamma, 0.0);
+            assert!(r.s.abs() <= r.c + 1e-15, "rotation not inner: {r:?}");
+        }
+    }
+}

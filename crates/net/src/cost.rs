@@ -1,0 +1,151 @@
+//! Timing model: turning channel loads into phase times.
+//!
+//! The model is the standard postal/LogP-flavoured abstraction used for
+//! fat-tree machines: a phase of simultaneous messages finishes when the
+//! busiest channel has drained. Channel drain time is
+//! `words / capacity × beta`; add a fixed per-phase startup `alpha` and a
+//! per-hop switch latency `hop × 2r_max`. Absolute constants are
+//! deliberately parameterized — the experiments compare *shapes* across
+//! orderings and topologies, not 1993 hardware microseconds.
+
+use crate::topology::Topology;
+use crate::traffic::Phase;
+
+/// Cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-phase startup latency (charged once if any message moves).
+    pub alpha: f64,
+    /// Transfer time per word per unit capacity.
+    pub beta: f64,
+    /// Per-hop switch latency.
+    pub hop: f64,
+    /// Time per floating-point operation (for compute phases).
+    pub gamma: f64,
+}
+
+impl Default for CostModel {
+    /// A ratio set loosely inspired by CM-5-class machines: startup ≫ per
+    /// word ≫ per flop.
+    fn default() -> Self {
+        CostModel { alpha: 100.0, beta: 1.0, hop: 5.0, gamma: 0.05 }
+    }
+}
+
+/// The cost breakdown of one communication phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseCost {
+    /// Total phase time.
+    pub time: f64,
+    /// The serialization component (busiest channel drain).
+    pub serialization: f64,
+    /// The latency component (startup + hops).
+    pub latency: f64,
+    /// Contention factor of the phase (see [`Phase::contention`]).
+    pub contention: f64,
+    /// Highest communication level used.
+    pub max_level: usize,
+}
+
+impl CostModel {
+    /// Time for one communication phase on `topo`.
+    pub fn phase_cost(&self, topo: &Topology, phase: &Phase) -> PhaseCost {
+        if phase.message_count() == 0 {
+            return PhaseCost {
+                time: 0.0,
+                serialization: 0.0,
+                latency: 0.0,
+                contention: 0.0,
+                max_level: 0,
+            };
+        }
+        let loads = phase.channel_loads();
+        let serialization = loads
+            .iter()
+            .map(|(c, w)| w as f64 / topo.capacity(c.level) as f64 * self.beta)
+            .fold(0.0, f64::max);
+        let latency = self.alpha + self.hop * (2 * phase.max_level()) as f64;
+        PhaseCost {
+            time: serialization + latency,
+            serialization,
+            latency,
+            contention: phase.contention(topo),
+            max_level: phase.max_level(),
+        }
+    }
+
+    /// Time for one computation step: every processor rotates one column
+    /// pair of length `m` in parallel. A Hestenes rotation costs three
+    /// fused dot products (`6m` flops) plus the two-column update (`8m`
+    /// flops).
+    pub fn rotation_cost(&self, m: usize) -> f64 {
+        self.gamma * (14 * m) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyKind;
+    use crate::traffic::Message;
+
+    fn model() -> CostModel {
+        CostModel { alpha: 10.0, beta: 1.0, hop: 2.0, gamma: 0.1 }
+    }
+
+    #[test]
+    fn empty_phase_is_free() {
+        let topo = Topology::new(TopologyKind::PerfectFatTree, 8);
+        let phase = Phase::new(&topo, vec![]);
+        let c = model().phase_cost(&topo, &phase);
+        assert_eq!(c.time, 0.0);
+    }
+
+    #[test]
+    fn sibling_exchange_cost() {
+        let topo = Topology::new(TopologyKind::PerfectFatTree, 8);
+        let phase = Phase::new(
+            &topo,
+            vec![Message { src: 0, dst: 1, words: 8 }, Message { src: 1, dst: 0, words: 8 }],
+        );
+        let c = model().phase_cost(&topo, &phase);
+        // busiest channel: 8 words / capacity 1 = 8; latency 10 + 2*2
+        assert_eq!(c.serialization, 8.0);
+        assert_eq!(c.latency, 14.0);
+        assert_eq!(c.time, 22.0);
+        assert_eq!(c.max_level, 1);
+    }
+
+    #[test]
+    fn contention_slows_binary_tree() {
+        let topo_fat = Topology::new(TopologyKind::PerfectFatTree, 8);
+        let topo_bin = Topology::new(TopologyKind::BinaryTree, 8);
+        let msgs = vec![
+            Message { src: 0, dst: 4, words: 8 },
+            Message { src: 1, dst: 5, words: 8 },
+            Message { src: 2, dst: 6, words: 8 },
+            Message { src: 3, dst: 7, words: 8 },
+        ];
+        let fat_cost = model().phase_cost(&topo_fat, &Phase::new(&topo_fat, msgs.clone()));
+        let bin_cost = model().phase_cost(&topo_bin, &Phase::new(&topo_bin, msgs));
+        assert!(
+            bin_cost.time > 2.0 * fat_cost.serialization,
+            "binary tree should serialize root traffic: {bin_cost:?} vs {fat_cost:?}"
+        );
+        assert!(bin_cost.contention > fat_cost.contention);
+    }
+
+    #[test]
+    fn rotation_cost_scales_with_m() {
+        let m = model();
+        assert!(m.rotation_cost(200) > m.rotation_cost(100));
+        assert_eq!(m.rotation_cost(100), 0.1 * 1400.0);
+    }
+
+    #[test]
+    fn default_model_orders_constants() {
+        let d = CostModel::default();
+        assert!(d.alpha > d.beta);
+        assert!(d.beta > d.gamma);
+    }
+}

@@ -1,0 +1,53 @@
+//! Tree routing-network simulator: fat-trees, skinny fat-trees, and the
+//! CM-5-like tree (paper §2).
+//!
+//! A fat-tree (Leiserson \[9\]) is a complete binary tree with processors
+//! at the leaves and a pair of directed channels (up/down) per edge. The
+//! *capacity* of a channel is its number of wires; in a **perfect** binary
+//! fat-tree the capacity doubles per level, so aggregate bandwidth is
+//! constant across levels. A tree is **skinny** when some channels grow
+//! slower than that:
+//!
+//! * an ordinary binary tree is "skinny all over" (capacity 1 everywhere);
+//! * the paper's second kind is skinny only *above* a cut level;
+//! * the CM-5's 4-way tree is equivalent to a binary fat-tree whose
+//!   capacities increase by ×2 every *two* binary levels (≈ √2 per level).
+//!
+//! [`Topology`] describes capacities, [`route`](routing::route) computes
+//! the up-over-down path of a message (§3's "level-r communication"),
+//! [`Phase`](traffic::Phase) accumulates per-channel loads for a set of
+//! simultaneous messages, and [`CostModel`](cost::CostModel) turns loads
+//! into time, exposing the contention metric §5's hybrid ordering is
+//! designed to zero out.
+//!
+//! ```
+//! use treesvd_net::{route, Topology, TopologyKind, Phase, Message};
+//!
+//! // sibling leaves talk at level 1; leaves 0 and 7 cross the root of an
+//! // 8-leaf tree (level 3)
+//! assert_eq!(route(0, 1).level, 1);
+//! assert_eq!(route(0, 7).level, 3);
+//!
+//! // four messages crossing the root contend on a plain binary tree but
+//! // not on a perfect fat-tree
+//! let msgs: Vec<Message> =
+//!     (0..4).map(|i| Message { src: i, dst: i + 4, words: 8 }).collect();
+//! let fat = Topology::new(TopologyKind::PerfectFatTree, 8);
+//! let bin = Topology::new(TopologyKind::BinaryTree, 8);
+//! assert!(Phase::new(&fat, msgs.clone()).contention(&fat) <= 1.0);
+//! assert!(Phase::new(&bin, msgs).contention(&bin) > 1.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cost;
+#[cfg(test)]
+mod proptests;
+pub mod routing;
+pub mod topology;
+pub mod traffic;
+
+pub use cost::{CostModel, PhaseCost};
+pub use routing::{route, Route};
+pub use topology::{Topology, TopologyKind};
+pub use traffic::{ChannelLoads, Message, Phase};

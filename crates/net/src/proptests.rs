@@ -1,0 +1,113 @@
+//! Property-based tests of routing and traffic accounting.
+
+#![cfg(test)]
+
+use crate::routing::{comm_level, route};
+use crate::topology::{Topology, TopologyKind};
+use crate::traffic::{Message, Phase};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn route_lengths_match_level(a in 0usize..256, b in 0usize..256) {
+        let r = route(a, b);
+        prop_assert_eq!(r.channels.len(), 2 * r.level);
+        prop_assert_eq!(r.level, comm_level(a, b));
+    }
+
+    #[test]
+    fn comm_level_is_a_metric_like_quantity(a in 0usize..128, b in 0usize..128, c in 0usize..128) {
+        // symmetry
+        prop_assert_eq!(comm_level(a, b), comm_level(b, a));
+        // identity
+        prop_assert_eq!(comm_level(a, a), 0);
+        // ultrametric triangle inequality: the LCA level of (a, c) is at
+        // most the max of (a, b) and (b, c)
+        prop_assert!(comm_level(a, c) <= comm_level(a, b).max(comm_level(b, c)));
+    }
+
+    #[test]
+    fn route_up_channels_belong_to_source_subtree(a in 0usize..64, b in 0usize..64) {
+        prop_assume!(a != b);
+        let r = route(a, b);
+        for ch in &r.channels {
+            if ch.up {
+                // the channel's child node contains the source leaf
+                prop_assert_eq!(ch.node, a >> (ch.level - 1));
+            } else {
+                prop_assert_eq!(ch.node, b >> (ch.level - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_bandwidth_monotone_families(e in 1u32..8) {
+        let leaves = 1usize << e;
+        let fat = Topology::new(TopologyKind::PerfectFatTree, leaves);
+        let cm5 = Topology::new(TopologyKind::Cm5, leaves);
+        let bin = Topology::new(TopologyKind::BinaryTree, leaves);
+        for k in 1..=fat.levels() {
+            // perfect >= cm5 >= binary at every level
+            prop_assert!(fat.capacity(k) >= cm5.capacity(k));
+            prop_assert!(cm5.capacity(k) >= bin.capacity(k));
+        }
+    }
+
+    #[test]
+    fn contention_never_negative_and_zero_iff_local(
+        srcs in proptest::collection::vec(0usize..8, 1..6),
+        dsts in proptest::collection::vec(0usize..8, 1..6),
+    ) {
+        let n = srcs.len().min(dsts.len());
+        let msgs: Vec<Message> = srcs
+            .iter()
+            .zip(dsts.iter())
+            .take(n)
+            .map(|(&s, &d)| Message { src: s, dst: d, words: 4 })
+            .collect();
+        let topo = Topology::new(TopologyKind::BinaryTree, 8);
+        let phase = Phase::new(&topo, msgs.clone());
+        let c = phase.contention(&topo);
+        prop_assert!(c >= 0.0);
+        let all_local = msgs.iter().all(|m| comm_level(m.src, m.dst) <= 1);
+        if all_local {
+            prop_assert_eq!(c, 0.0);
+        }
+    }
+
+    #[test]
+    fn word_hops_consistent_with_histogram(
+        pairs in proptest::collection::vec((0usize..16, 0usize..16), 1..10),
+    ) {
+        let topo = Topology::new(TopologyKind::PerfectFatTree, 16);
+        let msgs: Vec<Message> =
+            pairs.iter().map(|&(s, d)| Message { src: s, dst: d, words: 3 }).collect();
+        let phase = Phase::new(&topo, msgs);
+        let hist = phase.level_histogram(&topo);
+        let expect: u64 = hist
+            .iter()
+            .enumerate()
+            .map(|(lvl, &count)| 2 * lvl as u64 * 3 * count as u64)
+            .sum();
+        prop_assert_eq!(phase.word_hops(), expect);
+    }
+
+    #[test]
+    fn channel_loads_conserve_words(
+        pairs in proptest::collection::vec((0usize..8, 0usize..8), 1..8),
+    ) {
+        let topo = Topology::new(TopologyKind::PerfectFatTree, 8);
+        let msgs: Vec<Message> =
+            pairs.iter().map(|&(s, d)| Message { src: s, dst: d, words: 5 }).collect();
+        let phase = Phase::new(&topo, msgs.clone());
+        let loads = phase.channel_loads();
+        let total: u64 = loads.iter().map(|(_, w)| w).sum();
+        let expect: u64 = msgs
+            .iter()
+            .map(|m| 2 * comm_level(m.src, m.dst) as u64 * m.words)
+            .sum();
+        prop_assert_eq!(total, expect);
+    }
+}

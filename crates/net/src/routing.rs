@@ -1,0 +1,121 @@
+//! Message routing: the up-over-down path through the tree.
+//!
+//! A message from one leaf to another ascends to the lowest common
+//! ancestor and descends again. The paper calls a communication whose
+//! message ascends `r` levels a *level-r communication* (§3); sibling
+//! leaves are level 1.
+
+/// A directed channel in the tree, identified by its level (1-based, from
+/// the leaves) and the index of the subtree (node) whose parent edge it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Channel {
+    /// `true` for the child→parent (up) direction.
+    pub up: bool,
+    /// Level of the edge, 1-based.
+    pub level: usize,
+    /// Index of the child node of this edge among the `leaves >> (level-1)`
+    /// nodes at level `level − 1`.
+    pub node: usize,
+}
+
+/// The route of one message: the ascent level and the channels traversed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The paper's communication level `r`: number of levels ascended
+    /// (0 when source equals destination).
+    pub level: usize,
+    /// The channels used, up-channels first, then down-channels.
+    pub channels: Vec<Channel>,
+}
+
+/// The level-`r` of a communication between two leaves: position of the
+/// highest differing address bit, plus one.
+pub fn comm_level(a: usize, b: usize) -> usize {
+    if a == b {
+        0
+    } else {
+        (usize::BITS - (a ^ b).leading_zeros()) as usize
+    }
+}
+
+/// Compute the up-over-down route between two leaves.
+pub fn route(src: usize, dst: usize) -> Route {
+    let r = comm_level(src, dst);
+    let mut channels = Vec::with_capacity(2 * r);
+    for k in 1..=r {
+        channels.push(Channel { up: true, level: k, node: src >> (k - 1) });
+    }
+    for k in (1..=r).rev() {
+        channels.push(Channel { up: false, level: k, node: dst >> (k - 1) });
+    }
+    Route { level: r, channels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_route_is_empty() {
+        let r = route(3, 3);
+        assert_eq!(r.level, 0);
+        assert!(r.channels.is_empty());
+    }
+
+    #[test]
+    fn sibling_route_is_level_one() {
+        let r = route(0, 1);
+        assert_eq!(r.level, 1);
+        assert_eq!(
+            r.channels,
+            vec![
+                Channel { up: true, level: 1, node: 0 },
+                Channel { up: false, level: 1, node: 1 }
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_root_route() {
+        // leaves 0 and 7 in an 8-leaf tree: ascend 3 levels
+        let r = route(0, 7);
+        assert_eq!(r.level, 3);
+        assert_eq!(r.channels.len(), 6);
+        // up path: nodes 0, 0, 0 at levels 1, 2, 3
+        assert_eq!(r.channels[0], Channel { up: true, level: 1, node: 0 });
+        assert_eq!(r.channels[1], Channel { up: true, level: 2, node: 0 });
+        assert_eq!(r.channels[2], Channel { up: true, level: 3, node: 0 });
+        // down path: nodes 1, 3, 7 at levels 3, 2, 1
+        assert_eq!(r.channels[3], Channel { up: false, level: 3, node: 1 });
+        assert_eq!(r.channels[4], Channel { up: false, level: 2, node: 3 });
+        assert_eq!(r.channels[5], Channel { up: false, level: 1, node: 7 });
+    }
+
+    #[test]
+    fn comm_level_matches_definition() {
+        assert_eq!(comm_level(0, 1), 1);
+        assert_eq!(comm_level(2, 3), 1);
+        assert_eq!(comm_level(1, 2), 2);
+        assert_eq!(comm_level(3, 4), 3);
+        assert_eq!(comm_level(0, 15), 4);
+        assert_eq!(comm_level(5, 5), 0);
+    }
+
+    #[test]
+    fn route_is_symmetric_in_level() {
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(route(a, b).level, route(b, a).level);
+            }
+        }
+    }
+
+    #[test]
+    fn up_and_down_channel_counts_match() {
+        let r = route(2, 13);
+        let ups = r.channels.iter().filter(|c| c.up).count();
+        let downs = r.channels.len() - ups;
+        assert_eq!(ups, downs);
+        assert_eq!(ups, r.level);
+    }
+}

@@ -1,0 +1,181 @@
+//! Tree topologies and channel capacities.
+
+use std::fmt;
+
+/// The topology families studied in the paper (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Perfect binary fat-tree: capacity `2^(k-1)` at level `k`, so the
+    /// aggregate bandwidth per level is constant.
+    PerfectFatTree,
+    /// Ordinary binary tree — "skinny all over": capacity 1 at every level.
+    BinaryTree,
+    /// Perfect up to (and including) the cut level, constant above it.
+    SkinnyAbove(u32),
+    /// The CM-5-like tree: the binary-tree equivalent of a 4-way tree whose
+    /// channel capacity doubles per 4-way level — capacity `2^(k/2)` at
+    /// binary level `k` (1, 2, 2, 4, 4, 8, …).
+    Cm5,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::PerfectFatTree => write!(f, "perfect-fat-tree"),
+            TopologyKind::BinaryTree => write!(f, "binary-tree"),
+            TopologyKind::SkinnyAbove(cut) => write!(f, "skinny-above-{cut}"),
+            TopologyKind::Cm5 => write!(f, "cm5-tree"),
+        }
+    }
+}
+
+/// A complete binary tree of processors with per-level channel capacities.
+///
+/// Levels are counted from the leaves up, as in the paper: the channels
+/// connecting leaves to their parents are *level 1*; the channels into the
+/// root are level `L = log2(leaves)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    kind: TopologyKind,
+    leaves: usize,
+    /// `capacities[k-1]` = wires per channel at level `k`, `k = 1..=L`.
+    capacities: Vec<u64>,
+}
+
+impl Topology {
+    /// Build a topology of the given kind over `leaves` processors.
+    ///
+    /// # Panics
+    /// Panics if `leaves` is not a power of two or is less than 2.
+    pub fn new(kind: TopologyKind, leaves: usize) -> Self {
+        assert!(leaves >= 2 && leaves.is_power_of_two(), "leaves must be a power of two >= 2");
+        let levels = leaves.trailing_zeros();
+        let capacities = (1..=levels)
+            .map(|k| match kind {
+                TopologyKind::PerfectFatTree => 1u64 << (k - 1),
+                TopologyKind::BinaryTree => 1,
+                TopologyKind::SkinnyAbove(cut) => 1u64 << (k.min(cut).saturating_sub(1)),
+                TopologyKind::Cm5 => 1u64 << (k / 2),
+            })
+            .collect();
+        Self { kind, leaves, capacities }
+    }
+
+    /// The kind this topology was built as.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of leaf processors.
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Number of levels `L = log2(leaves)`.
+    pub fn levels(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Channel capacity (wires) at level `k` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or exceeds the number of levels.
+    pub fn capacity(&self, k: usize) -> u64 {
+        assert!(k >= 1 && k <= self.levels(), "level {k} out of range");
+        self.capacities[k - 1]
+    }
+
+    /// Number of channels (per direction) at level `k`: one per node whose
+    /// parent edge sits at that level, i.e. `leaves / 2^(k-1)`.
+    pub fn channels_at(&self, k: usize) -> usize {
+        assert!(k >= 1 && k <= self.levels(), "level {k} out of range");
+        self.leaves >> (k - 1)
+    }
+
+    /// Aggregate bandwidth (total wires, per direction) at level `k`.
+    ///
+    /// Constant across levels for a perfect fat-tree; decaying for skinny
+    /// trees — the quantity whose decay causes contention.
+    pub fn aggregate_bandwidth(&self, k: usize) -> u64 {
+        self.capacity(k) * self.channels_at(k) as u64
+    }
+
+    /// Whether this topology is skinny (some level has less aggregate
+    /// bandwidth than level 1).
+    pub fn is_skinny(&self) -> bool {
+        let base = self.aggregate_bandwidth(1);
+        (1..=self.levels()).any(|k| self.aggregate_bandwidth(k) < base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fat_tree_capacities_double() {
+        let t = Topology::new(TopologyKind::PerfectFatTree, 16);
+        assert_eq!(t.levels(), 4);
+        assert_eq!(t.capacity(1), 1);
+        assert_eq!(t.capacity(2), 2);
+        assert_eq!(t.capacity(3), 4);
+        assert_eq!(t.capacity(4), 8);
+        // aggregate bandwidth constant
+        for k in 1..=4 {
+            assert_eq!(t.aggregate_bandwidth(k), 16);
+        }
+        assert!(!t.is_skinny());
+    }
+
+    #[test]
+    fn binary_tree_is_skinny_all_over() {
+        let t = Topology::new(TopologyKind::BinaryTree, 8);
+        for k in 1..=3 {
+            assert_eq!(t.capacity(k), 1);
+        }
+        assert_eq!(t.aggregate_bandwidth(1), 8);
+        assert_eq!(t.aggregate_bandwidth(3), 2);
+        assert!(t.is_skinny());
+    }
+
+    #[test]
+    fn skinny_above_cut() {
+        let t = Topology::new(TopologyKind::SkinnyAbove(2), 16);
+        assert_eq!(t.capacity(1), 1);
+        assert_eq!(t.capacity(2), 2);
+        assert_eq!(t.capacity(3), 2); // frozen above the cut
+        assert_eq!(t.capacity(4), 2);
+        assert!(t.is_skinny());
+    }
+
+    #[test]
+    fn cm5_grows_sqrt2_per_level() {
+        // paper §2: equivalent binary capacities 1, 2, 2, 4, 4, 8, ...
+        let t = Topology::new(TopologyKind::Cm5, 64);
+        let caps: Vec<u64> = (1..=6).map(|k| t.capacity(k)).collect();
+        assert_eq!(caps, vec![1, 2, 2, 4, 4, 8]);
+        assert!(t.is_skinny());
+    }
+
+    #[test]
+    fn channel_counts_halve_per_level() {
+        let t = Topology::new(TopologyKind::PerfectFatTree, 8);
+        assert_eq!(t.channels_at(1), 8);
+        assert_eq!(t.channels_at(2), 4);
+        assert_eq!(t.channels_at(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Topology::new(TopologyKind::BinaryTree, 6);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TopologyKind::Cm5.to_string(), "cm5-tree");
+        assert_eq!(TopologyKind::SkinnyAbove(3).to_string(), "skinny-above-3");
+        assert_eq!(TopologyKind::PerfectFatTree.to_string(), "perfect-fat-tree");
+        assert_eq!(TopologyKind::BinaryTree.to_string(), "binary-tree");
+    }
+}

@@ -1,0 +1,250 @@
+//! Ordering equivalence (paper §4, Definition 1).
+//!
+//! Two orderings are *equivalent* if one sweep of the first can be obtained
+//! from one sweep of the second by a relabelling of indices \[12\]. The
+//! paper proves its new ring ordering equivalent to the Brent–Luk
+//! round-robin this way; equivalent orderings have the same convergence
+//! properties.
+//!
+//! [`find_relabelling`] searches for such a relabelling by backtracking
+//! over the step-by-step pair structure; [`are_equivalent`] is the
+//! predicate form.
+
+use crate::schedule::{ColIndex, Program};
+use std::collections::HashSet;
+
+/// Unordered pair with canonical ordering.
+fn key(a: ColIndex, b: ColIndex) -> (ColIndex, ColIndex) {
+    (a.min(b), a.max(b))
+}
+
+/// Try to find a permutation `pi` of `0..n` such that applying `pi` to
+/// every index of sweep `a` yields, step for step, exactly the pair sets of
+/// sweep `b`.
+///
+/// Returns `None` when no relabelling exists (or when the sweeps have
+/// different shapes). The search is exact: backtracking over the pairs of
+/// each step with forward constraint propagation.
+pub fn find_relabelling(a: &Program, b: &Program) -> Option<Vec<ColIndex>> {
+    if a.n != b.n || a.steps.len() != b.steps.len() {
+        return None;
+    }
+    let n = a.n;
+    let a_steps: Vec<Vec<(usize, usize)>> = a.step_pairs();
+    let b_steps: Vec<Vec<HashSet<(usize, usize)>>> = b
+        .step_pairs()
+        .iter()
+        .map(|s| vec![s.iter().map(|&(x, y)| key(x, y)).collect::<HashSet<_>>()])
+        .collect();
+    // flatten b's per-step pair sets
+    let b_sets: Vec<HashSet<(usize, usize)>> = b_steps.into_iter().map(|mut v| v.remove(0)).collect();
+
+    let mut pi: Vec<Option<usize>> = vec![None; n];
+    let mut used: Vec<bool> = vec![false; n];
+
+    // Process pairs in step order; at each a-pair, try all compatible
+    // b-pairs of the same step.
+    let flat: Vec<(usize, (usize, usize))> = a_steps
+        .iter()
+        .enumerate()
+        .flat_map(|(s, pairs)| pairs.iter().map(move |&(x, y)| (s, (x, y))))
+        .collect();
+
+    fn dfs(
+        i: usize,
+        flat: &[(usize, (usize, usize))],
+        b_sets: &[HashSet<(usize, usize)>],
+        pi: &mut Vec<Option<usize>>,
+        used: &mut Vec<bool>,
+    ) -> bool {
+        if i == flat.len() {
+            return true;
+        }
+        let (s, (x, y)) = flat[i];
+        match (pi[x], pi[y]) {
+            (Some(px), Some(py)) => {
+                b_sets[s].contains(&key(px, py)) && dfs(i + 1, flat, b_sets, pi, used)
+            }
+            (Some(px), None) => {
+                // partner must pair with px in step s
+                let candidates: Vec<usize> = b_sets[s]
+                    .iter()
+                    .filter_map(|&(u, v)| {
+                        if u == px {
+                            Some(v)
+                        } else if v == px {
+                            Some(u)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                for c in candidates {
+                    if !used[c] {
+                        pi[y] = Some(c);
+                        used[c] = true;
+                        if dfs(i + 1, flat, b_sets, pi, used) {
+                            return true;
+                        }
+                        pi[y] = None;
+                        used[c] = false;
+                    }
+                }
+                false
+            }
+            (None, Some(py)) => {
+                let candidates: Vec<usize> = b_sets[s]
+                    .iter()
+                    .filter_map(|&(u, v)| {
+                        if u == py {
+                            Some(v)
+                        } else if v == py {
+                            Some(u)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                for c in candidates {
+                    if !used[c] {
+                        pi[x] = Some(c);
+                        used[c] = true;
+                        if dfs(i + 1, flat, b_sets, pi, used) {
+                            return true;
+                        }
+                        pi[x] = None;
+                        used[c] = false;
+                    }
+                }
+                false
+            }
+            (None, None) => {
+                // try every pair of step s with both endpoints free
+                let pairs: Vec<(usize, usize)> = b_sets[s].iter().copied().collect();
+                for (u, v) in pairs {
+                    for (pu, pv) in [(u, v), (v, u)] {
+                        if !used[pu] && !used[pv] {
+                            pi[x] = Some(pu);
+                            pi[y] = Some(pv);
+                            used[pu] = true;
+                            used[pv] = true;
+                            if dfs(i + 1, flat, b_sets, pi, used) {
+                                return true;
+                            }
+                            pi[x] = None;
+                            pi[y] = None;
+                            used[pu] = false;
+                            used[pv] = false;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    if dfs(0, &flat, &b_sets, &mut pi, &mut used) {
+        Some(pi.into_iter().map(|v| v.expect("complete assignment")).collect())
+    } else {
+        None
+    }
+}
+
+/// Whether one sweep of `a` is a relabelling of one sweep of `b`.
+pub fn are_equivalent(a: &Program, b: &Program) -> bool {
+    find_relabelling(a, b).is_some()
+}
+
+/// Verify that `pi` is a relabelling taking sweep `a` to sweep `b`.
+pub fn verify_relabelling(a: &Program, b: &Program, pi: &[ColIndex]) -> bool {
+    if a.n != b.n || pi.len() != a.n || a.steps.len() != b.steps.len() {
+        return false;
+    }
+    let b_steps: Vec<HashSet<(usize, usize)>> = b
+        .step_pairs()
+        .iter()
+        .map(|s| s.iter().map(|&(x, y)| key(x, y)).collect())
+        .collect();
+    for (s, pairs) in a.step_pairs().iter().enumerate() {
+        for &(x, y) in pairs {
+            if !b_steps[s].contains(&key(pi[x], pi[y])) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::new_ring::NewRingOrdering;
+    use crate::ring::RingOrdering;
+    use crate::round_robin::RoundRobinOrdering;
+    use crate::schedule::JacobiOrdering;
+
+    fn sweep(ord: &dyn JacobiOrdering) -> Program {
+        ord.sweep_program(0, &ord.initial_layout())
+    }
+
+    #[test]
+    fn identity_relabelling_of_itself() {
+        let ord = RoundRobinOrdering::new(8).unwrap();
+        let prog = sweep(&ord);
+        let pi = find_relabelling(&prog, &prog).expect("self-equivalence");
+        assert!(verify_relabelling(&prog, &prog, &pi));
+    }
+
+    #[test]
+    fn new_ring_equivalent_to_round_robin() {
+        // the paper's §4 theorem
+        for n in [4usize, 6, 8, 10, 12] {
+            let nr = sweep(&NewRingOrdering::new(n).unwrap());
+            let rr = sweep(&RoundRobinOrdering::new(n).unwrap());
+            let pi = find_relabelling(&nr, &rr)
+                .unwrap_or_else(|| panic!("n = {n}: no relabelling found"));
+            assert!(verify_relabelling(&nr, &rr, &pi), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ring_equivalent_to_round_robin() {
+        // the Fig. 1(a) ring ordering is a tournament relabelling too
+        for n in [4usize, 8, 10] {
+            let r = sweep(&RingOrdering::new(n).unwrap());
+            let rr = sweep(&RoundRobinOrdering::new(n).unwrap());
+            assert!(are_equivalent(&r, &rr), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn non_equivalent_sweeps_rejected() {
+        // the fat-tree ordering's sweep is NOT a relabelling of round-robin
+        // in general (different step structure of meetings)
+        let ft = sweep(&crate::fat_tree::FatTreeOrdering::new(8).unwrap());
+        let rr = sweep(&RoundRobinOrdering::new(8).unwrap());
+        // both are valid sweeps of 7 steps, but the meeting structure
+        // differs; if a relabelling exists it must verify, and if not the
+        // search must return None. Either way verify_relabelling with a
+        // wrong map fails:
+        let wrong: Vec<usize> = (0..8).collect();
+        let equal_already = verify_relabelling(&ft, &rr, &wrong);
+        assert!(!equal_already, "fat-tree sweep should differ from round-robin as-is");
+    }
+
+    #[test]
+    fn shape_mismatch_is_not_equivalent() {
+        let a = sweep(&RoundRobinOrdering::new(8).unwrap());
+        let b = sweep(&RoundRobinOrdering::new(6).unwrap());
+        assert!(find_relabelling(&a, &b).is_none());
+    }
+
+    #[test]
+    fn verify_rejects_bad_relabelling() {
+        let nr = sweep(&NewRingOrdering::new(8).unwrap());
+        let rr = sweep(&RoundRobinOrdering::new(8).unwrap());
+        // a permutation that cannot work: reverse everything
+        let bad: Vec<usize> = (0..8).rev().collect();
+        assert!(!verify_relabelling(&nr, &rr, &bad));
+    }
+}

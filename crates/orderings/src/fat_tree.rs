@@ -1,0 +1,310 @@
+//! The fat-tree (merge) ordering of §3.3 (Figs. 5 and 6).
+//!
+//! The ordering is built bottom-up by the paper's merge procedure: `n/4`
+//! groups of four indices first run the four-block basic module (Fig. 4(a));
+//! then pairs of groups repeatedly merge, each merge performing super-steps
+//! 2 and 3 of the four-block ordering (§3.2.2) as two-block orderings
+//! between interleaved blocks. A sweep takes exactly `n − 1` steps, almost
+//! all communication is at low tree levels (a level-`k` exchange happens
+//! only during the size-`2^k` merge stage), and — the ordering's headline
+//! property — **the original index order is restored after every sweep**,
+//! unlike the Lee–Luk–Boley ordering \[8\] which needs alternating
+//! forward/backward sweeps.
+//!
+//! The inter-block interchanges between super-steps follow the paper's
+//! Example 1 choreography; the rotating-block assignments (the odd-slot
+//! class rotates in both super-steps) and the closing interchange that
+//! returns blocks 2/3/4 to their home positions were fixed by exhaustively
+//! checking the restoration invariant for n up to 64 (see
+//! `tests/paper_figures.rs` for the Fig. 6 schedule this generates).
+
+use crate::schedule::{
+    require_power_of_two, ColIndex, JacobiOrdering, OrderingError, PairStep, Permutation, Program,
+};
+use crate::two_block::{perm_from_moves, two_block_movements, RotatingSide};
+
+/// Compose movement lists element-wise (the regions they act on are
+/// disjoint, so composition order is immaterial).
+fn zip_compose(a: Vec<Permutation>, b: &[Permutation]) -> Vec<Permutation> {
+    debug_assert_eq!(a.len(), b.len());
+    a.into_iter().zip(b.iter()).map(|(x, y)| x.then(y)).collect()
+}
+
+/// The `w − 1` movement permutations of the fat-tree ordering on the region
+/// `[base, base + w)` of an `n`-slot machine (`w` a power of two, `w ≥ 4`).
+///
+/// The final movement restores the region's original layout, so the list
+/// can be replayed sweep after sweep.
+///
+/// # Panics
+/// Panics if `w < 4`, `w` is not a power of two, or the region overflows.
+pub fn fat_tree_movements(n: usize, base: usize, w: usize) -> Vec<Permutation> {
+    assert!(w >= 4 && w.is_power_of_two(), "fat-tree region must be a power of two >= 4");
+    assert!(base + w <= n, "region out of range");
+
+    // stage 1: four-block basic module (Fig. 4(a)) in every 4-group
+    let mut movements: Vec<Permutation> = (0..3)
+        .map(|step| {
+            let mut acc = Permutation::identity(n);
+            for g in (base..base + w).step_by(4) {
+                acc = acc.then(&crate::four_block::module_a_movements(n, g)[step]);
+            }
+            acc
+        })
+        .collect();
+
+    // merge stages: group size g doubles until it reaches w
+    let mut g = 4;
+    while g < w {
+        // I_pre: block 2 (odd slots of the left group) <-> block 3 (even
+        // slots of the right group), per super-group — level-(log2 g)+1.
+        let mut moves = Vec::new();
+        for b0 in (base..base + w).step_by(2 * g) {
+            for i in 0..g / 2 {
+                let a = b0 + 2 * i + 1;
+                let b = b0 + g + 2 * i;
+                moves.push((a, b));
+                moves.push((b, a));
+            }
+        }
+        let last = movements.len() - 1;
+        movements[last] = movements[last].clone().then(&perm_from_moves(n, &moves));
+
+        // super-step 2: two-block orderings, the odd-slot class rotating
+        let tb = merged_two_blocks(n, base, w, g);
+        movements.extend(tb);
+
+        // I_mid: block 3 (odd of left) <-> block 4 (odd of right)
+        let mut moves = Vec::new();
+        for b0 in (base..base + w).step_by(2 * g) {
+            for i in 0..g / 2 {
+                let a = b0 + 2 * i + 1;
+                let b = b0 + g + 2 * i + 1;
+                moves.push((a, b));
+                moves.push((b, a));
+            }
+        }
+        let last = movements.len() - 1;
+        movements[last] = movements[last].clone().then(&perm_from_moves(n, &moves));
+
+        // super-step 3
+        let tb = merged_two_blocks(n, base, w, g);
+        movements.extend(tb);
+
+        // I_post: return blocks home — left-odd <-> right-even, then a free
+        // intra-processor swap inside the right group
+        let mut moves = Vec::new();
+        for b0 in (base..base + w).step_by(2 * g) {
+            for i in 0..g / 2 {
+                let a = b0 + 2 * i + 1;
+                let b = b0 + g + 2 * i;
+                moves.push((a, b));
+                moves.push((b, a));
+            }
+        }
+        let mut ipost = perm_from_moves(n, &moves);
+        let mut moves = Vec::new();
+        for b0 in (base..base + w).step_by(2 * g) {
+            for i in 0..g / 2 {
+                let a = b0 + g + 2 * i;
+                let b = b0 + g + 2 * i + 1;
+                moves.push((a, b));
+                moves.push((b, a));
+            }
+        }
+        ipost = ipost.then(&perm_from_moves(n, &moves));
+        let last = movements.len() - 1;
+        movements[last] = movements[last].clone().then(&ipost);
+
+        g *= 2;
+    }
+    debug_assert_eq!(movements.len(), w - 1);
+    movements
+}
+
+/// One super-step's worth of parallel two-block orderings: every `g`-slot
+/// half-region of every `2g` super-group, odd class rotating.
+fn merged_two_blocks(n: usize, base: usize, w: usize, g: usize) -> Vec<Permutation> {
+    let mut acc: Option<Vec<Permutation>> = None;
+    for b0 in (base..base + w).step_by(2 * g) {
+        let l = two_block_movements(n, b0, g / 2, RotatingSide::Odd);
+        let r = two_block_movements(n, b0 + g, g / 2, RotatingSide::Odd);
+        let both = zip_compose(l, &r);
+        acc = Some(match acc {
+            None => both,
+            Some(prev) => zip_compose(prev, &both),
+        });
+    }
+    acc.expect("at least one super-group")
+}
+
+/// The §3 fat-tree ordering for `n = 2^m` indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTreeOrdering {
+    n: usize,
+}
+
+impl FatTreeOrdering {
+    /// Build for `n` indices (`n` a power of two, `n ≥ 4`).
+    ///
+    /// # Errors
+    /// [`OrderingError::NotPowerOfTwo`] / [`OrderingError::TooSmall`].
+    pub fn new(n: usize) -> Result<Self, OrderingError> {
+        require_power_of_two(n)?;
+        Ok(Self { n })
+    }
+}
+
+impl JacobiOrdering for FatTreeOrdering {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        "fat-tree".to_string()
+    }
+
+    fn restore_period(&self) -> usize {
+        1
+    }
+
+    fn sweep_program(&self, _sweep: usize, layout: &[ColIndex]) -> Program {
+        assert_eq!(layout.len(), self.n, "layout size mismatch");
+        let steps = fat_tree_movements(self.n, 0, self.n)
+            .into_iter()
+            .map(|move_after| PairStep { move_after })
+            .collect();
+        Program { n: self.n, initial_layout: layout.to_vec(), steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{assert_valid_sweep, check_restores_after};
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(FatTreeOrdering::new(12).is_err());
+        assert!(FatTreeOrdering::new(2).is_err());
+        assert!(FatTreeOrdering::new(16).is_ok());
+    }
+
+    #[test]
+    fn valid_sweep_for_power_of_two_sizes() {
+        for n in [4, 8, 16, 32, 64, 128] {
+            let ord = FatTreeOrdering::new(n).unwrap();
+            assert_valid_sweep(&ord);
+        }
+    }
+
+    #[test]
+    fn order_restored_after_every_sweep() {
+        // The headline §3 property distinguishing this from LLB [8].
+        for n in [4, 8, 16, 32, 64] {
+            check_restores_after(&FatTreeOrdering::new(n).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn sweep_has_n_minus_1_steps() {
+        for n in [8usize, 32] {
+            let ord = FatTreeOrdering::new(n).unwrap();
+            assert_eq!(ord.sweep_program(0, &ord.initial_layout()).steps.len(), n - 1);
+        }
+    }
+
+    #[test]
+    fn n8_first_three_steps_are_intra_group() {
+        // stage 1 works inside the two 4-index groups (Fig. 6 structure)
+        let ord = FatTreeOrdering::new(8).unwrap();
+        let pairs = ord.sweep_program(0, &ord.initial_layout()).step_pairs();
+        for step in &pairs[..3] {
+            for &(a, b) in step {
+                assert_eq!(a / 4, b / 4, "cross-group pair in stage 1: ({a},{b})");
+            }
+        }
+        // stages 2+: all pairs cross-group
+        for step in &pairs[3..] {
+            for &(a, b) in step {
+                assert_ne!(a / 4, b / 4, "intra-group pair after stage 1: ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn n8_schedule_matches_merge_example() {
+        // the Example-1 choreography (1-based labels)
+        let ord = FatTreeOrdering::new(8).unwrap();
+        let pairs: Vec<Vec<(usize, usize)>> = ord
+            .sweep_program(0, &ord.initial_layout())
+            .step_pairs()
+            .iter()
+            .map(|s| s.iter().map(|&(a, b)| (a + 1, b + 1)).collect())
+            .collect();
+        assert_eq!(pairs[0], vec![(1, 2), (3, 4), (5, 6), (7, 8)]);
+        assert_eq!(pairs[1], vec![(1, 3), (2, 4), (5, 7), (6, 8)]);
+        assert_eq!(pairs[2], vec![(1, 4), (2, 3), (5, 8), (6, 7)]);
+        // super-step 2: blocks (1,3)x(5,7) and (2,4)x(6,8)
+        assert_eq!(pairs[3], vec![(1, 5), (3, 7), (2, 6), (4, 8)]);
+        assert_eq!(pairs[4], vec![(1, 7), (3, 5), (2, 8), (4, 6)]);
+        // super-step 3: blocks (1,3)x(6,8) and (2,4)x(5,7)
+        assert_eq!(pairs[5], vec![(1, 8), (3, 6), (2, 7), (4, 5)]);
+        assert_eq!(pairs[6], vec![(1, 6), (3, 8), (2, 5), (4, 7)]);
+    }
+
+    #[test]
+    fn smaller_index_always_on_the_left() {
+        // Fig. 4(a)'s invariant survives the merge procedure — the property
+        // §3.2.1 uses to obtain sorted singular values.
+        for n in [8usize, 16, 32, 64] {
+            let ord = FatTreeOrdering::new(n).unwrap();
+            for step in ord.sweep_program(0, &ord.initial_layout()).step_pairs() {
+                for (l, r) in step {
+                    assert!(l < r, "n={n}: pair ({l},{r}) has larger index on the left");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn communication_is_level_local() {
+        // Level-k exchanges only occur during (and between) the size-2^k
+        // stages: quantified here as "most steps move columns only between
+        // sibling leaves".
+        let ord = FatTreeOrdering::new(64).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let mut level1_steps = 0;
+        for step in &prog.steps {
+            let max_span = step
+                .move_after
+                .inter_processor_moves()
+                .iter()
+                .map(|&(f, t)| (f / 2).abs_diff(t / 2))
+                .max()
+                .unwrap_or(0);
+            if max_span <= 1 {
+                level1_steps += 1;
+            }
+        }
+        // at least half of all steps are purely sibling-local
+        assert!(
+            level1_steps * 2 >= prog.steps.len(),
+            "only {level1_steps}/{} level-1 steps",
+            prog.steps.len()
+        );
+    }
+
+    #[test]
+    fn subregion_generator_leaves_outside_untouched() {
+        let movements = fat_tree_movements(16, 8, 8);
+        let mut layout: Vec<usize> = (0..16).collect();
+        for m in &movements {
+            for (f, t) in m.moves() {
+                assert!(f >= 8 && t >= 8);
+            }
+            layout = m.apply(&layout);
+        }
+        assert_eq!(layout, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,148 @@
+//! The four-block basic modules of §3.2.1 (Fig. 4).
+//!
+//! Four indices on two processors meet pairwise in three steps. The paper
+//! gives two realizations:
+//!
+//! * **Module A** (Fig. 4(a)) — the index order `(1,2,3,4)` is restored
+//!   after every sweep, and in every pair the smaller index sits on the
+//!   left — the property that lets the SVD driver deliver singular values
+//!   in nonincreasing order. Its step-3 "left-right arrow" (an in-pair
+//!   swap before the next communication) is folded into the rotation by
+//!   equation (3), so it costs nothing.
+//! * **Module B** (Fig. 4(b)) — simpler movements, but indices 3 and 4 end
+//!   up reversed; the order is only restored after two sweeps. We keep it
+//!   as the building block of the Lee–Luk–Boley-style baseline.
+
+use crate::schedule::Permutation;
+use crate::two_block::perm_from_moves;
+
+/// The three movement permutations of module A (Fig. 4(a)) for the region
+/// `[base, base + 4)` of an `n`-slot machine. The third movement restores
+/// the region's original layout.
+///
+/// # Panics
+/// Panics if the region does not fit.
+pub fn module_a_movements(n: usize, base: usize) -> [Permutation; 3] {
+    assert!(base + 4 <= n, "region out of range");
+    [
+        // (0,1)(2,3) -> (0,2)(1,3): exchange slots base+1, base+2
+        perm_from_moves(n, &[(base + 1, base + 2), (base + 2, base + 1)]),
+        // (0,2)(1,3) -> (0,3)(1,2): exchange slots base+1, base+3
+        perm_from_moves(n, &[(base + 1, base + 3), (base + 3, base + 1)]),
+        // restore: 3-cycle base+1 -> base+3 -> base+2 -> base+1
+        perm_from_moves(
+            n,
+            &[(base + 1, base + 3), (base + 3, base + 2), (base + 2, base + 1)],
+        ),
+    ]
+}
+
+/// The three movement permutations of module B (Fig. 4(b)); after one sweep
+/// the indices in slots `base+2` and `base+3` are reversed.
+///
+/// # Panics
+/// Panics if the region does not fit.
+pub fn module_b_movements(n: usize, base: usize) -> [Permutation; 3] {
+    assert!(base + 4 <= n, "region out of range");
+    [
+        perm_from_moves(n, &[(base + 1, base + 2), (base + 2, base + 1)]),
+        perm_from_moves(n, &[(base + 1, base + 3), (base + 3, base + 1)]),
+        // leave 3 and 4 reversed: exchange slots base+1, base+2
+        perm_from_moves(n, &[(base + 1, base + 2), (base + 2, base + 1)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn run(movements: &[Permutation]) -> (Vec<Vec<(usize, usize)>>, Vec<usize>) {
+        let n = movements[0].len();
+        let mut layout: Vec<usize> = (0..n).collect();
+        let mut pairs = Vec::new();
+        for m in movements {
+            pairs.push(layout.chunks(2).map(|c| (c[0], c[1])).collect());
+            layout = m.apply(&layout);
+        }
+        (pairs, layout)
+    }
+
+    #[test]
+    fn module_a_matches_fig_4a() {
+        let (pairs, layout) = run(&module_a_movements(4, 0));
+        assert_eq!(pairs[0], vec![(0, 1), (2, 3)]);
+        assert_eq!(pairs[1], vec![(0, 2), (1, 3)]);
+        assert_eq!(pairs[2], vec![(0, 3), (1, 2)]);
+        // order restored after ONE sweep — module A's defining property
+        assert_eq!(layout, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn module_a_left_index_always_smaller() {
+        let (pairs, _) = run(&module_a_movements(4, 0));
+        for step in &pairs {
+            for &(l, r) in step {
+                assert!(l < r, "pair ({l},{r}) violates the Fig. 4(a) invariant");
+            }
+        }
+    }
+
+    #[test]
+    fn module_b_matches_fig_4b() {
+        let (pairs, layout) = run(&module_b_movements(4, 0));
+        assert_eq!(pairs[0], vec![(0, 1), (2, 3)]);
+        assert_eq!(pairs[1], vec![(0, 2), (1, 3)]);
+        assert_eq!(pairs[2], vec![(0, 3), (1, 2)]);
+        // indices 3 and 4 (slots 2, 3) reversed after one sweep
+        assert_eq!(layout, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn module_b_restores_after_two_sweeps_and_stays_valid() {
+        let movements = module_b_movements(4, 0);
+        let mut layout: Vec<usize> = vec![0, 1, 2, 3];
+        let mut met = HashSet::new();
+        for sweep in 0..2 {
+            let mut sweep_met = HashSet::new();
+            for m in &movements {
+                for c in layout.chunks(2) {
+                    let key = (c[0].min(c[1]), c[0].max(c[1]));
+                    assert!(sweep_met.insert(key), "sweep {sweep}: pair repeated");
+                    met.insert(key);
+                }
+                layout = m.apply(&layout);
+            }
+            assert_eq!(sweep_met.len(), 6);
+        }
+        assert_eq!(layout, vec![0, 1, 2, 3]);
+        assert_eq!(met.len(), 6);
+    }
+
+    #[test]
+    fn modules_work_in_subregions() {
+        let ms = module_a_movements(8, 4);
+        let mut layout: Vec<usize> = (0..8).collect();
+        for m in &ms {
+            layout = m.apply(&layout);
+        }
+        assert_eq!(layout, (0..8).collect::<Vec<_>>());
+        for m in &ms {
+            for (f, t) in m.moves() {
+                assert!(f >= 4 && t >= 4, "movement escaped the region");
+            }
+        }
+    }
+
+    #[test]
+    fn all_module_communication_is_level_one() {
+        // both modules only ever exchange between sibling leaves
+        for ms in [module_a_movements(4, 0), module_b_movements(4, 0)] {
+            for m in &ms {
+                for (f, t) in m.inter_processor_moves() {
+                    assert_eq!((f / 2).abs_diff(t / 2), 1);
+                }
+            }
+        }
+    }
+}

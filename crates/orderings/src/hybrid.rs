@@ -1,0 +1,450 @@
+//! The hybrid ordering of §5 (Fig. 9) — fat-tree ordering inside groups,
+//! block ring ordering between groups.
+//!
+//! `n` indices are divided into `m` groups of `w = n/m` consecutive indices
+//! (`w` a power of two ≥ 4); each group is split into two blocks of `w/2`
+//! indices, interleaved over the group's slots (Schreiber's partitioning
+//! \[14\]). Treating each block as a super-index, the §4 *new ring
+//! ordering* runs at the block level over `2m − 1` super-steps:
+//!
+//! * **super-step 1** — the fat-tree ordering inside every group
+//!   (`w − 1` steps): all intra-group pairs;
+//! * **super-steps 2..2m−1** — a two-block ordering inside every group
+//!   (`w/2` steps each): the co-resident blocks' cross pairs.
+//!
+//! Between super-steps the blocks move one group clockwise following the
+//! ring schedule, so inter-group messages are evenly distributed — one
+//! block's worth per ring link per super-boundary — and by choosing the
+//! block size appropriately **no channel of a skinny fat-tree is ever
+//! oversubscribed** (§5's contention-freedom claim, quantified in
+//! `treesvd-net`).
+//!
+//! Total steps: `(w−1) + (2m−2)·w/2 = n − 1`, a full sweep. Because every
+//! block is two-block-rotated exactly once per shift and the ring shifts
+//! every index an even number of times per sweep (§5's argument), the
+//! layout is restored after two sweeps.
+
+use crate::fat_tree::fat_tree_movements;
+use crate::schedule::{
+    ColIndex, JacobiOrdering, OrderingError, PairStep, Permutation, Program,
+};
+use crate::two_block::{perm_from_moves, two_block_movements, RotatingSide};
+
+/// Which ordering runs *inside* each group during super-step 1.
+///
+/// The paper's hybrid ordering uses the fat-tree ordering (§5); the
+/// round-robin variant is the ablation showing how much the fat-tree
+/// ordering's intra-group locality matters ("block ring ordering" with a
+/// naive group schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraGroupOrdering {
+    /// The §3 fat-tree ordering (the paper's choice).
+    FatTree,
+    /// Brent–Luk round-robin inside each group (ablation baseline).
+    RoundRobin,
+}
+
+/// Round-robin movements restricted to the region `[base, base+w)`:
+/// `w − 1` identical caterpillar permutations.
+fn round_robin_movements_in_region(n: usize, base: usize, w: usize) -> Vec<Permutation> {
+    let local = crate::round_robin::RoundRobinOrdering::movement(w);
+    let mut dest: Vec<usize> = (0..n).collect();
+    for s in 0..w {
+        dest[base + s] = base + local.dest_of(s);
+    }
+    let moved = Permutation::from_dest(dest);
+    (0..w - 1).map(|_| moved.clone()).collect()
+}
+
+/// Per-group role in one super-step of the block ring (see
+/// [`crate::new_ring`]): ordinary groups forward their odd-class block,
+/// the station forwards its even-class block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Pass,
+    Station,
+}
+
+/// The §5 hybrid ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridOrdering {
+    n: usize,
+    groups: usize,
+    intra: IntraGroupOrdering,
+}
+
+impl HybridOrdering {
+    /// Build for `n` indices divided into `groups` groups.
+    ///
+    /// # Errors
+    /// [`OrderingError::BadGroups`] unless `groups ≥ 2`, `groups` divides
+    /// `n`, and the group size `n/groups` is a power of two ≥ 4.
+    pub fn new(n: usize, groups: usize) -> Result<Self, OrderingError> {
+        Self::with_intra(n, groups, IntraGroupOrdering::FatTree)
+    }
+
+    /// Build with an explicit intra-group ordering (the round-robin variant
+    /// is the locality ablation).
+    ///
+    /// # Errors
+    /// As [`HybridOrdering::new`].
+    pub fn with_intra(
+        n: usize,
+        groups: usize,
+        intra: IntraGroupOrdering,
+    ) -> Result<Self, OrderingError> {
+        if groups < 2 {
+            return Err(OrderingError::BadGroups {
+                n,
+                groups,
+                requirement: "need at least 2 groups (use FatTreeOrdering for 1)",
+            });
+        }
+        if n == 0 || !n.is_multiple_of(groups) {
+            return Err(OrderingError::BadGroups {
+                n,
+                groups,
+                requirement: "group count must divide n",
+            });
+        }
+        let w = n / groups;
+        if w < 4 || !w.is_power_of_two() {
+            return Err(OrderingError::BadGroups {
+                n,
+                groups,
+                requirement: "group size n/groups must be a power of two >= 4",
+            });
+        }
+        Ok(Self { n, groups, intra })
+    }
+
+    /// Build with a default group count: groups of eight indices when
+    /// possible (`n` divisible by 8 with `n ≥ 16`), otherwise groups of
+    /// four.
+    ///
+    /// # Errors
+    /// [`OrderingError::BadGroups`] when no valid grouping exists.
+    pub fn with_default_groups(n: usize) -> Result<Self, OrderingError> {
+        if n >= 16 && n.is_multiple_of(8) {
+            Self::new(n, n / 8)
+        } else if n >= 8 && n.is_multiple_of(4) {
+            Self::new(n, n / 4)
+        } else {
+            Err(OrderingError::BadGroups {
+                n,
+                groups: 0,
+                requirement: "n must be divisible by 4 (group size 4) or 8 with n >= 8",
+            })
+        }
+    }
+
+    /// Number of groups `m`.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Group size `w = n / m`.
+    pub fn group_size(&self) -> usize {
+        self.n / self.groups
+    }
+
+    /// The ring roles for each of the `2m − 1` super-steps (the §4 new ring
+    /// ordering's walking-station schedule at block level).
+    fn roles(&self) -> Vec<Vec<Role>> {
+        let m = self.groups;
+        let mut out: Vec<Vec<Role>> = Vec::with_capacity(2 * m - 1);
+        out.push((0..m).map(|q| if q == 0 { Role::Pass } else { Role::Station }).collect());
+        for k in 1..m {
+            let step: Vec<Role> =
+                (0..m).map(|q| if q == k { Role::Station } else { Role::Pass }).collect();
+            out.push(step.clone());
+            out.push(step);
+        }
+        out.truncate(2 * m - 1);
+        out
+    }
+
+    /// The full movement list of one sweep (`n − 1` movements; the last one
+    /// includes the ring's closing within-group block swap).
+    fn movements(&self) -> Vec<Permutation> {
+        let n = self.n;
+        let m = self.groups;
+        let w = self.group_size();
+        let roles = self.roles();
+        let mut movements: Vec<Permutation> = Vec::with_capacity(n - 1);
+
+        for (s, role) in roles.iter().enumerate() {
+            // ---- the super-step's intra-group computation ----
+            if s == 0 {
+                // the chosen intra-group ordering inside every group
+                let per_group: Vec<Vec<Permutation>> = (0..m)
+                    .map(|q| match self.intra {
+                        IntraGroupOrdering::FatTree => fat_tree_movements(n, q * w, w),
+                        IntraGroupOrdering::RoundRobin => {
+                            round_robin_movements_in_region(n, q * w, w)
+                        }
+                    })
+                    .collect();
+                for i in 0..w - 1 {
+                    let mut acc = Permutation::identity(n);
+                    for group in &per_group {
+                        acc = acc.then(&group[i]);
+                    }
+                    movements.push(acc);
+                }
+            } else {
+                // two-block ordering inside every group; the block about to
+                // be shifted is the rotating one (§5's parity rule)
+                let mut acc: Option<Vec<Permutation>> = None;
+                for (q, &r) in role.iter().enumerate() {
+                    let rot = match r {
+                        Role::Pass => RotatingSide::Odd,
+                        Role::Station => RotatingSide::Even,
+                    };
+                    let tb = two_block_movements(n, q * w, w / 2, rot);
+                    acc = Some(match acc {
+                        None => tb,
+                        Some(prev) => {
+                            prev.into_iter().zip(tb.iter()).map(|(a, b)| a.then(b)).collect()
+                        }
+                    });
+                }
+                movements.extend(acc.expect("at least one group"));
+            }
+
+            // ---- the super-boundary block movement ----
+            let mut moves = Vec::new();
+            for (q, &r) in role.iter().enumerate() {
+                let nq = (q + 1) % m;
+                match r {
+                    Role::Pass => {
+                        for i in 0..w / 2 {
+                            moves.push((q * w + 2 * i + 1, nq * w + 2 * i + 1));
+                        }
+                    }
+                    Role::Station => {
+                        for i in 0..w / 2 {
+                            moves.push((q * w + 2 * i, nq * w + 2 * i + 1));
+                            moves.push((q * w + 2 * i + 1, q * w + 2 * i));
+                        }
+                    }
+                }
+            }
+            let mut boundary = perm_from_moves(n, &moves);
+
+            if s == 0 {
+                // the blocks shifted right after the fat-tree super-step did
+                // not get their two-block rotation: pre-exchange their
+                // halves (intra-group communication) so every block's
+                // rotation count equals its shift count.
+                let mut half = Vec::new();
+                for (q, &r) in role.iter().enumerate() {
+                    let class = match r {
+                        Role::Station => 0,
+                        Role::Pass => 1,
+                    };
+                    for i in 0..w / 4 {
+                        let a = q * w + 2 * i + class;
+                        let b = q * w + 2 * (i + w / 4) + class;
+                        half.push((a, b));
+                        half.push((b, a));
+                    }
+                }
+                boundary = perm_from_moves(n, &half).then(&boundary);
+            }
+            if s == roles.len() - 1 {
+                // the ring's closing within-group block swap on groups
+                // 1..m-1 (intra-processor, free)
+                let mut sw = Vec::new();
+                for q in 1..m {
+                    for i in 0..w / 2 {
+                        sw.push((q * w + 2 * i, q * w + 2 * i + 1));
+                        sw.push((q * w + 2 * i + 1, q * w + 2 * i));
+                    }
+                }
+                boundary = boundary.then(&perm_from_moves(n, &sw));
+            }
+
+            let last = movements.len() - 1;
+            movements[last] = movements[last].clone().then(&boundary);
+        }
+        debug_assert_eq!(movements.len(), n - 1);
+        movements
+    }
+}
+
+impl JacobiOrdering for HybridOrdering {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        match self.intra {
+            IntraGroupOrdering::FatTree => format!("hybrid({} groups)", self.groups),
+            IntraGroupOrdering::RoundRobin => format!("block-ring({} groups)", self.groups),
+        }
+    }
+
+    fn restore_period(&self) -> usize {
+        2
+    }
+
+    fn sweep_program(&self, _sweep: usize, layout: &[ColIndex]) -> Program {
+        assert_eq!(layout.len(), self.n, "layout size mismatch");
+        let steps =
+            self.movements().into_iter().map(|move_after| PairStep { move_after }).collect();
+        Program { n: self.n, initial_layout: layout.to_vec(), steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{assert_valid_sweep, check_restores_after};
+
+    #[test]
+    fn constructor_constraints() {
+        assert!(HybridOrdering::new(16, 1).is_err());
+        assert!(HybridOrdering::new(16, 3).is_err()); // 16/3 not integral
+        assert!(HybridOrdering::new(24, 2).is_err()); // group size 12 not a power of 2
+        assert!(HybridOrdering::new(16, 8).is_err()); // group size 2 < 4
+        assert!(HybridOrdering::new(16, 4).is_ok());
+        assert!(HybridOrdering::new(24, 6).is_ok()); // w = 4, m = 6: n need not be 2^k
+        assert!(HybridOrdering::new(24, 3).is_ok()); // w = 8
+    }
+
+    #[test]
+    fn default_groups() {
+        assert_eq!(HybridOrdering::with_default_groups(16).unwrap().group_size(), 8);
+        assert_eq!(HybridOrdering::with_default_groups(64).unwrap().group_size(), 8);
+        assert_eq!(HybridOrdering::with_default_groups(8).unwrap().group_size(), 4);
+        assert_eq!(HybridOrdering::with_default_groups(12).unwrap().group_size(), 4);
+        assert!(HybridOrdering::with_default_groups(6).is_err());
+    }
+
+    #[test]
+    fn valid_sweeps_many_shapes() {
+        for (n, m) in [(8, 2), (16, 2), (16, 4), (32, 4), (32, 8), (24, 6), (24, 3), (12, 3)] {
+            let ord = HybridOrdering::new(n, m).unwrap();
+            assert_valid_sweep(&ord);
+        }
+    }
+
+    #[test]
+    fn restores_after_two_sweeps() {
+        for (n, m) in [(8, 2), (16, 4), (32, 4), (24, 3), (64, 8)] {
+            check_restores_after(&HybridOrdering::new(n, m).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn sweep_has_n_minus_1_steps() {
+        let ord = HybridOrdering::new(16, 4).unwrap();
+        assert_eq!(ord.sweep_program(0, &ord.initial_layout()).steps.len(), 15);
+    }
+
+    #[test]
+    fn fig9_structure_16_indices_4_groups() {
+        // Fig. 9: first w-1 = 3 steps intra-group, then 6 two-block
+        // super-steps of 2 steps each, with a "global" block move between.
+        let ord = HybridOrdering::new(16, 4).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let pairs = prog.step_pairs();
+        // steps 1-3: all pairs within a group of 4 consecutive indices
+        for step in &pairs[..3] {
+            for &(a, b) in step {
+                assert_eq!(a / 4, b / 4, "stage-1 pair crosses groups: ({a},{b})");
+            }
+        }
+        // afterwards every step has cross-group pairs only
+        for (s, step) in pairs[3..].iter().enumerate() {
+            for &(a, b) in step {
+                assert_ne!(a / 4, b / 4, "step {}: intra-group pair ({a},{b})", s + 4);
+            }
+        }
+    }
+
+    #[test]
+    fn inter_group_communication_only_at_super_boundaries() {
+        let ord = HybridOrdering::new(16, 4).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let w = 4;
+        // super-boundaries after steps 3, 5, 7, 9, 11, 13, 15 (1-based)
+        let boundaries: Vec<usize> = {
+            let mut b = vec![w - 1 - 1]; // 0-based index of the step whose move crosses groups
+            let mut t = w - 1;
+            for _ in 0..6 {
+                t += 2;
+                b.push(t - 1);
+            }
+            b
+        };
+        for (i, step) in prog.steps.iter().enumerate() {
+            let crosses = step
+                .move_after
+                .inter_processor_moves()
+                .iter()
+                .any(|&(f, t)| f / w != t / w);
+            assert_eq!(
+                crosses,
+                boundaries.contains(&i),
+                "step {}: unexpected inter-group communication state",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn block_ring_variant_valid_and_periodic() {
+        for (n, m) in [(8, 2), (16, 4), (32, 4), (24, 3)] {
+            let ord = HybridOrdering::with_intra(n, m, IntraGroupOrdering::RoundRobin).unwrap();
+            assert_valid_sweep(&ord);
+            check_restores_after(&ord, 2);
+            assert!(ord.name().contains("block-ring"));
+        }
+    }
+
+    #[test]
+    fn block_ring_less_tree_local_than_hybrid() {
+        // the ablation point: with round-robin inside groups the intra-group
+        // traffic climbs the tree (the caterpillar crosses the group
+        // subtree's spine every step), while the fat-tree ordering keeps
+        // most hops at level 1. Measure total levels ascended per sweep.
+        let n = 64;
+        let hy = HybridOrdering::new(n, 2).unwrap();
+        let br = HybridOrdering::with_intra(n, 2, IntraGroupOrdering::RoundRobin).unwrap();
+        let level_sum = |ord: &HybridOrdering| -> usize {
+            ord.sweep_program(0, &ord.initial_layout())
+                .steps
+                .iter()
+                .flat_map(|s| s.move_after.inter_processor_moves())
+                .map(|(f, t)| crate::render::comm_level(f / 2, t / 2))
+                .sum()
+        };
+        let (h, b) = (level_sum(&hy), level_sum(&br));
+        assert!(b > h, "block-ring {b} should ascend more levels than hybrid {h}");
+    }
+
+    #[test]
+    fn ring_messages_one_block_per_link() {
+        // at each super-boundary each group sends exactly w/2 columns to
+        // the next group — evenly distributed, one direction
+        let ord = HybridOrdering::new(32, 4).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let w = 8;
+        for step in &prog.steps {
+            let mut per_link = std::collections::HashMap::new();
+            for (f, t) in step.move_after.inter_processor_moves() {
+                let (gf, gt) = (f / w, t / w);
+                if gf != gt {
+                    *per_link.entry((gf, gt)).or_insert(0usize) += 1;
+                    // one direction: clockwise on the group ring
+                    assert_eq!((gf + 1) % 4, gt, "message not clockwise: {gf} -> {gt}");
+                }
+            }
+            for (&link, &count) in &per_link {
+                assert!(count <= w / 2, "link {link:?} carries {count} > w/2 columns");
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Parallel Jacobi orderings for tree architectures.
+//!
+//! This crate implements every ordering from Zhou & Brent, *Parallel
+//! Computation of the Singular Value Decomposition on Tree Architectures*
+//! (ICPP 1993), plus the two classical baselines the paper compares
+//! against:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`round_robin`] | Fig. 1(b), Brent & Luk's round-robin ordering \[2\] |
+//! | [`ring`] | Fig. 1(a), a ring ordering in the style of Eberlein & Park \[3\] |
+//! | [`two_block`] | §3.1, Figs. 2–3: the two-block ordering |
+//! | [`four_block`] | §3.2, Fig. 4: the four-block basic modules |
+//! | [`fat_tree`] | §3.3, Figs. 5–6: the fat-tree (merge) ordering |
+//! | [`new_ring`] | §4, Figs. 7–8: the new one-directional ring orderings |
+//! | [`hybrid`] | §5, Fig. 9: the hybrid ordering for skinny fat-trees |
+//! | [`llb`] | the Lee–Luk–Boley-style fat-tree ordering \[8\] (baseline) |
+//!
+//! # The slot model
+//!
+//! An ordering on `n` indices is executed by `n/2` processors, each owning
+//! two *slots*. A [`Program`](schedule::Program) describes one sweep: the
+//! slot→index layout at the start of the sweep and, for each of the sweep's
+//! steps, the slot permutation applied *after* the step's rotations. The
+//! pair rotated by processor `p` at a step is simply whatever occupies
+//! slots `2p` and `2p+1` at that moment — exactly the "two indices in the
+//! same column" convention of the paper's figures.
+//!
+//! [`validate`] provides the combinatorial checkers used throughout the
+//! test suite (every pair exactly once per sweep; layout restoration after
+//! the ordering's period), [`equivalence`] implements the paper's
+//! Definition 1 (orderings equivalent up to index relabelling), and
+//! [`render`] prints paper-style index-pair tables for every figure.
+//!
+//! ```
+//! use treesvd_orderings::{FatTreeOrdering, JacobiOrdering};
+//! use treesvd_orderings::validate::check_valid_program;
+//!
+//! let ord = FatTreeOrdering::new(8).unwrap();
+//! let sweep = ord.sweep_program(0, &ord.initial_layout());
+//! assert_eq!(sweep.steps.len(), 7);                      // n - 1 steps
+//! assert!(check_valid_program(&sweep).is_ok());          // every pair once
+//! assert_eq!(sweep.final_layout(), ord.initial_layout()); // order restored (§3)
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod equivalence;
+pub mod fat_tree;
+pub mod four_block;
+pub mod hybrid;
+pub mod llb;
+pub mod new_ring;
+#[cfg(test)]
+mod proptests;
+pub mod render;
+pub mod ring;
+pub mod round_robin;
+pub mod schedule;
+pub mod two_block;
+pub mod validate;
+
+pub use schedule::{ColIndex, JacobiOrdering, OrderingError, PairStep, Program, Slot};
+
+pub use fat_tree::FatTreeOrdering;
+pub use hybrid::{HybridOrdering, IntraGroupOrdering};
+pub use llb::LlbFatTreeOrdering;
+pub use new_ring::{ModifiedRingOrdering, NewRingOrdering};
+pub use ring::RingOrdering;
+pub use round_robin::RoundRobinOrdering;
+
+/// Every ordering in this crate, behind one enum for easy sweeping in
+/// experiments and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderingKind {
+    /// Fig. 1(a) baseline ring ordering.
+    Ring,
+    /// Fig. 1(b) Brent–Luk round-robin.
+    RoundRobin,
+    /// §3 fat-tree (merge) ordering.
+    FatTree,
+    /// §4 new one-directional ring ordering (Fig. 7).
+    NewRing,
+    /// §4 modified ring ordering (Fig. 8).
+    ModifiedRing,
+    /// Lee–Luk–Boley-style fat-tree ordering with forward/backward sweeps.
+    Llb,
+    /// §5 hybrid ordering (fat-tree within groups, ring between groups).
+    Hybrid,
+}
+
+impl OrderingKind {
+    /// All kinds, in presentation order.
+    pub const ALL: [OrderingKind; 7] = [
+        OrderingKind::Ring,
+        OrderingKind::RoundRobin,
+        OrderingKind::FatTree,
+        OrderingKind::NewRing,
+        OrderingKind::ModifiedRing,
+        OrderingKind::Llb,
+        OrderingKind::Hybrid,
+    ];
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrderingKind::Ring => "ring",
+            OrderingKind::RoundRobin => "round-robin",
+            OrderingKind::FatTree => "fat-tree",
+            OrderingKind::NewRing => "new-ring",
+            OrderingKind::ModifiedRing => "modified-ring",
+            OrderingKind::Llb => "llb-fat-tree",
+            OrderingKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Instantiate the ordering for `n` columns.
+    ///
+    /// For [`OrderingKind::Hybrid`] a default group count is chosen by
+    /// [`HybridOrdering::with_default_groups`]; use [`HybridOrdering::new`]
+    /// directly for explicit control.
+    ///
+    /// # Errors
+    /// Propagates each ordering's size requirements (even `n`; powers of
+    /// two for the tree orderings).
+    pub fn build(self, n: usize) -> Result<Box<dyn JacobiOrdering>, OrderingError> {
+        Ok(match self {
+            OrderingKind::Ring => Box::new(RingOrdering::new(n)?),
+            OrderingKind::RoundRobin => Box::new(RoundRobinOrdering::new(n)?),
+            OrderingKind::FatTree => Box::new(FatTreeOrdering::new(n)?),
+            OrderingKind::NewRing => Box::new(NewRingOrdering::new(n)?),
+            OrderingKind::ModifiedRing => Box::new(ModifiedRingOrdering::new(n)?),
+            OrderingKind::Llb => Box::new(LlbFatTreeOrdering::new(n)?),
+            OrderingKind::Hybrid => Box::new(HybridOrdering::with_default_groups(n)?),
+        })
+    }
+}
+
+impl std::fmt::Display for OrderingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

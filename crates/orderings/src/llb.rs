@@ -1,0 +1,268 @@
+//! A Lee–Luk–Boley-style fat-tree ordering (reference \[8\]) — the baseline
+//! the paper's §3 improves upon.
+//!
+//! Reference \[8\] (Lee, Luk & Boley, *Computing the SVD on a fat-tree
+//! architecture*, RPI TR 92-33) was not available to us, so this is a
+//! reconstruction capturing exactly the behaviour the paper criticizes:
+//!
+//! * after a *forward* sweep the indices are permuted (the singular vectors
+//!   end up in the "wrong" processors), so a *backward* sweep — the forward
+//!   sweep performed in reverse order — must follow; the layout is restored
+//!   only after each forward/backward pair;
+//! * the first rotation of each backward sweep acts on the same pairs as
+//!   the last rotation of the preceding forward sweep (and could be
+//!   omitted);
+//! * the number of steps between two rotations of the same pair varies
+//!   wildly between sweeps, which may slow convergence (§3, disadvantage 1);
+//! * if termination happens to require an odd number of sweeps, an extra
+//!   half-sweep is wasted on average (§3, disadvantage 2).
+//!
+//! The forward sweep is the same merge procedure as
+//! [`FatTreeOrdering`](crate::fat_tree::FatTreeOrdering) but *without* the
+//! closing interchanges that return blocks to their home positions (their
+//! communication is what \[8\] saves — and what costs it the restoration
+//! property). Communication locality is therefore the same as the fat-tree
+//! ordering's, making this the right baseline for the §3 comparison.
+
+use crate::schedule::{
+    require_power_of_two, ColIndex, JacobiOrdering, OrderingError, PairStep, Permutation, Program,
+};
+use crate::two_block::{perm_from_moves, two_block_movements, RotatingSide};
+
+/// Movements of the LLB-style *forward* sweep: the merge procedure without
+/// the home-returning interchange after each stage. The final movement is
+/// the identity, so the backward sweep's first step repeats the forward
+/// sweep's last pairs — the omittable rotation the paper mentions.
+fn forward_movements(n: usize) -> Vec<Permutation> {
+    // stage 1: module B (Fig. 4(b)) — the simpler module whose sweep leaves
+    // indices 3,4 reversed
+    let mut movements: Vec<Permutation> = (0..3)
+        .map(|step| {
+            let mut acc = Permutation::identity(n);
+            for g in (0..n).step_by(4) {
+                acc = acc.then(&crate::four_block::module_b_movements(n, g)[step]);
+            }
+            acc
+        })
+        .collect();
+
+    let mut g = 4;
+    while g < n {
+        // I_pre: block 2 <-> block 3
+        let mut moves = Vec::new();
+        for b0 in (0..n).step_by(2 * g) {
+            for i in 0..g / 2 {
+                let a = b0 + 2 * i + 1;
+                let b = b0 + g + 2 * i;
+                moves.push((a, b));
+                moves.push((b, a));
+            }
+        }
+        let last = movements.len() - 1;
+        movements[last] = movements[last].clone().then(&perm_from_moves(n, &moves));
+
+        movements.extend(merged_two_blocks(n, g));
+
+        // I_mid: block 3 <-> block 4
+        let mut moves = Vec::new();
+        for b0 in (0..n).step_by(2 * g) {
+            for i in 0..g / 2 {
+                let a = b0 + 2 * i + 1;
+                let b = b0 + g + 2 * i + 1;
+                moves.push((a, b));
+                moves.push((b, a));
+            }
+        }
+        let last = movements.len() - 1;
+        movements[last] = movements[last].clone().then(&perm_from_moves(n, &moves));
+
+        movements.extend(merged_two_blocks(n, g));
+        // no I_post: blocks stay displaced — the communication [8] saves
+        g *= 2;
+    }
+    // the movement after the final step is the identity, so the backward
+    // sweep's first step sees exactly the forward sweep's last pairs (for
+    // n = 4 this drops module B's trailing exchange, leaving the indices
+    // permuted — which is the point of this baseline)
+    let last = movements.len() - 1;
+    movements[last] = Permutation::identity(n);
+    movements
+}
+
+fn merged_two_blocks(n: usize, g: usize) -> Vec<Permutation> {
+    let mut acc: Option<Vec<Permutation>> = None;
+    for b0 in (0..n).step_by(2 * g) {
+        let l = two_block_movements(n, b0, g / 2, RotatingSide::Odd);
+        let r = two_block_movements(n, b0 + g, g / 2, RotatingSide::Odd);
+        let both: Vec<Permutation> =
+            l.into_iter().zip(r.iter()).map(|(x, y)| x.then(y)).collect();
+        acc = Some(match acc {
+            None => both,
+            Some(prev) => prev.into_iter().zip(both.iter()).map(|(x, y)| x.then(y)).collect(),
+        });
+    }
+    acc.expect("at least one super-group")
+}
+
+/// The LLB-style baseline: forward sweeps on even sweep numbers, backward
+/// sweeps (the forward sweep reversed) on odd ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlbFatTreeOrdering {
+    n: usize,
+}
+
+impl LlbFatTreeOrdering {
+    /// Build for `n` indices (`n` a power of two, `n ≥ 4`).
+    ///
+    /// # Errors
+    /// [`OrderingError::NotPowerOfTwo`] / [`OrderingError::TooSmall`].
+    pub fn new(n: usize) -> Result<Self, OrderingError> {
+        require_power_of_two(n)?;
+        Ok(Self { n })
+    }
+}
+
+impl JacobiOrdering for LlbFatTreeOrdering {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        "llb-fat-tree".to_string()
+    }
+
+    fn restore_period(&self) -> usize {
+        2
+    }
+
+    fn sweep_program(&self, sweep: usize, layout: &[ColIndex]) -> Program {
+        assert_eq!(layout.len(), self.n, "layout size mismatch");
+        let fwd = forward_movements(self.n);
+        let movements: Vec<Permutation> = if sweep.is_multiple_of(2) {
+            fwd
+        } else {
+            // backward: visit the forward layouts in reverse; movement after
+            // backward step j is the inverse of forward movement m-j-1, and
+            // the last movement is the identity.
+            let m = fwd.len();
+            let mut out: Vec<Permutation> =
+                (0..m - 1).map(|j| fwd[m - 2 - j].inverse()).collect();
+            out.push(Permutation::identity(self.n));
+            out
+        };
+        let steps = movements.into_iter().map(|move_after| PairStep { move_after }).collect();
+        Program { n: self.n, initial_layout: layout.to_vec(), steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{assert_valid_sweep, check_restores_after, check_valid_program};
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(LlbFatTreeOrdering::new(6).is_err());
+        assert!(LlbFatTreeOrdering::new(8).is_ok());
+    }
+
+    #[test]
+    fn both_sweeps_valid() {
+        for n in [4, 8, 16, 32, 64] {
+            assert_valid_sweep(&LlbFatTreeOrdering::new(n).unwrap());
+        }
+    }
+
+    #[test]
+    fn forward_sweep_permutes_indices() {
+        // the paper's complaint: singular vectors end up in the wrong
+        // processors after a forward sweep
+        for n in [8usize, 16, 32] {
+            let ord = LlbFatTreeOrdering::new(n).unwrap();
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            assert_ne!(prog.final_layout(), ord.initial_layout(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn forward_backward_pair_restores() {
+        for n in [4, 8, 16, 32] {
+            check_restores_after(&LlbFatTreeOrdering::new(n).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn backward_first_step_repeats_forward_last_pairs() {
+        // the omittable rotation at the start of every backward sweep
+        let ord = LlbFatTreeOrdering::new(16).unwrap();
+        let progs = ord.programs(2);
+        let fwd_pairs = progs[0].step_pairs();
+        let bwd_pairs = progs[1].step_pairs();
+        let last_fwd: std::collections::HashSet<(usize, usize)> = fwd_pairs
+            .last()
+            .unwrap()
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let first_bwd: std::collections::HashSet<(usize, usize)> =
+            bwd_pairs[0].iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        assert_eq!(last_fwd, first_bwd);
+    }
+
+    #[test]
+    fn backward_sweep_is_forward_reversed() {
+        let ord = LlbFatTreeOrdering::new(8).unwrap();
+        let progs = ord.programs(2);
+        let fwd: Vec<std::collections::HashSet<(usize, usize)>> = progs[0]
+            .step_pairs()
+            .iter()
+            .map(|s| s.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect())
+            .collect();
+        let bwd: Vec<std::collections::HashSet<(usize, usize)>> = progs[1]
+            .step_pairs()
+            .iter()
+            .map(|s| s.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect())
+            .collect();
+        for (j, b) in bwd.iter().enumerate() {
+            assert_eq!(*b, fwd[fwd.len() - 1 - j], "backward step {j}");
+        }
+    }
+
+    #[test]
+    fn sweeps_have_n_minus_1_steps() {
+        let ord = LlbFatTreeOrdering::new(32).unwrap();
+        for prog in ord.programs(2) {
+            assert_eq!(prog.steps.len(), 31);
+            assert!(check_valid_program(&prog).is_ok());
+        }
+    }
+
+    #[test]
+    fn rotation_gap_varies_across_sweep_pairs() {
+        // §3 disadvantage 1: the number of rotations between two meetings of
+        // a fixed pair is variable, not constant. Measure the gap (in steps)
+        // between consecutive meetings of each pair over 4 sweeps.
+        let ord = LlbFatTreeOrdering::new(16).unwrap();
+        let mut last_met = std::collections::HashMap::new();
+        let mut gaps: std::collections::HashMap<(usize, usize), Vec<usize>> =
+            std::collections::HashMap::new();
+        let mut t = 0usize;
+        for prog in ord.programs(4) {
+            for step in prog.step_pairs() {
+                for (a, b) in step {
+                    let key = (a.min(b), a.max(b));
+                    if let Some(prev) = last_met.insert(key, t) {
+                        gaps.entry(key).or_default().push(t - prev);
+                    }
+                }
+                t += 1;
+            }
+        }
+        let variable = gaps.values().any(|g| {
+            let min = g.iter().min().unwrap();
+            let max = g.iter().max().unwrap();
+            max > min
+        });
+        assert!(variable, "expected variable inter-rotation gaps");
+    }
+}

@@ -1,0 +1,345 @@
+//! The new ring orderings of §4 (Figs. 7 and 8).
+//!
+//! The paper's new ring ordering runs on a ring of `P = n/2` processors and
+//! has the defining property that **messages travel in one direction only**
+//! throughout the computation, with exactly one message per ring link per
+//! step (evenly distributed, contention-free — the property §5 exploits).
+//!
+//! # Construction
+//!
+//! The figure's numerals did not survive in our source scan, so the
+//! schedule is *re-derived* from the invariants the text states, which pin
+//! it down (we verified by exhaustive search that all one-message-per-link
+//! schedules satisfying them generate this pair sequence):
+//!
+//! * one sweep is `n − 1` steps and is a valid sweep (every pair once);
+//! * every message travels clockwise, one per link per step;
+//! * index 1 never moves; every other index is shifted an even number of
+//!   times per sweep (the property §5's hybrid ordering relies on);
+//! * after one sweep indices 1 and 2 are back in place and indices
+//!   `3..n` are in *reversed* order; two sweeps restore the layout.
+//!
+//! The closed form found by the search is a **walking exchange station**:
+//! each processor holds a *top* and a *bottom* column. At every step each
+//! processor sends one column clockwise. Ordinary processors pass their
+//! bottom column along (top stays put); the single *station* processor
+//! instead sends its top column and promotes its bottom to top. The
+//! station sits at processor 1..P−1 in turn, two steps each, after an
+//! opening step in which every processor except 0 acts as a station.
+//!
+//! The modified ring ordering (Fig. 8) differs in the station walk
+//! (an all-station opening step, then stations 0, 1, 1, …, P−2, P−2,
+//! P−1): its one-sweep net permutation is the *full* reversal, so singular
+//! values come out nondecreasing after an odd number of sweeps and
+//! nonincreasing after an even number — exactly the behaviour §4 claims.
+
+use crate::schedule::{
+    require_even, ColIndex, JacobiOrdering, OrderingError, PairStep, Permutation, Program, Slot,
+};
+
+/// Which slot a processor forwards at a step, in the station model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Pass the bottom column clockwise; the top column stays.
+    Pass,
+    /// Exchange station: send the top column clockwise; the bottom column
+    /// rises to the top slot. Incoming columns always land in the bottom.
+    Station,
+}
+
+/// Build one step's movement permutation from per-processor roles.
+///
+/// Every processor sends exactly one column to its clockwise neighbour and
+/// receives exactly one into its bottom slot, so each ring link carries one
+/// message and all messages flow the same way.
+fn step_permutation(roles: &[Role]) -> Permutation {
+    let procs = roles.len();
+    let n = 2 * procs;
+    let mut dest = vec![0usize; n];
+    for (p, &role) in roles.iter().enumerate() {
+        let top = 2 * p;
+        let bottom = 2 * p + 1;
+        let next_bottom = 2 * ((p + 1) % procs) + 1;
+        match role {
+            Role::Pass => {
+                dest[top] = top; // top stays
+                dest[bottom] = next_bottom; // bottom forwarded clockwise
+            }
+            Role::Station => {
+                dest[top] = next_bottom; // top forwarded clockwise
+                dest[bottom] = top; // bottom rises
+            }
+        }
+    }
+    Permutation::from_dest(dest)
+}
+
+/// Compose `perm` with a within-pair swap on the given processors
+/// (intra-processor, therefore free of communication cost).
+fn compose_pair_swaps(perm: Permutation, swap_procs: &[usize]) -> Permutation {
+    let n = perm.len();
+    let mut w: Vec<Slot> = (0..n).collect();
+    for &p in swap_procs {
+        w.swap(2 * p, 2 * p + 1);
+    }
+    perm.then(&Permutation::from_dest(w))
+}
+
+/// Shared builder: a station-walk program from a role table plus final
+/// within-pair swaps.
+fn station_program(
+    n: usize,
+    layout: &[ColIndex],
+    roles_per_step: Vec<Vec<Role>>,
+    final_swaps: &[usize],
+) -> Program {
+    debug_assert_eq!(roles_per_step.len(), n - 1);
+    let last = roles_per_step.len() - 1;
+    let steps = roles_per_step
+        .into_iter()
+        .enumerate()
+        .map(|(i, roles)| {
+            let perm = step_permutation(&roles);
+            let perm = if i == last { compose_pair_swaps(perm, final_swaps) } else { perm };
+            PairStep { move_after: perm }
+        })
+        .collect();
+    Program { n, initial_layout: layout.to_vec(), steps }
+}
+
+/// The §4 new ring ordering (Fig. 7(a)): one-directional ring messages,
+/// index 1 pinned, indices `3..n` reversed after one sweep, restored after
+/// two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewRingOrdering {
+    n: usize,
+}
+
+impl NewRingOrdering {
+    /// Build for `n` indices (`n` even, `n ≥ 4`).
+    ///
+    /// # Errors
+    /// [`OrderingError::OddSize`] / [`OrderingError::TooSmall`].
+    pub fn new(n: usize) -> Result<Self, OrderingError> {
+        require_even(n)?;
+        Ok(Self { n })
+    }
+
+    fn roles(&self) -> Vec<Vec<Role>> {
+        let procs = self.n / 2;
+        let mut out = Vec::with_capacity(self.n - 1);
+        // opening step: every processor except 0 is a station
+        out.push((0..procs).map(|p| if p == 0 { Role::Pass } else { Role::Station }).collect());
+        // then the station walks from processor 1 to P-1, two steps each
+        for k in 1..procs {
+            let step: Vec<Role> =
+                (0..procs).map(|p| if p == k { Role::Station } else { Role::Pass }).collect();
+            out.push(step.clone());
+            out.push(step);
+        }
+        out.truncate(self.n - 1);
+        out
+    }
+}
+
+impl JacobiOrdering for NewRingOrdering {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        "new-ring".to_string()
+    }
+
+    fn restore_period(&self) -> usize {
+        2
+    }
+
+    fn sweep_program(&self, _sweep: usize, layout: &[ColIndex]) -> Program {
+        assert_eq!(layout.len(), self.n, "layout size mismatch");
+        let swaps: Vec<usize> = (1..self.n / 2).collect();
+        station_program(self.n, layout, self.roles(), &swaps)
+    }
+}
+
+/// The §4 modified ring ordering (Fig. 8(a)): identical machinery, but the
+/// sweep's net permutation is the full reversal, so singular values emerge
+/// nondecreasing after an odd number of sweeps and nonincreasing after an
+/// even number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModifiedRingOrdering {
+    n: usize,
+}
+
+impl ModifiedRingOrdering {
+    /// Build for `n` indices (`n` even, `n ≥ 4`).
+    ///
+    /// # Errors
+    /// [`OrderingError::OddSize`] / [`OrderingError::TooSmall`].
+    pub fn new(n: usize) -> Result<Self, OrderingError> {
+        require_even(n)?;
+        Ok(Self { n })
+    }
+
+    fn roles(&self) -> Vec<Vec<Role>> {
+        let procs = self.n / 2;
+        let mut out: Vec<Vec<Role>> = Vec::with_capacity(self.n - 1);
+        // all-station opening step
+        out.push(vec![Role::Station; procs]);
+        // station at processor 0, once
+        out.push((0..procs).map(|p| if p == 0 { Role::Station } else { Role::Pass }).collect());
+        // stations 1..P-2, two steps each
+        for k in 1..procs.saturating_sub(1) {
+            let step: Vec<Role> =
+                (0..procs).map(|p| if p == k { Role::Station } else { Role::Pass }).collect();
+            out.push(step.clone());
+            out.push(step);
+        }
+        // station at P-1, once
+        out.push(
+            (0..procs).map(|p| if p == procs - 1 { Role::Station } else { Role::Pass }).collect(),
+        );
+        out.truncate(self.n - 1);
+        out
+    }
+}
+
+impl JacobiOrdering for ModifiedRingOrdering {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        "modified-ring".to_string()
+    }
+
+    fn restore_period(&self) -> usize {
+        2
+    }
+
+    fn sweep_program(&self, _sweep: usize, layout: &[ColIndex]) -> Program {
+        assert_eq!(layout.len(), self.n, "layout size mismatch");
+        let swaps: Vec<usize> = (0..self.n / 2 - 1).collect();
+        station_program(self.n, layout, self.roles(), &swaps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{
+        all_moves_even, assert_valid_sweep, check_restores_after, is_one_directional,
+        max_link_load, move_counts,
+    };
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(NewRingOrdering::new(5).is_err());
+        assert!(ModifiedRingOrdering::new(3).is_err());
+        assert!(NewRingOrdering::new(4).is_ok());
+    }
+
+    #[test]
+    fn new_ring_valid_for_many_sizes() {
+        for n in [4, 6, 8, 10, 16, 32, 64] {
+            let ord = NewRingOrdering::new(n).unwrap();
+            assert_valid_sweep(&ord);
+        }
+    }
+
+    #[test]
+    fn modified_ring_valid_for_many_sizes() {
+        for n in [4, 6, 8, 10, 16, 32, 64] {
+            let ord = ModifiedRingOrdering::new(n).unwrap();
+            assert_valid_sweep(&ord);
+        }
+    }
+
+    #[test]
+    fn new_ring_sweep_reverses_three_to_n() {
+        // Paper §4: after one sweep, indices 1 and 2 unchanged, 3..n reversed.
+        for n in [4usize, 8, 12, 16] {
+            let ord = NewRingOrdering::new(n).unwrap();
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            let after = prog.final_layout();
+            let mut want: Vec<usize> = vec![0, 1];
+            want.extend((2..n).rev());
+            assert_eq!(after, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn modified_ring_sweep_is_full_reversal() {
+        for n in [4usize, 8, 10, 16] {
+            let ord = ModifiedRingOrdering::new(n).unwrap();
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            let after = prog.final_layout();
+            let want: Vec<usize> = (0..n).rev().collect();
+            assert_eq!(after, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn both_restore_after_two_sweeps() {
+        for n in [4, 8, 10, 32] {
+            check_restores_after(&NewRingOrdering::new(n).unwrap(), 2);
+            check_restores_after(&ModifiedRingOrdering::new(n).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn messages_one_directional_evenly_distributed() {
+        for n in [8, 16, 32] {
+            for prog in [
+                NewRingOrdering::new(n).unwrap().sweep_program(0, &(0..n).collect::<Vec<_>>()),
+                ModifiedRingOrdering::new(n)
+                    .unwrap()
+                    .sweep_program(0, &(0..n).collect::<Vec<_>>()),
+            ] {
+                assert!(is_one_directional(&prog), "n = {n}");
+                assert_eq!(max_link_load(&prog), 1, "n = {n}: a link carries > 1 message");
+            }
+        }
+    }
+
+    #[test]
+    fn new_ring_index_one_pinned_and_even_shifts() {
+        // §5 relies on: index 1 never moves, all other indices move an even
+        // number of times.
+        for n in [8usize, 16, 24] {
+            let ord = NewRingOrdering::new(n).unwrap();
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            let counts = move_counts(&prog);
+            assert_eq!(counts[0], 0, "index 1 moved");
+            assert!(all_moves_even(&prog), "odd shift count: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn new_ring_n8_pair_table() {
+        // The schedule derived from the paper's invariants, n = 8 (1-based).
+        let ord = NewRingOrdering::new(8).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let pairs: Vec<Vec<(usize, usize)>> = prog
+            .step_pairs()
+            .iter()
+            .map(|s| s.iter().map(|&(a, b)| (a + 1, b + 1)).collect())
+            .collect();
+        assert_eq!(pairs[0], vec![(1, 2), (3, 4), (5, 6), (7, 8)]);
+        assert_eq!(pairs[1], vec![(1, 7), (4, 2), (6, 3), (8, 5)]);
+        assert_eq!(pairs[2], vec![(1, 5), (2, 7), (6, 4), (8, 3)]);
+        assert_eq!(pairs[3], vec![(1, 3), (7, 5), (6, 2), (8, 4)]);
+        assert_eq!(pairs[4], vec![(1, 4), (7, 3), (2, 5), (8, 6)]);
+        assert_eq!(pairs[5], vec![(1, 6), (7, 4), (5, 3), (8, 2)]);
+        assert_eq!(pairs[6], vec![(1, 8), (7, 6), (5, 4), (2, 3)]);
+    }
+
+    #[test]
+    fn second_sweep_differs_from_first() {
+        // Period 2 means the second sweep's pair sequence is the first's
+        // relabelled by the net permutation — not identical.
+        let ord = NewRingOrdering::new(8).unwrap();
+        let progs = ord.programs(2);
+        assert_ne!(progs[0].step_pairs()[1], progs[1].step_pairs()[1]);
+    }
+}

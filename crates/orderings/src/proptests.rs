@@ -1,0 +1,118 @@
+//! Property-based tests of the schedule algebra and ordering invariants.
+
+#![cfg(test)]
+
+use crate::schedule::{JacobiOrdering, Permutation};
+use crate::{
+    FatTreeOrdering, HybridOrdering, LlbFatTreeOrdering, ModifiedRingOrdering, NewRingOrdering,
+    RingOrdering, RoundRobinOrdering,
+};
+use proptest::prelude::*;
+
+/// A random permutation of `0..n` built from swaps.
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    proptest::collection::vec(0usize..n, 0..2 * n).prop_map(move |swaps| {
+        let mut dest: Vec<usize> = (0..n).collect();
+        for w in swaps.chunks(2) {
+            if w.len() == 2 {
+                dest.swap(w[0], w[1]);
+            }
+        }
+        Permutation::from_dest(dest)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn permutation_inverse_law(p in permutation(12)) {
+        prop_assert!(p.then(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn permutation_apply_respects_composition(p in permutation(10), q in permutation(10)) {
+        let layout: Vec<usize> = (100..110).collect();
+        let one = q.apply(&p.apply(&layout));
+        let two = p.then(&q).apply(&layout);
+        prop_assert_eq!(one, two);
+    }
+
+    #[test]
+    fn inter_processor_moves_subset_of_moves(p in permutation(16)) {
+        let all = p.moves();
+        let cross = p.inter_processor_moves();
+        prop_assert!(cross.len() <= all.len());
+        for m in &cross {
+            prop_assert!(all.contains(m));
+            prop_assert_ne!(m.0 / 2, m.1 / 2);
+        }
+    }
+
+    #[test]
+    fn net_permutation_order_divides_restore_period_times_sweeps(k in 2usize..12) {
+        // applying an ordering's sweeps for `period` sweeps gives the
+        // identity net permutation on indices
+        let n = 2 * k;
+        let ords: Vec<Box<dyn JacobiOrdering>> = vec![
+            Box::new(RoundRobinOrdering::new(n).unwrap()),
+            Box::new(RingOrdering::new(n).unwrap()),
+            Box::new(NewRingOrdering::new(n).unwrap()),
+            Box::new(ModifiedRingOrdering::new(n).unwrap()),
+        ];
+        for ord in ords {
+            let progs = ord.programs(ord.restore_period());
+            let mut layout = ord.initial_layout();
+            for p in &progs {
+                layout = p.final_layout();
+                let _ = p;
+            }
+            prop_assert_eq!(layout, ord.initial_layout());
+        }
+    }
+
+    #[test]
+    fn every_step_is_a_perfect_matching(e in 2u32..7) {
+        let n = 1usize << e;
+        let ords: Vec<Box<dyn JacobiOrdering>> = vec![
+            Box::new(FatTreeOrdering::new(n).unwrap()),
+            Box::new(LlbFatTreeOrdering::new(n).unwrap()),
+        ];
+        for ord in ords {
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            for step in prog.step_pairs() {
+                let mut seen = std::collections::HashSet::new();
+                for (a, b) in step {
+                    prop_assert!(seen.insert(a));
+                    prop_assert!(seen.insert(b));
+                }
+                prop_assert_eq!(seen.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_total_messages_independent_of_group_count(we in 2u32..4, m in 2usize..5) {
+        // each column is shifted the same total number of times per sweep
+        // whatever the grouping — the ring's even-shift bookkeeping
+        let w = 1usize << we;
+        let n = m * w;
+        let ord = HybridOrdering::new(n, m).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        // total messages bounded and nonzero
+        let msgs = prog.total_messages();
+        prop_assert!(msgs > 0);
+        prop_assert!(msgs <= (n - 1) * n);
+    }
+
+    #[test]
+    fn sweep_programs_are_deterministic(k in 2usize..10) {
+        let n = 2 * k;
+        let ord = NewRingOrdering::new(n).unwrap();
+        let p1 = ord.sweep_program(0, &ord.initial_layout());
+        let p2 = ord.sweep_program(0, &ord.initial_layout());
+        prop_assert_eq!(p1.step_pairs(), p2.step_pairs());
+        prop_assert_eq!(p1.final_layout(), p2.final_layout());
+    }
+}

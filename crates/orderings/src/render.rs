@@ -1,0 +1,130 @@
+//! Paper-style rendering of sweep schedules.
+//!
+//! The paper's figures present an ordering as a table of index pairs per
+//! step, with a *level* column giving the highest fat-tree level the
+//! following communication ascends through (§3's "level-r communication"),
+//! and `global` markers in Fig. 9 where blocks move between groups. This
+//! module regenerates those tables from any [`Program`].
+
+use crate::schedule::Program;
+use std::fmt::Write as _;
+
+/// The fat-tree level of a communication between two leaves of a complete
+/// binary tree: the number of levels a message must ascend to reach the
+/// lowest common ancestor. Sibling leaves are level 1; `leaf_a == leaf_b`
+/// is level 0 (no communication).
+pub fn comm_level(leaf_a: usize, leaf_b: usize) -> usize {
+    if leaf_a == leaf_b {
+        return 0;
+    }
+    (usize::BITS - (leaf_a ^ leaf_b).leading_zeros()) as usize
+}
+
+/// The highest level any column movement after `step` ascends through,
+/// with slots mapped two-per-leaf.
+pub fn step_level(prog: &Program, step: usize) -> usize {
+    prog.steps[step]
+        .move_after
+        .inter_processor_moves()
+        .iter()
+        .map(|&(f, t)| comm_level(f / 2, t / 2))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Render one sweep as a paper-style table: one row per step with 1-based
+/// index pairs and the level of the following communication.
+///
+/// `group_size`, when given, adds the Fig. 9 `global` marker to steps whose
+/// following movement crosses a group boundary.
+pub fn render_sweep(prog: &Program, group_size: Option<usize>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "step  index pairs{}", " ".repeat(6 * prog.processors().saturating_sub(2)));
+    for (s, pairs) in prog.step_pairs().iter().enumerate() {
+        let row: String = pairs.iter().map(|&(a, b)| format!("({} {})", a + 1, b + 1)).collect::<Vec<_>>().join(" ");
+        let lvl = step_level(prog, s);
+        let marker = match group_size {
+            Some(w) if crosses_group(prog, s, w) => "  global".to_string(),
+            _ if lvl > 0 => format!("  level {lvl}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(out, "{:>4}  {row}{marker}", s + 1);
+    }
+    out
+}
+
+/// Whether the movement after `step` crosses a boundary between groups of
+/// `w` consecutive slots.
+pub fn crosses_group(prog: &Program, step: usize, w: usize) -> bool {
+    prog.steps[step]
+        .move_after
+        .inter_processor_moves()
+        .iter()
+        .any(|&(f, t)| f / w != t / w)
+}
+
+/// Histogram of communication levels over a sweep: `hist[l]` counts column
+/// movements whose route ascends exactly `l` levels (index 0 counts
+/// intra-leaf shuffles, which are free).
+pub fn level_histogram(prog: &Program) -> Vec<usize> {
+    let procs = prog.processors();
+    let max_level = if procs <= 1 { 1 } else { (usize::BITS - (procs - 1).leading_zeros()) as usize + 1 };
+    let mut hist = vec![0usize; max_level + 1];
+    for step in &prog.steps {
+        for (f, t) in step.move_after.moves() {
+            let lvl = comm_level(f / 2, t / 2);
+            hist[lvl] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fat_tree::FatTreeOrdering;
+    use crate::hybrid::HybridOrdering;
+    use crate::schedule::JacobiOrdering;
+
+    #[test]
+    fn comm_level_basics() {
+        assert_eq!(comm_level(0, 0), 0);
+        assert_eq!(comm_level(0, 1), 1); // siblings
+        assert_eq!(comm_level(1, 2), 2);
+        assert_eq!(comm_level(0, 3), 2);
+        assert_eq!(comm_level(0, 4), 3);
+        assert_eq!(comm_level(3, 4), 3);
+        assert_eq!(comm_level(0, 7), 3);
+    }
+
+    #[test]
+    fn render_contains_all_steps_and_levels() {
+        let ord = FatTreeOrdering::new(8).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let table = render_sweep(&prog, None);
+        assert_eq!(table.lines().count(), 8); // header + 7 steps
+        assert!(table.contains("(1 2)"));
+        assert!(table.contains("level"));
+    }
+
+    #[test]
+    fn hybrid_render_marks_globals() {
+        let ord = HybridOrdering::new(16, 4).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let table = render_sweep(&prog, Some(4));
+        let globals = table.matches("global").count();
+        // 7 super-boundaries (after steps 3,5,7,9,11,13,15)
+        assert_eq!(globals, 7);
+    }
+
+    #[test]
+    fn level_histogram_sums_to_total_moves() {
+        let ord = FatTreeOrdering::new(16).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let hist = level_histogram(&prog);
+        let total_moves: usize = prog.steps.iter().map(|s| s.move_after.moves().len()).sum();
+        assert_eq!(hist.iter().sum::<usize>(), total_moves);
+        // the fat-tree ordering is dominated by low levels
+        assert!(hist[1] > hist[hist.len() - 1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! The baseline ring ordering (paper Fig. 1(a), after Eberlein & Park \[3\]).
+//!
+//! The figure's numerals did not survive our source scan, so this is a
+//! faithful reconstruction of a classical ring Jacobi ordering with the
+//! properties §3 and §4 attribute to Fig. 1(a):
+//!
+//! * a valid sweep of `n − 1` steps with nearest-neighbour *ring*
+//!   communication — the wrap-around link `P−1 → 0` carries traffic at
+//!   every step, so the schedule genuinely needs the ring;
+//! * messages are evenly distributed (at most one per link per direction
+//!   per step) but flow in **both** directions around the ring — the §4
+//!   new ring ordering's improvement is precisely that its messages travel
+//!   in one direction only;
+//! * when the ring is embedded in a tree, the step-to-step traffic crosses
+//!   *every* tree level including the root — the "global communication at
+//!   each step" disadvantage §3 cites for both Fig. 1 orderings.
+//!
+//! Construction: the round-robin tournament caterpillar with the
+//! processors renamed by a half-ring rotation, so the fixed index sits at
+//! processor `P/2` and the caterpillar's turning traffic lands on the
+//! wrap-around link. The layout is restored after every sweep.
+
+use crate::schedule::{
+    require_even, ColIndex, JacobiOrdering, OrderingError, PairStep, Permutation, Program,
+};
+
+/// The Fig. 1(a) baseline ring ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingOrdering {
+    n: usize,
+}
+
+impl RingOrdering {
+    /// Build for `n` indices (`n` even, `n ≥ 4`).
+    ///
+    /// # Errors
+    /// [`OrderingError::OddSize`] / [`OrderingError::TooSmall`].
+    pub fn new(n: usize) -> Result<Self, OrderingError> {
+        require_even(n)?;
+        Ok(Self { n })
+    }
+
+    /// The per-step movement (identical at every step): the round-robin
+    /// tournament caterpillar with the processors renamed by a half-ring
+    /// rotation, so the fixed index sits at processor `P/2` and the
+    /// caterpillar's turning traffic crosses the ring's wrap-around link
+    /// `P−1 → 0` at every step.
+    pub fn movement(n: usize) -> Permutation {
+        let procs = n / 2;
+        let rot = procs / 2;
+        let rho = |s: usize| -> usize { ((s / 2 + rot) % procs) * 2 + s % 2 };
+        let rr = crate::round_robin::RoundRobinOrdering::movement(n);
+        let mut dest = vec![0usize; n];
+        for s in 0..n {
+            dest[rho(s)] = rho(rr.dest_of(s));
+        }
+        Permutation::from_dest(dest)
+    }
+}
+
+impl JacobiOrdering for RingOrdering {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        "ring".to_string()
+    }
+
+    fn restore_period(&self) -> usize {
+        1
+    }
+
+    fn sweep_program(&self, _sweep: usize, layout: &[ColIndex]) -> Program {
+        assert_eq!(layout.len(), self.n, "layout size mismatch");
+        let movement = Self::movement(self.n);
+        let steps =
+            (0..self.n - 1).map(|_| PairStep { move_after: movement.clone() }).collect();
+        Program { n: self.n, initial_layout: layout.to_vec(), steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{assert_valid_sweep, check_restores_after, ring_traffic};
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(RingOrdering::new(7).is_err());
+        assert!(RingOrdering::new(2).is_err());
+        assert!(RingOrdering::new(6).is_ok());
+    }
+
+    #[test]
+    fn valid_sweep_for_various_sizes() {
+        for n in [4, 6, 8, 10, 16, 32, 64] {
+            let ord = RingOrdering::new(n).unwrap();
+            assert_valid_sweep(&ord);
+        }
+    }
+
+    #[test]
+    fn restores_every_sweep() {
+        for n in [4, 8, 12, 32] {
+            check_restores_after(&RingOrdering::new(n).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn n4_schedule() {
+        let ord = RingOrdering::new(4).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let pairs = prog.step_pairs();
+        assert_eq!(pairs[0], vec![(0, 1), (2, 3)]);
+        assert_eq!(pairs[1], vec![(3, 0), (2, 1)]);
+        assert_eq!(pairs[2], vec![(1, 3), (2, 0)]);
+    }
+
+    #[test]
+    fn wraparound_link_used_every_step() {
+        // The wrap link P-1 -> 0 distinguishes the ring embedding from a
+        // linear array: it must carry traffic at every step.
+        let ord = RingOrdering::new(16).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let (cw, _) = ring_traffic(&prog);
+        let procs = 8;
+        for (s, step) in cw.iter().enumerate() {
+            assert!(step[procs - 1] > 0, "step {s}: wrap link idle");
+        }
+    }
+
+    #[test]
+    fn traffic_is_bidirectional_but_light() {
+        // At most 2 messages per directed link per step, but both ring
+        // directions are used — the §4 new ring ordering removes exactly
+        // this bidirectionality.
+        let ord = RingOrdering::new(32).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let (cw, ccw) = ring_traffic(&prog);
+        for step in cw.iter().chain(ccw.iter()) {
+            assert!(step.iter().all(|&c| c <= 2));
+        }
+        let ccw_total: usize = ccw.iter().flat_map(|s| s.iter()).sum();
+        let cw_total: usize = cw.iter().flat_map(|s| s.iter()).sum();
+        assert!(ccw_total > 0, "expected counterclockwise traffic");
+        assert!(cw_total > 0, "expected clockwise traffic");
+    }
+
+    #[test]
+    fn fixed_index_never_moves() {
+        // the fixed index sits at processor P/2's top slot, i.e. index n/2
+        let ord = RingOrdering::new(12).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let counts = crate::validate::move_counts(&prog);
+        assert_eq!(counts[6], 0);
+        assert_eq!(counts.iter().filter(|&&c| c == 0).count(), 1);
+    }
+}

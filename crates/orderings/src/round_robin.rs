@@ -1,0 +1,152 @@
+//! The Brent–Luk round-robin ordering (paper Fig. 1(b), reference \[2\]).
+//!
+//! The classic "chess tournament" scheme on a linear array of `n/2`
+//! processors, drawn as a 2 × n/2 array: top row in the even slots, bottom
+//! row in the odd slots. The index in the top-left position stays put; all
+//! other indices rotate one position around the U-shaped cycle
+//!
+//! ```text
+//! t0 -> (fixed)   t1 -> t2 -> ... -> t(K-1)
+//!  ^                                   |
+//! b0 <- b1 <- ...              <- b(K-1)
+//! ```
+//!
+//! i.e. `b0` climbs to `t1`, the top row shifts right, the rightmost top
+//! index drops to the bottom row, and the bottom row shifts left. One sweep
+//! is `n − 1` steps; the layout returns to the initial one after every
+//! sweep, because the cycle has length `n − 1`.
+
+use crate::schedule::{
+    require_even, ColIndex, JacobiOrdering, OrderingError, PairStep, Permutation, Program,
+};
+
+/// The round-robin ordering of Brent & Luk (Fig. 1(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRobinOrdering {
+    n: usize,
+}
+
+impl RoundRobinOrdering {
+    /// Build a round-robin ordering for `n` indices (`n` even, `n ≥ 4`).
+    ///
+    /// # Errors
+    /// [`OrderingError::OddSize`] / [`OrderingError::TooSmall`].
+    pub fn new(n: usize) -> Result<Self, OrderingError> {
+        require_even(n)?;
+        Ok(Self { n })
+    }
+
+    /// The single-step movement permutation (identical at every step).
+    pub fn movement(n: usize) -> Permutation {
+        let k = n / 2; // processors
+        let top = |p: usize| 2 * p;
+        let bottom = |p: usize| 2 * p + 1;
+        let mut dest = vec![0; n];
+        dest[top(0)] = top(0); // fixed index
+        if k == 1 {
+            // degenerate (not constructible through `new`, but total anyway)
+            dest[bottom(0)] = bottom(0);
+            return Permutation::from_dest(dest);
+        }
+        dest[bottom(0)] = top(1); // b0 climbs
+        for p in 1..k - 1 {
+            dest[top(p)] = top(p + 1); // top row shifts right
+        }
+        dest[top(k - 1)] = bottom(k - 1); // rightmost top drops
+        for p in 1..k {
+            dest[bottom(p)] = bottom(p - 1); // bottom row shifts left
+        }
+        Permutation::from_dest(dest)
+    }
+}
+
+impl JacobiOrdering for RoundRobinOrdering {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        "round-robin".to_string()
+    }
+
+    fn restore_period(&self) -> usize {
+        1
+    }
+
+    fn sweep_program(&self, _sweep: usize, layout: &[ColIndex]) -> Program {
+        assert_eq!(layout.len(), self.n, "layout size mismatch");
+        let movement = Self::movement(self.n);
+        let steps =
+            (0..self.n - 1).map(|_| PairStep { move_after: movement.clone() }).collect();
+        Program { n: self.n, initial_layout: layout.to_vec(), steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{assert_valid_sweep, check_restores_after};
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(RoundRobinOrdering::new(5).is_err());
+        assert!(RoundRobinOrdering::new(2).is_err());
+        assert!(RoundRobinOrdering::new(8).is_ok());
+    }
+
+    #[test]
+    fn n8_step2_matches_classic_figure() {
+        // The canonical Brent–Luk picture: step 1 is (1,2)(3,4)(5,6)(7,8),
+        // step 2 is (1,4)(2,6)(3,8)(5,7) — in 1-based index labels.
+        let ord = RoundRobinOrdering::new(8).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let pairs = prog.step_pairs();
+        let one_based: Vec<Vec<(usize, usize)>> = pairs
+            .iter()
+            .map(|step| step.iter().map(|&(a, b)| (a + 1, b + 1)).collect())
+            .collect();
+        assert_eq!(one_based[0], vec![(1, 2), (3, 4), (5, 6), (7, 8)]);
+        assert_eq!(one_based[1], vec![(1, 4), (2, 6), (3, 8), (5, 7)]);
+    }
+
+    #[test]
+    fn valid_sweep_for_various_sizes() {
+        for n in [4, 6, 8, 10, 16, 32, 64] {
+            let ord = RoundRobinOrdering::new(n).unwrap();
+            assert_valid_sweep(&ord);
+        }
+    }
+
+    #[test]
+    fn layout_restored_after_one_sweep() {
+        for n in [4, 6, 8, 12, 32] {
+            let ord = RoundRobinOrdering::new(n).unwrap();
+            check_restores_after(&ord, 1);
+        }
+    }
+
+    #[test]
+    fn sweep_has_n_minus_1_steps() {
+        let ord = RoundRobinOrdering::new(16).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        assert_eq!(prog.steps.len(), 15);
+    }
+
+    #[test]
+    fn movement_is_a_single_cycle_of_length_n_minus_1() {
+        let m = RoundRobinOrdering::movement(8);
+        // iterate from slot 1 (b0): must return after exactly 7 applications
+        let mut s = 1;
+        for _ in 0..7 {
+            s = m.dest_of(s);
+        }
+        assert_eq!(s, 1);
+        let mut s = 1;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..7 {
+            assert!(seen.insert(s));
+            s = m.dest_of(s);
+        }
+        assert_eq!(m.dest_of(0), 0);
+    }
+}

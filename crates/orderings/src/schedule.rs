@@ -1,0 +1,375 @@
+//! The slot model: programs, steps, permutations, and the ordering trait.
+//!
+//! One sweep of a parallel Jacobi ordering is a [`Program`]: a starting
+//! slot→index layout plus, per step, the slot permutation applied after the
+//! step's rotations. `n/2` processors own two slots each; processor `p`
+//! rotates whatever occupies slots `2p` and `2p+1`.
+
+use std::fmt;
+
+/// A logical column index, `0..n`.
+pub type ColIndex = usize;
+
+/// A physical slot, `0..n`; processor `p` owns slots `2p` and `2p+1`.
+pub type Slot = usize;
+
+/// Errors raised by ordering constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderingError {
+    /// The orderings require an even number of columns.
+    OddSize(usize),
+    /// At least four columns are required (two processors).
+    TooSmall(usize),
+    /// The tree orderings require `n` to be a power of two (paper §3).
+    NotPowerOfTwo(usize),
+    /// The hybrid ordering's group count must satisfy the stated divisibility.
+    BadGroups {
+        /// Total index count.
+        n: usize,
+        /// Requested group count.
+        groups: usize,
+        /// Human-readable constraint that was violated.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for OrderingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderingError::OddSize(n) => write!(f, "ordering needs an even index count, got {n}"),
+            OrderingError::TooSmall(n) => write!(f, "ordering needs at least 4 indices, got {n}"),
+            OrderingError::NotPowerOfTwo(n) => {
+                write!(f, "tree ordering needs a power-of-two index count, got {n}")
+            }
+            OrderingError::BadGroups { n, groups, requirement } => {
+                write!(f, "hybrid ordering with n={n}, groups={groups}: {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrderingError {}
+
+/// A permutation of `n` slots, stored as `dest[s]` = new slot of the
+/// content currently in slot `s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    dest: Vec<Slot>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` slots.
+    pub fn identity(n: usize) -> Self {
+        Self { dest: (0..n).collect() }
+    }
+
+    /// Build from a destination map, validating it is a bijection.
+    ///
+    /// # Panics
+    /// Panics if `dest` is not a permutation of `0..dest.len()` — ordering
+    /// generators are internal and a malformed movement is a bug, not a
+    /// recoverable condition.
+    pub fn from_dest(dest: Vec<Slot>) -> Self {
+        let n = dest.len();
+        let mut seen = vec![false; n];
+        for &d in &dest {
+            assert!(d < n, "destination {d} out of range for {n} slots");
+            assert!(!seen[d], "destination {d} used twice: not a permutation");
+            seen[d] = true;
+        }
+        Self { dest }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.dest.len()
+    }
+
+    /// Whether this permutation is empty (zero slots).
+    pub fn is_empty(&self) -> bool {
+        self.dest.is_empty()
+    }
+
+    /// Destination slot for the content of slot `s`.
+    #[inline]
+    pub fn dest_of(&self, s: Slot) -> Slot {
+        self.dest[s]
+    }
+
+    /// The underlying destination map.
+    pub fn as_dest_slice(&self) -> &[Slot] {
+        &self.dest
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.dest.iter().enumerate().all(|(s, &d)| s == d)
+    }
+
+    /// Apply to a layout: returns the new `slot → value` map.
+    pub fn apply<T: Copy + Default>(&self, layout: &[T]) -> Vec<T> {
+        assert_eq!(layout.len(), self.dest.len(), "layout/permutation size mismatch");
+        let mut out = vec![T::default(); layout.len()];
+        for (s, &d) in self.dest.iter().enumerate() {
+            out[d] = layout[s];
+        }
+        out
+    }
+
+    /// Compose: the permutation that applies `self` then `other`.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "composing permutations of different sizes");
+        let dest = self.dest.iter().map(|&d| other.dest[d]).collect();
+        Permutation { dest }
+    }
+
+    /// Inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut dest = vec![0; self.len()];
+        for (s, &d) in self.dest.iter().enumerate() {
+            dest[d] = s;
+        }
+        Permutation { dest }
+    }
+
+    /// The moves that actually leave their slot: `(from, to)` with
+    /// `from != to`.
+    pub fn moves(&self) -> Vec<(Slot, Slot)> {
+        self.dest
+            .iter()
+            .enumerate()
+            .filter(|&(s, &d)| s != d)
+            .map(|(s, &d)| (s, d))
+            .collect()
+    }
+
+    /// The moves that cross processor boundaries (slot/2 differs) — the
+    /// ones that cost communication; intra-processor shuffles are free.
+    pub fn inter_processor_moves(&self) -> Vec<(Slot, Slot)> {
+        self.moves().into_iter().filter(|&(s, d)| s / 2 != d / 2).collect()
+    }
+}
+
+/// One step of a sweep: rotations happen, then `move_after` repositions the
+/// columns for the next step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairStep {
+    /// Slot permutation applied after this step's rotations.
+    pub move_after: Permutation,
+}
+
+/// One sweep of an ordering, in the slot model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Number of indices (columns); always even.
+    pub n: usize,
+    /// Layout at the start of the sweep: `initial_layout[slot] = index`.
+    pub initial_layout: Vec<ColIndex>,
+    /// The sweep's steps, in order.
+    pub steps: Vec<PairStep>,
+}
+
+impl Program {
+    /// Number of processors (`n / 2`).
+    pub fn processors(&self) -> usize {
+        self.n / 2
+    }
+
+    /// The layout (slot → index) in force *during* each step, i.e. before
+    /// that step's `move_after`. `result.len() == steps.len()`.
+    pub fn layouts(&self) -> Vec<Vec<ColIndex>> {
+        let mut out = Vec::with_capacity(self.steps.len());
+        let mut layout = self.initial_layout.clone();
+        for step in &self.steps {
+            out.push(layout.clone());
+            layout = step.move_after.apply(&layout);
+        }
+        out
+    }
+
+    /// Layout after the sweep completes (all steps' movements applied).
+    pub fn final_layout(&self) -> Vec<ColIndex> {
+        let mut layout = self.initial_layout.clone();
+        for step in &self.steps {
+            layout = step.move_after.apply(&layout);
+        }
+        layout
+    }
+
+    /// The index pairs rotated at each step, ordered by processor; within a
+    /// pair, the first element is the content of the even slot (`2p`).
+    pub fn step_pairs(&self) -> Vec<Vec<(ColIndex, ColIndex)>> {
+        self.layouts()
+            .into_iter()
+            .map(|layout| layout.chunks(2).map(|c| (c[0], c[1])).collect())
+            .collect()
+    }
+
+    /// The net permutation of the whole sweep.
+    pub fn net_permutation(&self) -> Permutation {
+        let mut acc = Permutation::identity(self.n);
+        for step in &self.steps {
+            acc = acc.then(&step.move_after);
+        }
+        acc
+    }
+
+    /// Total number of inter-processor column movements in the sweep.
+    pub fn total_messages(&self) -> usize {
+        self.steps.iter().map(|s| s.move_after.inter_processor_moves().len()).sum()
+    }
+}
+
+/// A parallel Jacobi ordering: a generator of sweep [`Program`]s.
+///
+/// Orderings whose layout is only restored after `restore_period()` sweeps
+/// (e.g. the new ring ordering: period 2) and orderings whose program
+/// depends on the sweep number (the Lee–Luk–Boley baseline alternates
+/// forward and backward sweeps) receive the sweep number and the current
+/// layout.
+pub trait JacobiOrdering {
+    /// Number of indices this ordering was built for.
+    fn n(&self) -> usize;
+
+    /// Display name (matches the paper's terminology).
+    fn name(&self) -> String;
+
+    /// Number of sweeps after which the slot layout provably returns to
+    /// the initial layout.
+    fn restore_period(&self) -> usize;
+
+    /// Build the program for sweep `sweep` (0-based) starting from
+    /// `layout` (slot → index).
+    fn sweep_program(&self, sweep: usize, layout: &[ColIndex]) -> Program;
+
+    /// The layout at the very start of sweep 0. Identity by convention.
+    fn initial_layout(&self) -> Vec<ColIndex> {
+        (0..self.n()).collect()
+    }
+
+    /// Convenience: the programs for the first `sweeps` sweeps, chained so
+    /// that each starts from the previous one's final layout.
+    fn programs(&self, sweeps: usize) -> Vec<Program> {
+        let mut out = Vec::with_capacity(sweeps);
+        let mut layout = self.initial_layout();
+        for k in 0..sweeps {
+            let prog = self.sweep_program(k, &layout);
+            layout = prog.final_layout();
+            out.push(prog);
+        }
+        out
+    }
+}
+
+/// Check that `n` is even and at least 4.
+pub(crate) fn require_even(n: usize) -> Result<(), OrderingError> {
+    if n < 4 {
+        return Err(OrderingError::TooSmall(n));
+    }
+    if !n.is_multiple_of(2) {
+        return Err(OrderingError::OddSize(n));
+    }
+    Ok(())
+}
+
+/// Check that `n` is a power of two and at least 4.
+pub(crate) fn require_power_of_two(n: usize) -> Result<(), OrderingError> {
+    if n < 4 {
+        return Err(OrderingError::TooSmall(n));
+    }
+    if !n.is_power_of_two() {
+        return Err(OrderingError::NotPowerOfTwo(n));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_identity_properties() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.len(), 4);
+        assert!(p.moves().is_empty());
+        assert_eq!(p.apply(&[10usize, 11, 12, 13]), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn permutation_apply_and_inverse() {
+        // content of slot 0 goes to slot 2, 1 -> 0, 2 -> 1, 3 stays
+        let p = Permutation::from_dest(vec![2, 0, 1, 3]);
+        let layout = [100usize, 101, 102, 103];
+        let applied = p.apply(&layout);
+        assert_eq!(applied, vec![101, 102, 100, 103]);
+        let inv = p.inverse();
+        assert_eq!(inv.apply(&applied), layout.to_vec());
+        assert!(p.then(&inv).is_identity());
+    }
+
+    #[test]
+    fn permutation_composition_order() {
+        let first = Permutation::from_dest(vec![1, 0, 2, 3]);
+        let second = Permutation::from_dest(vec![0, 2, 1, 3]);
+        let composed = first.then(&second);
+        let layout = [7usize, 8, 9, 10];
+        let direct = second.apply(&first.apply(&layout));
+        assert_eq!(composed.apply(&layout), direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permutation_rejects_duplicates() {
+        let _ = Permutation::from_dest(vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn inter_processor_moves_ignore_local_shuffles() {
+        // swap within processor 0 (slots 0,1) plus a cross move 2 -> 3? no:
+        // dest: 0->1, 1->0 (local), 2->3, 3->2 would also be local (proc 1).
+        let p = Permutation::from_dest(vec![1, 0, 3, 2]);
+        assert_eq!(p.moves().len(), 4);
+        assert!(p.inter_processor_moves().is_empty());
+        // now a genuine cross-processor exchange: slots 1 and 2
+        let q = Permutation::from_dest(vec![0, 2, 1, 3]);
+        assert_eq!(q.inter_processor_moves().len(), 2);
+    }
+
+    #[test]
+    fn program_layout_replay() {
+        // n = 4, one step that swaps slots 1 and 2, then one identity step.
+        let prog = Program {
+            n: 4,
+            initial_layout: vec![0, 1, 2, 3],
+            steps: vec![
+                PairStep { move_after: Permutation::from_dest(vec![0, 2, 1, 3]) },
+                PairStep { move_after: Permutation::identity(4) },
+            ],
+        };
+        let pairs = prog.step_pairs();
+        assert_eq!(pairs[0], vec![(0, 1), (2, 3)]);
+        assert_eq!(pairs[1], vec![(0, 2), (1, 3)]);
+        assert_eq!(prog.final_layout(), vec![0, 2, 1, 3]);
+        assert_eq!(prog.total_messages(), 2);
+        assert_eq!(prog.net_permutation().apply(&[0usize, 1, 2, 3]), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn size_requirement_helpers() {
+        assert!(require_even(8).is_ok());
+        assert_eq!(require_even(7), Err(OrderingError::OddSize(7)));
+        assert_eq!(require_even(2), Err(OrderingError::TooSmall(2)));
+        assert!(require_power_of_two(16).is_ok());
+        assert_eq!(require_power_of_two(12), Err(OrderingError::NotPowerOfTwo(12)));
+        assert_eq!(require_power_of_two(2), Err(OrderingError::TooSmall(2)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(OrderingError::OddSize(7).to_string().contains('7'));
+        assert!(OrderingError::NotPowerOfTwo(12).to_string().contains("power"));
+        let e = OrderingError::BadGroups { n: 16, groups: 3, requirement: "must divide" };
+        assert!(e.to_string().contains("groups=3"));
+    }
+}

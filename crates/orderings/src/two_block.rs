@@ -1,0 +1,217 @@
+//! The two-block ordering of §3.1 (Figs. 2 and 3).
+//!
+//! Two blocks of `k` indices each are *interleaved* over a region of `2k`
+//! consecutive slots (`k` processors): one block in the even slots, the
+//! other in the odd slots. Each step pairs the co-resident columns, so
+//! every pair is one even-slot index and one odd-slot index; over `k` steps
+//! each index of one block meets each index of the other exactly once
+//! (`k²` pairs).
+//!
+//! The divide-and-conquer structure follows the paper exactly: the problem
+//! of size `k` splits into four half-size sub-problems solved in two
+//! super-steps, with the *rotating* block's two halves exchanged between
+//! the super-steps (a level-`log2(k)` communication, the highest this
+//! ordering ever uses). The basic module (`k = 2`, Fig. 2) needs only
+//! level-one communication.
+//!
+//! After one application the rotating block's two halves have exchanged
+//! places with the order inside each half preserved (§3.1.2); applying the
+//! ordering twice restores the layout.
+
+use crate::schedule::Permutation;
+
+/// Which slot-parity class rotates during the ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotatingSide {
+    /// The block in the even slots rotates.
+    Even,
+    /// The block in the odd slots rotates (the paper's "second block").
+    Odd,
+}
+
+impl RotatingSide {
+    fn offset(self) -> usize {
+        match self {
+            RotatingSide::Even => 0,
+            RotatingSide::Odd => 1,
+        }
+    }
+}
+
+/// Build a full-width permutation from a partial move list (`(from, to)`
+/// entries; unlisted slots stay).
+///
+/// # Panics
+/// Panics if the moves do not form a permutation.
+pub(crate) fn perm_from_moves(n: usize, moves: &[(usize, usize)]) -> Permutation {
+    let mut dest: Vec<usize> = (0..n).collect();
+    for &(f, t) in moves {
+        dest[f] = t;
+    }
+    Permutation::from_dest(dest)
+}
+
+/// Compose two permutations acting on (typically disjoint) slot sets.
+fn merge(a: Permutation, b: &Permutation) -> Permutation {
+    a.then(b)
+}
+
+/// The movement permutations of a two-block ordering of block size `k`
+/// over region `[base, base + 2k)` of an `n`-slot machine.
+///
+/// Returns exactly `k` permutations: the movement *after* each of the `k`
+/// steps; the last entry is the identity (the net half-exchange of the
+/// rotating block is produced by the internal movements).
+///
+/// # Panics
+/// Panics if `k` is not a power of two or the region exceeds `n` slots.
+pub fn two_block_movements(n: usize, base: usize, k: usize, rot: RotatingSide) -> Vec<Permutation> {
+    assert!(k.is_power_of_two(), "block size must be a power of two");
+    assert!(base + 2 * k <= n, "region out of range");
+    if k == 1 {
+        return vec![Permutation::identity(n)];
+    }
+    let sub_l = two_block_movements(n, base, k / 2, rot);
+    let sub_r = two_block_movements(n, base + k, k / 2, rot);
+    let combined: Vec<Permutation> =
+        sub_l.into_iter().zip(sub_r.iter()).map(|(l, r)| merge(l, r)).collect();
+    // the half-exchange of the rotating class between the super-steps
+    let off = rot.offset();
+    let mut moves = Vec::with_capacity(k);
+    for i in 0..k / 2 {
+        let a = base + 2 * i + off;
+        let b = base + k + 2 * i + off;
+        moves.push((a, b));
+        moves.push((b, a));
+    }
+    let half_swap = perm_from_moves(n, &moves);
+
+    let mut out = Vec::with_capacity(k);
+    out.extend(combined[..k / 2 - 1].iter().cloned());
+    out.push(half_swap);
+    out.extend(combined);
+    debug_assert_eq!(out.len(), k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Execute the movements starting from the identity layout and return
+    /// (pairs per step, final layout).
+    fn run(n: usize, base: usize, k: usize, rot: RotatingSide) -> (Vec<Vec<(usize, usize)>>, Vec<usize>) {
+        let movements = two_block_movements(n, base, k, rot);
+        let mut layout: Vec<usize> = (0..n).collect();
+        let mut pairs = Vec::new();
+        for m in &movements {
+            pairs.push(layout.chunks(2).map(|c| (c[0], c[1])).collect());
+            layout = m.apply(&layout);
+        }
+        (pairs, layout)
+    }
+
+    #[test]
+    fn basic_module_matches_fig2() {
+        // k = 2 on a 4-slot machine: blocks A = {0, 2} (even), B = {1, 3}
+        // (odd). Step 1 pairs (0,1),(2,3); step 2 pairs (0,3),(2,1).
+        let (pairs, layout) = run(4, 0, 2, RotatingSide::Odd);
+        assert_eq!(pairs[0], vec![(0, 1), (2, 3)]);
+        assert_eq!(pairs[1], vec![(0, 3), (2, 1)]);
+        // B's two indices exchanged afterwards, A untouched
+        assert_eq!(layout, vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn each_cross_pair_met_exactly_once() {
+        for k in [1usize, 2, 4, 8, 16] {
+            let n = 2 * k;
+            let (pairs, _) = run(n, 0, k, RotatingSide::Odd);
+            assert_eq!(pairs.len(), k);
+            let mut met = HashSet::new();
+            for step in &pairs {
+                for &(a, b) in step {
+                    // a from even class (block A), b odd (block B)
+                    assert_eq!(a % 2, 0, "left of pair must be block A for identity layout");
+                    assert!(met.insert((a, b)), "pair ({a},{b}) repeated");
+                }
+            }
+            assert_eq!(met.len(), k * k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn rotating_block_halves_exchange_order_preserved() {
+        // §3.1.2 for k = 4 (Fig. 3): after one sweep the rotating block's
+        // halves (B1, B2) have exchanged positions, each internally ordered.
+        let (_, layout) = run(8, 0, 4, RotatingSide::Odd);
+        // block A (evens) untouched
+        assert_eq!(layout[0], 0);
+        assert_eq!(layout[2], 2);
+        assert_eq!(layout[4], 4);
+        assert_eq!(layout[6], 6);
+        // block B was (1,3 | 5,7); halves exchange: (5,7 | 1,3)
+        assert_eq!((layout[1], layout[3], layout[5], layout[7]), (5, 7, 1, 3));
+    }
+
+    #[test]
+    fn double_application_restores() {
+        for k in [2usize, 4, 8, 16] {
+            let n = 2 * k;
+            let movements = two_block_movements(n, 0, k, RotatingSide::Odd);
+            let mut layout: Vec<usize> = (0..n).collect();
+            for _ in 0..2 {
+                for m in &movements {
+                    layout = m.apply(&layout);
+                }
+            }
+            assert_eq!(layout, (0..n).collect::<Vec<_>>(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn even_side_rotation_mirrors_odd() {
+        let (_, layout) = run(8, 0, 4, RotatingSide::Even);
+        // odd slots untouched, even halves exchanged
+        assert_eq!((layout[1], layout[3], layout[5], layout[7]), (1, 3, 5, 7));
+        assert_eq!((layout[0], layout[2], layout[4], layout[6]), (4, 6, 0, 2));
+    }
+
+    #[test]
+    fn works_in_a_subregion() {
+        // region [4, 12) of a 16-slot machine; slots outside untouched
+        let n = 16;
+        let movements = two_block_movements(n, 4, 4, RotatingSide::Odd);
+        let mut layout: Vec<usize> = (0..n).collect();
+        for m in &movements {
+            layout = m.apply(&layout);
+        }
+        for (s, &v) in layout.iter().enumerate().take(4) {
+            assert_eq!(v, s);
+        }
+        for (s, &v) in layout.iter().enumerate().skip(12) {
+            assert_eq!(v, s);
+        }
+        assert_eq!((layout[5], layout[7], layout[9], layout[11]), (9, 11, 5, 7));
+    }
+
+    #[test]
+    fn highest_communication_is_the_half_swap() {
+        // for k = 8 (16 slots), the longest move spans k slots = k/2 leaves
+        let movements = two_block_movements(16, 0, 8, RotatingSide::Odd);
+        let max_span = movements
+            .iter()
+            .flat_map(|m| m.inter_processor_moves())
+            .map(|(f, t)| (f / 2).abs_diff(t / 2))
+            .max()
+            .unwrap();
+        assert_eq!(max_span, 4); // k/2 leaves apart
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_block() {
+        let _ = two_block_movements(12, 0, 3, RotatingSide::Odd);
+    }
+}

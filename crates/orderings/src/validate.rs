@@ -1,0 +1,258 @@
+//! Combinatorial checkers for Jacobi orderings.
+//!
+//! A *valid sweep* (paper §1) consists of `n(n−1)/2` rotations in which
+//! every unordered column pair meets exactly once; a parallel ordering
+//! additionally partitions them into steps of `n/2` disjoint pairs. These
+//! checkers are used by every ordering's unit tests and by the
+//! property-based suites.
+
+use crate::schedule::{JacobiOrdering, Program};
+use std::collections::HashSet;
+
+/// Check that a single program is a valid parallel sweep.
+///
+/// Verifies: the initial layout is a permutation of `0..n`; every step has
+/// `n/2` disjoint pairs (automatic in the slot model, but re-checked);
+/// no unordered pair occurs twice; and the total is `n(n−1)/2`.
+///
+/// # Errors
+/// Returns a human-readable description of the first violation.
+pub fn check_valid_program(prog: &Program) -> Result<(), String> {
+    let n = prog.n;
+    if prog.initial_layout.len() != n {
+        return Err(format!(
+            "initial layout has {} slots, expected {n}",
+            prog.initial_layout.len()
+        ));
+    }
+    let mut seen_idx = vec![false; n];
+    for &idx in &prog.initial_layout {
+        if idx >= n {
+            return Err(format!("index {idx} out of range in initial layout"));
+        }
+        if seen_idx[idx] {
+            return Err(format!("index {idx} appears twice in initial layout"));
+        }
+        seen_idx[idx] = true;
+    }
+    let mut met: HashSet<(usize, usize)> = HashSet::new();
+    for (step_no, step) in prog.step_pairs().iter().enumerate() {
+        if step.len() != n / 2 {
+            return Err(format!("step {step_no} has {} pairs, expected {}", step.len(), n / 2));
+        }
+        let mut in_step: HashSet<usize> = HashSet::new();
+        for &(a, b) in step {
+            if a == b {
+                return Err(format!("step {step_no}: degenerate pair ({a},{b})"));
+            }
+            if !in_step.insert(a) || !in_step.insert(b) {
+                return Err(format!("step {step_no}: index reused within the step"));
+            }
+            let key = (a.min(b), a.max(b));
+            if !met.insert(key) {
+                return Err(format!("pair ({},{}) meets twice in one sweep", key.0, key.1));
+            }
+        }
+    }
+    let expect = n * (n - 1) / 2;
+    if met.len() != expect {
+        return Err(format!("sweep covers {} pairs, expected {expect}", met.len()));
+    }
+    Ok(())
+}
+
+/// Assert that *every* sweep in the ordering's restore period is a valid
+/// parallel sweep (panicking with the violation on failure).
+///
+/// # Panics
+/// Panics if any sweep in the period is invalid.
+pub fn assert_valid_sweep(ord: &dyn JacobiOrdering) {
+    let period = ord.restore_period().max(1);
+    for (k, prog) in ord.programs(period).iter().enumerate() {
+        if let Err(e) = check_valid_program(prog) {
+            panic!("{}: sweep {k} invalid: {e}", ord.name());
+        }
+    }
+}
+
+/// Check the paper's order-restoration property: after `sweeps` sweeps the
+/// slot layout is back to the ordering's initial layout.
+///
+/// # Panics
+/// Panics if the layout is not restored, or if it is *already* restored
+/// after fewer sweeps than claimed (so a period-2 ordering genuinely needs
+/// two sweeps).
+pub fn check_restores_after(ord: &dyn JacobiOrdering, sweeps: usize) {
+    let initial = ord.initial_layout();
+    let mut layout = initial.clone();
+    for k in 0..sweeps {
+        let prog = ord.sweep_program(k, &layout);
+        layout = prog.final_layout();
+        if k + 1 < sweeps {
+            assert_ne!(
+                layout,
+                initial,
+                "{}: layout already restored after {} sweeps (claimed period {sweeps})",
+                ord.name(),
+                k + 1
+            );
+        }
+    }
+    assert_eq!(layout, initial, "{}: layout not restored after {sweeps} sweeps", ord.name());
+}
+
+/// Count, for a program, how often each index moves between processors
+/// during the sweep (the paper's "shifted r times" bookkeeping in §5).
+pub fn move_counts(prog: &Program) -> Vec<usize> {
+    let mut counts = vec![0usize; prog.n];
+    let mut layout = prog.initial_layout.clone();
+    for step in &prog.steps {
+        for (from, to) in step.move_after.inter_processor_moves() {
+            counts[layout[from]] += 1;
+            let _ = to;
+        }
+        layout = step.move_after.apply(&layout);
+    }
+    counts
+}
+
+/// Check the §5 parity property: every index is shifted an even number of
+/// times during one sweep (index 1, which never moves, trivially included).
+pub fn all_moves_even(prog: &Program) -> bool {
+    move_counts(prog).iter().all(|&c| c % 2 == 0)
+}
+
+/// Per-step message counts crossing each directed ring link `p → p+1`
+/// assuming the processors form a ring. Returns `counts[step][link]`.
+///
+/// A move from processor `a` to processor `b` on a `P`-processor ring is
+/// charged to the clockwise links `a → a+1 → … → b`; counterclockwise
+/// moves are charged to the counterclockwise links (reported separately by
+/// [`ring_traffic`]'s second component).
+pub fn ring_traffic(prog: &Program) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let procs = prog.processors();
+    let mut cw = Vec::new();
+    let mut ccw = Vec::new();
+    for step in &prog.steps {
+        let mut cw_step = vec![0usize; procs];
+        let mut ccw_step = vec![0usize; procs];
+        for (from, to) in step.move_after.inter_processor_moves() {
+            let a = from / 2;
+            let b = to / 2;
+            let cw_dist = (b + procs - a) % procs;
+            let ccw_dist = (a + procs - b) % procs;
+            if cw_dist <= ccw_dist {
+                // charge clockwise path
+                let mut p = a;
+                for _ in 0..cw_dist {
+                    cw_step[p] += 1;
+                    p = (p + 1) % procs;
+                }
+            } else {
+                let mut p = a;
+                for _ in 0..ccw_dist {
+                    p = (p + procs - 1) % procs;
+                    ccw_step[p] += 1;
+                }
+            }
+        }
+        cw.push(cw_step);
+        ccw.push(ccw_step);
+    }
+    (cw, ccw)
+}
+
+/// True when every message in the program travels clockwise on the
+/// processor ring (the defining property of the §4 new ring ordering).
+pub fn is_one_directional(prog: &Program) -> bool {
+    let (_, ccw) = ring_traffic(prog);
+    ccw.iter().all(|step| step.iter().all(|&c| c == 0))
+}
+
+/// The maximum number of messages any single ring link carries in any
+/// single step (lower is better; 1 means perfectly even distribution).
+pub fn max_link_load(prog: &Program) -> usize {
+    let (cw, ccw) = ring_traffic(prog);
+    cw.iter()
+        .chain(ccw.iter())
+        .flat_map(|step| step.iter().copied())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{PairStep, Permutation};
+
+    fn tiny_program(steps: Vec<Vec<usize>>) -> Program {
+        Program {
+            n: 4,
+            initial_layout: vec![0, 1, 2, 3],
+            steps: steps
+                .into_iter()
+                .map(|d| PairStep { move_after: Permutation::from_dest(d) })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn valid_program_accepted() {
+        // A correct 3-step tournament for n = 4 with steps
+        // (0,1)(2,3) -> (0,2)(1,3) -> (0,3)(1,2):
+        // layouts 0,1,2,3 -> 0,2,1,3 -> 0,3,1,2.
+        let prog = tiny_program(vec![
+            vec![0, 2, 1, 3], // 1<->2
+            vec![0, 3, 2, 1], // contents of slots 1 and 3 exchange
+            vec![0, 1, 2, 3], // identity after the last step
+        ]);
+        assert!(check_valid_program(&prog).is_ok(), "{:?}", check_valid_program(&prog));
+        // An incomplete sweep (a pair repeats before all pairs are covered):
+        let bad = tiny_program(vec![
+            vec![0, 2, 1, 3],
+            vec![0, 1, 3, 2], // leads back into an already-met pair
+            vec![0, 1, 2, 3],
+        ]);
+        assert!(check_valid_program(&bad).is_err());
+    }
+
+    #[test]
+    fn repeated_pair_rejected() {
+        let prog = tiny_program(vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![0, 1, 2, 3]]);
+        let err = check_valid_program(&prog).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn bad_layout_rejected() {
+        let mut prog = tiny_program(vec![vec![0, 1, 2, 3]]);
+        prog.initial_layout = vec![0, 0, 1, 2];
+        assert!(check_valid_program(&prog).unwrap_err().contains("twice"));
+        prog.initial_layout = vec![0, 1, 2, 9];
+        assert!(check_valid_program(&prog).unwrap_err().contains("out of range"));
+        prog.initial_layout = vec![0, 1, 2];
+        assert!(check_valid_program(&prog).unwrap_err().contains("slots"));
+    }
+
+    #[test]
+    fn move_counts_track_indices_not_slots() {
+        // one movement: content of slot 1 (index 1) to slot 2 and vice versa
+        let prog = tiny_program(vec![vec![0, 2, 1, 3]]);
+        let counts = move_counts(&prog);
+        assert_eq!(counts, vec![0, 1, 1, 0]);
+        assert!(!all_moves_even(&prog));
+    }
+
+    #[test]
+    fn ring_traffic_charges_clockwise_paths() {
+        // n=4, P=2: move slot1 (proc0) to slot2 (proc1): clockwise 1 hop
+        let prog = tiny_program(vec![vec![0, 2, 1, 3]]);
+        let (cw, ccw) = ring_traffic(&prog);
+        // slot1->slot2 is proc0->proc1 (cw dist 1 == ccw dist 1, charged cw)
+        // slot2->slot1 is proc1->proc0 (cw dist 1 on a 2-ring, charged cw)
+        assert_eq!(cw[0][0] + cw[0][1], 2);
+        assert_eq!(ccw[0], vec![0, 0]);
+        assert!(is_one_directional(&prog));
+        assert_eq!(max_link_load(&prog), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Data-free communication analysis of a sweep program.
+//!
+//! The communication experiments (paper claims C1/C5 in DESIGN.md) only
+//! need the *schedule* and the topology, not matrix data. This module
+//! replays a program's movements as routed phases and aggregates the cost.
+
+use crate::machine::Machine;
+use treesvd_net::{Message, Phase, PhaseCost};
+use treesvd_orderings::Program;
+
+/// Aggregated communication report for one sweep on one machine.
+#[derive(Debug, Clone)]
+pub struct CommReport {
+    /// Total simulated communication time.
+    pub comm_time: f64,
+    /// Total simulated compute time (one rotation per processor per step).
+    pub compute_time: f64,
+    /// Message-count histogram by level (`[0]` = intra-leaf shuffles).
+    pub level_histogram: Vec<usize>,
+    /// Worst per-phase contention factor across the sweep.
+    pub max_contention: f64,
+    /// Number of steps whose movement reaches the tree's top level.
+    pub global_steps: usize,
+    /// Per-step phase costs.
+    pub phases: Vec<PhaseCost>,
+    /// Total words×hops moved.
+    pub word_hops: u64,
+}
+
+impl CommReport {
+    /// Total simulated sweep time.
+    pub fn total_time(&self) -> f64 {
+        self.comm_time + self.compute_time
+    }
+}
+
+/// Analyze a sweep program on a machine with columns of `m` words
+/// (`words_per_column` should include the `V` payload when relevant).
+///
+/// # Panics
+/// Panics if the machine's slot count differs from the program's `n`.
+pub fn analyze_program(machine: &Machine, program: &Program, words_per_column: u64) -> CommReport {
+    assert!(machine.slots() >= program.n, "machine too small for the program");
+    let topo = machine.topology();
+    let cost = machine.cost();
+    let top = topo.levels();
+
+    let mut report = CommReport {
+        comm_time: 0.0,
+        compute_time: cost.rotation_cost(words_per_column as usize) * program.steps.len() as f64,
+        level_histogram: vec![0; top + 1],
+        max_contention: 0.0,
+        global_steps: 0,
+        phases: Vec::with_capacity(program.steps.len()),
+        word_hops: 0,
+    };
+
+    for step in &program.steps {
+        let messages: Vec<Message> = step
+            .move_after
+            .inter_processor_moves()
+            .into_iter()
+            .map(|(f, t)| Message { src: f / 2, dst: t / 2, words: words_per_column })
+            .collect();
+        let phase = Phase::new(topo, messages);
+        for (lvl, c) in phase.level_histogram(topo).iter().enumerate() {
+            report.level_histogram[lvl] += c;
+        }
+        report.word_hops += phase.word_hops();
+        if phase.max_level() == top && top > 0 {
+            report.global_steps += 1;
+        }
+        let pc = cost.phase_cost(topo, &phase);
+        report.comm_time += pc.time;
+        report.max_contention = report.max_contention.max(pc.contention);
+        report.phases.push(pc);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use treesvd_net::TopologyKind;
+    use treesvd_orderings::{
+        FatTreeOrdering, HybridOrdering, JacobiOrdering, RingOrdering, RoundRobinOrdering,
+    };
+
+    fn report(ord: &dyn JacobiOrdering, kind: TopologyKind, words: u64) -> CommReport {
+        let machine = Machine::with_kind(kind, ord.n() / 2);
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        analyze_program(&machine, &prog, words)
+    }
+
+    #[test]
+    fn fat_tree_ordering_localizes_communication() {
+        // C1: the fat-tree ordering's message histogram is dominated by low
+        // levels, while round-robin's traffic hits high levels every step.
+        let n = 64;
+        let ft = report(&FatTreeOrdering::new(n).unwrap(), TopologyKind::PerfectFatTree, 64);
+        let rr = report(&RoundRobinOrdering::new(n).unwrap(), TopologyKind::PerfectFatTree, 64);
+        // fat-tree: fewer global steps than round-robin
+        assert!(
+            ft.global_steps < rr.global_steps,
+            "ft {} vs rr {}",
+            ft.global_steps,
+            rr.global_steps
+        );
+        // the per-level message counts decay geometrically: a level-k
+        // exchange only happens during the size-2^k merge stage
+        for k in 1..ft.level_histogram.len() - 1 {
+            assert!(
+                ft.level_histogram[k] > ft.level_histogram[k + 1],
+                "histogram {:?}",
+                ft.level_histogram
+            );
+        }
+        // level 1 is the plurality
+        let max = *ft.level_histogram.iter().max().unwrap();
+        assert_eq!(ft.level_histogram[1], max);
+    }
+
+    #[test]
+    fn hybrid_contention_free_on_cm5_with_proper_block_size() {
+        // C5: §5 — "we may properly choose the block size so that the
+        // number of messages passing through the lowest skinny level do
+        // not cause contention". On the CM-5 tree the lowest skinny level
+        // has capacity 2, so blocks of 2 columns (groups of 4) fit.
+        let n = 64;
+        let hy = HybridOrdering::new(n, n / 4).unwrap();
+        let rep = report(&hy, TopologyKind::Cm5, 64);
+        assert!(rep.max_contention <= 1.0, "contention {}", rep.max_contention);
+        // whereas the fat-tree ordering does contend on the skinny tree
+        let ft = report(&FatTreeOrdering::new(n).unwrap(), TopologyKind::Cm5, 64);
+        assert!(ft.max_contention > 1.0, "fat-tree contention {}", ft.max_contention);
+    }
+
+    #[test]
+    fn ring_contention_free_on_binary_tree() {
+        // §4: ring traffic is evenly distributed on an ordinary tree
+        let n = 32;
+        let rep = report(&RingOrdering::new(n).unwrap(), TopologyKind::BinaryTree, 32);
+        // §4: "the messages can be evenly distributed on the tree without
+        // contention" — the interior never becomes the bottleneck
+        assert!(rep.max_contention <= 1.0, "contention {}", rep.max_contention);
+    }
+
+    #[test]
+    fn report_totals_consistent() {
+        let n = 16;
+        let rep = report(&RoundRobinOrdering::new(n).unwrap(), TopologyKind::PerfectFatTree, 8);
+        assert_eq!(rep.phases.len(), n - 1);
+        assert!(rep.comm_time > 0.0);
+        assert!(rep.compute_time > 0.0);
+        assert!(rep.total_time() > rep.comm_time);
+        assert!(rep.word_hops > 0);
+        let total_msgs: usize = rep.level_histogram[1..].iter().sum();
+        assert!(total_msgs > 0);
+    }
+
+    #[test]
+    fn binary_tree_slower_than_fat_tree_for_global_orderings() {
+        let n = 64;
+        let rr_fat =
+            report(&RoundRobinOrdering::new(n).unwrap(), TopologyKind::PerfectFatTree, 256);
+        let rr_bin = report(&RoundRobinOrdering::new(n).unwrap(), TopologyKind::BinaryTree, 256);
+        assert!(rr_bin.comm_time >= rr_fat.comm_time);
+    }
+}

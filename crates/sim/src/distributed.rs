@@ -1,0 +1,299 @@
+//! A genuinely distributed-style executor: every processor is its own
+//! thread owning its two columns, exchanging them by explicit tag-matched
+//! messages over `treesvd-comm` — the shape of the paper's CM-5
+//! implementation (CMMD send/recv), with the convergence test as a global
+//! allreduce once per sweep.
+//!
+//! The same schedules, the same arithmetic: the distributed run is
+//! **bitwise identical** to [`execute_program`](crate::exec::execute_program)
+//! (asserted in this module's tests and in
+//! `tests/simulation_integration.rs`), because rotation order within a pair
+//! is fully determined by the schedule and f64 arithmetic is deterministic.
+
+use crate::exec::{rotate_pair, ExecConfig, SlotData};
+use std::sync::Arc;
+use treesvd_comm::{allreduce_sum, Communicator, RecvError, ThreadWorld};
+use treesvd_orderings::{ColIndex, JacobiOrdering, Program};
+
+/// Result of a distributed run.
+#[derive(Debug)]
+pub struct DistributedOutcome {
+    /// Slot contents at termination, indexed by slot.
+    pub slots: Vec<SlotData>,
+    /// Final slot→index layout.
+    pub layout: Vec<ColIndex>,
+    /// Sweeps executed.
+    pub sweeps: usize,
+    /// Whether the termination criterion (no rotations, no swaps in a full
+    /// sweep) was reached.
+    pub converged: bool,
+    /// Total rotations across all ranks and sweeps.
+    pub total_rotations: usize,
+}
+
+/// Per-rank worker: executes its two slots across all sweeps.
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    comm: &mut Communicator,
+    programs: &[Program],
+    mut left: SlotData,
+    mut right: SlotData,
+    config: &ExecConfig,
+) -> Result<(SlotData, SlotData, usize, usize, bool), RecvError> {
+    let rank = comm.rank();
+    let my_slots = [2 * rank, 2 * rank + 1];
+    let mut total_rotations = 0usize;
+    let mut sweeps = 0usize;
+    let mut converged = false;
+    let mut global_step: u64 = 0;
+
+    'sweeps: for (sweep_no, program) in programs.iter().enumerate() {
+        let layouts = program.layouts();
+        let mut rotations = 0usize;
+        let mut swaps = 0usize;
+        for (step_no, step) in program.steps.iter().enumerate() {
+            // --- rotate the resident pair ---
+            let layout = &layouts[step_no];
+            let small_on_left = layout[my_slots[0]] < layout[my_slots[1]];
+            let report =
+                rotate_pair(&mut left, &mut right, config.threshold, config.sort, small_on_left);
+            if report.rotated {
+                rotations += 1;
+            }
+            if report.swapped {
+                swaps += 1;
+            }
+
+            // --- communication: route this step's movement ---
+            let perm = &step.move_after;
+            let inv = perm.inverse();
+            // send departing columns; tag identifies (global step, dest slot)
+            for (i, &s) in my_slots.iter().enumerate() {
+                let d = perm.dest_of(s);
+                if d / 2 != rank {
+                    let data = if i == 0 {
+                        std::mem::take(&mut left)
+                    } else {
+                        std::mem::take(&mut right)
+                    };
+                    let tag = global_step << 1 | (d % 2) as u64;
+                    comm.send(d / 2, tag, encode(&data));
+                }
+            }
+            // local shuffles (within this rank)
+            let mut next: [Option<SlotData>; 2] = [None, None];
+            for (i, &s) in my_slots.iter().enumerate() {
+                let d = perm.dest_of(s);
+                if d / 2 == rank {
+                    let data = if i == 0 {
+                        std::mem::take(&mut left)
+                    } else {
+                        std::mem::take(&mut right)
+                    };
+                    next[d % 2] = Some(data);
+                }
+            }
+            // receive arrivals into the still-empty slots
+            for local in 0..2usize {
+                if next[local].is_none() {
+                    let dest_slot = my_slots[local];
+                    let src_slot = inv.dest_of(dest_slot);
+                    if src_slot / 2 == rank {
+                        // already handled as a local shuffle above
+                        continue;
+                    }
+                    let tag = global_step << 1 | (dest_slot % 2) as u64;
+                    let payload = comm.recv(src_slot / 2, tag)?;
+                    next[local] = Some(decode(payload));
+                }
+            }
+            left = next[0].take().expect("slot 0 filled");
+            right = next[1].take().expect("slot 1 filled");
+            global_step += 1;
+        }
+
+        // --- global convergence test ---
+        let sums = allreduce_sum(comm, sweep_no as u64, vec![rotations as f64, swaps as f64])?;
+        total_rotations += rotations;
+        sweeps = sweep_no + 1;
+        if sums[0] == 0.0 && sums[1] == 0.0 {
+            converged = true;
+            break 'sweeps;
+        }
+    }
+    Ok((left, right, sweeps, total_rotations, converged))
+}
+
+fn encode(d: &SlotData) -> Vec<f64> {
+    let mut out = Vec::with_capacity(d.a.len() + d.v.len() + 1);
+    out.push(d.a.len() as f64);
+    out.extend_from_slice(&d.a);
+    out.extend_from_slice(&d.v);
+    out
+}
+
+fn decode(payload: Vec<f64>) -> SlotData {
+    let m = payload[0] as usize;
+    let a = payload[1..1 + m].to_vec();
+    let v = payload[1 + m..].to_vec();
+    SlotData { a, v }
+}
+
+/// Run the ordering to convergence with one thread per processor.
+///
+/// `columns[j]` is column `j`; `accumulate_v` attaches identity `V`
+/// columns. Returns the final slots, layout, and counters.
+///
+/// # Errors
+/// Returns a [`RecvError`] if a rank times out (schedule bug) or the world
+/// is torn down.
+///
+/// # Panics
+/// Panics if `columns.len()` is odd or disagrees with the ordering.
+pub fn distributed_svd(
+    ordering: &dyn JacobiOrdering,
+    columns: Vec<Vec<f64>>,
+    accumulate_v: bool,
+    config: ExecConfig,
+    max_sweeps: usize,
+) -> Result<DistributedOutcome, RecvError> {
+    let n = columns.len();
+    assert_eq!(n, ordering.n(), "column count disagrees with the ordering");
+    assert_eq!(n % 2, 0, "need an even column count");
+    let procs = n / 2;
+
+    // programs are precomputed (they are deterministic) and shared read-only
+    let programs: Arc<Vec<Program>> = Arc::new(ordering.programs(max_sweeps));
+
+    let store = crate::exec::ColumnStore::from_columns(columns, accumulate_v);
+    let mut slot_data: Vec<SlotData> = store.slots;
+
+    let world = ThreadWorld::new(procs);
+    let comms = world.into_communicators();
+
+    let mut handles = Vec::with_capacity(procs);
+    for (rank, mut comm) in comms.into_iter().enumerate() {
+        let left = std::mem::take(&mut slot_data[2 * rank]);
+        let right = std::mem::take(&mut slot_data[2 * rank + 1]);
+        let programs = Arc::clone(&programs);
+        let cfg = config;
+        handles.push(std::thread::spawn(move || {
+            worker(&mut comm, &programs, left, right, &cfg)
+        }));
+    }
+
+    let mut slots: Vec<SlotData> = (0..n).map(|_| SlotData::default()).collect();
+    let mut sweeps = 0usize;
+    let mut total_rotations = 0usize;
+    let mut converged = false;
+    for (rank, h) in handles.into_iter().enumerate() {
+        let (left, right, s, r, c) = h.join().expect("worker panicked")?;
+        slots[2 * rank] = left;
+        slots[2 * rank + 1] = right;
+        sweeps = s; // identical on all ranks by the allreduce
+        converged = c;
+        total_rotations += r;
+    }
+
+    // final layout: replay the programs that actually ran
+    let mut layout: Vec<ColIndex> = (0..n).collect();
+    for program in programs.iter().take(sweeps) {
+        layout = program.final_layout();
+    }
+
+    Ok(DistributedOutcome { slots, layout, sweeps, converged, total_rotations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_program, ColumnStore, ExecConfig};
+    use crate::machine::Machine;
+    use treesvd_matrix::generate;
+    use treesvd_net::TopologyKind;
+    use treesvd_orderings::OrderingKind;
+
+    fn reference_run(
+        kind: OrderingKind,
+        a: &treesvd_matrix::Matrix,
+        accumulate_v: bool,
+        max_sweeps: usize,
+    ) -> (Vec<SlotData>, Vec<usize>, usize) {
+        let n = a.cols();
+        let ord = kind.build(n).unwrap();
+        let mac = Machine::with_kind(TopologyKind::PerfectFatTree, (n / 2).next_power_of_two());
+        let mut store = ColumnStore::from_columns(a.clone().into_columns(), accumulate_v);
+        let mut layout = ord.initial_layout();
+        let mut sweeps = 0;
+        for k in 0..max_sweeps {
+            let prog = ord.sweep_program(k, &layout);
+            let stats = execute_program(&mac, &prog, &mut store, &ExecConfig::default());
+            layout = prog.final_layout();
+            sweeps = k + 1;
+            if stats.is_converged() {
+                break;
+            }
+        }
+        (store.slots, store.layout, sweeps)
+    }
+
+    #[test]
+    fn distributed_matches_synchronous_bitwise() {
+        for kind in [OrderingKind::RoundRobin, OrderingKind::FatTree, OrderingKind::NewRing] {
+            let n = 8;
+            let a = generate::random_uniform(12, n, 3);
+            let ord = kind.build(n).unwrap();
+            let dist = distributed_svd(
+                ord.as_ref(),
+                a.clone().into_columns(),
+                false,
+                ExecConfig::default(),
+                40,
+            )
+            .unwrap();
+            let (ref_slots, ref_layout, ref_sweeps) = reference_run(kind, &a, false, 40);
+            assert_eq!(dist.sweeps, ref_sweeps, "{kind}");
+            assert_eq!(dist.layout, ref_layout, "{kind}");
+            for (s, (d, r)) in dist.slots.iter().zip(ref_slots.iter()).enumerate() {
+                assert_eq!(d.a, r.a, "{kind}: slot {s} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_with_v_accumulation() {
+        let n = 8;
+        let a = generate::random_uniform(10, n, 5);
+        let ord = OrderingKind::FatTree.build(n).unwrap();
+        let dist =
+            distributed_svd(ord.as_ref(), a.clone().into_columns(), true, ExecConfig::default(), 40)
+                .unwrap();
+        let (ref_slots, _, _) = reference_run(OrderingKind::FatTree, &a, true, 40);
+        for (d, r) in dist.slots.iter().zip(ref_slots.iter()) {
+            assert_eq!(d.a, r.a);
+            assert_eq!(d.v, r.v);
+        }
+        assert!(dist.converged);
+    }
+
+    #[test]
+    fn distributed_converges_and_orthogonalizes() {
+        let n = 16;
+        let a = generate::random_uniform(20, n, 7);
+        let ord = OrderingKind::Hybrid.build(n).unwrap();
+        let dist =
+            distributed_svd(ord.as_ref(), a.into_columns(), false, ExecConfig::default(), 40)
+                .unwrap();
+        assert!(dist.converged);
+        assert!(dist.total_rotations > 0);
+        // all pairs orthogonal
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = treesvd_matrix::ops::dot(&dist.slots[i].a, &dist.slots[j].a).abs();
+                let ni = treesvd_matrix::ops::norm2(&dist.slots[i].a);
+                let nj = treesvd_matrix::ops::norm2(&dist.slots[j].a);
+                assert!(d <= 1e-10 * ni * nj, "columns in slots {i},{j} coupled");
+            }
+        }
+    }
+}

@@ -1,0 +1,663 @@
+//! Executing a sweep program on real column data.
+
+use crate::machine::Machine;
+use rayon::prelude::*;
+use treesvd_matrix::rotation::orthogonalize_pair;
+use treesvd_net::{Message, Phase, PhaseCost};
+use treesvd_orderings::{ColIndex, Program};
+
+/// Whether (and how) the executor keeps singular values ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortMode {
+    /// Plain Hestenes: columns keep their slots.
+    None,
+    /// Store the larger-norm column in the slot holding the *smaller*
+    /// index label (paper §3.2.1 / §4), so the singular values emerge
+    /// sorted once the iteration converges.
+    Descending,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Threshold for skipping nearly-orthogonal pairs:
+    /// skip when `|a·b| <= threshold * |a||b|`.
+    pub threshold: f64,
+    /// Sorting behaviour.
+    pub sort: SortMode,
+    /// Cache column squared norms across steps, updating them from the
+    /// rotation algebra instead of recomputing — the classical Hestenes
+    /// optimization (saves the `a·a` and `b·b` dot products per pair,
+    /// roughly 30% of the rotation flops). Norms are recomputed exactly at
+    /// the start of every sweep, so drift stays bounded; results may differ
+    /// from the uncached path in the last ulp.
+    pub cached_norms: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { threshold: 1e-14, sort: SortMode::Descending, cached_norms: false }
+    }
+}
+
+/// One processor slot's payload: a matrix column and (optionally) the
+/// matching column of the accumulated right-singular-vector matrix `V`.
+#[derive(Debug, Clone, Default)]
+pub struct SlotData {
+    /// The `A` column (length `m`).
+    pub a: Vec<f64>,
+    /// The `V` column (length `n`), empty when `V` is not accumulated.
+    pub v: Vec<f64>,
+}
+
+/// The machine's memory: one [`SlotData`] per slot plus the slot→index
+/// layout.
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    /// Slot payloads, indexed by slot.
+    pub slots: Vec<SlotData>,
+    /// Current layout: `layout[slot] = column index`.
+    pub layout: Vec<ColIndex>,
+}
+
+impl ColumnStore {
+    /// Distribute the columns of an `m × n` matrix (given as owned column
+    /// vectors) over `n` slots in index order, optionally accumulating `V`
+    /// (initialized to the identity).
+    ///
+    /// # Panics
+    /// Panics if `columns` is empty or ragged.
+    pub fn from_columns(columns: Vec<Vec<f64>>, accumulate_v: bool) -> Self {
+        let n = columns.len();
+        assert!(n > 0, "no columns");
+        let m = columns[0].len();
+        let slots = columns
+            .into_iter()
+            .enumerate()
+            .map(|(j, a)| {
+                assert_eq!(a.len(), m, "ragged columns");
+                let v = if accumulate_v {
+                    let mut e = vec![0.0; n];
+                    e[j] = 1.0;
+                    e
+                } else {
+                    Vec::new()
+                };
+                SlotData { a, v }
+            })
+            .collect();
+        Self { slots, layout: (0..n).collect() }
+    }
+
+    /// Number of slots.
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Row count of the stored columns.
+    pub fn m(&self) -> usize {
+        self.slots.first().map_or(0, |s| s.a.len())
+    }
+
+    /// Extract the columns in *index* order (undoing the slot layout):
+    /// `result[i]` is the column labelled `i`.
+    pub fn columns_in_index_order(&self) -> Vec<&SlotData> {
+        let mut out: Vec<Option<&SlotData>> = vec![None; self.n()];
+        for (slot, &idx) in self.layout.iter().enumerate() {
+            out[idx] = Some(&self.slots[slot]);
+        }
+        out.into_iter().map(|o| o.expect("layout is a permutation")).collect()
+    }
+}
+
+/// Statistics and simulated cost of one executed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Rotations actually applied (pairs above the threshold).
+    pub rotations: usize,
+    /// Pairs skipped as already orthogonal.
+    pub skips: usize,
+    /// Column interchanges performed for sorting (equation (3) applications
+    /// beyond what the rotation itself needed).
+    pub swaps: usize,
+    /// Largest `|a·b| / (|a||b|)` seen before rotation over the sweep — the
+    /// convergence measure.
+    pub max_coupling: f64,
+    /// Simulated compute time.
+    pub compute_time: f64,
+    /// Simulated communication time.
+    pub comm_time: f64,
+    /// Per-step communication cost breakdowns.
+    pub phases: Vec<PhaseCost>,
+    /// Message-count histogram by communication level (index = level).
+    pub level_histogram: Vec<usize>,
+}
+
+impl SweepStats {
+    /// Total simulated time of the sweep.
+    pub fn total_time(&self) -> f64 {
+        self.compute_time + self.comm_time
+    }
+
+    /// Worst per-phase contention factor.
+    pub fn max_contention(&self) -> f64 {
+        self.phases.iter().map(|p| p.contention).fold(0.0, f64::max)
+    }
+
+    /// Whether the sweep changed nothing: no rotations and no swaps — the
+    /// paper's termination criterion (§1).
+    pub fn is_converged(&self) -> bool {
+        self.rotations == 0 && self.swaps == 0
+    }
+}
+
+/// Outcome of one pair orthogonalization (fed back from the parallel loop).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PairReport {
+    pub(crate) rotated: bool,
+    pub(crate) swapped: bool,
+    pub(crate) coupling: f64,
+}
+
+/// Execute one sweep program against the column store.
+///
+/// Rotations of a step run in parallel over processors (each processor's
+/// pair occupies two adjacent slots, so `par_chunks_mut(2)` gives
+/// data-race-free disjoint access); movement is applied between steps and
+/// costed on the machine's topology.
+///
+/// # Panics
+/// Panics if the program's size disagrees with the store or machine.
+pub fn execute_program(
+    machine: &Machine,
+    program: &Program,
+    store: &mut ColumnStore,
+    config: &ExecConfig,
+) -> SweepStats {
+    let n = program.n;
+    assert_eq!(store.n(), n, "store/program size mismatch");
+    assert!(machine.slots() >= n, "machine too small for the program");
+    assert_eq!(store.layout, program.initial_layout, "layout disagrees with program");
+
+    let m = store.m();
+    let accumulate_v = !store.slots[0].v.is_empty();
+    let words_per_column = (m + if accumulate_v { n } else { 0 }) as u64;
+
+    let mut stats = SweepStats {
+        rotations: 0,
+        skips: 0,
+        swaps: 0,
+        max_coupling: 0.0,
+        compute_time: 0.0,
+        comm_time: 0.0,
+        phases: Vec::with_capacity(program.steps.len()),
+        level_histogram: vec![0; machine.topology().levels() + 1],
+    };
+
+    // exact norms at sweep start when the cache is enabled
+    let mut norm_cache: Vec<f64> = if config.cached_norms {
+        store.slots.iter().map(|s| treesvd_matrix::ops::norm2_sq(&s.a)).collect()
+    } else {
+        Vec::new()
+    };
+
+    for step in &program.steps {
+        // --- compute phase: rotate every processor's pair in parallel ---
+        let sort = config.sort;
+        let threshold = config.threshold;
+        let cached = config.cached_norms;
+        let layout = &store.layout;
+        let reports: Vec<PairReport> = if cached {
+            store
+                .slots
+                .par_chunks_mut(2)
+                .zip(norm_cache.par_chunks_mut(2))
+                .enumerate()
+                .map(|(p, (pair, norms))| {
+                    let (left, right) = pair.split_at_mut(1);
+                    let (nl, nr) = norms.split_at_mut(1);
+                    let small_label_on_left = layout[2 * p] < layout[2 * p + 1];
+                    rotate_pair_cached(
+                        &mut left[0],
+                        &mut right[0],
+                        &mut nl[0],
+                        &mut nr[0],
+                        threshold,
+                        sort,
+                        small_label_on_left,
+                    )
+                })
+                .collect()
+        } else {
+            store
+                .slots
+                .par_chunks_mut(2)
+                .enumerate()
+                .map(|(p, pair)| {
+                    let (left, right) = pair.split_at_mut(1);
+                    let left = &mut left[0];
+                    let right = &mut right[0];
+                    // sorting rule: the larger-norm column must end in the slot
+                    // holding the smaller index label
+                    let small_label_on_left = layout[2 * p] < layout[2 * p + 1];
+                    rotate_pair(left, right, threshold, sort, small_label_on_left)
+                })
+                .collect()
+        };
+        for r in &reports {
+            if r.rotated {
+                stats.rotations += 1;
+            } else {
+                stats.skips += 1;
+            }
+            if r.swapped {
+                stats.swaps += 1;
+            }
+            stats.max_coupling = stats.max_coupling.max(r.coupling);
+        }
+        stats.compute_time += machine.cost().rotation_cost(m + if accumulate_v { n } else { 0 });
+
+        // --- communication phase: apply move_after ---
+        let messages: Vec<Message> = step
+            .move_after
+            .inter_processor_moves()
+            .into_iter()
+            .map(|(f, t)| Message { src: f / 2, dst: t / 2, words: words_per_column })
+            .collect();
+        let phase = Phase::new(machine.topology(), messages);
+        for (lvl, count) in phase.level_histogram(machine.topology()).iter().enumerate() {
+            stats.level_histogram[lvl] += count;
+        }
+        let cost = machine.cost().phase_cost(machine.topology(), &phase);
+        stats.comm_time += cost.time;
+        stats.phases.push(cost);
+
+        // physically move the columns (and the layout labels)
+        apply_movement(store, &step.move_after);
+        if config.cached_norms {
+            let mut new_norms = vec![0.0; norm_cache.len()];
+            for (s, &v) in norm_cache.iter().enumerate() {
+                new_norms[step.move_after.dest_of(s)] = v;
+            }
+            norm_cache = new_norms;
+        }
+    }
+    stats
+}
+
+/// The cached-norms variant of [`rotate_pair`]: `alpha` and `beta` come
+/// from the cache; only `gamma = a·b` is computed, and the cache is
+/// updated from the rotation algebra.
+fn rotate_pair_cached(
+    left: &mut SlotData,
+    right: &mut SlotData,
+    left_norm_sq: &mut f64,
+    right_norm_sq: &mut f64,
+    threshold: f64,
+    sort: SortMode,
+    small_label_on_left: bool,
+) -> PairReport {
+    use treesvd_matrix::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation};
+
+    let alpha = *left_norm_sq;
+    let beta = *right_norm_sq;
+    let gamma = treesvd_matrix::ops::dot(&left.a, &right.a);
+    let coupling = if alpha > 0.0 && beta > 0.0 {
+        gamma.abs() / (alpha.sqrt() * beta.sqrt())
+    } else {
+        0.0
+    };
+    let rot = compute_rotation(alpha, beta, gamma, threshold);
+    let (alpha_new, beta_new) = if rot.skipped {
+        (alpha, beta)
+    } else {
+        let (c, s) = (rot.c, rot.s);
+        (
+            c * c * alpha - 2.0 * c * s * gamma + s * s * beta,
+            s * s * alpha + 2.0 * c * s * gamma + c * c * beta,
+        )
+    };
+    let need_swap = match sort {
+        SortMode::None => false,
+        SortMode::Descending => {
+            let larger_on_left_wanted = small_label_on_left;
+            let larger_ends_left = alpha_new >= beta_new;
+            larger_on_left_wanted != larger_ends_left
+        }
+    };
+    if need_swap {
+        apply_rotation_swapped(rot, &mut left.a, &mut right.a);
+        if !left.v.is_empty() {
+            apply_rotation_swapped(rot, &mut left.v, &mut right.v);
+        }
+        *left_norm_sq = beta_new;
+        *right_norm_sq = alpha_new;
+    } else {
+        apply_rotation(rot, &mut left.a, &mut right.a);
+        if !left.v.is_empty() {
+            apply_rotation(rot, &mut left.v, &mut right.v);
+        }
+        *left_norm_sq = alpha_new;
+        *right_norm_sq = beta_new;
+    }
+    PairReport { rotated: !rot.skipped, swapped: need_swap, coupling }
+}
+
+/// Orthogonalize one resident pair, honouring the sorting rule.
+pub(crate) fn rotate_pair(
+    left: &mut SlotData,
+    right: &mut SlotData,
+    threshold: f64,
+    sort: SortMode,
+    small_label_on_left: bool,
+) -> PairReport {
+    use treesvd_matrix::ops::gram3;
+    use treesvd_matrix::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation};
+
+    let (alpha, beta, gamma) = gram3(&left.a, &right.a);
+    let coupling = if alpha > 0.0 && beta > 0.0 {
+        gamma.abs() / (alpha.sqrt() * beta.sqrt())
+    } else {
+        0.0
+    };
+
+    match sort {
+        SortMode::None => {
+            let rot = compute_rotation(alpha, beta, gamma, threshold);
+            apply_rotation(rot, &mut left.a, &mut right.a);
+            if !left.v.is_empty() {
+                apply_rotation(rot, &mut left.v, &mut right.v);
+            }
+            PairReport { rotated: !rot.skipped, swapped: false, coupling }
+        }
+        SortMode::Descending => {
+            let rot = compute_rotation(alpha, beta, gamma, threshold);
+            // norms after the rotation
+            let (alpha_new, beta_new) = if rot.skipped {
+                (alpha, beta)
+            } else {
+                let (c, s) = (rot.c, rot.s);
+                (
+                    c * c * alpha - 2.0 * c * s * gamma + s * s * beta,
+                    s * s * alpha + 2.0 * c * s * gamma + c * c * beta,
+                )
+            };
+            // the larger-norm column belongs in the smaller label's slot
+            let larger_on_left_wanted = small_label_on_left;
+            let larger_ends_left = alpha_new >= beta_new;
+            let need_swap = larger_on_left_wanted != larger_ends_left;
+            if need_swap {
+                apply_rotation_swapped(rot, &mut left.a, &mut right.a);
+                if !left.v.is_empty() {
+                    apply_rotation_swapped(rot, &mut left.v, &mut right.v);
+                }
+            } else {
+                apply_rotation(rot, &mut left.a, &mut right.a);
+                if !left.v.is_empty() {
+                    apply_rotation(rot, &mut left.v, &mut right.v);
+                }
+            }
+            PairReport { rotated: !rot.skipped, swapped: need_swap, coupling }
+        }
+    }
+}
+
+/// Apply a slot permutation to the store (columns and layout labels).
+fn apply_movement(store: &mut ColumnStore, perm: &treesvd_orderings::schedule::Permutation) {
+    let n = store.n();
+    let mut new_slots: Vec<SlotData> = (0..n).map(|_| SlotData::default()).collect();
+    let mut new_layout = vec![0usize; n];
+    let old_slots = std::mem::take(&mut store.slots);
+    for (s, data) in old_slots.into_iter().enumerate() {
+        let d = perm.dest_of(s);
+        new_slots[d] = data;
+        new_layout[d] = store.layout[s];
+    }
+    store.slots = new_slots;
+    store.layout = new_layout;
+}
+
+/// The exact off-diagonal measure of the store's columns:
+/// `off = sqrt(sum_{i<j} (a_i . a_j)^2)` — the quantity whose per-sweep
+/// decay is ultimately quadratic (paper §1). O(n² m): use for
+/// instrumentation, not in the hot path.
+pub fn off_measure(store: &ColumnStore) -> f64 {
+    let n = store.n();
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = treesvd_matrix::ops::dot(&store.slots[i].a, &store.slots[j].a);
+            acc += d * d;
+        }
+    }
+    acc.sqrt()
+}
+
+/// Orthogonalize a free-standing column pair (utility shared with the
+/// sequential reference in `treesvd-core`).
+pub fn orthogonalize_free(
+    a: &mut [f64],
+    b: &mut [f64],
+    threshold: f64,
+    sort_descending: bool,
+) -> treesvd_matrix::rotation::PairOutcome {
+    orthogonalize_pair(a, b, threshold, sort_descending)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_net::TopologyKind;
+    use treesvd_orderings::{FatTreeOrdering, JacobiOrdering, RoundRobinOrdering};
+
+    fn store_from(m: usize, n: usize, seed: u64, v: bool) -> ColumnStore {
+        let mat = treesvd_matrix::generate::random_uniform(m, n, seed);
+        ColumnStore::from_columns(mat.into_columns(), v)
+    }
+
+    fn machine(n: usize) -> Machine {
+        Machine::with_kind(TopologyKind::PerfectFatTree, n / 2)
+    }
+
+    #[test]
+    fn one_sweep_reduces_coupling() {
+        let n = 8;
+        let ord = RoundRobinOrdering::new(n).unwrap();
+        let mut store = store_from(12, n, 1, false);
+        let mac = machine(n);
+        let mut layout = ord.initial_layout();
+        let mut couplings = Vec::new();
+        for k in 0..8 {
+            let prog = ord.sweep_program(k, &layout);
+            let stats = execute_program(&mac, &prog, &mut store, &ExecConfig::default());
+            layout = prog.final_layout();
+            couplings.push(stats.max_coupling);
+            if stats.is_converged() {
+                break;
+            }
+        }
+        assert!(couplings.len() >= 2);
+        assert!(
+            couplings.last().unwrap() < &1e-8,
+            "did not converge: {couplings:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_preserves_frobenius_mass() {
+        let n = 8;
+        let ord = FatTreeOrdering::new(n).unwrap();
+        let mut store = store_from(10, n, 2, false);
+        let before: f64 =
+            store.slots.iter().map(|s| treesvd_matrix::ops::norm2_sq(&s.a)).sum();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let mac = machine(n);
+        execute_program(&mac, &prog, &mut store, &ExecConfig::default());
+        let after: f64 = store.slots.iter().map(|s| treesvd_matrix::ops::norm2_sq(&s.a)).sum();
+        assert!((before - after).abs() < 1e-10 * before);
+    }
+
+    #[test]
+    fn layout_tracking_matches_program() {
+        let n = 8;
+        let ord = FatTreeOrdering::new(n).unwrap();
+        let mut store = store_from(6, n, 3, false);
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let mac = machine(n);
+        execute_program(&mac, &prog, &mut store, &ExecConfig::default());
+        assert_eq!(store.layout, prog.final_layout());
+    }
+
+    #[test]
+    fn v_accumulation_tracks_rotations() {
+        // A V = H must hold after any number of sweeps
+        let n = 8;
+        let m = 10;
+        let mat = treesvd_matrix::generate::random_uniform(m, n, 4);
+        let mut store = ColumnStore::from_columns(mat.clone().into_columns(), true);
+        let ord = RoundRobinOrdering::new(n).unwrap();
+        let mac = machine(n);
+        let mut layout = ord.initial_layout();
+        for k in 0..3 {
+            let prog = ord.sweep_program(k, &layout);
+            execute_program(&mac, &prog, &mut store, &ExecConfig::default());
+            layout = prog.final_layout();
+        }
+        // check A * v_j == h_j for each column (in index order)
+        let cols = store.columns_in_index_order();
+        for col in cols {
+            let mut av = vec![0.0; m];
+            for (j, &vj) in col.v.iter().enumerate() {
+                for (r, avr) in av.iter_mut().enumerate() {
+                    *avr += mat.get(r, j) * vj;
+                }
+            }
+            for (r, &h) in col.a.iter().enumerate() {
+                assert!((av[r] - h).abs() < 1e-10, "A·v != h at row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let n = 8;
+        let ord = RoundRobinOrdering::new(n).unwrap();
+        let mut store = store_from(6, n, 5, false);
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let mac = machine(n);
+        let stats = execute_program(&mac, &prog, &mut store, &ExecConfig::default());
+        assert_eq!(stats.rotations + stats.skips, (n / 2) * (n - 1));
+        assert_eq!(stats.phases.len(), n - 1);
+        assert!(stats.total_time() > 0.0);
+        assert!(stats.max_coupling > 0.0);
+    }
+
+    #[test]
+    fn orthogonal_input_converges_immediately_without_sort() {
+        let n = 8;
+        let mat = treesvd_matrix::generate::already_orthogonal(10, n, 6);
+        let mut store = ColumnStore::from_columns(mat.into_columns(), false);
+        let ord = RoundRobinOrdering::new(n).unwrap();
+        let mac = machine(n);
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let cfg = ExecConfig { threshold: 1e-12, sort: SortMode::None, ..ExecConfig::default() };
+        let stats = execute_program(&mac, &prog, &mut store, &cfg);
+        assert!(stats.is_converged(), "{stats:?}");
+    }
+
+    #[test]
+    fn sorting_mode_moves_larger_norm_to_smaller_label() {
+        // columns with increasing norms: after enough sweeps with sorting,
+        // label 0 should hold the largest-norm column
+        let n = 8;
+        let m = 8;
+        let mat = treesvd_matrix::generate::already_orthogonal(m, n, 7);
+        // already_orthogonal gives norms 1..n increasing with the label
+        let mut store = ColumnStore::from_columns(mat.into_columns(), false);
+        let ord = RoundRobinOrdering::new(n).unwrap();
+        let mac = machine(n);
+        let mut layout = ord.initial_layout();
+        for k in 0..6 {
+            let prog = ord.sweep_program(k, &layout);
+            let stats = execute_program(&mac, &prog, &mut store, &ExecConfig::default());
+            layout = prog.final_layout();
+            if stats.is_converged() {
+                break;
+            }
+        }
+        let cols = store.columns_in_index_order();
+        let norms: Vec<f64> =
+            cols.iter().map(|c| treesvd_matrix::ops::norm2_sq(&c.a).sqrt()).collect();
+        assert!(
+            treesvd_matrix::checks::is_nonincreasing(&norms),
+            "norms not sorted: {norms:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod cached_norm_tests {
+    use super::*;
+    use crate::machine::Machine;
+    use treesvd_matrix::generate;
+    use treesvd_net::TopologyKind;
+    use treesvd_orderings::OrderingKind;
+
+    #[test]
+    fn cached_norms_match_reference_spectra() {
+        let n = 16;
+        let a = generate::random_uniform(24, n, 9);
+        let ord = OrderingKind::FatTree.build(n).unwrap();
+        let mac = Machine::with_kind(TopologyKind::PerfectFatTree, n / 2);
+
+        let run = |cached: bool| -> Vec<f64> {
+            let mut store = ColumnStore::from_columns(a.clone().into_columns(), false);
+            let mut layout = ord.initial_layout();
+            let cfg = ExecConfig { cached_norms: cached, ..ExecConfig::default() };
+            for k in 0..40 {
+                let prog = ord.sweep_program(k, &layout);
+                let stats = execute_program(&mac, &prog, &mut store, &cfg);
+                layout = prog.final_layout();
+                if stats.is_converged() {
+                    break;
+                }
+            }
+            let mut norms: Vec<f64> = store
+                .columns_in_index_order()
+                .iter()
+                .map(|c| treesvd_matrix::ops::norm2(&c.a))
+                .collect();
+            norms.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            norms
+        };
+        let reference = run(false);
+        let cached = run(true);
+        for (r, c) in reference.iter().zip(cached.iter()) {
+            assert!((r - c).abs() <= 1e-10 * r.max(1.0), "{r} vs {c}");
+        }
+    }
+
+    #[test]
+    fn cached_norms_converge_on_every_ordering() {
+        let n = 8;
+        let a = generate::random_uniform(12, n, 10);
+        for kind in OrderingKind::ALL {
+            let ord = kind.build(n).unwrap();
+            let mac = Machine::with_kind(TopologyKind::PerfectFatTree, n / 2);
+            let mut store = ColumnStore::from_columns(a.clone().into_columns(), false);
+            let mut layout = ord.initial_layout();
+            let cfg = ExecConfig { cached_norms: true, ..ExecConfig::default() };
+            let mut converged = false;
+            for k in 0..40 {
+                let prog = ord.sweep_program(k, &layout);
+                let stats = execute_program(&mac, &prog, &mut store, &cfg);
+                layout = prog.final_layout();
+                if stats.is_converged() {
+                    converged = true;
+                    break;
+                }
+            }
+            assert!(converged, "{kind}");
+        }
+    }
+}

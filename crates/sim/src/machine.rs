@@ -1,0 +1,60 @@
+//! The simulated machine: a topology plus a cost model.
+
+use treesvd_net::{CostModel, Topology, TopologyKind};
+
+/// A tree-connected multiprocessor: `topology.leaves()` processors, each
+/// with two column slots, timed by `cost`.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    topology: Topology,
+    cost: CostModel,
+}
+
+impl Machine {
+    /// Build a machine from a topology and cost model.
+    pub fn new(topology: Topology, cost: CostModel) -> Self {
+        Self { topology, cost }
+    }
+
+    /// A machine with `leaves` processors of the given kind and the default
+    /// cost model.
+    ///
+    /// # Panics
+    /// Panics if `leaves` is not a power of two ≥ 2.
+    pub fn with_kind(kind: TopologyKind, leaves: usize) -> Self {
+        Self::new(Topology::new(kind, leaves), CostModel::default())
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The machine's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of leaf processors.
+    pub fn processors(&self) -> usize {
+        self.topology.leaves()
+    }
+
+    /// Number of column slots (`2 × processors`).
+    pub fn slots(&self) -> usize {
+        2 * self.processors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_shape() {
+        let m = Machine::with_kind(TopologyKind::PerfectFatTree, 8);
+        assert_eq!(m.processors(), 8);
+        assert_eq!(m.slots(), 16);
+        assert_eq!(m.topology().levels(), 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-step execution timelines: where a sweep's simulated time goes.
+//!
+//! A [`Timeline`] records, for every step of a sweep, the compute time and
+//! the communication cost breakdown (serialization vs latency, level,
+//! contention), and renders a text profile — the tool used to eyeball *why*
+//! one ordering beats another on a given topology.
+
+use crate::analyze::CommReport;
+use crate::machine::Machine;
+use treesvd_orderings::Program;
+
+/// One step's time breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct StepTiming {
+    /// Compute (rotation) time.
+    pub compute: f64,
+    /// Communication serialization component.
+    pub serialization: f64,
+    /// Communication latency component.
+    pub latency: f64,
+    /// Highest tree level the step's messages ascend.
+    pub level: usize,
+    /// Contention factor of the phase.
+    pub contention: f64,
+}
+
+impl StepTiming {
+    /// Total step time.
+    pub fn total(&self) -> f64 {
+        self.compute + self.serialization + self.latency
+    }
+}
+
+/// A sweep's timeline.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Per-step timings, in step order.
+    pub steps: Vec<StepTiming>,
+}
+
+impl Timeline {
+    /// Build the timeline of one sweep program on a machine with
+    /// `words`-word columns (data-free, like
+    /// [`analyze_program`](crate::analyze::analyze_program)).
+    pub fn of(machine: &Machine, program: &Program, words: u64) -> Self {
+        let rep: CommReport = crate::analyze::analyze_program(machine, program, words);
+        let per_step_compute = machine.cost().rotation_cost(words as usize);
+        let steps = rep
+            .phases
+            .iter()
+            .map(|p| StepTiming {
+                compute: per_step_compute,
+                serialization: p.serialization,
+                latency: p.latency,
+                level: p.max_level,
+                contention: p.contention,
+            })
+            .collect();
+        Self { steps }
+    }
+
+    /// Total sweep time.
+    pub fn total(&self) -> f64 {
+        self.steps.iter().map(StepTiming::total).sum()
+    }
+
+    /// Fraction of the sweep spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let comm: f64 = self.steps.iter().map(|s| s.serialization + s.latency).sum();
+        comm / total
+    }
+
+    /// The slowest step's index and timing.
+    pub fn bottleneck(&self) -> Option<(usize, StepTiming)> {
+        self.steps
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total().partial_cmp(&b.1.total()).expect("finite times"))
+    }
+
+    /// Render a text profile: one row per step with a bar proportional to
+    /// its time, split into compute (`#`), serialization (`=`), and
+    /// latency (`-`) segments.
+    pub fn render(&self, width: usize) -> String {
+        let max = self
+            .steps
+            .iter()
+            .map(StepTiming::total)
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        out.push_str("step  lvl  cont  time       profile (#=compute ==serialize --latency)\n");
+        for (i, s) in self.steps.iter().enumerate() {
+            let scale = width as f64 / max;
+            let c = (s.compute * scale).round() as usize;
+            let z = (s.serialization * scale).round() as usize;
+            let l = (s.latency * scale).round() as usize;
+            out.push_str(&format!(
+                "{:>4}  {:>3}  {:>4.1}  {:>9.1}  {}{}{}\n",
+                i + 1,
+                s.level,
+                s.contention,
+                s.total(),
+                "#".repeat(c),
+                "=".repeat(z),
+                "-".repeat(l)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_net::TopologyKind;
+    use treesvd_orderings::OrderingKind;
+
+    fn timeline(kind: OrderingKind, topo: TopologyKind, n: usize, words: u64) -> Timeline {
+        let ord = kind.build(n).unwrap();
+        let machine = Machine::with_kind(topo, n / 2);
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        Timeline::of(&machine, &prog, words)
+    }
+
+    #[test]
+    fn totals_match_analysis() {
+        let tl = timeline(OrderingKind::FatTree, TopologyKind::PerfectFatTree, 16, 64);
+        assert_eq!(tl.steps.len(), 15);
+        assert!(tl.total() > 0.0);
+        assert!(tl.comm_fraction() > 0.0 && tl.comm_fraction() < 1.0);
+    }
+
+    #[test]
+    fn bottleneck_is_a_global_step_for_fat_tree_on_binary() {
+        let tl = timeline(OrderingKind::FatTree, TopologyKind::BinaryTree, 32, 256);
+        let (_, worst) = tl.bottleneck().unwrap();
+        // the slowest step must be one of the high-level merge exchanges
+        assert!(worst.level >= 3, "bottleneck level {}", worst.level);
+        assert!(worst.contention > 1.0);
+    }
+
+    #[test]
+    fn render_produces_one_row_per_step() {
+        let tl = timeline(OrderingKind::NewRing, TopologyKind::PerfectFatTree, 8, 32);
+        let text = tl.render(40);
+        assert_eq!(text.lines().count(), 1 + 7);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn ring_timeline_is_flat() {
+        // every step of the new ring ordering costs the same (uniform
+        // traffic) — the timeline must be constant
+        let tl = timeline(OrderingKind::NewRing, TopologyKind::PerfectFatTree, 16, 64);
+        let first = tl.steps[0].total();
+        for s in &tl.steps {
+            assert!((s.total() - first).abs() < 1e-9, "non-uniform ring step");
+        }
+    }
+}

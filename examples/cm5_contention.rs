@@ -1,0 +1,55 @@
+//! The CM-5 story (paper §5/§6): why the hybrid ordering exists.
+//!
+//! Sweeps one matrix through three orderings on three topologies and
+//! reports simulated communication time and contention — reproducing the
+//! paper's argument that (a) the fat-tree ordering is the best fit for a
+//! *perfect* fat-tree, but (b) on the CM-5's skinny tree it contends, and
+//! (c) the hybrid ordering removes the contention entirely.
+//!
+//! ```text
+//! cargo run --release -p treesvd-core --example cm5_contention
+//! ```
+
+use treesvd_core::{OrderingKind, TopologyKind};
+use treesvd_orderings::{HybridOrdering, JacobiOrdering};
+use treesvd_sim::{analyze_program, Machine};
+
+fn main() {
+    let n = 64; // 64 columns = a 32-processor machine, like the ANU CM-5
+    let words = 512; // long columns: bandwidth-dominated, like the paper's regime
+
+    let mut orderings: Vec<(String, Box<dyn JacobiOrdering>)> = vec![
+        ("round-robin".into(), OrderingKind::RoundRobin.build(n).unwrap()),
+        ("new-ring".into(), OrderingKind::NewRing.build(n).unwrap()),
+        ("fat-tree".into(), OrderingKind::FatTree.build(n).unwrap()),
+    ];
+    let hy = HybridOrdering::new(n, n / 4).unwrap();
+    orderings.push((format!("{} (block size 2)", hy.name()), Box::new(hy)));
+
+    println!("one sweep, n = {n} columns of {words} words, 32 leaf processors\n");
+    println!(
+        "{:<28} {:>18} {:>12} {:>12}",
+        "ordering / topology", "comm time", "contention", "global steps"
+    );
+    for (name, ord) in &orderings {
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        for kind in [TopologyKind::PerfectFatTree, TopologyKind::Cm5, TopologyKind::BinaryTree] {
+            let machine = Machine::with_kind(kind, n / 2);
+            let rep = analyze_program(&machine, &prog, words);
+            println!(
+                "{:<28} {:>18.1} {:>12.2} {:>12}",
+                format!("{name} / {kind}"),
+                rep.comm_time,
+                rep.max_contention,
+                rep.global_steps
+            );
+        }
+        println!();
+    }
+
+    println!("reading guide:");
+    println!(" * contention <= 1.00 means no interior channel is ever the bottleneck;");
+    println!(" * on cm5-tree only the hybrid ordering keeps contention at 1.00 while");
+    println!("   still using O(log n) global steps — the paper's §6 prediction;");
+    println!(" * on the perfect fat-tree the fat-tree ordering's localized traffic wins.");
+}

@@ -1,0 +1,35 @@
+//! Ordering gallery: print every ordering's schedule for a small size and
+//! its one-sweep communication profile on a perfect fat-tree — a compact
+//! tour of the paper's contributions.
+//!
+//! ```text
+//! cargo run --release -p treesvd-core --example ordering_gallery [n]
+//! ```
+
+use treesvd_core::{OrderingKind, TopologyKind};
+use treesvd_orderings::render::render_sweep;
+use treesvd_sim::{analyze_program, Machine};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    for kind in OrderingKind::ALL {
+        let ord = match kind.build(n) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("== {kind}: skipped for n = {n} ({e}) ==\n");
+                continue;
+            }
+        };
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        println!("== {} (n = {n}, {} steps, restores after {} sweep(s)) ==", ord.name(), prog.steps.len(), ord.restore_period());
+        println!("{}", render_sweep(&prog, None));
+
+        let machine = Machine::with_kind(TopologyKind::PerfectFatTree, (n / 2).next_power_of_two());
+        let rep = analyze_program(&machine, &prog, 64);
+        println!(
+            "per-sweep: comm time {:.1}, global steps {}, level histogram {:?}, worst contention {:.2}\n",
+            rep.comm_time, rep.global_steps, &rep.level_histogram[1..], rep.max_contention
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: compute an SVD on the simulated tree machine and inspect
+//! both the numerics and the machine-level diagnostics.
+//!
+//! ```text
+//! cargo run --release -p treesvd-core --example quickstart
+//! ```
+
+use treesvd_core::{HestenesSvd, OrderingKind, SvdOptions};
+use treesvd_matrix::generate;
+
+fn main() {
+    // A 64 × 32 matrix with known singular values 32, 31, …, 1.
+    let sigma_true: Vec<f64> = (1..=32).rev().map(|k| k as f64).collect();
+    let a = generate::with_singular_values(64, &sigma_true, 2024);
+
+    // Default solver: the paper's fat-tree ordering on a perfect binary
+    // fat-tree, sorted singular values.
+    let run = HestenesSvd::new(SvdOptions::default()).compute(&a).expect("convergence");
+
+    println!("converged in {} sweeps (simulated machine time {:.3e})", run.sweeps, run.simulated_time);
+    println!("first five singular values: {:?}", &run.svd.sigma[..5]);
+    println!("reconstruction residual:    {:.3e}", run.svd.residual(&a));
+    println!("factor orthogonality:       {:.3e}", run.svd.orthogonality());
+    println!("rank:                       {}", run.svd.rank);
+
+    // The same matrix under a different ordering gives the same answer —
+    // only the communication profile changes.
+    let run2 = HestenesSvd::with_ordering(OrderingKind::NewRing).compute(&a).expect("convergence");
+    let max_diff = run
+        .svd
+        .sigma
+        .iter()
+        .zip(run2.svd.sigma.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max);
+    println!("\nnew-ring ordering: {} sweeps, max |Δσ| vs fat-tree = {max_diff:.3e}", run2.sweeps);
+
+    // Convergence trace: ultimately quadratic (paper §1).
+    println!("\nper-sweep max coupling:");
+    for (k, c) in run.coupling_history().iter().enumerate() {
+        println!("  sweep {:2}: {c:.3e}", k + 1);
+    }
+}

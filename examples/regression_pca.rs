@@ -1,0 +1,65 @@
+//! Regression and dimensionality reduction on the tree-machine SVD — the
+//! `treesvd-apps` layer in action.
+//!
+//! Fits a noisy linear model by rank-revealing least squares, then runs
+//! PCA on correlated sensor data and reports the explained variance.
+//!
+//! ```text
+//! cargo run --release -p treesvd-apps --example regression_pca
+//! ```
+
+use treesvd_apps::{condition_number, lstsq, pca, symmetric_eigen};
+use treesvd_core::Matrix;
+use treesvd_matrix::generate;
+
+fn main() {
+    // ---- least squares ----
+    let m = 60;
+    let design = generate::with_singular_values(m, &[8.0, 4.0, 2.0, 1.0, 0.5], 11);
+    let x_true = [2.0, -1.0, 0.5, 3.0, -0.25];
+    let mut b = vec![0.0; m];
+    for (j, &xj) in x_true.iter().enumerate() {
+        treesvd_matrix::ops::axpy(xj, design.col(j), &mut b);
+    }
+    // add noise
+    let noise = generate::random_uniform(m, 1, 12);
+    for (bi, &r) in b.iter_mut().zip(noise.col(0).iter()) {
+        *bi += 1e-3 * r;
+    }
+    let sol = lstsq(&design, &b, None).expect("solvable");
+    println!("least squares: rank {}, residual {:.3e}", sol.effective_rank, sol.residual_norm);
+    println!("  coefficients: {:?}", sol.x.iter().map(|x| (x * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!("  condition number of the design: {:.2}", condition_number(&design).unwrap());
+
+    // ---- PCA on correlated data ----
+    let samples = 120;
+    let features = 10;
+    let latent = generate::random_uniform(samples, 2, 13); // 2 latent factors
+    let mixing = generate::random_uniform(2, features, 14);
+    let mut data = Matrix::zeros(samples, features).unwrap();
+    for i in 0..samples {
+        for j in 0..features {
+            let mut v = 0.0;
+            for k in 0..2 {
+                v += latent.get(i, k) * mixing.get(k, j);
+            }
+            data.set(i, j, v + 0.01 * ((i * 7 + j * 13) % 17) as f64 / 17.0);
+        }
+    }
+    let model = pca(&data).expect("pca fits");
+    println!("\npca: explained variance ratios (first 4): {:?}",
+        model.explained_ratio.iter().take(4).map(|r| (r * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    let top2: f64 = model.explained_ratio.iter().take(2).sum();
+    println!("  first two components explain {:.1}% of the variance (true latent dim = 2)", top2 * 100.0);
+    assert!(top2 > 0.95);
+
+    // ---- symmetric eigenproblem ----
+    let q = generate::random_orthogonal(6, 15);
+    let lambda = [5.0, -4.0, 3.0, -2.0, 1.0, 0.5];
+    let d = Matrix::diagonal(6, &lambda).unwrap();
+    let a = q.matmul(&d).unwrap().matmul(&q.transpose()).unwrap();
+    let eig = symmetric_eigen(&a).expect("symmetric");
+    println!("\nsymmetric eigenvalues (by |magnitude|): {:?}",
+        eig.lambda.iter().map(|l| (l * 1e6).round() / 1e6).collect::<Vec<_>>());
+    println!("  residual ||AQ - QL||/||A|| = {:.2e}", eig.residual(&a));
+}

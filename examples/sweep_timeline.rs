@@ -1,0 +1,36 @@
+//! Sweep timelines: where one sweep's simulated time goes, per ordering
+//! and topology — the profiling view behind the paper's §6 conclusions.
+//!
+//! ```text
+//! cargo run --release -p treesvd-core --example sweep_timeline
+//! ```
+
+use treesvd_core::{OrderingKind, TopologyKind};
+use treesvd_sim::{Machine, Timeline};
+
+fn main() {
+    let n = 32;
+    let words = 256;
+    for (kind, topo) in [
+        (OrderingKind::FatTree, TopologyKind::PerfectFatTree),
+        (OrderingKind::FatTree, TopologyKind::Cm5),
+        (OrderingKind::Hybrid, TopologyKind::Cm5),
+        (OrderingKind::RoundRobin, TopologyKind::PerfectFatTree),
+    ] {
+        let ord = kind.build(n).expect("size ok");
+        let machine = Machine::with_kind(topo, n / 2);
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let tl = Timeline::of(&machine, &prog, words);
+        println!("== {} on {topo} ==", ord.name());
+        println!(
+            "total {:.0}, comm fraction {:.0}%, bottleneck step {}",
+            tl.total(),
+            tl.comm_fraction() * 100.0,
+            tl.bottleneck().map(|(i, _)| i + 1).unwrap_or(0)
+        );
+        println!("{}", tl.render(48));
+    }
+    println!("reading guide: on the perfect fat-tree the fat-tree ordering's profile is");
+    println!("almost flat (only the rare merge steps spike); on the CM-5 those spikes");
+    println!("stretch with contention, which the hybrid ordering's profile avoids.");
+}

@@ -1,0 +1,179 @@
+//! Cross-crate ordering invariants, including property-based tests with
+//! proptest over sizes and group shapes.
+
+use proptest::prelude::*;
+use treesvd_orderings::validate::{
+    all_moves_even, assert_valid_sweep, check_restores_after, check_valid_program,
+    is_one_directional, max_link_load, move_counts,
+};
+use treesvd_orderings::{
+    FatTreeOrdering, HybridOrdering, JacobiOrdering, LlbFatTreeOrdering, ModifiedRingOrdering,
+    NewRingOrdering, OrderingKind, RingOrdering, RoundRobinOrdering,
+};
+
+#[test]
+fn every_kind_builds_and_validates_at_n16() {
+    for kind in OrderingKind::ALL {
+        let ord = kind.build(16).expect("n = 16 valid for all orderings");
+        assert_valid_sweep(ord.as_ref());
+        check_restores_after(ord.as_ref(), ord.restore_period());
+        assert_eq!(ord.n(), 16);
+        assert!(!ord.name().is_empty());
+    }
+}
+
+#[test]
+fn sweep_lengths_are_n_minus_1() {
+    for kind in OrderingKind::ALL {
+        let ord = kind.build(32).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        assert_eq!(prog.steps.len(), 31, "{kind}");
+        assert!(check_valid_program(&prog).is_ok(), "{kind}");
+    }
+}
+
+#[test]
+fn restore_periods_match_claims() {
+    // fat-tree & the Fig.1 baselines restore every sweep; the rings and LLB
+    // restore after two
+    assert_eq!(FatTreeOrdering::new(16).unwrap().restore_period(), 1);
+    assert_eq!(RoundRobinOrdering::new(16).unwrap().restore_period(), 1);
+    assert_eq!(RingOrdering::new(16).unwrap().restore_period(), 1);
+    assert_eq!(NewRingOrdering::new(16).unwrap().restore_period(), 2);
+    assert_eq!(ModifiedRingOrdering::new(16).unwrap().restore_period(), 2);
+    assert_eq!(LlbFatTreeOrdering::new(16).unwrap().restore_period(), 2);
+    assert_eq!(HybridOrdering::new(16, 4).unwrap().restore_period(), 2);
+}
+
+#[test]
+fn new_ring_even_shift_property_feeds_hybrid() {
+    // §5's argument requires every index to shift an even number of times
+    // per new-ring sweep, with index 1 never moving
+    for n in [8usize, 12, 20, 32] {
+        let ord = NewRingOrdering::new(n).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        assert!(all_moves_even(&prog), "n = {n}");
+        assert_eq!(move_counts(&prog)[0], 0, "n = {n}");
+        assert!(is_one_directional(&prog), "n = {n}");
+        assert_eq!(max_link_load(&prog), 1, "n = {n}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_orderings_valid_for_any_even_n(k in 2usize..33) {
+        let n = 2 * k;
+        for ord in [
+            Box::new(RingOrdering::new(n).unwrap()) as Box<dyn JacobiOrdering>,
+            Box::new(RoundRobinOrdering::new(n).unwrap()),
+            Box::new(NewRingOrdering::new(n).unwrap()),
+            Box::new(ModifiedRingOrdering::new(n).unwrap()),
+        ] {
+            assert_valid_sweep(ord.as_ref());
+            check_restores_after(ord.as_ref(), ord.restore_period());
+        }
+    }
+
+    #[test]
+    fn tree_orderings_valid_for_powers_of_two(e in 2u32..8) {
+        let n = 1usize << e;
+        for ord in [
+            Box::new(FatTreeOrdering::new(n).unwrap()) as Box<dyn JacobiOrdering>,
+            Box::new(LlbFatTreeOrdering::new(n).unwrap()),
+        ] {
+            assert_valid_sweep(ord.as_ref());
+            check_restores_after(ord.as_ref(), ord.restore_period());
+        }
+    }
+
+    #[test]
+    fn hybrid_valid_for_all_legal_group_shapes(m in 2usize..9, we in 2u32..5) {
+        let w = 1usize << we; // group size 4..16
+        let n = m * w;
+        let ord = HybridOrdering::new(n, m).unwrap();
+        assert_valid_sweep(&ord);
+        check_restores_after(&ord, 2);
+        // step count is always n-1
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        prop_assert_eq!(prog.steps.len(), n - 1);
+    }
+
+    #[test]
+    fn fat_tree_left_index_smaller_everywhere(e in 2u32..8) {
+        let n = 1usize << e;
+        let ord = FatTreeOrdering::new(n).unwrap();
+        for step in ord.sweep_program(0, &ord.initial_layout()).step_pairs() {
+            for (l, r) in step {
+                prop_assert!(l < r);
+            }
+        }
+    }
+
+    #[test]
+    fn new_ring_period_two_reversal(k in 2usize..25) {
+        let n = 2 * k;
+        let ord = NewRingOrdering::new(n).unwrap();
+        let progs = ord.programs(2);
+        let mut want: Vec<usize> = vec![0, 1];
+        want.extend((2..n).rev());
+        prop_assert_eq!(progs[0].final_layout(), want);
+        prop_assert_eq!(progs[1].final_layout(), ord.initial_layout());
+    }
+
+    #[test]
+    fn total_messages_bounded_by_steps_times_n(k in 2usize..17) {
+        // every step moves at most n columns between processors
+        let n = 2 * k;
+        for kind in [OrderingKind::Ring, OrderingKind::RoundRobin, OrderingKind::NewRing] {
+            let ord = kind.build(n).unwrap();
+            let prog = ord.sweep_program(0, &ord.initial_layout());
+            prop_assert!(prog.total_messages() <= (n - 1) * n);
+        }
+    }
+}
+
+#[test]
+fn equivalence_search_is_symmetric() {
+    use treesvd_orderings::equivalence::{are_equivalent, find_relabelling};
+    let nr = NewRingOrdering::new(8).unwrap();
+    let rr = RoundRobinOrdering::new(8).unwrap();
+    let pn = nr.sweep_program(0, &nr.initial_layout());
+    let pr = rr.sweep_program(0, &rr.initial_layout());
+    assert!(are_equivalent(&pn, &pr));
+    assert!(are_equivalent(&pr, &pn));
+    let fwd = find_relabelling(&pn, &pr).unwrap();
+    let bwd = find_relabelling(&pr, &pn).unwrap();
+    // bwd need not be fwd's inverse (relabellings are not unique), but both
+    // must verify
+    assert!(treesvd_orderings::equivalence::verify_relabelling(&pn, &pr, &fwd));
+    assert!(treesvd_orderings::equivalence::verify_relabelling(&pr, &pn, &bwd));
+}
+
+#[test]
+fn modified_ring_equivalent_to_round_robin_too() {
+    use treesvd_orderings::equivalence::are_equivalent;
+    for n in [4usize, 6, 8] {
+        let mr = ModifiedRingOrdering::new(n).unwrap();
+        let rr = RoundRobinOrdering::new(n).unwrap();
+        let pm = mr.sweep_program(0, &mr.initial_layout());
+        let pr = rr.sweep_program(0, &rr.initial_layout());
+        assert!(are_equivalent(&pm, &pr), "n = {n}");
+    }
+}
+
+#[test]
+fn llb_pair_sequences_forward_equals_reverse_backward() {
+    let ord = LlbFatTreeOrdering::new(16).unwrap();
+    let progs = ord.programs(2);
+    let fwd = progs[0].step_pairs();
+    let bwd = progs[1].step_pairs();
+    for (i, step) in bwd.iter().enumerate() {
+        let f: std::collections::HashSet<_> =
+            fwd[fwd.len() - 1 - i].iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        let b: std::collections::HashSet<_> =
+            step.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        assert_eq!(f, b, "backward step {i}");
+    }
+}

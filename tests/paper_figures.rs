@@ -1,0 +1,142 @@
+//! Figure-level regression tests: the regenerated schedules of Figs. 1–9
+//! have exactly the structure the paper describes.
+
+use treesvd_bench::figures;
+use treesvd_orderings::{
+    FatTreeOrdering, HybridOrdering, JacobiOrdering, NewRingOrdering, RoundRobinOrdering,
+};
+
+fn one_based(ord: &dyn JacobiOrdering) -> Vec<Vec<(usize, usize)>> {
+    ord.sweep_program(0, &ord.initial_layout())
+        .step_pairs()
+        .iter()
+        .map(|s| s.iter().map(|&(a, b)| (a + 1, b + 1)).collect())
+        .collect()
+}
+
+#[test]
+fn fig1b_round_robin_canonical_table() {
+    // the canonical Brent–Luk table for n = 8
+    let pairs = one_based(&RoundRobinOrdering::new(8).unwrap());
+    let expect: Vec<Vec<(usize, usize)>> = vec![
+        vec![(1, 2), (3, 4), (5, 6), (7, 8)],
+        vec![(1, 4), (2, 6), (3, 8), (5, 7)],
+        vec![(1, 6), (4, 8), (2, 7), (3, 5)],
+        vec![(1, 8), (6, 7), (4, 5), (2, 3)],
+        vec![(1, 7), (8, 5), (6, 3), (4, 2)],
+        vec![(1, 5), (7, 3), (8, 2), (6, 4)],
+        vec![(1, 3), (5, 2), (7, 4), (8, 6)],
+    ];
+    assert_eq!(pairs, expect);
+}
+
+#[test]
+fn fig6_fat_tree_table_for_eight_indices() {
+    let pairs = one_based(&FatTreeOrdering::new(8).unwrap());
+    let expect: Vec<Vec<(usize, usize)>> = vec![
+        vec![(1, 2), (3, 4), (5, 6), (7, 8)],
+        vec![(1, 3), (2, 4), (5, 7), (6, 8)],
+        vec![(1, 4), (2, 3), (5, 8), (6, 7)],
+        vec![(1, 5), (3, 7), (2, 6), (4, 8)],
+        vec![(1, 7), (3, 5), (2, 8), (4, 6)],
+        vec![(1, 8), (3, 6), (2, 7), (4, 5)],
+        vec![(1, 6), (3, 8), (2, 5), (4, 7)],
+    ];
+    assert_eq!(pairs, expect);
+}
+
+#[test]
+fn fig7a_new_ring_table_for_eight_indices() {
+    let pairs = one_based(&NewRingOrdering::new(8).unwrap());
+    let expect: Vec<Vec<(usize, usize)>> = vec![
+        vec![(1, 2), (3, 4), (5, 6), (7, 8)],
+        vec![(1, 7), (4, 2), (6, 3), (8, 5)],
+        vec![(1, 5), (2, 7), (6, 4), (8, 3)],
+        vec![(1, 3), (7, 5), (6, 2), (8, 4)],
+        vec![(1, 4), (7, 3), (2, 5), (8, 6)],
+        vec![(1, 6), (7, 4), (5, 3), (8, 2)],
+        vec![(1, 8), (7, 6), (5, 4), (2, 3)],
+    ];
+    assert_eq!(pairs, expect);
+}
+
+#[test]
+fn fig9_hybrid_structure() {
+    // 16 indices, 4 groups: steps 1-3 intra-group (fat-tree inside groups),
+    // then 6 two-step two-block super-steps; 7 "global" boundaries.
+    let ord = HybridOrdering::new(16, 4).unwrap();
+    let prog = ord.sweep_program(0, &ord.initial_layout());
+    assert_eq!(prog.steps.len(), 15);
+    let mut globals = 0;
+    for step in &prog.steps {
+        if step.move_after.inter_processor_moves().iter().any(|&(f, t)| f / 4 != t / 4) {
+            globals += 1;
+        }
+    }
+    assert_eq!(globals, 7);
+}
+
+#[test]
+fn figure_text_output_is_stable() {
+    // figure renderings keep their key rows (a cheap regression net over
+    // the whole rendering path)
+    let f6 = figures::fig6();
+    assert!(f6.contains("   1  (1 2) (3 4) (5 6) (7 8)"));
+    assert!(f6.contains("(1 6) (3 8) (2 5) (4 7)"));
+    let f7 = figures::fig7a();
+    assert!(f7.contains("(1 8) (7 6) (5 4) (2 3)"));
+    let f1a = figures::fig1a();
+    assert!(f1a.contains("   7  "));
+    let f9 = figures::fig9();
+    assert!(f9.contains("global"));
+}
+
+#[test]
+fn fig2_fig3_two_block_tables() {
+    use treesvd_orderings::two_block::{two_block_movements, RotatingSide};
+    use treesvd_orderings::{PairStep, Program};
+    // Fig. 2: indices (1,3) block 1, (2,4) block 2 in our slot convention
+    let prog = Program {
+        n: 4,
+        initial_layout: vec![0, 1, 2, 3],
+        steps: two_block_movements(4, 0, 2, RotatingSide::Odd)
+            .into_iter()
+            .map(|move_after| PairStep { move_after })
+            .collect(),
+    };
+    let pairs = prog.step_pairs();
+    assert_eq!(pairs[0], vec![(0, 1), (2, 3)]);
+    assert_eq!(pairs[1], vec![(0, 3), (2, 1)]);
+
+    // Fig. 3: size-4 two-block ordering needs exactly one level-2 exchange
+    let movements = two_block_movements(8, 0, 4, RotatingSide::Odd);
+    let level2_steps = movements
+        .iter()
+        .filter(|m| {
+            m.inter_processor_moves().iter().any(|&(f, t)| (f / 2).abs_diff(t / 2) > 1)
+        })
+        .count();
+    assert_eq!(level2_steps, 1);
+}
+
+#[test]
+fn fig4_modules_match_paper() {
+    use treesvd_orderings::four_block::{module_a_movements, module_b_movements};
+    // module A restores; module B leaves 3,4 reversed
+    let mut layout: Vec<usize> = vec![0, 1, 2, 3];
+    for m in module_a_movements(4, 0) {
+        layout = m.apply(&layout);
+    }
+    assert_eq!(layout, vec![0, 1, 2, 3]);
+    let mut layout: Vec<usize> = vec![0, 1, 2, 3];
+    for m in module_b_movements(4, 0) {
+        layout = m.apply(&layout);
+    }
+    assert_eq!(layout, vec![0, 1, 3, 2]);
+}
+
+#[test]
+fn all_figures_render_without_panicking() {
+    let all = figures::all_figures();
+    assert!(all.len() > 2000, "suspiciously short figure output");
+}
