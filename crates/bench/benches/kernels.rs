@@ -1,9 +1,16 @@
-//! Micro-benchmarks of the numerical kernels in the sweep's hot path:
-//! fused Gram evaluation, plain rotation, and rotation-with-swap
-//! (equation (3) — the bench verifies it costs the same as eq. (1)).
+//! Micro-benchmarks of the numerical kernels in the sweep's hot path,
+//! in three tiers per kernel:
+//!
+//! * `*_naive` — the strict-order reference loops (`ops::naive`);
+//! * the unrolled production kernels (`dot`, `norm2_sq`, `gram3`, `axpy`);
+//! * the fused rotate-and-measure pass (`rotate_fused*`) versus the
+//!   unfused rotate-then-renormalize sequence it replaces.
+//!
+//! The machine-readable record lives in `BENCH_kernels.json`, regenerated
+//! by `cargo run --release -p treesvd-bench --bin bench_kernels`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use treesvd_matrix::ops::gram3;
+use treesvd_matrix::ops::{self, axpy, dot, gram3, norm2_sq, rotate_fused, rotate_fused_swapped};
 use treesvd_matrix::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation};
 
 fn columns(m: usize) -> (Vec<f64>, Vec<f64>) {
@@ -12,16 +19,71 @@ fn columns(m: usize) -> (Vec<f64>, Vec<f64>) {
     (a, b)
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels");
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions");
     for m in [64usize, 512, 4096] {
         let (a, b) = columns(m);
-        group.bench_with_input(BenchmarkId::new("gram3", m), &(&a, &b), |bch, (a, b)| {
+        group.bench_with_input(BenchmarkId::new("dot_naive", m), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| std::hint::black_box(ops::naive::dot(a, b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_unrolled", m), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| std::hint::black_box(dot(a, b)))
+        });
+        group.bench_with_input(BenchmarkId::new("norm2_sq_naive", m), &a, |bch, a| {
+            bch.iter(|| std::hint::black_box(ops::naive::norm2_sq(a)))
+        });
+        group.bench_with_input(BenchmarkId::new("norm2_sq_unrolled", m), &a, |bch, a| {
+            bch.iter(|| std::hint::black_box(norm2_sq(a)))
+        });
+        group.bench_with_input(BenchmarkId::new("gram3_naive", m), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| std::hint::black_box(ops::naive::gram3(a, b)))
+        });
+        group.bench_with_input(BenchmarkId::new("gram3_unrolled", m), &(&a, &b), |bch, (a, b)| {
             bch.iter(|| std::hint::black_box(gram3(a, b)))
         });
+        group.bench_with_input(BenchmarkId::new("axpy_naive", m), &(&a, &b), |bch, (a, b)| {
+            let mut y = (*b).clone();
+            bch.iter(|| {
+                ops::naive::axpy(1.0 + 1e-12, a, &mut y);
+                std::hint::black_box(y[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("axpy_unrolled", m), &(&a, &b), |bch, (a, b)| {
+            let mut y = (*b).clone();
+            bch.iter(|| {
+                axpy(1.0 + 1e-12, a, &mut y);
+                std::hint::black_box(y[0])
+            })
+        });
+    }
+    group.finish();
+}
 
+fn bench_rotations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotations");
+    for m in [64usize, 512, 4096] {
+        let (a, b) = columns(m);
         let (alpha, beta, gamma) = gram3(&a, &b);
         let rot = compute_rotation(alpha, beta, gamma, 0.0);
+
+        // the seed's pattern: rotate, then re-measure both norms
+        group.bench_with_input(BenchmarkId::new("rotate_then_norms", m), &m, |bch, _| {
+            let (mut x, mut y) = (a.clone(), b.clone());
+            bch.iter(|| {
+                std::hint::black_box(ops::naive::rotate_then_norms(rot.c, rot.s, &mut x, &mut y))
+            })
+        });
+        // the fused single-pass replacement
+        group.bench_with_input(BenchmarkId::new("rotate_fused", m), &m, |bch, _| {
+            let (mut x, mut y) = (a.clone(), b.clone());
+            bch.iter(|| std::hint::black_box(rotate_fused(rot.c, rot.s, &mut x, &mut y)))
+        });
+        // equation (3) variant — the bench verifies the swap is free
+        group.bench_with_input(BenchmarkId::new("rotate_fused_swapped", m), &m, |bch, _| {
+            let (mut x, mut y) = (a.clone(), b.clone());
+            bch.iter(|| std::hint::black_box(rotate_fused_swapped(rot.c, rot.s, &mut x, &mut y)))
+        });
+        // rotation apply alone (no norm production), for reference
         group.bench_with_input(BenchmarkId::new("rotate_eq1", m), &m, |bch, _| {
             let (mut x, mut y) = (a.clone(), b.clone());
             bch.iter(|| {
@@ -43,5 +105,5 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+criterion_group!(benches, bench_reductions, bench_rotations);
 criterion_main!(benches);

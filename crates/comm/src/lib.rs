@@ -10,7 +10,7 @@
 //!
 //! * [`Communicator`] — the rank-addressed send/recv interface;
 //! * [`ThreadWorld`] — a real multi-threaded implementation over
-//!   `crossbeam` channels (one mailbox per rank, tag-matched receives);
+//!   std channels (one mailbox per rank, tag-matched receives);
 //! * barrier and allreduce collectives built on the point-to-point layer,
 //!   as a real message-passing library would.
 //!

@@ -12,7 +12,10 @@ use crate::result::{complete_orthonormal, Svd};
 use treesvd_matrix::Matrix;
 use treesvd_net::Topology;
 use treesvd_orderings::{JacobiOrdering, OrderingError, OrderingKind};
-use treesvd_sim::{execute_program, ColumnStore, ExecConfig, Machine, SweepStats};
+use treesvd_sim::{
+    execute_program_with_scratch, ColumnStore, ExecConfig, ExecScratch, Machine, SortMode,
+    SweepStats,
+};
 
 /// A completed SVD run: the decomposition plus everything the experiments
 /// need to know about how it went.
@@ -138,6 +141,7 @@ impl HestenesSvd {
             threshold,
             sort: self.options.sort,
             cached_norms: self.options.cached_norms,
+            serial_cutoff: self.options.serial_cutoff,
         };
 
         // the layout cycle repeats with the ordering's restore period, so
@@ -151,10 +155,14 @@ impl HestenesSvd {
             off_history.push(treesvd_sim::off_measure(&store));
         }
         let mut converged = false;
+        // one scratch for the whole run: after the first step of the first
+        // sweep the executor allocates nothing per step
+        let mut scratch = ExecScratch::new();
         for k in 0..self.options.max_sweeps {
             let prog = &cached_programs[k % period];
             debug_assert_eq!(store.layout, prog.initial_layout, "layout cycle broken");
-            let stats = execute_program(&machine, prog, &mut store, &config);
+            let stats =
+                execute_program_with_scratch(&machine, prog, &mut store, &config, &mut scratch);
             if self.options.track_off {
                 off_history.push(treesvd_sim::off_measure(&store));
             }
@@ -218,6 +226,7 @@ impl HestenesSvd {
             threshold,
             sort: self.options.sort,
             cached_norms: false, // the distributed path keeps the reference kernel
+            serial_cutoff: self.options.serial_cutoff,
         };
         let outcome = treesvd_sim::distributed_svd(
             ordering.as_ref(),
@@ -256,11 +265,31 @@ impl HestenesSvd {
         n: usize,
         n_pad: usize,
     ) -> Result<Svd, SvdError> {
-        let cols = store.columns_in_index_order();
+        let mut cols = store.columns_in_index_order();
         debug_assert_eq!(cols.len(), n_pad);
 
         // singular values = column norms of the converged H = A·V
-        let norms: Vec<f64> = cols.iter().map(|c| treesvd_matrix::ops::norm2(&c.a)).collect();
+        let mut norms: Vec<f64> = cols.iter().map(|c| treesvd_matrix::ops::norm2(&c.a)).collect();
+
+        // The larger-norm-to-smaller-label rule orders columns by the norms
+        // the sweep tracked; re-measuring the converged columns can land a
+        // (near-)duplicate pair the other way round in the last few ulps.
+        // Repair only those measurement-level ties — a larger inversion is
+        // a real ordering bug and must stay visible to the sorted-σ tests.
+        if self.options.sort == SortMode::Descending {
+            let tied = |lo: f64, hi: f64| hi - lo <= 4.0 * f64::EPSILON * hi;
+            let mut swapped = true;
+            while swapped {
+                swapped = false;
+                for j in 1..norms.len() {
+                    if norms[j - 1] < norms[j] && tied(norms[j - 1], norms[j]) {
+                        norms.swap(j - 1, j);
+                        cols.swap(j - 1, j);
+                        swapped = true;
+                    }
+                }
+            }
+        }
         let max_norm = norms.iter().fold(0.0_f64, |acc, &v| acc.max(v));
         let rank_tol = max_norm * n_pad as f64 * f64::EPSILON;
 

@@ -66,6 +66,11 @@ pub struct SvdOptions {
     /// optimization; ~30% fewer flops per rotation, last-ulp differences
     /// from the reference path possible).
     pub cached_norms: bool,
+    /// Adaptive dispatch cutoff forwarded to the executor
+    /// ([`treesvd_sim::ExecConfig::serial_cutoff`]): per-step work (in
+    /// data words) below which rotations run serially instead of forking
+    /// host threads.
+    pub serial_cutoff: usize,
 }
 
 impl Default for SvdOptions {
@@ -80,6 +85,7 @@ impl Default for SvdOptions {
             vectors: true,
             track_off: false,
             cached_norms: false,
+            serial_cutoff: treesvd_sim::ExecConfig::DEFAULT_SERIAL_CUTOFF,
         }
     }
 }
@@ -124,6 +130,13 @@ impl SvdOptions {
     /// Enable the cached-norms fast path.
     pub fn with_cached_norms(mut self, cached: bool) -> Self {
         self.cached_norms = cached;
+        self
+    }
+
+    /// Set the executor's serial-dispatch cutoff (`0` always forks,
+    /// `usize::MAX` always runs serially).
+    pub fn with_serial_cutoff(mut self, serial_cutoff: usize) -> Self {
+        self.serial_cutoff = serial_cutoff;
         self
     }
 }

@@ -45,9 +45,11 @@ pub fn sequential_svd(a: &Matrix, max_sweeps: usize) -> Result<SequentialRun, Sv
 
     let mut rotations_per_sweep = Vec::new();
     let mut converged = false;
+    let mut last_coupling = 0.0_f64;
     for _ in 0..max_sweeps {
         let mut rotations = 0usize;
         let mut swaps = 0usize;
+        let mut max_coupling = 0.0_f64;
         for i in 0..n {
             for j in (i + 1)..n {
                 // rotate the A columns and V columns with the same (c, s);
@@ -66,16 +68,18 @@ pub fn sequential_svd(a: &Matrix, max_sweeps: usize) -> Result<SequentialRun, Sv
                 if swapped_now {
                     swaps += 1;
                 }
+                max_coupling = max_coupling.max(out.coupling);
             }
         }
         rotations_per_sweep.push(rotations);
+        last_coupling = max_coupling;
         if rotations == 0 && swaps == 0 {
             converged = true;
             break;
         }
     }
     if !converged {
-        return Err(SvdError::NoConvergence { sweeps: rotations_per_sweep.len(), last_coupling: f64::NAN });
+        return Err(SvdError::NoConvergence { sweeps: rotations_per_sweep.len(), last_coupling });
     }
 
     // extract
@@ -161,6 +165,22 @@ mod tests {
         assert!(r.len() >= 3);
         assert_eq!(*r.last().unwrap(), 0);
         assert!(r[0] >= r[r.len() - 2]);
+    }
+
+    #[test]
+    fn non_convergence_reports_actual_coupling() {
+        // one sweep is never enough for a coupled random matrix, so the
+        // error must carry the real last max coupling, not a NaN
+        let a = generate::random_uniform(16, 10, 26);
+        match sequential_svd(&a, 1) {
+            Err(SvdError::NoConvergence { sweeps, last_coupling }) => {
+                assert_eq!(sweeps, 1);
+                assert!(last_coupling.is_finite(), "coupling is {last_coupling}");
+                assert!(last_coupling > 0.0);
+                assert!(last_coupling <= 1.0 + 1e-12);
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
     }
 
     #[test]

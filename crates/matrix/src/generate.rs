@@ -6,23 +6,22 @@
 //! Householder reflectors — no external linear algebra required.
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// A random `rows × cols` matrix with i.i.d. entries uniform on `[-1, 1]`.
 ///
 /// # Panics
 /// Panics if a dimension is zero.
 pub fn random_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..=1.0)).expect("nonzero dims")
+    let mut rng = Rng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0)).expect("nonzero dims")
 }
 
 /// Apply a random Householder reflector `H = I − 2vvᵀ/(vᵀv)` to every column
 /// of `m` (left multiplication), in place.
-fn apply_random_reflector(m: &mut Matrix, rng: &mut StdRng) {
+fn apply_random_reflector(m: &mut Matrix, rng: &mut Rng) {
     let rows = m.rows();
-    let mut v: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+    let mut v: Vec<f64> = (0..rows).map(|_| rng.uniform(-1.0, 1.0)).collect();
     let vv = crate::ops::norm2_sq(&v);
     if vv == 0.0 {
         v[0] = 1.0;
@@ -44,7 +43,7 @@ fn apply_random_reflector(m: &mut Matrix, rng: &mut StdRng) {
 /// # Panics
 /// Panics if `n == 0`.
 pub fn random_orthogonal(n: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut q = Matrix::identity(n, n).expect("nonzero dims");
     for _ in 0..n.max(2) {
         apply_random_reflector(&mut q, &mut rng);

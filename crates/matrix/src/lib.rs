@@ -42,6 +42,7 @@ mod proptests;
 pub mod generate;
 pub mod matrix;
 pub mod ops;
+pub mod rng;
 pub mod rotation;
 
 pub use error::MatrixError;

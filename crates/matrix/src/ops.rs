@@ -1,21 +1,150 @@
-//! Low-level vector kernels: dot products, norms, axpy.
+//! Low-level vector kernels: dot products, norms, axpy, fused rotations.
 //!
-//! These are the only kernels in the hot path of a Jacobi sweep, so they are
-//! written over plain slices (contiguous, bounds-check-friendly loops that
-//! the compiler vectorizes) rather than through the `Matrix` abstraction.
+//! These are the only kernels in the hot path of a Jacobi sweep, so they
+//! are written over plain slices and structured for SIMD: every reduction
+//! uses several *independent* accumulators (`chunks_exact` blocks of
+//! [`UNROLL`] lanes), because a strict-left-to-right `f64` sum forms a
+//! loop-carried dependency chain that LLVM is not allowed to vectorize.
+//! With the accumulators independent, the compiler emits packed adds and
+//! multiplies, and the dependency chain shrinks by the unroll factor even
+//! in scalar code.
+//!
+//! The reassociated sums are *not* bitwise identical to the naive
+//! left-to-right order; they are at least as accurate (shorter chains →
+//! smaller worst-case rounding error). The original strict-order kernels
+//! are kept in [`naive`] as the reference the property tests and the
+//! benchmarks compare against.
 
-/// Dot product of two equal-length slices.
+/// Unroll width of the reduction kernels (independent accumulators).
+pub const UNROLL: usize = 8;
+
+/// Unroll width of the fused rotate kernel (it carries 2 accumulator
+/// arrays plus 2 data streams, so a narrower unroll avoids register
+/// spills).
+const ROT_UNROLL: usize = 4;
+
+/// Strict-order reference implementations of the unrolled kernels.
+///
+/// These are the textbook loops the optimized kernels are validated
+/// against (property tests) and benchmarked against (`BENCH_kernels.json`).
+/// They stay `pub` so the bench harness can time naive vs unrolled.
+pub mod naive {
+    /// Strict left-to-right dot product.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dot: length mismatch");
+        let mut acc = 0.0;
+        for (a, b) in x.iter().zip(y.iter()) {
+            acc += a * b;
+        }
+        acc
+    }
+
+    /// Strict-order squared Euclidean norm.
+    #[inline]
+    pub fn norm2_sq(x: &[f64]) -> f64 {
+        dot(x, x)
+    }
+
+    /// Strict-order fused Gram entries `(a·a, b·b, a·b)`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn gram3(a: &[f64], b: &[f64]) -> (f64, f64, f64) {
+        assert_eq!(a.len(), b.len(), "gram3: length mismatch");
+        let (mut aa, mut bb, mut ab) = (0.0, 0.0, 0.0);
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            aa += x * x;
+            bb += y * y;
+            ab += x * y;
+        }
+        (aa, bb, ab)
+    }
+
+    /// Element-at-a-time `y += alpha * x`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        for (yi, xi) in y.iter_mut().zip(x.iter()) {
+            *yi += alpha * xi;
+        }
+    }
+
+    /// Unfused rotation apply + two separate norm passes, the sequence the
+    /// fused kernel replaces. Reference for the fused-rotation benches and
+    /// property tests.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn rotate_then_norms(c: f64, s: f64, a: &mut [f64], b: &mut [f64]) -> (f64, f64) {
+        assert_eq!(a.len(), b.len(), "rotate_then_norms: length mismatch");
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            let (ax, bx) = (*x, *y);
+            *x = c * ax - s * bx;
+            *y = s * ax + c * bx;
+        }
+        (norm2_sq(a), norm2_sq(b))
+    }
+}
+
+#[inline]
+fn sum_unrolled(acc: [f64; UNROLL]) -> f64 {
+    // pairwise tree sum: same depth the SIMD horizontal reduction has
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Dot product of two equal-length slices (multi-accumulator, vectorizable).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y.iter()) {
-        acc += a * b;
+    let mut acc = [0.0f64; UNROLL];
+    let xc = x.chunks_exact(UNROLL);
+    let yc = y.chunks_exact(UNROLL);
+    let (xr, yr) = (xc.remainder(), yc.remainder());
+    for (cx, cy) in xc.zip(yc) {
+        // fixed-size views: compile-time lengths, no per-element bounds
+        // checks inside the unrolled body
+        let cx: &[f64; UNROLL] = cx.try_into().expect("chunks_exact");
+        let cy: &[f64; UNROLL] = cy.try_into().expect("chunks_exact");
+        for k in 0..UNROLL {
+            acc[k] += cx[k] * cy[k];
+        }
     }
-    acc
+    let mut tail = 0.0;
+    for (a, b) in xr.iter().zip(yr.iter()) {
+        tail += a * b;
+    }
+    sum_unrolled(acc) + tail
+}
+
+/// Squared Euclidean norm (no overflow guard; used where magnitudes are
+/// tame). Multi-accumulator, vectorizable.
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    let mut acc = [0.0f64; UNROLL];
+    let xc = x.chunks_exact(UNROLL);
+    let xr = xc.remainder();
+    for cx in xc {
+        let cx: &[f64; UNROLL] = cx.try_into().expect("chunks_exact");
+        for k in 0..UNROLL {
+            acc[k] += cx[k] * cx[k];
+        }
+    }
+    let mut tail = 0.0;
+    for &a in xr {
+        tail += a * a;
+    }
+    sum_unrolled(acc) + tail
 }
 
 /// Euclidean norm with scaling to avoid overflow/underflow on extreme data.
@@ -29,28 +158,40 @@ pub fn norm2(x: &[f64]) -> f64 {
         return scale;
     }
     let inv = 1.0 / scale;
-    let mut ssq = 0.0;
-    for &v in x {
-        let t = v * inv;
-        ssq += t * t;
+    let mut acc = [0.0f64; UNROLL];
+    let xc = x.chunks_exact(UNROLL);
+    let xr = xc.remainder();
+    for cx in xc {
+        for k in 0..UNROLL {
+            let t = cx[k] * inv;
+            acc[k] += t * t;
+        }
     }
-    scale * ssq.sqrt()
+    let mut tail = 0.0;
+    for &v in xr {
+        let t = v * inv;
+        tail += t * t;
+    }
+    scale * (sum_unrolled(acc) + tail).sqrt()
 }
 
-/// Squared Euclidean norm (no overflow guard; used where magnitudes are tame).
-#[inline]
-pub fn norm2_sq(x: &[f64]) -> f64 {
-    dot(x, x)
-}
-
-/// `y += alpha * x`.
+/// `y += alpha * x` (unrolled; no reduction, but the fixed-width blocks
+/// remove the bounds checks and let the compiler emit packed FMAs).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+    let split = y.len() - y.len() % UNROLL;
+    let (ym, yt) = y.split_at_mut(split);
+    let (xm, xt) = x.split_at(split);
+    for (cy, cx) in ym.chunks_exact_mut(UNROLL).zip(xm.chunks_exact(UNROLL)) {
+        for k in 0..UNROLL {
+            cy[k] += alpha * cx[k];
+        }
+    }
+    for (yi, xi) in yt.iter_mut().zip(xt.iter()) {
         *yi += alpha * xi;
     }
 }
@@ -66,20 +207,163 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 /// The three Gram entries `(a·a, b·b, a·b)` of a column pair, in one pass.
 ///
 /// One fused pass halves the memory traffic of the convergence test that
-/// precedes every rotation.
+/// precedes every rotation; the three reductions run on independent
+/// accumulator blocks so the whole pass vectorizes.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn gram3(a: &[f64], b: &[f64]) -> (f64, f64, f64) {
     assert_eq!(a.len(), b.len(), "gram3: length mismatch");
-    let (mut aa, mut bb, mut ab) = (0.0, 0.0, 0.0);
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        aa += x * x;
-        bb += y * y;
-        ab += x * y;
+    let split = a.len() - a.len() % UNROLL;
+    let (am, ar) = a.split_at(split);
+    let (bm, br) = b.split_at(split);
+    let (aa, bb, ab) = gram3_main(am, bm);
+    let (mut taa, mut tbb, mut tab) = (0.0, 0.0, 0.0);
+    for (&x, &y) in ar.iter().zip(br.iter()) {
+        taa += x * x;
+        tbb += y * y;
+        tab += x * y;
+    }
+    (sum_unrolled(aa) + taa, sum_unrolled(bb) + tbb, sum_unrolled(ab) + tab)
+}
+
+/// Accumulator lanes of `gram3` over a length-multiple-of-[`UNROLL`]
+/// prefix: lane `k` holds the partial sums over elements `j·UNROLL + k`.
+///
+/// Written with explicit AVX intrinsics on x86-64: LLVM's SLP pass pairs
+/// the three reductions *across* the `a`/`b` streams (unpck shuffles at
+/// 128-bit width) instead of across lanes, which runs slower than the
+/// strict scalar loop. The intrinsic version is plain lane-wise
+/// multiply-then-add — no FMA contraction — so its lanes are bitwise
+/// identical to the scalar fallback below.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
+#[inline]
+fn gram3_main(a: &[f64], b: &[f64]) -> ([f64; UNROLL], [f64; UNROLL], [f64; UNROLL]) {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(a.len() % UNROLL, 0);
+    debug_assert_eq!(a.len(), b.len());
+    let mut aa = [0.0f64; UNROLL];
+    let mut bb = [0.0f64; UNROLL];
+    let mut ab = [0.0f64; UNROLL];
+    // SAFETY: loads/stores stay within `a`/`b` (length checked to be a
+    // multiple of UNROLL = 8, read in 4-lane halves) and within the
+    // 8-lane accumulator arrays; AVX is a compile-time target feature.
+    unsafe {
+        let (mut aa_lo, mut aa_hi) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (mut bb_lo, mut bb_hi) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (mut ab_lo, mut ab_hi) = (_mm256_setzero_pd(), _mm256_setzero_pd());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i < a.len() {
+            let a_lo = _mm256_loadu_pd(pa.add(i));
+            let a_hi = _mm256_loadu_pd(pa.add(i + 4));
+            let b_lo = _mm256_loadu_pd(pb.add(i));
+            let b_hi = _mm256_loadu_pd(pb.add(i + 4));
+            aa_lo = _mm256_add_pd(aa_lo, _mm256_mul_pd(a_lo, a_lo));
+            aa_hi = _mm256_add_pd(aa_hi, _mm256_mul_pd(a_hi, a_hi));
+            bb_lo = _mm256_add_pd(bb_lo, _mm256_mul_pd(b_lo, b_lo));
+            bb_hi = _mm256_add_pd(bb_hi, _mm256_mul_pd(b_hi, b_hi));
+            ab_lo = _mm256_add_pd(ab_lo, _mm256_mul_pd(a_lo, b_lo));
+            ab_hi = _mm256_add_pd(ab_hi, _mm256_mul_pd(a_hi, b_hi));
+            i += UNROLL;
+        }
+        _mm256_storeu_pd(aa.as_mut_ptr(), aa_lo);
+        _mm256_storeu_pd(aa.as_mut_ptr().add(4), aa_hi);
+        _mm256_storeu_pd(bb.as_mut_ptr(), bb_lo);
+        _mm256_storeu_pd(bb.as_mut_ptr().add(4), bb_hi);
+        _mm256_storeu_pd(ab.as_mut_ptr(), ab_lo);
+        _mm256_storeu_pd(ab.as_mut_ptr().add(4), ab_hi);
     }
     (aa, bb, ab)
+}
+
+/// Portable fallback: the same lane assignment in scalar code.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
+#[inline]
+fn gram3_main(a: &[f64], b: &[f64]) -> ([f64; UNROLL], [f64; UNROLL], [f64; UNROLL]) {
+    debug_assert_eq!(a.len() % UNROLL, 0);
+    let mut aa = [0.0f64; UNROLL];
+    let mut bb = [0.0f64; UNROLL];
+    let mut ab = [0.0f64; UNROLL];
+    for (ca, cb) in a.chunks_exact(UNROLL).zip(b.chunks_exact(UNROLL)) {
+        let ca: &[f64; UNROLL] = ca.try_into().expect("chunks_exact");
+        let cb: &[f64; UNROLL] = cb.try_into().expect("chunks_exact");
+        for k in 0..UNROLL {
+            let (x, y) = (ca[k], cb[k]);
+            aa[k] += x * x;
+            bb[k] += y * y;
+            ab[k] += x * y;
+        }
+    }
+    (aa, bb, ab)
+}
+
+/// Fused plane rotation: apply `a' = c·a − s·b`, `b' = s·a + c·b` (or the
+/// swapped form `a' = s·a + c·b`, `b' = c·a − s·b` when `SWAP`) while
+/// accumulating the updated squared norms `(‖a'‖², ‖b'‖²)` in the same
+/// pass. This is the executor's hot loop: it collapses the old
+/// apply-then-renorm sequence (3 traversals of each column) into one.
+#[inline]
+fn rotate_fused_impl<const SWAP: bool>(c: f64, s: f64, a: &mut [f64], b: &mut [f64]) -> (f64, f64) {
+    let split = a.len() - a.len() % ROT_UNROLL;
+    let (am, at) = a.split_at_mut(split);
+    let (bm, bt) = b.split_at_mut(split);
+    let mut na = [0.0f64; ROT_UNROLL];
+    let mut nb = [0.0f64; ROT_UNROLL];
+    for (ca, cb) in am.chunks_exact_mut(ROT_UNROLL).zip(bm.chunks_exact_mut(ROT_UNROLL)) {
+        for k in 0..ROT_UNROLL {
+            let (x, y) = (ca[k], cb[k]);
+            let (xp, yp) = if SWAP {
+                (s * x + c * y, c * x - s * y)
+            } else {
+                (c * x - s * y, s * x + c * y)
+            };
+            ca[k] = xp;
+            cb[k] = yp;
+            na[k] += xp * xp;
+            nb[k] += yp * yp;
+        }
+    }
+    let (mut tna, mut tnb) = (0.0, 0.0);
+    for (x, y) in at.iter_mut().zip(bt.iter_mut()) {
+        let (ax, bx) = (*x, *y);
+        let (xp, yp) = if SWAP {
+            (s * ax + c * bx, c * ax - s * bx)
+        } else {
+            (c * ax - s * bx, s * ax + c * bx)
+        };
+        *x = xp;
+        *y = yp;
+        tna += xp * xp;
+        tnb += yp * yp;
+    }
+    (
+        (na[0] + na[1]) + (na[2] + na[3]) + tna,
+        (nb[0] + nb[1]) + (nb[2] + nb[3]) + tnb,
+    )
+}
+
+/// Fused rotation, plain form (equation (1)): returns the exact updated
+/// squared norms `(‖a'‖², ‖b'‖²)` computed in the same pass as the update.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn rotate_fused(c: f64, s: f64, a: &mut [f64], b: &mut [f64]) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "rotate_fused: length mismatch");
+    rotate_fused_impl::<false>(c, s, a, b)
+}
+
+/// Fused rotation, swapped form (equation (3) — rotation + column
+/// interchange in one pass): returns the exact updated squared norms.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn rotate_fused_swapped(c: f64, s: f64, a: &mut [f64], b: &mut [f64]) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "rotate_fused_swapped: length mismatch");
+    rotate_fused_impl::<true>(c, s, a, b)
 }
 
 #[cfg(test)]
@@ -96,6 +380,27 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn unrolled_kernels_match_naive_closely() {
+        // lengths straddling the unroll boundaries, including tails
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 100, 257] {
+            let x: Vec<f64> = (0..len).map(|i| ((i * 37 + 11) % 23) as f64 - 11.0).collect();
+            let y: Vec<f64> = (0..len).map(|i| ((i * 53 + 5) % 19) as f64 - 9.0).collect();
+            let tol = 1e-12 * (len.max(1) as f64);
+            assert!((dot(&x, &y) - naive::dot(&x, &y)).abs() <= tol, "dot len {len}");
+            assert!((norm2_sq(&x) - naive::norm2_sq(&x)).abs() <= tol, "norm2_sq len {len}");
+            let (aa, bb, ab) = gram3(&x, &y);
+            let (naa, nbb, nab) = naive::gram3(&x, &y);
+            assert!((aa - naa).abs() <= tol && (bb - nbb).abs() <= tol && (ab - nab).abs() <= tol,
+                "gram3 len {len}");
+            let mut y1 = y.clone();
+            let mut y2 = y.clone();
+            axpy(1.5, &x, &mut y1);
+            naive::axpy(1.5, &x, &mut y2);
+            assert_eq!(y1, y2, "axpy len {len}");
+        }
     }
 
     #[test]
@@ -132,14 +437,56 @@ mod tests {
         let a = [1.0, 2.0, -1.0];
         let b = [0.5, -3.0, 2.0];
         let (aa, bb, ab) = gram3(&a, &b);
-        assert_eq!(aa, dot(&a, &a));
-        assert_eq!(bb, dot(&b, &b));
-        assert_eq!(ab, dot(&a, &b));
+        assert!((aa - dot(&a, &a)).abs() < 1e-14);
+        assert!((bb - dot(&b, &b)).abs() < 1e-14);
+        assert!((ab - dot(&a, &b)).abs() < 1e-14);
     }
 
     #[test]
     fn norm2_sq_is_dot_with_self() {
         let a = [1.5, -2.0];
         assert_eq!(norm2_sq(&a), dot(&a, &a));
+    }
+
+    #[test]
+    fn rotate_fused_matches_unfused_reference() {
+        let (c, s) = (0.8, 0.6);
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 33, 100] {
+            let a0: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin()).collect();
+            let b0: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).cos()).collect();
+
+            let (mut a1, mut b1) = (a0.clone(), b0.clone());
+            let (ra, rb) = naive::rotate_then_norms(c, s, &mut a1, &mut b1);
+
+            let (mut a2, mut b2) = (a0.clone(), b0.clone());
+            let (fa, fb) = rotate_fused(c, s, &mut a2, &mut b2);
+
+            // the written columns are element-wise identical (same formula)
+            assert_eq!(a1, a2, "len {len}");
+            assert_eq!(b1, b2, "len {len}");
+            // the fused norms agree with the recomputed ones up to rounding
+            assert!((ra - fa).abs() <= 1e-13 * ra.max(1.0), "len {len}");
+            assert!((rb - fb).abs() <= 1e-13 * rb.max(1.0), "len {len}");
+
+            // swapped form = rotate, then exchange the columns
+            let (mut a3, mut b3) = (a0.clone(), b0.clone());
+            let (sa, sb) = rotate_fused_swapped(c, s, &mut a3, &mut b3);
+            assert_eq!(a3, b1, "swapped len {len}");
+            assert_eq!(b3, a1, "swapped len {len}");
+            assert!((sa - fb).abs() <= 1e-13 * fb.max(1.0));
+            assert!((sb - fa).abs() <= 1e-13 * fa.max(1.0));
+        }
+    }
+
+    #[test]
+    fn rotate_fused_identity_swap_is_exact_exchange() {
+        let a0 = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b0 = vec![-1.0, 0.5, 2.0, -2.0, 0.25];
+        let (mut a, mut b) = (a0.clone(), b0.clone());
+        let (na, nb) = rotate_fused_swapped(1.0, 0.0, &mut a, &mut b);
+        assert_eq!(a, b0);
+        assert_eq!(b, a0);
+        assert!((na - norm2_sq(&b0)).abs() < 1e-14);
+        assert!((nb - norm2_sq(&a0)).abs() < 1e-14);
     }
 }

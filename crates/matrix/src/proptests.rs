@@ -7,7 +7,7 @@
 
 #![cfg(test)]
 
-use crate::ops::{dot, gram3, norm2, norm2_sq};
+use crate::ops::{self, axpy, dot, gram3, norm2, norm2_sq, rotate_fused, rotate_fused_swapped};
 use crate::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation, orthogonalize_pair};
 use crate::{generate, Matrix};
 use proptest::prelude::*;
@@ -16,8 +16,94 @@ fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-100.0..100.0f64, len)
 }
 
+/// A pair of equal-length vectors whose length sweeps 0..67 — deliberately
+/// covering lengths below, at, and straddling the kernels' unroll width so
+/// the `chunks_exact` remainder tails are exercised.
+fn vec_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (0usize..67).prop_flat_map(|n| (finite_vec(n), finite_vec(n)))
+}
+
+/// Tolerance for comparing two summation orders of the same reduction:
+/// a few ulps per term, scaled by the sum of absolute terms (the bound
+/// |Σreordered − Σstrict| ≤ 2(n−1)·ε·Σ|tᵢ|, with slack).
+fn sum_order_tol(n: usize, abs_scale: f64) -> f64 {
+    4.0 * (n as f64 + 1.0) * f64::EPSILON * abs_scale.max(1.0)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_unrolled_matches_naive((a, b) in vec_pair()) {
+        let fast = dot(&a, &b);
+        let slow = ops::naive::dot(&a, &b);
+        let scale: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        prop_assert!((fast - slow).abs() <= sum_order_tol(a.len(), scale),
+            "dot len {}: {fast} vs {slow}", a.len());
+    }
+
+    #[test]
+    fn norm2_sq_unrolled_matches_naive((a, _) in vec_pair()) {
+        let fast = norm2_sq(&a);
+        let slow = ops::naive::norm2_sq(&a);
+        prop_assert!((fast - slow).abs() <= sum_order_tol(a.len(), slow),
+            "norm2_sq len {}: {fast} vs {slow}", a.len());
+    }
+
+    #[test]
+    fn gram3_unrolled_matches_naive((a, b) in vec_pair()) {
+        let (aa, bb, ab) = gram3(&a, &b);
+        let (naa, nbb, nab) = ops::naive::gram3(&a, &b);
+        let ab_scale: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        let tol = |s: f64| sum_order_tol(a.len(), s);
+        prop_assert!((aa - naa).abs() <= tol(naa), "aa len {}: {aa} vs {naa}", a.len());
+        prop_assert!((bb - nbb).abs() <= tol(nbb), "bb len {}: {bb} vs {nbb}", a.len());
+        prop_assert!((ab - nab).abs() <= tol(ab_scale), "ab len {}: {ab} vs {nab}", a.len());
+    }
+
+    #[test]
+    fn axpy_unrolled_is_bitwise_naive((x, y) in vec_pair(), alpha in -10.0..10.0f64) {
+        // axpy is element-wise (no reduction, no reassociation), so the
+        // unrolled kernel must agree with the naive loop *bitwise*
+        let mut fast = y.clone();
+        axpy(alpha, &x, &mut fast);
+        let mut slow = y;
+        ops::naive::axpy(alpha, &x, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn rotate_fused_matches_rotate_then_norms((a, b) in vec_pair(), theta in -0.78..0.78f64) {
+        let (c, s) = (theta.cos(), theta.sin());
+        let (mut xf, mut yf) = (a.clone(), b.clone());
+        let (na, nb) = rotate_fused(c, s, &mut xf, &mut yf);
+        let (mut xs, mut ys) = (a.clone(), b.clone());
+        let (sna, snb) = ops::naive::rotate_then_norms(c, s, &mut xs, &mut ys);
+        // rotated columns: identical per-element expressions, so bitwise
+        prop_assert_eq!(&xf, &xs);
+        prop_assert_eq!(&yf, &ys);
+        // accumulated norms: same sums in a different association order
+        prop_assert!((na - sna).abs() <= sum_order_tol(a.len(), sna),
+            "na len {}: {na} vs {sna}", a.len());
+        prop_assert!((nb - snb).abs() <= sum_order_tol(a.len(), snb),
+            "nb len {}: {nb} vs {snb}", a.len());
+    }
+
+    #[test]
+    fn rotate_fused_swapped_matches_unfused((a, b) in vec_pair(), theta in -0.78..0.78f64) {
+        let (c, s) = (theta.cos(), theta.sin());
+        let (mut xf, mut yf) = (a.clone(), b.clone());
+        let (na, nb) = rotate_fused_swapped(c, s, &mut xf, &mut yf);
+        // reference: unfused rotate, swap halves, then measure
+        let (mut xs, mut ys) = (a.clone(), b.clone());
+        ops::naive::rotate_then_norms(c, s, &mut xs, &mut ys);
+        std::mem::swap(&mut xs, &mut ys);
+        let (sna, snb) = (ops::naive::norm2_sq(&xs), ops::naive::norm2_sq(&ys));
+        prop_assert_eq!(&xf, &xs);
+        prop_assert_eq!(&yf, &ys);
+        prop_assert!((na - sna).abs() <= sum_order_tol(a.len(), sna));
+        prop_assert!((nb - snb).abs() <= sum_order_tol(a.len(), snb));
+    }
 
     #[test]
     fn gram3_matches_naive(a in finite_vec(12), b in finite_vec(12)) {

@@ -19,7 +19,7 @@
 //!
 //! so no explicit column interchange is ever performed.
 
-use crate::ops::gram3;
+use crate::ops::{gram3, rotate_fused, rotate_fused_swapped};
 
 /// A computed plane rotation `(c, s)` together with the Gram data that
 /// produced it.
@@ -47,6 +47,9 @@ pub struct PairOutcome {
     /// `|a_i · a_j|` before the rotation — the pair's contribution to the
     /// off-diagonal measure.
     pub off: f64,
+    /// Normalized pre-rotation coupling `|a_i·a_j| / (‖a_i‖‖a_j‖)` — the
+    /// convergence measure (0 when either column is zero).
+    pub coupling: f64,
     /// Squared norms `(‖a_i‖², ‖a_j‖²)` *after* the update.
     pub norms_sq_after: (f64, f64),
     /// Whether the swapped form (equation (3)) was used, i.e. the columns
@@ -124,6 +127,29 @@ pub fn apply_rotation_swapped(rot: Rotation, a: &mut [f64], b: &mut [f64]) {
     }
 }
 
+/// Apply a rotation to a column pair in a **single fused pass**, returning
+/// the updated squared norms `(‖a'‖², ‖b'‖²)` measured from the freshly
+/// written values.
+///
+/// This is the hot-path form of [`apply_rotation`] /
+/// [`apply_rotation_swapped`]: instead of rotating (one traversal) and then
+/// re-measuring both norms (two more traversals), the fused kernel in
+/// [`crate::ops`] produces the rotated columns and their exact squared norms
+/// in one sweep over the data. A skipped rotation with `swap = false` still
+/// measures the norms (one fused read-only pass semantically, implemented as
+/// the same kernel with `c = 1, s = 0`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn rotate_pair_fused(rot: Rotation, a: &mut [f64], b: &mut [f64], swap: bool) -> (f64, f64) {
+    if swap {
+        rotate_fused_swapped(rot.c, rot.s, a, b)
+    } else {
+        rotate_fused(rot.c, rot.s, a, b)
+    }
+}
+
 /// Orthogonalize a column pair in place, optionally keeping the larger-norm
 /// column on the *left* (first) slot, as required for sorted singular values
 /// (paper §3.2.1).
@@ -133,15 +159,26 @@ pub fn apply_rotation_swapped(rot: Rotation, a: &mut [f64], b: &mut [f64]) {
 /// swapped form of the update (equation (3)) is used, so the exchange costs
 /// nothing extra.
 ///
+/// The update itself uses the fused rotate-and-measure kernel
+/// ([`rotate_pair_fused`]), so the reported `norms_sq_after` are the *exact*
+/// squared norms of the written columns, not rotation-algebra estimates —
+/// and the whole pair costs ~2 column traversals (gram + fused apply)
+/// instead of ~5.
+///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn orthogonalize_pair(a: &mut [f64], b: &mut [f64], threshold: f64, sort_descending: bool) -> PairOutcome {
     let (alpha, beta, gamma) = gram3(a, b);
     let rot = compute_rotation(alpha, beta, gamma, threshold);
-    // Norms after a true rotation: the rotation transfers "mass" between the
-    // columns; alpha' = alpha - t*gamma, beta' = beta + t*gamma where
-    // t = s/c. Derive from the update directly to stay exact.
-    let (alpha_new, beta_new) = if rot.skipped {
+    let coupling = if alpha > 0.0 && beta > 0.0 {
+        gamma.abs() / (alpha.sqrt() * beta.sqrt())
+    } else {
+        0.0
+    };
+    // Predicted norms after the rotation (rotation algebra); used only to
+    // decide the swap before touching the data. The reported norms come
+    // from the fused kernel, i.e. from the written values themselves.
+    let (alpha_pred, beta_pred) = if rot.skipped {
         (alpha, beta)
     } else {
         let (c, s) = (rot.c, rot.s);
@@ -150,24 +187,19 @@ pub fn orthogonalize_pair(a: &mut [f64], b: &mut [f64], threshold: f64, sort_des
             s * s * alpha + 2.0 * c * s * gamma + c * c * beta,
         )
     };
-    let want_swap = sort_descending && beta_new > alpha_new;
-    if want_swap {
-        apply_rotation_swapped(rot, a, b);
-        PairOutcome {
+    let want_swap = sort_descending && beta_pred > alpha_pred;
+    if rot.skipped && !want_swap {
+        // Nothing to write: keep the exact Gram norms without another pass.
+        return PairOutcome {
             rotation: rot,
             off: gamma.abs(),
-            norms_sq_after: (beta_new, alpha_new),
-            used_swap: true,
-        }
-    } else {
-        apply_rotation(rot, a, b);
-        PairOutcome {
-            rotation: rot,
-            off: gamma.abs(),
-            norms_sq_after: (alpha_new, beta_new),
+            coupling,
+            norms_sq_after: (alpha, beta),
             used_swap: false,
-        }
+        };
     }
+    let norms_sq_after = rotate_pair_fused(rot, a, b, want_swap);
+    PairOutcome { rotation: rot, off: gamma.abs(), coupling, norms_sq_after, used_swap: want_swap }
 }
 
 #[cfg(test)]
@@ -276,6 +308,57 @@ mod tests {
         let mut b = b0;
         let out = orthogonalize_pair(&mut a, &mut b, 0.0, false);
         assert_close(out.off, expected, 0.0);
+    }
+
+    #[test]
+    fn rotate_pair_fused_matches_apply_then_measure() {
+        let a0 = vec![1.0, -2.0, 0.25, 4.0, -1.5];
+        let b0 = vec![0.5, 1.0, -3.0, 2.0, 0.75];
+        let (alpha, beta, gamma) = gram3(&a0, &b0);
+        let rot = compute_rotation(alpha, beta, gamma, 0.0);
+        for swap in [false, true] {
+            let (mut a1, mut b1) = (a0.clone(), b0.clone());
+            if swap {
+                apply_rotation_swapped(rot, &mut a1, &mut b1);
+            } else {
+                apply_rotation(rot, &mut a1, &mut b1);
+            }
+            let (mut a2, mut b2) = (a0.clone(), b0.clone());
+            let (na, nb) = rotate_pair_fused(rot, &mut a2, &mut b2, swap);
+            assert_eq!(a1, a2, "swap={swap}");
+            assert_eq!(b1, b2, "swap={swap}");
+            assert_close(na, norm2_sq(&a2), 1e-13 * na.max(1.0));
+            assert_close(nb, norm2_sq(&b2), 1e-13 * nb.max(1.0));
+        }
+    }
+
+    #[test]
+    fn outcome_norms_are_exact_measured_norms() {
+        let mut a = vec![1.0, 2.0, -0.5, 3.0, 0.25, -1.0, 2.0, 0.125, 4.0];
+        let mut b = vec![0.5, -1.0, 2.0, 1.0, -0.25, 0.5, 3.0, -2.0, 0.5];
+        let out = orthogonalize_pair(&mut a, &mut b, 0.0, false);
+        // Fused norms come from the written data, so they match a
+        // re-measurement to rounding of the reduction only.
+        assert_close(out.norms_sq_after.0, norm2_sq(&a), 1e-14 * out.norms_sq_after.0);
+        assert_close(out.norms_sq_after.1, norm2_sq(&b), 1e-14 * out.norms_sq_after.1);
+    }
+
+    #[test]
+    fn outcome_coupling_is_normalized() {
+        let a0 = vec![2.0, 0.0];
+        let b0 = vec![1.0, 1.0];
+        let (alpha, beta, gamma) = gram3(&a0, &b0);
+        let expected = gamma.abs() / (alpha.sqrt() * beta.sqrt());
+        let (mut a, mut b) = (a0, b0);
+        let out = orthogonalize_pair(&mut a, &mut b, 0.0, false);
+        assert_close(out.coupling, expected, 1e-15);
+        assert!(out.coupling <= 1.0 + 1e-15);
+
+        // zero column → coupling defined as 0
+        let mut z = vec![0.0, 0.0];
+        let mut c = vec![1.0, 1.0];
+        let out = orthogonalize_pair(&mut z, &mut c, 0.0, false);
+        assert_eq!(out.coupling, 0.0);
     }
 
     #[test]

@@ -76,6 +76,13 @@ impl Phase {
         self.max_level
     }
 
+    /// Recover the message buffer, so callers that build phases in a loop
+    /// can recycle its allocation.
+    #[must_use]
+    pub fn into_messages(self) -> Vec<Message> {
+        self.messages
+    }
+
     /// Total message count (excluding src == dst no-ops).
     pub fn message_count(&self) -> usize {
         self.messages.iter().filter(|m| m.src != m.dst).count()

@@ -1,8 +1,20 @@
 //! Executing a sweep program on real column data.
+//!
+//! The hot path is allocation-free after warm-up: all per-step buffers
+//! (permuted slots/layout/norms, pair reports, phase messages) live in a
+//! reusable [`ExecScratch`], and the rotation kernel is the fused
+//! rotate-and-measure pass from `treesvd-matrix`. Steps whose work is
+//! below [`ExecConfig::serial_cutoff`] run serially; larger steps fork
+//! across host cores with [`crate::par::join`].
 
 use crate::machine::Machine;
-use rayon::prelude::*;
-use treesvd_matrix::rotation::orthogonalize_pair;
+use crate::par;
+use treesvd_matrix::ops;
+use treesvd_matrix::rotation::{
+    apply_rotation, apply_rotation_swapped, compute_rotation, orthogonalize_pair,
+    rotate_pair_fused,
+};
+use treesvd_net::routing::comm_level;
 use treesvd_net::{Message, Phase, PhaseCost};
 use treesvd_orderings::{ColIndex, Program};
 
@@ -30,13 +42,34 @@ pub struct ExecConfig {
     /// optimization (saves the `a·a` and `b·b` dot products per pair,
     /// roughly 30% of the rotation flops). Norms are recomputed exactly at
     /// the start of every sweep, so drift stays bounded; results may differ
-    /// from the uncached path in the last ulp.
+    /// from the uncached path in the last ulp. With the fused rotation
+    /// kernel the cache is refreshed from the *measured* norms of each
+    /// rotated pair (free — the fused pass produces them anyway), so only
+    /// skipped pairs carry the cached value forward.
     pub cached_norms: bool,
+    /// Adaptive dispatch cutoff: when a step's work — `n · m` data words,
+    /// plus `n · n` when `V` is accumulated — is below this, the rotation
+    /// phase runs serially on the calling thread instead of forking scoped
+    /// threads. Forking costs tens of microseconds per step; small problems
+    /// are faster without it. Set to `0` to always fork, `usize::MAX` to
+    /// always run serially.
+    pub serial_cutoff: usize,
+}
+
+impl ExecConfig {
+    /// Default [`serial_cutoff`](Self::serial_cutoff): roughly the
+    /// per-step word count where forking starts to pay for itself.
+    pub const DEFAULT_SERIAL_CUTOFF: usize = 1 << 16;
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { threshold: 1e-14, sort: SortMode::Descending, cached_norms: false }
+        Self {
+            threshold: 1e-14,
+            sort: SortMode::Descending,
+            cached_norms: false,
+            serial_cutoff: Self::DEFAULT_SERIAL_CUTOFF,
+        }
     }
 }
 
@@ -159,12 +192,65 @@ pub(crate) struct PairReport {
     pub(crate) coupling: f64,
 }
 
+/// Reusable per-sweep working memory for [`execute_program_with_scratch`].
+///
+/// The executor permutes columns, refreshes norm caches, collects pair
+/// reports and builds communication phases on every step; doing that with
+/// fresh `Vec`s is pure allocator churn. A scratch owns all of those
+/// buffers and hands them back after each step, so after the first step of
+/// the first sweep (the warm-up) the executor performs **zero heap
+/// allocations per step** — asserted by [`alloc_events`](Self::alloc_events),
+/// which counts every time a scratch buffer had to grow.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    new_slots: Vec<SlotData>,
+    new_layout: Vec<ColIndex>,
+    norm_cache: Vec<f64>,
+    new_norms: Vec<f64>,
+    reports: Vec<PairReport>,
+    messages: Vec<Message>,
+    alloc_events: u64,
+}
+
+impl ExecScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many times any scratch buffer has had to (re)allocate since
+    /// creation. Stable across repeated same-shape executions after the
+    /// first — the executor's zero-alloc-per-step guarantee.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+
+    fn grow<T: Clone + Default>(v: &mut Vec<T>, len: usize, events: &mut u64) {
+        if v.capacity() < len {
+            *events += 1;
+        }
+        v.resize(len, T::default());
+    }
+
+    /// Size every buffer for an `n`-column program.
+    fn ensure(&mut self, n: usize, cached: bool) {
+        Self::grow(&mut self.new_slots, n, &mut self.alloc_events);
+        Self::grow(&mut self.new_layout, n, &mut self.alloc_events);
+        Self::grow(&mut self.reports, n / 2, &mut self.alloc_events);
+        if cached {
+            Self::grow(&mut self.norm_cache, n, &mut self.alloc_events);
+            Self::grow(&mut self.new_norms, n, &mut self.alloc_events);
+        } else {
+            self.norm_cache.clear();
+        }
+    }
+}
+
 /// Execute one sweep program against the column store.
 ///
-/// Rotations of a step run in parallel over processors (each processor's
-/// pair occupies two adjacent slots, so `par_chunks_mut(2)` gives
-/// data-race-free disjoint access); movement is applied between steps and
-/// costed on the machine's topology.
+/// Convenience wrapper around [`execute_program_with_scratch`] that pays
+/// for a fresh [`ExecScratch`] every call; drivers executing many sweeps
+/// should hold a scratch and call the explicit variant.
 ///
 /// # Panics
 /// Panics if the program's size disagrees with the store or machine.
@@ -174,6 +260,28 @@ pub fn execute_program(
     store: &mut ColumnStore,
     config: &ExecConfig,
 ) -> SweepStats {
+    let mut scratch = ExecScratch::new();
+    execute_program_with_scratch(machine, program, store, config, &mut scratch)
+}
+
+/// Execute one sweep program against the column store, reusing `scratch`
+/// for all per-step working memory.
+///
+/// Rotations of a step run in parallel over processors (each processor's
+/// pair occupies two adjacent slots, so a recursive split at even offsets
+/// gives data-race-free disjoint access); steps below
+/// [`ExecConfig::serial_cutoff`] run serially. Movement is applied between
+/// steps and costed on the machine's topology.
+///
+/// # Panics
+/// Panics if the program's size disagrees with the store or machine.
+pub fn execute_program_with_scratch(
+    machine: &Machine,
+    program: &Program,
+    store: &mut ColumnStore,
+    config: &ExecConfig,
+    scratch: &mut ExecScratch,
+) -> SweepStats {
     let n = program.n;
     assert_eq!(store.n(), n, "store/program size mismatch");
     assert!(machine.slots() >= n, "machine too small for the program");
@@ -181,7 +289,8 @@ pub fn execute_program(
 
     let m = store.m();
     let accumulate_v = !store.slots[0].v.is_empty();
-    let words_per_column = (m + if accumulate_v { n } else { 0 }) as u64;
+    let column_words = m + if accumulate_v { n } else { 0 };
+    let words_per_column = column_words as u64;
 
     let mut stats = SweepStats {
         rotations: 0,
@@ -194,57 +303,29 @@ pub fn execute_program(
         level_histogram: vec![0; machine.topology().levels() + 1],
     };
 
-    // exact norms at sweep start when the cache is enabled
-    let mut norm_cache: Vec<f64> = if config.cached_norms {
-        store.slots.iter().map(|s| treesvd_matrix::ops::norm2_sq(&s.a)).collect()
+    scratch.ensure(n, config.cached_norms);
+    if config.cached_norms {
+        // exact norms at sweep start
+        for (c, s) in scratch.norm_cache.iter_mut().zip(store.slots.iter()) {
+            *c = ops::norm2_sq(&s.a);
+        }
+    }
+
+    // Adaptive dispatch: fork only when a step moves enough data to
+    // amortize the scoped-thread spawns.
+    let step_work = n * column_words;
+    let tasks = if step_work < config.serial_cutoff {
+        1
     } else {
-        Vec::new()
+        par::num_threads().min(n / 2).max(1)
     };
+    let ctx = RotCtx { threshold: config.threshold, sort: config.sort };
 
     for step in &program.steps {
-        // --- compute phase: rotate every processor's pair in parallel ---
-        let sort = config.sort;
-        let threshold = config.threshold;
-        let cached = config.cached_norms;
-        let layout = &store.layout;
-        let reports: Vec<PairReport> = if cached {
-            store
-                .slots
-                .par_chunks_mut(2)
-                .zip(norm_cache.par_chunks_mut(2))
-                .enumerate()
-                .map(|(p, (pair, norms))| {
-                    let (left, right) = pair.split_at_mut(1);
-                    let (nl, nr) = norms.split_at_mut(1);
-                    let small_label_on_left = layout[2 * p] < layout[2 * p + 1];
-                    rotate_pair_cached(
-                        &mut left[0],
-                        &mut right[0],
-                        &mut nl[0],
-                        &mut nr[0],
-                        threshold,
-                        sort,
-                        small_label_on_left,
-                    )
-                })
-                .collect()
-        } else {
-            store
-                .slots
-                .par_chunks_mut(2)
-                .enumerate()
-                .map(|(p, pair)| {
-                    let (left, right) = pair.split_at_mut(1);
-                    let left = &mut left[0];
-                    let right = &mut right[0];
-                    // sorting rule: the larger-norm column must end in the slot
-                    // holding the smaller index label
-                    let small_label_on_left = layout[2 * p] < layout[2 * p + 1];
-                    rotate_pair(left, right, threshold, sort, small_label_on_left)
-                })
-                .collect()
-        };
-        for r in &reports {
+        // --- compute phase: rotate every processor's pair ---
+        let ColumnStore { slots, layout } = &mut *store;
+        rotate_pairs(slots, &mut scratch.norm_cache, &mut scratch.reports, layout, 0, tasks, &ctx);
+        for r in &scratch.reports {
             if r.rotated {
                 stats.rotations += 1;
             } else {
@@ -255,39 +336,95 @@ pub fn execute_program(
             }
             stats.max_coupling = stats.max_coupling.max(r.coupling);
         }
-        stats.compute_time += machine.cost().rotation_cost(m + if accumulate_v { n } else { 0 });
+        stats.compute_time += machine.cost().rotation_cost(column_words);
 
         // --- communication phase: apply move_after ---
-        let messages: Vec<Message> = step
-            .move_after
-            .inter_processor_moves()
-            .into_iter()
-            .map(|(f, t)| Message { src: f / 2, dst: t / 2, words: words_per_column })
-            .collect();
-        let phase = Phase::new(machine.topology(), messages);
-        for (lvl, count) in phase.level_histogram(machine.topology()).iter().enumerate() {
-            stats.level_histogram[lvl] += count;
+        let cap_before = scratch.messages.capacity();
+        scratch.messages.clear();
+        for (s, &d) in step.move_after.as_dest_slice().iter().enumerate() {
+            if s / 2 != d / 2 {
+                scratch.messages.push(Message { src: s / 2, dst: d / 2, words: words_per_column });
+            }
         }
+        if scratch.messages.capacity() > cap_before {
+            scratch.alloc_events += 1;
+        }
+        for msg in &scratch.messages {
+            stats.level_histogram[comm_level(msg.src, msg.dst)] += 1;
+        }
+        let phase = Phase::new(machine.topology(), std::mem::take(&mut scratch.messages));
         let cost = machine.cost().phase_cost(machine.topology(), &phase);
         stats.comm_time += cost.time;
         stats.phases.push(cost);
+        scratch.messages = phase.into_messages();
 
-        // physically move the columns (and the layout labels)
-        apply_movement(store, &step.move_after);
-        if config.cached_norms {
-            let mut new_norms = vec![0.0; norm_cache.len()];
-            for (s, &v) in norm_cache.iter().enumerate() {
-                new_norms[step.move_after.dest_of(s)] = v;
-            }
-            norm_cache = new_norms;
-        }
+        // physically move the columns (and the layout labels, and the
+        // cached norms when enabled)
+        apply_movement(store, &step.move_after, scratch);
     }
     stats
 }
 
+/// Per-pair rotation parameters shared across the fork tree.
+#[derive(Clone, Copy)]
+struct RotCtx {
+    threshold: f64,
+    sort: SortMode,
+}
+
+/// Rotate the pairs covered by `slots`/`reports` (pair `p` of this chunk is
+/// global pair `base + p`), forking into at most `tasks` leaves. `norms` is
+/// the matching chunk of the norm cache, or empty when caching is off.
+fn rotate_pairs(
+    slots: &mut [SlotData],
+    norms: &mut [f64],
+    reports: &mut [PairReport],
+    layout: &[ColIndex],
+    base: usize,
+    tasks: usize,
+    ctx: &RotCtx,
+) {
+    let pairs = reports.len();
+    if tasks > 1 && pairs > 1 {
+        let mid = pairs / 2;
+        let (sl, sr) = slots.split_at_mut(2 * mid);
+        let (rl, rr) = reports.split_at_mut(mid);
+        let (nl, nr) = norms.split_at_mut(if norms.is_empty() { 0 } else { 2 * mid });
+        par::join(
+            || rotate_pairs(sl, nl, rl, layout, base, tasks / 2, ctx),
+            || rotate_pairs(sr, nr, rr, layout, base + mid, tasks - tasks / 2, ctx),
+        );
+        return;
+    }
+    let cached = !norms.is_empty();
+    for (p, (pair, rep)) in slots.chunks_exact_mut(2).zip(reports.iter_mut()).enumerate() {
+        let (left, right) = pair.split_at_mut(1);
+        // sorting rule: the larger-norm column must end in the slot holding
+        // the smaller index label
+        let g = base + p;
+        let small_label_on_left = layout[2 * g] < layout[2 * g + 1];
+        *rep = if cached {
+            let (nl, nr) = norms[2 * p..2 * p + 2].split_at_mut(1);
+            rotate_pair_cached(
+                &mut left[0],
+                &mut right[0],
+                &mut nl[0],
+                &mut nr[0],
+                ctx.threshold,
+                ctx.sort,
+                small_label_on_left,
+            )
+        } else {
+            rotate_pair(&mut left[0], &mut right[0], ctx.threshold, ctx.sort, small_label_on_left)
+        };
+    }
+}
+
 /// The cached-norms variant of [`rotate_pair`]: `alpha` and `beta` come
-/// from the cache; only `gamma = a·b` is computed, and the cache is
-/// updated from the rotation algebra.
+/// from the cache; only `gamma = a·b` is computed. The cache is refreshed
+/// with the *measured* norms the fused kernel produces, so (unlike the
+/// classical rotation-algebra update) cached values do not drift between
+/// the per-sweep exact recomputations.
 fn rotate_pair_cached(
     left: &mut SlotData,
     right: &mut SlotData,
@@ -297,53 +434,35 @@ fn rotate_pair_cached(
     sort: SortMode,
     small_label_on_left: bool,
 ) -> PairReport {
-    use treesvd_matrix::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation};
-
     let alpha = *left_norm_sq;
     let beta = *right_norm_sq;
-    let gamma = treesvd_matrix::ops::dot(&left.a, &right.a);
+    let gamma = ops::dot(&left.a, &right.a);
     let coupling = if alpha > 0.0 && beta > 0.0 {
         gamma.abs() / (alpha.sqrt() * beta.sqrt())
     } else {
         0.0
     };
     let rot = compute_rotation(alpha, beta, gamma, threshold);
-    let (alpha_new, beta_new) = if rot.skipped {
-        (alpha, beta)
-    } else {
-        let (c, s) = (rot.c, rot.s);
-        (
-            c * c * alpha - 2.0 * c * s * gamma + s * s * beta,
-            s * s * alpha + 2.0 * c * s * gamma + c * c * beta,
-        )
-    };
-    let need_swap = match sort {
-        SortMode::None => false,
-        SortMode::Descending => {
-            let larger_on_left_wanted = small_label_on_left;
-            let larger_ends_left = alpha_new >= beta_new;
-            larger_on_left_wanted != larger_ends_left
-        }
-    };
-    if need_swap {
-        apply_rotation_swapped(rot, &mut left.a, &mut right.a);
-        if !left.v.is_empty() {
+    let need_swap = need_swap(rot, alpha, beta, gamma, sort, small_label_on_left);
+    if rot.skipped && !need_swap {
+        return PairReport { rotated: false, swapped: false, coupling };
+    }
+    let (na, nb) = rotate_pair_fused(rot, &mut left.a, &mut right.a, need_swap);
+    *left_norm_sq = na;
+    *right_norm_sq = nb;
+    if !left.v.is_empty() {
+        if need_swap {
             apply_rotation_swapped(rot, &mut left.v, &mut right.v);
-        }
-        *left_norm_sq = beta_new;
-        *right_norm_sq = alpha_new;
-    } else {
-        apply_rotation(rot, &mut left.a, &mut right.a);
-        if !left.v.is_empty() {
+        } else {
             apply_rotation(rot, &mut left.v, &mut right.v);
         }
-        *left_norm_sq = alpha_new;
-        *right_norm_sq = beta_new;
     }
     PairReport { rotated: !rot.skipped, swapped: need_swap, coupling }
 }
 
-/// Orthogonalize one resident pair, honouring the sorting rule.
+/// Orthogonalize one resident pair, honouring the sorting rule, with the
+/// fused rotate-and-measure kernel (one pass instead of rotate + two norm
+/// re-measurements).
 pub(crate) fn rotate_pair(
     left: &mut SlotData,
     right: &mut SlotData,
@@ -351,28 +470,43 @@ pub(crate) fn rotate_pair(
     sort: SortMode,
     small_label_on_left: bool,
 ) -> PairReport {
-    use treesvd_matrix::ops::gram3;
-    use treesvd_matrix::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation};
-
-    let (alpha, beta, gamma) = gram3(&left.a, &right.a);
+    let (alpha, beta, gamma) = ops::gram3(&left.a, &right.a);
     let coupling = if alpha > 0.0 && beta > 0.0 {
         gamma.abs() / (alpha.sqrt() * beta.sqrt())
     } else {
         0.0
     };
-
-    match sort {
-        SortMode::None => {
-            let rot = compute_rotation(alpha, beta, gamma, threshold);
-            apply_rotation(rot, &mut left.a, &mut right.a);
-            if !left.v.is_empty() {
-                apply_rotation(rot, &mut left.v, &mut right.v);
-            }
-            PairReport { rotated: !rot.skipped, swapped: false, coupling }
+    let rot = compute_rotation(alpha, beta, gamma, threshold);
+    let need_swap = need_swap(rot, alpha, beta, gamma, sort, small_label_on_left);
+    if rot.skipped && !need_swap {
+        return PairReport { rotated: false, swapped: false, coupling };
+    }
+    let _ = rotate_pair_fused(rot, &mut left.a, &mut right.a, need_swap);
+    if !left.v.is_empty() {
+        if need_swap {
+            apply_rotation_swapped(rot, &mut left.v, &mut right.v);
+        } else {
+            apply_rotation(rot, &mut left.v, &mut right.v);
         }
+    }
+    PairReport { rotated: !rot.skipped, swapped: need_swap, coupling }
+}
+
+/// Decide whether the swapped update (equation (3)) is required: under
+/// [`SortMode::Descending`] the larger-norm column must end up in the slot
+/// holding the smaller index label. Uses the rotation-algebra predicted
+/// norms so the decision is made before touching the column data.
+fn need_swap(
+    rot: treesvd_matrix::rotation::Rotation,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    sort: SortMode,
+    small_label_on_left: bool,
+) -> bool {
+    match sort {
+        SortMode::None => false,
         SortMode::Descending => {
-            let rot = compute_rotation(alpha, beta, gamma, threshold);
-            // norms after the rotation
             let (alpha_new, beta_new) = if rot.skipped {
                 (alpha, beta)
             } else {
@@ -382,55 +516,58 @@ pub(crate) fn rotate_pair(
                     s * s * alpha + 2.0 * c * s * gamma + c * c * beta,
                 )
             };
-            // the larger-norm column belongs in the smaller label's slot
             let larger_on_left_wanted = small_label_on_left;
             let larger_ends_left = alpha_new >= beta_new;
-            let need_swap = larger_on_left_wanted != larger_ends_left;
-            if need_swap {
-                apply_rotation_swapped(rot, &mut left.a, &mut right.a);
-                if !left.v.is_empty() {
-                    apply_rotation_swapped(rot, &mut left.v, &mut right.v);
-                }
-            } else {
-                apply_rotation(rot, &mut left.a, &mut right.a);
-                if !left.v.is_empty() {
-                    apply_rotation(rot, &mut left.v, &mut right.v);
-                }
-            }
-            PairReport { rotated: !rot.skipped, swapped: need_swap, coupling }
+            larger_on_left_wanted != larger_ends_left
         }
     }
 }
 
-/// Apply a slot permutation to the store (columns and layout labels).
-fn apply_movement(store: &mut ColumnStore, perm: &treesvd_orderings::schedule::Permutation) {
+/// Apply a slot permutation to the store (columns, layout labels, and the
+/// cached norms when enabled), recycling the scratch's buffers.
+fn apply_movement(
+    store: &mut ColumnStore,
+    perm: &treesvd_orderings::schedule::Permutation,
+    scratch: &mut ExecScratch,
+) {
     let n = store.n();
-    let mut new_slots: Vec<SlotData> = (0..n).map(|_| SlotData::default()).collect();
-    let mut new_layout = vec![0usize; n];
-    let old_slots = std::mem::take(&mut store.slots);
-    for (s, data) in old_slots.into_iter().enumerate() {
+    for s in 0..n {
         let d = perm.dest_of(s);
-        new_slots[d] = data;
-        new_layout[d] = store.layout[s];
+        scratch.new_slots[d] = std::mem::take(&mut store.slots[s]);
+        scratch.new_layout[d] = store.layout[s];
     }
-    store.slots = new_slots;
-    store.layout = new_layout;
+    std::mem::swap(&mut store.slots, &mut scratch.new_slots);
+    std::mem::swap(&mut store.layout, &mut scratch.new_layout);
+    if !scratch.norm_cache.is_empty() {
+        for s in 0..n {
+            scratch.new_norms[perm.dest_of(s)] = scratch.norm_cache[s];
+        }
+        std::mem::swap(&mut scratch.norm_cache, &mut scratch.new_norms);
+    }
 }
+
+/// Work threshold (in multiply-adds) below which [`off_measure`] stays
+/// serial.
+const OFF_MEASURE_SERIAL_CUTOFF: usize = 1 << 17;
 
 /// The exact off-diagonal measure of the store's columns:
 /// `off = sqrt(sum_{i<j} (a_i . a_j)^2)` — the quantity whose per-sweep
 /// decay is ultimately quadratic (paper §1). O(n² m): use for
-/// instrumentation, not in the hot path.
+/// instrumentation, not in the hot path. Large stores are measured in
+/// parallel (strided over `i` to balance the triangular loop).
 pub fn off_measure(store: &ColumnStore) -> f64 {
     let n = store.n();
-    let mut acc = 0.0;
-    for i in 0..n {
+    let work = n * n * store.m() / 2;
+    let tasks = if work < OFF_MEASURE_SERIAL_CUTOFF { 1 } else { par::num_threads() };
+    par::par_sum_indexed(n, tasks, |i| {
+        let mut acc = 0.0;
         for j in (i + 1)..n {
-            let d = treesvd_matrix::ops::dot(&store.slots[i].a, &store.slots[j].a);
+            let d = ops::dot(&store.slots[i].a, &store.slots[j].a);
             acc += d * d;
         }
-    }
-    acc.sqrt()
+        acc
+    })
+    .sqrt()
 }
 
 /// Orthogonalize a free-standing column pair (utility shared with the
@@ -563,6 +700,86 @@ mod tests {
         let cfg = ExecConfig { threshold: 1e-12, sort: SortMode::None, ..ExecConfig::default() };
         let stats = execute_program(&mac, &prog, &mut store, &cfg);
         assert!(stats.is_converged(), "{stats:?}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_zero_alloc_after_warmup() {
+        // after one sweep warms the scratch up, further sweeps of the same
+        // shape must not grow any scratch buffer — the zero-alloc-per-step
+        // acceptance criterion.
+        for cached in [false, true] {
+            let n = 8;
+            let ord = RoundRobinOrdering::new(n).unwrap();
+            let mut store = store_from(12, n, 21, false);
+            let mac = machine(n);
+            let cfg = ExecConfig { cached_norms: cached, ..ExecConfig::default() };
+            let mut scratch = ExecScratch::new();
+            let mut layout = ord.initial_layout();
+            let prog = ord.sweep_program(0, &layout);
+            execute_program_with_scratch(&mac, &prog, &mut store, &cfg, &mut scratch);
+            layout = prog.final_layout();
+            let warm = scratch.alloc_events();
+            assert!(warm > 0, "warm-up should have populated the scratch");
+            for k in 1..4 {
+                let prog = ord.sweep_program(k, &layout);
+                execute_program_with_scratch(&mac, &prog, &mut store, &cfg, &mut scratch);
+                layout = prog.final_layout();
+            }
+            assert_eq!(
+                scratch.alloc_events(),
+                warm,
+                "scratch reallocated after warm-up (cached={cached})"
+            );
+        }
+    }
+
+    #[test]
+    fn forked_execution_matches_serial_bitwise() {
+        // the fork tree partitions the same disjoint pairs, so forcing
+        // parallel dispatch must give bit-identical columns to serial.
+        for cached in [false, true] {
+            let n = 16;
+            let ord = FatTreeOrdering::new(n).unwrap();
+            let mac = machine(n);
+            let run = |cutoff: usize| -> ColumnStore {
+                let mut store = store_from(20, n, 22, true);
+                let cfg = ExecConfig {
+                    cached_norms: cached,
+                    serial_cutoff: cutoff,
+                    ..ExecConfig::default()
+                };
+                let mut layout = ord.initial_layout();
+                for k in 0..3 {
+                    let prog = ord.sweep_program(k, &layout);
+                    execute_program(&mac, &prog, &mut store, &cfg);
+                    layout = prog.final_layout();
+                }
+                store
+            };
+            let serial = run(usize::MAX);
+            let forked = run(0);
+            assert_eq!(serial.layout, forked.layout);
+            for (s, f) in serial.slots.iter().zip(forked.slots.iter()) {
+                assert_eq!(s.a, f.a, "cached={cached}");
+                assert_eq!(s.v, f.v, "cached={cached}");
+            }
+        }
+    }
+
+    #[test]
+    fn off_measure_parallel_matches_serial_closely() {
+        // large enough to cross OFF_MEASURE_SERIAL_CUTOFF
+        let store = store_from(64, 128, 23, false);
+        let par = off_measure(&store);
+        let mut acc = 0.0;
+        for i in 0..store.n() {
+            for j in (i + 1)..store.n() {
+                let d = ops::dot(&store.slots[i].a, &store.slots[j].a);
+                acc += d * d;
+            }
+        }
+        let serial = acc.sqrt();
+        assert!((par - serial).abs() <= 1e-12 * serial.max(1.0), "{par} vs {serial}");
     }
 
     #[test]

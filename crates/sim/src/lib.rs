@@ -9,7 +9,8 @@
 //! 1. every processor orthogonalizes its resident column pair (a real
 //!    Hestenes rotation on real data — the simulator *is* the parallel
 //!    machine, not a trace replayer); the per-step rotations run on real
-//!    host cores via rayon, since pairs touch disjoint columns;
+//!    host cores via a scoped fork–join ([`par`]), since pairs touch
+//!    disjoint columns — with an adaptive serial cutoff for small steps;
 //! 2. the step's `move_after` permutation becomes a communication phase:
 //!    inter-leaf column movements are routed through the tree and costed
 //!    by the [`CostModel`](treesvd_net::CostModel).
@@ -40,10 +41,14 @@ pub mod analyze;
 pub mod distributed;
 pub mod exec;
 pub mod machine;
+pub mod par;
 pub mod timeline;
 
 pub use analyze::{analyze_program, CommReport};
 pub use distributed::{distributed_svd, DistributedOutcome};
-pub use exec::{execute_program, off_measure, ColumnStore, ExecConfig, SortMode, SweepStats};
+pub use exec::{
+    execute_program, execute_program_with_scratch, off_measure, ColumnStore, ExecConfig,
+    ExecScratch, SortMode, SweepStats,
+};
 pub use machine::Machine;
 pub use timeline::{StepTiming, Timeline};

@@ -1,0 +1,103 @@
+//! Minimal fork–join parallelism on `std::thread::scope`.
+//!
+//! The executor previously leaned on an external work-stealing pool; the
+//! rotation step's parallel structure is actually static (disjoint column
+//! pairs, one per processor), so a recursive binary fork over scoped
+//! threads is all it needs. [`join`] runs two closures concurrently and
+//! blocks for both; callers build a balanced tree by recursing, so `t`-way
+//! parallelism costs `t − 1` thread spawns — which the executor's adaptive
+//! serial cutoff only pays when the per-step work is large enough to
+//! amortize it.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads worth forking into: the machine's available
+/// parallelism, probed once and cached.
+pub fn num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    })
+}
+
+/// Run both closures, `b` on a freshly scoped thread and `a` on the caller,
+/// and return both results. Panics in either closure propagate.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("forked task panicked");
+        (ra, rb)
+    })
+}
+
+/// Parallel sum of `f(i)` over `i in 0..count` using up to `tasks` scoped
+/// threads with a strided index assignment (balances triangular loops).
+/// Falls back to a serial loop for `tasks <= 1`.
+pub fn par_sum_indexed<F>(count: usize, tasks: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let tasks = tasks.clamp(1, count.max(1));
+    if tasks <= 1 {
+        return (0..count).map(&f).sum();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..tasks)
+            .map(|t| {
+                let f = &f;
+                s.spawn(move || (t..count).step_by(tasks).map(f).sum::<f64>())
+            })
+            .collect();
+        let mine: f64 = (0..count).step_by(tasks).map(&f).sum();
+        mine + handles.into_iter().map(|h| h.join().expect("sum task panicked")).sum::<f64>()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "forked");
+        assert_eq!(a, 4);
+        assert_eq!(b, "forked");
+    }
+
+    #[test]
+    fn join_recursion_builds_a_tree() {
+        fn sum(range: std::ops::Range<u64>, tasks: usize) -> u64 {
+            let len = range.end - range.start;
+            if tasks <= 1 || len <= 1 {
+                return range.sum();
+            }
+            let mid = range.start + len / 2;
+            let (lo, hi) =
+                join(|| sum(range.start..mid, tasks / 2), || sum(mid..range.end, tasks - tasks / 2));
+            lo + hi
+        }
+        assert_eq!(sum(0..1000, 8), 499_500);
+    }
+
+    #[test]
+    fn par_sum_matches_serial() {
+        let f = |i: usize| (i as f64).sqrt();
+        let serial: f64 = (0..500).map(f).sum();
+        for tasks in [1, 2, 3, 7] {
+            let par = par_sum_indexed(500, tasks, f);
+            assert!((par - serial).abs() < 1e-9 * serial, "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        assert!(num_threads() >= 1);
+        assert_eq!(num_threads(), num_threads());
+    }
+}

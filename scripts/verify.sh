@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo verification gate: tier-1 build + tests, then a quick kernel
+# smoke benchmark (the fused rotate-and-measure kernel must not lose to
+# the unfused rotate-then-renormalize sequence it replaced; see
+# "Performance notes" in README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --workspace
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --workspace
+
+echo "== bench smoke: fused vs unfused rotation (512x64) =="
+cargo run --release -p treesvd-bench --bin bench_kernels -- --smoke
+
+echo "verify.sh: all gates passed"
