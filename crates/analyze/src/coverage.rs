@@ -1,0 +1,195 @@
+//! Pair coverage and order restoration — the paper's §3 sweep invariants.
+//!
+//! A *valid sweep* consists of `n(n−1)/2` rotations in which every
+//! unordered column pair meets exactly once, partitioned into steps of
+//! `n/2` disjoint pairs; the paper's tree orderings additionally restore
+//! the original index order at the end of every period. This module is the
+//! canonical implementation of those checks for the whole workspace — the
+//! orderings' own test helpers delegate here.
+
+use crate::permutation::verify_permutation_safety;
+use crate::report::Violation;
+use std::collections::HashMap;
+use treesvd_orderings::schedule::pair_key;
+use treesvd_orderings::{JacobiOrdering, Program};
+
+/// Verify that one sweep meets every unordered pair exactly once.
+///
+/// Implies (and first runs) the permutation-safety check: pair coverage is
+/// meaningless over a corrupted ownership map.
+///
+/// # Errors
+/// The first [`Violation`] found, naming the step and the offending pair.
+pub fn verify_coverage(prog: &Program) -> Result<(), Violation> {
+    verify_permutation_safety(prog)?;
+    let n = prog.n;
+    let mut met: HashMap<(usize, usize), usize> = HashMap::new();
+    for (step, pairs) in prog.step_pairs().iter().enumerate() {
+        for &(a, b) in pairs {
+            if a == b {
+                return Err(Violation::DegeneratePair { step, index: a });
+            }
+            let key = pair_key(a, b);
+            if let Some(&first_step) = met.get(&key) {
+                return Err(Violation::PairRepeated { step, first_step, pair: key });
+            }
+            met.insert(key, step);
+        }
+    }
+    let expected = n * (n - 1) / 2;
+    if met.len() != expected {
+        let example = first_missing_pair(n, &met);
+        return Err(Violation::PairsMissed { covered: met.len(), expected, example });
+    }
+    Ok(())
+}
+
+fn first_missing_pair(n: usize, met: &HashMap<(usize, usize), usize>) -> (usize, usize) {
+    for a in 0..n {
+        for b in a + 1..n {
+            if !met.contains_key(&(a, b)) {
+                return (a, b);
+            }
+        }
+    }
+    (0, 0)
+}
+
+/// Verify the paper's order-restoration property: after exactly
+/// `ord.restore_period()` sweeps the slot layout returns to the initial
+/// layout — and not a sweep earlier (the period claim must be tight).
+///
+/// # Errors
+/// [`Violation::LayoutNotRestored`] or [`Violation::RestoredEarly`].
+pub fn verify_restore(ord: &dyn JacobiOrdering) -> Result<(), Violation> {
+    let period = ord.restore_period().max(1);
+    let initial = ord.initial_layout();
+    let mut layout = initial.clone();
+    for sweep in 0..period {
+        let prog = ord.sweep_program(sweep, &layout);
+        layout = prog.final_layout();
+        if sweep + 1 < period && layout == initial {
+            return Err(Violation::RestoredEarly { sweeps: sweep + 1, claimed: period });
+        }
+    }
+    if let Some(slot) = (0..initial.len()).find(|&s| layout[s] != initial[s]) {
+        return Err(Violation::LayoutNotRestored {
+            sweeps: period,
+            slot,
+            expected: initial[slot],
+            found: layout[slot],
+        });
+    }
+    Ok(())
+}
+
+/// Assert that *every* sweep in the ordering's restore period is a valid
+/// parallel sweep, panicking with the step-precise violation on failure.
+/// Drop-in replacement for the checker the ordering test suites used
+/// before the analyzer existed.
+///
+/// # Panics
+/// Panics if any sweep in the period is invalid.
+pub fn assert_valid_sweep(ord: &dyn JacobiOrdering) {
+    let period = ord.restore_period().max(1);
+    for (k, prog) in ord.programs(period).iter().enumerate() {
+        if let Err(v) = verify_coverage(prog) {
+            panic!("{}: sweep {k} invalid: {v}", ord.name());
+        }
+    }
+}
+
+/// Assert the order-restoration property after exactly `sweeps` sweeps,
+/// panicking with the violation otherwise (including a premature restore).
+///
+/// # Panics
+/// Panics if the layout is not restored, or restored too early.
+pub fn check_restores_after(ord: &dyn JacobiOrdering, sweeps: usize) {
+    assert_eq!(
+        ord.restore_period().max(1),
+        sweeps,
+        "{}: claimed period differs from the expected sweep count",
+        ord.name()
+    );
+    if let Err(v) = verify_restore(ord) {
+        panic!("{}: {v}", ord.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_orderings::schedule::Permutation;
+    use treesvd_orderings::{FatTreeOrdering, NewRingOrdering, PairStep, RingOrdering};
+
+    fn tiny_program(steps: Vec<Vec<usize>>) -> Program {
+        Program {
+            n: 4,
+            initial_layout: vec![0, 1, 2, 3],
+            steps: steps
+                .into_iter()
+                .map(|d| PairStep { move_after: Permutation::from_dest(d) })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn valid_tournament_accepted() {
+        let prog = tiny_program(vec![vec![0, 2, 1, 3], vec![0, 3, 2, 1], vec![0, 1, 2, 3]]);
+        assert!(verify_coverage(&prog).is_ok());
+    }
+
+    #[test]
+    fn repeated_pair_is_step_precise() {
+        let prog = tiny_program(vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![0, 1, 2, 3]]);
+        match verify_coverage(&prog) {
+            Err(Violation::PairRepeated { step, first_step, pair }) => {
+                assert_eq!((step, first_step), (1, 0));
+                assert_eq!(pair, (0, 1));
+            }
+            other => panic!("expected PairRepeated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missed_pairs_reported_with_example() {
+        let prog = tiny_program(vec![vec![0, 2, 1, 3], vec![0, 1, 3, 2], vec![0, 1, 2, 3]]);
+        match verify_coverage(&prog) {
+            Err(v) => {
+                assert!(matches!(v, Violation::PairsMissed { .. } | Violation::PairRepeated { .. }))
+            }
+            Ok(()) => panic!("incomplete sweep accepted"),
+        }
+    }
+
+    #[test]
+    fn restore_period_verified_and_tight() {
+        assert!(verify_restore(&FatTreeOrdering::new(16).unwrap()).is_ok());
+        assert!(verify_restore(&RingOrdering::new(8).unwrap()).is_ok());
+        assert!(verify_restore(&NewRingOrdering::new(8).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn wrong_period_claim_detected() {
+        struct WrongPeriod(FatTreeOrdering);
+        impl JacobiOrdering for WrongPeriod {
+            fn n(&self) -> usize {
+                self.0.n()
+            }
+            fn name(&self) -> String {
+                "wrong-period".into()
+            }
+            fn restore_period(&self) -> usize {
+                2 // the fat-tree ordering actually restores after 1
+            }
+            fn sweep_program(&self, sweep: usize, layout: &[usize]) -> Program {
+                self.0.sweep_program(sweep, layout)
+            }
+        }
+        let ord = WrongPeriod(FatTreeOrdering::new(8).unwrap());
+        assert!(matches!(
+            verify_restore(&ord),
+            Err(Violation::RestoredEarly { sweeps: 1, claimed: 2 })
+        ));
+    }
+}

@@ -1,0 +1,111 @@
+//! Permutation safety: each column index owned by exactly one processor
+//! per step.
+//!
+//! In the slot model a step's ownership map *is* the slot→index layout, so
+//! the property to verify is that the layout stays a bijection of `0..n`
+//! through the whole sweep. A duplicated index means two processors rotate
+//! (and move) the same column concurrently — the schedule-level data race
+//! that silently degrades convergence instead of crashing.
+
+use crate::report::Violation;
+use treesvd_orderings::Program;
+
+/// Verify that every step of `prog` assigns each column index to exactly
+/// one slot (hence exactly one processor).
+///
+/// # Errors
+/// The first [`Violation`] found, naming the step, the index, and the two
+/// claiming slots.
+pub fn verify_permutation_safety(prog: &Program) -> Result<(), Violation> {
+    let n = prog.n;
+    if prog.initial_layout.len() != n {
+        return Err(Violation::ShapeMismatch {
+            step: 0,
+            found: prog.initial_layout.len(),
+            expected: n,
+        });
+    }
+    for (step, perm) in prog.steps.iter().enumerate() {
+        if perm.move_after.len() != n {
+            return Err(Violation::ShapeMismatch {
+                step,
+                found: perm.move_after.len(),
+                expected: n,
+            });
+        }
+    }
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+    let mut layout = prog.initial_layout.clone();
+    for step in 0..=prog.steps.len() {
+        owner.iter_mut().for_each(|o| *o = None);
+        for (slot, &idx) in layout.iter().enumerate() {
+            if idx >= n {
+                return Err(Violation::IndexOutOfRange { step, index: idx, n });
+            }
+            if let Some(prev) = owner[idx] {
+                return Err(Violation::DuplicateOwnership {
+                    step,
+                    index: idx,
+                    slots: (prev, slot),
+                });
+            }
+            owner[idx] = Some(slot);
+        }
+        if step < prog.steps.len() {
+            layout = prog.steps[step].move_after.apply(&layout);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_orderings::{FatTreeOrdering, JacobiOrdering, PairStep, Program};
+
+    #[test]
+    fn valid_ordering_passes() {
+        let ord = FatTreeOrdering::new(16).unwrap();
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        assert!(verify_permutation_safety(&prog).is_ok());
+    }
+
+    #[test]
+    fn duplicate_index_detected_with_slots() {
+        let ord = FatTreeOrdering::new(8).unwrap();
+        let mut prog = ord.sweep_program(0, &ord.initial_layout());
+        prog.initial_layout[5] = prog.initial_layout[2];
+        match verify_permutation_safety(&prog) {
+            Err(Violation::DuplicateOwnership { step, index, slots }) => {
+                assert_eq!(step, 0);
+                assert_eq!(index, 2);
+                assert_eq!(slots, (2, 5));
+            }
+            other => panic!("expected DuplicateOwnership, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_detected() {
+        let prog = Program {
+            n: 4,
+            initial_layout: vec![0, 1, 2, 9],
+            steps: vec![PairStep {
+                move_after: treesvd_orderings::schedule::Permutation::identity(4),
+            }],
+        };
+        assert!(matches!(
+            verify_permutation_safety(&prog),
+            Err(Violation::IndexOutOfRange { step: 0, index: 9, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let prog = Program { n: 4, initial_layout: vec![0, 1, 2], steps: vec![] };
+        assert!(matches!(
+            verify_permutation_safety(&prog),
+            Err(Violation::ShapeMismatch { step: 0, found: 3, expected: 4 })
+        ));
+    }
+}

@@ -27,11 +27,8 @@ impl Pca {
     pub fn transform(&self, sample: &[f64], k: usize) -> Vec<f64> {
         assert_eq!(sample.len(), self.mean.len(), "feature count mismatch");
         assert!(k <= self.components.cols(), "k exceeds component count");
-        let centered: Vec<f64> =
-            sample.iter().zip(self.mean.iter()).map(|(x, m)| x - m).collect();
-        (0..k)
-            .map(|t| treesvd_matrix::ops::dot(&centered, self.components.col(t)))
-            .collect()
+        let centered: Vec<f64> = sample.iter().zip(self.mean.iter()).map(|(x, m)| x - m).collect();
+        (0..k).map(|t| treesvd_matrix::ops::dot(&centered, self.components.col(t))).collect()
     }
 
     /// Reconstruct a sample from its first-`k` projection.
@@ -141,12 +138,8 @@ mod tests {
         let sample: Vec<f64> = (0..8).map(|j| data.get(10, j)).collect();
         let scores = model.transform(&sample, 1);
         let back = model.inverse_transform(&scores);
-        let err: f64 = sample
-            .iter()
-            .zip(back.iter())
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 =
+            sample.iter().zip(back.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
         let scale = treesvd_matrix::ops::norm2(&sample).max(1.0);
         assert!(err / scale < 0.05, "relative err {}", err / scale);
     }

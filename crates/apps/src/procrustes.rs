@@ -17,10 +17,7 @@ pub fn orthogonal_procrustes(a: &Matrix, b: &Matrix) -> Result<Matrix, SvdError>
     assert_eq!(a.shape(), b.shape(), "point sets must have the same shape");
     let m = a.transpose().matmul(b).map_err(|_| SvdError::EmptyMatrix)?;
     let run = HestenesSvd::new(SvdOptions::default()).compute(&m)?;
-    run.svd
-        .u
-        .matmul(&run.svd.v.transpose())
-        .map_err(|_| SvdError::EmptyMatrix)
+    run.svd.u.matmul(&run.svd.v.transpose()).map_err(|_| SvdError::EmptyMatrix)
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@ fn bench_threshold(c: &mut Criterion) {
     let a = generate::random_uniform(48, 24, 5);
     // threshold 0 is excluded: rotating everything never satisfies the
     // rotation-count termination rule (see A3 in EXPERIMENTS.md)
-    for (label, thr) in [("default", None), ("loose-1e-8", Some(1e-8)), ("tight-1e-15", Some(1e-15))] {
+    for (label, thr) in
+        [("default", None), ("loose-1e-8", Some(1e-8)), ("tight-1e-15", Some(1e-15))]
+    {
         group.bench_with_input(BenchmarkId::new("svd", label), &a, |b, a| {
             b.iter(|| {
                 let opts = SvdOptions { threshold: thr, ..SvdOptions::default() };

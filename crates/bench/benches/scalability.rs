@@ -12,11 +12,10 @@ fn print_simulated_scaling() {
             let a = generate::random_uniform(2 * n, n, 99);
             print!("{topo} n={n:3}:");
             for kind in [OrderingKind::RoundRobin, OrderingKind::FatTree, OrderingKind::Hybrid] {
-                let run = HestenesSvd::new(
-                    SvdOptions::default().with_ordering(kind).with_topology(topo),
-                )
-                .compute(&a)
-                .expect("convergence");
+                let run =
+                    HestenesSvd::new(SvdOptions::default().with_ordering(kind).with_topology(topo))
+                        .compute(&a)
+                        .expect("convergence");
                 print!("  {}={:.3e}({}sw)", kind.name(), run.simulated_time, run.sweeps);
             }
             println!();

@@ -71,11 +71,8 @@ pub fn a2_intra_group(n: usize, groups: usize, words: u64) -> Table {
             .flat_map(|s| s.move_after.inter_processor_moves())
             .map(|(f, d)| treesvd_orderings::render::comm_level(f / 2, d / 2))
             .sum();
-        let fat = analyze_program(
-            &Machine::with_kind(TopologyKind::PerfectFatTree, n / 2),
-            &prog,
-            words,
-        );
+        let fat =
+            analyze_program(&Machine::with_kind(TopologyKind::PerfectFatTree, n / 2), &prog, words);
         let cm5 = analyze_program(&Machine::with_kind(TopologyKind::Cm5, n / 2), &prog, words);
 
         // convergence with this exact ordering through a custom factory

@@ -73,23 +73,30 @@ fn bench_len(len: usize, records: &mut Vec<Record>) {
     push("gram3_unrolled", time_ns(|| gram3(&a, &b).2));
     {
         let mut y = b.clone();
-        push("axpy_naive", time_ns(|| {
-            ops::naive::axpy(1.0 + 1e-12, &a, &mut y);
-            y[0]
-        }));
+        push(
+            "axpy_naive",
+            time_ns(|| {
+                ops::naive::axpy(1.0 + 1e-12, &a, &mut y);
+                y[0]
+            }),
+        );
     }
     {
         let mut y = b.clone();
-        push("axpy_unrolled", time_ns(|| {
-            axpy(1.0 + 1e-12, &a, &mut y);
-            y[0]
-        }));
+        push(
+            "axpy_unrolled",
+            time_ns(|| {
+                axpy(1.0 + 1e-12, &a, &mut y);
+                y[0]
+            }),
+        );
     }
     {
         let (mut x, mut y) = (a.clone(), b.clone());
-        push("rotate_then_norms", time_ns(|| {
-            ops::naive::rotate_then_norms(rot.c, rot.s, &mut x, &mut y).0
-        }));
+        push(
+            "rotate_then_norms",
+            time_ns(|| ops::naive::rotate_then_norms(rot.c, rot.s, &mut x, &mut y).0),
+        );
     }
     {
         let (mut x, mut y) = (a.clone(), b.clone());
@@ -97,9 +104,10 @@ fn bench_len(len: usize, records: &mut Vec<Record>) {
     }
     {
         let (mut x, mut y) = (a.clone(), b.clone());
-        push("rotate_fused_swapped", time_ns(|| {
-            rotate_fused_swapped(rot.c, rot.s, &mut x, &mut y).0
-        }));
+        push(
+            "rotate_fused_swapped",
+            time_ns(|| rotate_fused_swapped(rot.c, rot.s, &mut x, &mut y).0),
+        );
     }
 }
 

@@ -44,10 +44,8 @@ pub fn e1_comm_cost(n: usize, words: u64) -> Table {
         "word-hops",
     ]);
     let machine = Machine::with_kind(TopologyKind::PerfectFatTree, n / 2);
-    let mut orderings: Vec<(String, Box<dyn JacobiOrdering>)> = COMM_ORDERINGS
-        .iter()
-        .map(|&k| (k.name().to_string(), build(k, n)))
-        .collect();
+    let mut orderings: Vec<(String, Box<dyn JacobiOrdering>)> =
+        COMM_ORDERINGS.iter().map(|&k| (k.name().to_string(), build(k, n))).collect();
     let hy = hybrid_for(n);
     orderings.push((hy.name(), Box::new(hy)));
     for (name, ord) in &orderings {
@@ -73,10 +71,8 @@ pub fn e1_comm_cost(n: usize, words: u64) -> Table {
 pub fn e2_contention(n: usize, words: u64) -> Table {
     let mut t = Table::new(vec!["ordering", "perfect fat-tree", "cm5 tree", "binary tree"]);
     let kinds = [TopologyKind::PerfectFatTree, TopologyKind::Cm5, TopologyKind::BinaryTree];
-    let mut orderings: Vec<(String, Box<dyn JacobiOrdering>)> = COMM_ORDERINGS
-        .iter()
-        .map(|&k| (k.name().to_string(), build(k, n)))
-        .collect();
+    let mut orderings: Vec<(String, Box<dyn JacobiOrdering>)> =
+        COMM_ORDERINGS.iter().map(|&k| (k.name().to_string(), build(k, n))).collect();
     let hy = hybrid_for(n);
     orderings.push((hy.name(), Box::new(hy)));
     for (name, ord) in &orderings {
@@ -217,7 +213,8 @@ pub fn e6_quadratic(m: usize, n: usize, seed: u64) -> Table {
 /// who wins where, as the paper's §6 predicts (hybrid on the CM-5; fat-tree
 /// ordering once bandwidth is perfect).
 pub fn e7_scalability(sizes: &[usize], words: u64) -> Table {
-    let mut t = Table::new(vec!["n", "topology", "ring", "round-robin", "fat-tree", "llb", "hybrid"]);
+    let mut t =
+        Table::new(vec!["n", "topology", "ring", "round-robin", "fat-tree", "llb", "hybrid"]);
     for &n in sizes {
         for kind in [TopologyKind::PerfectFatTree, TopologyKind::Cm5, TopologyKind::BinaryTree] {
             let machine = Machine::with_kind(kind, n / 2);
@@ -245,7 +242,8 @@ pub fn e7_scalability(sizes: &[usize], words: u64) -> Table {
 /// sweep count to leave vectors in place; measure how often that wastes a
 /// half sweep relative to its own convergence point.
 pub fn e3b_llb_parity(m: usize, n: usize, seeds: &[u64]) -> Table {
-    let mut t = Table::new(vec!["seed", "llb sweeps", "odd (wastes half-sweep)", "fat-tree sweeps"]);
+    let mut t =
+        Table::new(vec!["seed", "llb sweeps", "odd (wastes half-sweep)", "fat-tree sweeps"]);
     for &seed in seeds {
         let a = generate::random_uniform(m, n, seed);
         let llb = HestenesSvd::with_ordering(OrderingKind::Llb).compute(&a).expect("conv");
@@ -302,11 +300,7 @@ pub fn e8_undersized(m: usize, n: usize, seed: u64) -> Table {
 pub fn accuracy_table(seeds: &[u64]) -> Table {
     let mut t = Table::new(vec!["ordering", "matrix class", "max residual", "max orth err"]);
     for kind in OrderingKind::ALL {
-        for (class, gen) in [
-            ("random 24x16", 0usize),
-            ("graded 1e-6", 1),
-            ("rank-deficient", 2),
-        ] {
+        for (class, gen) in [("random 24x16", 0usize), ("graded 1e-6", 1), ("rank-deficient", 2)] {
             let mut max_res = 0.0_f64;
             let mut max_orth = 0.0_f64;
             for &seed in seeds {

@@ -43,11 +43,8 @@ impl Table {
             }
         }
         let fmt_row = |cells: &[String]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths.iter())
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(widths.iter()).map(|(c, w)| format!("{c:<w$}")).collect();
             format!("| {} |", padded.join(" | "))
         };
         let mut out = fmt_row(&self.header);

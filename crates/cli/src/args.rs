@@ -12,13 +12,16 @@ usage:
   treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
               [--distributed] [--processors P] [--sigma-out FILE]
               [--u-out FILE] [--v-out FILE]
+  treesvd analyze [--ordering NAME] [--n N] [--topology NAME]
+                  [--groups M] [--words W]
   treesvd lstsq <matrix-file> <rhs-file> [--rcond X]
   treesvd cond <matrix-file>
   treesvd info
 
 orderings:  ring | round-robin | fat-tree | new-ring | modified-ring |
             llb-fat-tree | hybrid          (default: fat-tree)
-topologies: perfect | cm5 | binary | skinny-above-K   (default: perfect)";
+topologies: perfect | fat-tree | cm5 | binary | skinny-above-K
+            (default: perfect for svd; none for analyze)";
 
 fn parse_ordering(name: &str) -> Result<OrderingKind, String> {
     OrderingKind::ALL
@@ -33,7 +36,7 @@ fn parse_topology(name: &str) -> Result<TopologyKind, String> {
         return Ok(TopologyKind::SkinnyAbove(cut));
     }
     match name {
-        "perfect" | "perfect-fat-tree" => Ok(TopologyKind::PerfectFatTree),
+        "perfect" | "perfect-fat-tree" | "fat-tree" => Ok(TopologyKind::PerfectFatTree),
         "cm5" | "cm5-tree" => Ok(TopologyKind::Cm5),
         "binary" | "binary-tree" => Ok(TopologyKind::BinaryTree),
         _ => Err(format!("unknown topology {name:?}")),
@@ -50,6 +53,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     };
     match cmd.as_str() {
         "svd" => cmd_svd(&argv[1..]),
+        "analyze" => cmd_analyze(&argv[1..]),
         "lstsq" => cmd_lstsq(&argv[1..]),
         "cond" => cmd_cond(&argv[1..]),
         "info" => Ok(cmd_info()),
@@ -119,11 +123,7 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
         (run.svd, run.sweeps, "distributed executor".to_string())
     } else {
         let run = HestenesSvd::new(opts).compute(&a).map_err(|e| e.to_string())?;
-        (
-            run.svd,
-            run.sweeps,
-            format!("simulated time {:.3e} on {topology}", run.simulated_time),
-        )
+        (run.svd, run.sweeps, format!("simulated time {:.3e} on {topology}", run.simulated_time))
     };
     let sigma = svd.sigma.clone();
 
@@ -136,18 +136,61 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     out.push_str("# singular values (descending):\n");
     out.push_str(&io::format_vector(&sigma));
     if let Some(p) = sigma_out {
-        std::fs::write(&p, io::format_vector(&sigma)).map_err(|e| format!("{}: {e}", p.display()))?;
+        std::fs::write(&p, io::format_vector(&sigma))
+            .map_err(|e| format!("{}: {e}", p.display()))?;
         out.push_str(&format!("# sigma written to {}\n", p.display()));
     }
     if let Some(p) = u_out {
-        std::fs::write(&p, io::format_matrix(&svd.u)).map_err(|e| format!("{}: {e}", p.display()))?;
+        std::fs::write(&p, io::format_matrix(&svd.u))
+            .map_err(|e| format!("{}: {e}", p.display()))?;
         out.push_str(&format!("# U written to {}\n", p.display()));
     }
     if let Some(p) = v_out {
-        std::fs::write(&p, io::format_matrix(&svd.v)).map_err(|e| format!("{}: {e}", p.display()))?;
+        std::fs::write(&p, io::format_matrix(&svd.v))
+            .map_err(|e| format!("{}: {e}", p.display()))?;
         out.push_str(&format!("# V written to {}\n", p.display()));
     }
     Ok(out)
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<String, String> {
+    let mut args = rest.to_vec();
+    let ordering = match take_flag(&mut args, "--ordering")? {
+        Some(name) => parse_ordering(&name)?,
+        None => OrderingKind::FatTree,
+    };
+    let n = take_flag(&mut args, "--n")?
+        .map_or(Ok(32), |v| v.parse::<usize>().map_err(|e| format!("--n: {e}")))?;
+    let topology = take_flag(&mut args, "--topology")?.map(|t| parse_topology(&t)).transpose()?;
+    let groups = take_flag(&mut args, "--groups")?
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--groups: {e}")))
+        .transpose()?;
+    let words = take_flag(&mut args, "--words")?
+        .map_or(Ok(1), |v| v.parse::<u64>().map_err(|e| format!("--words: {e}")))?;
+    if !args.is_empty() {
+        return Err(format!("analyze: unexpected argument {:?}", args[0]));
+    }
+
+    let ord: Box<dyn treesvd_orderings::JacobiOrdering> = match groups {
+        Some(m) => {
+            if ordering != OrderingKind::Hybrid {
+                return Err("--groups only applies to the hybrid ordering".to_string());
+            }
+            Box::new(treesvd_orderings::HybridOrdering::new(n, m).map_err(|e| e.to_string())?)
+        }
+        None => ordering.build(n).map_err(|e| e.to_string())?,
+    };
+
+    let opts = treesvd_analyze::AnalysisOptions {
+        topology: topology.map(|kind| treesvd_net::Topology::new(kind, n / 2)),
+        words_per_column: words,
+    };
+    let report = treesvd_analyze::analyze_ordering(ord.as_ref(), &opts);
+    if report.is_verified() {
+        Ok(report.to_string())
+    } else {
+        Err(format!("schedule verification failed\n{report}"))
+    }
 }
 
 fn cmd_lstsq(rest: &[String]) -> Result<String, String> {
@@ -257,8 +300,8 @@ mod tests {
         assert!(out.contains("new-ring"));
         assert!(run(&argv(&["svd", p.to_str().unwrap(), "--ordering", "nope"])).is_err());
         assert!(run(&argv(&["svd", p.to_str().unwrap(), "--topology", "nope"])).is_err());
-        let out = run(&argv(&["svd", p.to_str().unwrap(), "--topology", "skinny-above-2"]))
-            .unwrap();
+        let out =
+            run(&argv(&["svd", p.to_str().unwrap(), "--topology", "skinny-above-2"])).unwrap();
         assert!(out.contains("skinny-above-2"));
         assert!(run(&argv(&["svd", p.to_str().unwrap(), "--topology", "skinny-above-x"])).is_err());
     }
@@ -270,6 +313,54 @@ mod tests {
         assert!(out.contains("distributed"));
         let out = run(&argv(&["svd", p.to_str().unwrap(), "--processors", "2"])).unwrap();
         assert!(out.contains("block size"));
+    }
+
+    #[test]
+    fn analyze_acceptance_command_proves_zero_contention() {
+        // the headline check: hybrid at n = 64 on the perfect fat-tree
+        let out =
+            run(&argv(&["analyze", "--ordering", "hybrid", "--n", "64", "--topology", "fat-tree"]))
+                .unwrap();
+        assert!(out.contains("zero contention"), "{out}");
+        for check in ["permutation-safety", "coverage/restore", "contention", "deadlock-freedom"] {
+            assert!(out.contains(check), "missing {check} in {out}");
+        }
+        assert!(!out.contains("FAIL"), "{out}");
+    }
+
+    #[test]
+    fn analyze_defaults_and_flags() {
+        // defaults: fat-tree ordering, n = 32, no topology
+        let out = run(&argv(&["analyze"])).unwrap();
+        assert!(out.contains("n = 32"), "{out}");
+        assert!(out.contains("not checked"), "{out}");
+        // explicit groups for the hybrid
+        let out = run(&argv(&[
+            "analyze",
+            "--ordering",
+            "hybrid",
+            "--n",
+            "32",
+            "--groups",
+            "8",
+            "--topology",
+            "cm5",
+        ]))
+        .unwrap();
+        assert!(out.contains("OK"), "{out}");
+        assert!(run(&argv(&["analyze", "--ordering", "ring", "--groups", "4"])).is_err());
+        assert!(run(&argv(&["analyze", "--n", "seven"])).is_err());
+        assert!(run(&argv(&["analyze", "stray"])).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_contention_where_the_paper_predicts_it() {
+        // the fat-tree ordering overloads a plain binary tree (§5)
+        let err =
+            run(&argv(&["analyze", "--ordering", "fat-tree", "--n", "32", "--topology", "binary"]))
+                .unwrap_err();
+        assert!(err.contains("FAIL"), "{err}");
+        assert!(err.contains("contention"), "{err}");
     }
 
     #[test]

@@ -3,13 +3,18 @@
 //! ```text
 //! treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
 //!             [--distributed] [--processors P] [--sigma-out FILE]
+//! treesvd analyze [--ordering NAME] [--n N] [--topology NAME] [--groups M]
 //! treesvd lstsq <matrix-file> <rhs-file> [--rcond X]
 //! treesvd cond <matrix-file>
 //! treesvd info
 //! ```
 //!
 //! Matrix files are plain text: one row per line, whitespace- or
-//! comma-separated, `#` comments allowed.
+//! comma-separated, `#` comments allowed. `analyze` runs the
+//! `treesvd-analyze` schedule verifier on a built-in ordering without
+//! touching any matrix data, exiting non-zero when a check fails.
+
+#![deny(missing_docs)]
 
 mod args;
 mod io;

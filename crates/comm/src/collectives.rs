@@ -129,9 +129,7 @@ mod tests {
             .into_communicators()
             .into_iter()
             .map(|mut c| {
-                thread::spawn(move || {
-                    super::allreduce_sum(&mut c, 9, vec![1.0]).unwrap()[0]
-                })
+                thread::spawn(move || super::allreduce_sum(&mut c, 9, vec![1.0]).unwrap()[0])
             })
             .collect();
         for h in handles {

@@ -1,0 +1,117 @@
+//! Runtime happens-before tracking (the `hb-tracker` feature).
+//!
+//! Every rank carries a vector clock that is incremented on each local
+//! event, piggybacked on every outgoing envelope, and joined on every
+//! receive — the classic Fidge/Mattern construction. A process-wide
+//! registry remembers, per column block, the clock of the most recent
+//! access; [`Communicator::record_access`](crate::Communicator::record_access)
+//! compares the current access against it and flags a [`RaceViolation`]
+//! when two ranks touch the same block without a message chain ordering
+//! them.
+//!
+//! This is the *dynamic* complement of `treesvd-analyze`'s static
+//! permutation-safety check: the static check proves the schedule assigns
+//! each column to one processor per step; the tracker verifies the
+//! executor actually realizes that ownership transfer through messages.
+//! The whole module (and the clock piggyback on envelopes) compiles away
+//! when the feature is off.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Two ranks accessed the same column block with no happens-before edge
+/// between the accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceViolation {
+    /// The contended column block.
+    pub block: usize,
+    /// Rank of the earlier (registered) access.
+    pub first_rank: usize,
+    /// Rank of the access that raced with it.
+    pub second_rank: usize,
+}
+
+impl fmt::Display for RaceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "column block {} accessed concurrently by rank {} and rank {}: no message chain orders the accesses",
+            self.block, self.first_rank, self.second_rank
+        )
+    }
+}
+
+impl std::error::Error for RaceViolation {}
+
+/// Process-wide registry of the latest access to each column block.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    last: Mutex<HashMap<usize, (usize, Vec<u64>)>>,
+}
+
+/// `a ≤ b` componentwise: the access stamped `a` happened before (or is)
+/// the one stamped `b`.
+fn dominated(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// One rank's tracking state: its vector clock plus the shared registry.
+#[derive(Debug)]
+pub(crate) struct RankState {
+    rank: usize,
+    // RefCell so `Communicator::send` can stay `&self`; a communicator is
+    // owned by one thread, never shared.
+    clock: RefCell<Vec<u64>>,
+    registry: Arc<Registry>,
+}
+
+impl RankState {
+    pub(crate) fn new(rank: usize, size: usize, registry: Arc<Registry>) -> Self {
+        Self { rank, clock: RefCell::new(vec![0; size]), registry }
+    }
+
+    /// Local event before a send: tick, return the snapshot to piggyback.
+    pub(crate) fn tick_send(&self) -> Vec<u64> {
+        let mut clock = self.clock.borrow_mut();
+        clock[self.rank] += 1;
+        clock.clone()
+    }
+
+    /// Local event at a receive: tick, then join the sender's clock.
+    pub(crate) fn join(&self, other: &[u64]) {
+        let mut clock = self.clock.borrow_mut();
+        clock[self.rank] += 1;
+        for (mine, theirs) in clock.iter_mut().zip(other) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Current clock snapshot.
+    pub(crate) fn snapshot(&self) -> Vec<u64> {
+        self.clock.borrow().clone()
+    }
+
+    /// Register an access to `block`, flagging it if the previous access by
+    /// another rank is not ordered before this one.
+    pub(crate) fn record_access(&self, block: usize) -> Result<(), RaceViolation> {
+        let stamp = {
+            let mut clock = self.clock.borrow_mut();
+            clock[self.rank] += 1;
+            clock.clone()
+        };
+        let mut last = self.registry.last.lock().expect("hb registry poisoned");
+        let verdict = match last.get(&block) {
+            Some((prev_rank, prev_stamp))
+                if *prev_rank != self.rank && !dominated(prev_stamp, &stamp) =>
+            {
+                Err(RaceViolation { block, first_rank: *prev_rank, second_rank: self.rank })
+            }
+            _ => Ok(()),
+        };
+        // register the access either way so later reports stay meaningful
+        last.insert(block, (self.rank, stamp));
+        verdict
+    }
+}

@@ -34,7 +34,11 @@
 #![deny(missing_docs)]
 
 pub mod collectives;
+#[cfg(feature = "hb-tracker")]
+pub mod hb;
 pub mod world;
 
 pub use collectives::{allreduce_sum, barrier};
+#[cfg(feature = "hb-tracker")]
+pub use hb::RaceViolation;
 pub use world::{Communicator, RecvError, ThreadWorld};

@@ -9,6 +9,9 @@ struct Envelope {
     source: usize,
     tag: u64,
     payload: Vec<f64>,
+    /// Sender's vector clock at the send — the happens-before piggyback.
+    #[cfg(feature = "hb-tracker")]
+    clock: Vec<u64>,
 }
 
 /// Errors from a blocking receive.
@@ -53,6 +56,8 @@ pub struct Communicator {
     peers: Vec<Sender<Envelope>>,
     pending: Vec<Envelope>,
     recv_timeout: Duration,
+    #[cfg(feature = "hb-tracker")]
+    hb: crate::hb::RankState,
 }
 
 impl Communicator {
@@ -75,7 +80,13 @@ impl Communicator {
         assert!(dest < self.size, "rank {dest} out of range");
         // unbounded channel: cannot block, cannot deadlock
         self.peers[dest]
-            .send(Envelope { source: self.rank, tag, payload })
+            .send(Envelope {
+                source: self.rank,
+                tag,
+                payload,
+                #[cfg(feature = "hb-tracker")]
+                clock: self.hb.tick_send(),
+            })
             .expect("world torn down during send");
     }
 
@@ -86,15 +97,18 @@ impl Communicator {
     /// schedule bug) or [`RecvError::Disconnected`] if the world died.
     pub fn recv(&mut self, source: usize, tag: u64) -> Result<Vec<f64>, RecvError> {
         // check the pending buffer first
-        if let Some(idx) =
-            self.pending.iter().position(|e| e.source == source && e.tag == tag)
-        {
-            return Ok(self.pending.swap_remove(idx).payload);
+        if let Some(idx) = self.pending.iter().position(|e| e.source == source && e.tag == tag) {
+            let env = self.pending.swap_remove(idx);
+            #[cfg(feature = "hb-tracker")]
+            self.hb.join(&env.clock);
+            return Ok(env.payload);
         }
         loop {
             match self.inbox.recv_timeout(self.recv_timeout) {
                 Ok(env) => {
                     if env.source == source && env.tag == tag {
+                        #[cfg(feature = "hb-tracker")]
+                        self.hb.join(&env.clock);
                         return Ok(env.payload);
                     }
                     self.pending.push(env);
@@ -120,6 +134,24 @@ impl Communicator {
     ) -> Result<Vec<f64>, RecvError> {
         self.send(peer, tag, payload);
         self.recv(peer, tag)
+    }
+
+    /// Register an access to column block `block` with the happens-before
+    /// tracker, flagging it if the previous access by another rank is not
+    /// ordered before this one by a message chain.
+    ///
+    /// # Errors
+    /// [`RaceViolation`](crate::hb::RaceViolation) naming the block and the
+    /// two racing ranks.
+    #[cfg(feature = "hb-tracker")]
+    pub fn record_access(&self, block: usize) -> Result<(), crate::hb::RaceViolation> {
+        self.hb.record_access(block)
+    }
+
+    /// This rank's current vector clock (for diagnostics).
+    #[cfg(feature = "hb-tracker")]
+    pub fn vector_clock(&self) -> Vec<u64> {
+        self.hb.snapshot()
     }
 }
 
@@ -153,6 +185,8 @@ impl ThreadWorld {
             senders.push(tx);
             receivers.push(rx);
         }
+        #[cfg(feature = "hb-tracker")]
+        let registry = std::sync::Arc::new(crate::hb::Registry::default());
         let comms = receivers
             .into_iter()
             .enumerate()
@@ -163,6 +197,8 @@ impl ThreadWorld {
                 peers: senders.clone(),
                 pending: Vec::new(),
                 recv_timeout,
+                #[cfg(feature = "hb-tracker")]
+                hb: crate::hb::RankState::new(rank, size, registry.clone()),
             })
             .collect();
         Self { comms }
@@ -245,6 +281,47 @@ mod tests {
         let got1 = h.join().unwrap();
         assert_eq!(got0, vec![10.0]);
         assert_eq!(got1, vec![20.0]);
+    }
+
+    #[cfg(feature = "hb-tracker")]
+    #[test]
+    fn message_chain_orders_block_accesses() {
+        let world = ThreadWorld::new(2);
+        let mut comms = world.into_communicators();
+        let mut c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        // rank 0 writes block 5, then hands it to rank 1 by message:
+        // the receive creates the happens-before edge, so no race
+        c0.record_access(5).unwrap();
+        c0.send(1, 0, vec![1.0]);
+        c1.recv(0, 0).unwrap();
+        assert_eq!(c1.record_access(5), Ok(()));
+    }
+
+    #[cfg(feature = "hb-tracker")]
+    #[test]
+    fn unordered_block_accesses_are_flagged() {
+        let world = ThreadWorld::new(2);
+        let mut comms = world.into_communicators();
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        // both ranks touch block 7 with no message between them: wall-clock
+        // order exists, happens-before order does not
+        c0.record_access(7).unwrap();
+        let err = c1.record_access(7).unwrap_err();
+        assert_eq!(err.block, 7);
+        assert_eq!((err.first_rank, err.second_rank), (0, 1));
+        assert!(err.to_string().contains("block 7"));
+    }
+
+    #[cfg(feature = "hb-tracker")]
+    #[test]
+    fn same_rank_reaccess_is_not_a_race() {
+        let world = ThreadWorld::new(2);
+        let comms = world.into_communicators();
+        comms[0].record_access(3).unwrap();
+        comms[0].record_access(3).unwrap();
+        assert!(comms[0].vector_clock()[0] >= 2);
     }
 
     #[test]

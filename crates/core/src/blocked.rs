@@ -213,12 +213,7 @@ pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdE
         Matrix::identity(n, n).map_err(|_| SvdError::EmptyMatrix)?
     };
 
-    Ok(BlockedRun {
-        svd: Svd { u, sigma, v, rank },
-        sweeps,
-        block_size: c,
-        total_rotations,
-    })
+    Ok(BlockedRun { svd: Svd { u, sigma, v, rank }, sweeps, block_size: c, total_rotations })
 }
 
 /// One cyclic pass over all column pairs of the two resident blocks, in
@@ -330,12 +325,8 @@ mod tests {
         let a = at.transpose();
         let run = blocked_svd(&a, &BlockedOptions::for_processors(2)).unwrap();
         assert_eq!(run.svd.sigma.len(), 3);
-        let recon = checks::reconstruction_residual(
-            &a.transpose(),
-            &run.svd.v,
-            &run.svd.sigma,
-            &run.svd.u,
-        );
+        let recon =
+            checks::reconstruction_residual(&a.transpose(), &run.svd.v, &run.svd.sigma, &run.svd.u);
         assert!(recon < 1e-10);
     }
 

@@ -106,6 +106,17 @@ impl HestenesSvd {
         }
     }
 
+    /// Build the ordering and, when `verify_schedule` is set, gate it
+    /// through the static schedule verifier before any matrix data is
+    /// touched.
+    fn checked_ordering(&self, n_padded: usize) -> Result<Box<dyn JacobiOrdering>, SvdError> {
+        let ordering = self.build_ordering(n_padded)?;
+        if self.options.verify_schedule {
+            treesvd_analyze::verify_ordering_schedule(ordering.as_ref())?;
+        }
+        Ok(ordering)
+    }
+
     /// The padded size for `n` columns: the smallest size ≥ max(n, 4) the
     /// ordering accepts (try even sizes, then powers of two).
     fn padded_size(&self, n: usize) -> Result<usize, OrderingError> {
@@ -123,7 +134,7 @@ impl HestenesSvd {
         let (m, n) = a.shape();
         debug_assert!(m >= n);
         let n_pad = self.padded_size(n)?;
-        let ordering = self.build_ordering(n_pad)?;
+        let ordering = self.checked_ordering(n_pad)?;
 
         // distribute columns (zero columns as padding)
         let mut columns = a.clone().into_columns();
@@ -135,8 +146,7 @@ impl HestenesSvd {
         // binary tree that holds them (extra leaves stay idle)
         let leaves = (n_pad / 2).next_power_of_two().max(2);
         let machine = Machine::new(Topology::new(self.options.topology, leaves), self.options.cost);
-        let threshold =
-            self.options.threshold.unwrap_or(n_pad as f64 * f64::EPSILON);
+        let threshold = self.options.threshold.unwrap_or(n_pad as f64 * f64::EPSILON);
         let config = ExecConfig {
             threshold,
             sort: self.options.sort,
@@ -218,7 +228,7 @@ impl HestenesSvd {
         }
         let (m, n) = a.shape();
         let n_pad = self.padded_size(n)?;
-        let ordering = self.build_ordering(n_pad)?;
+        let ordering = self.checked_ordering(n_pad)?;
         let mut columns = a.clone().into_columns();
         columns.resize(n_pad, vec![0.0; m]);
         let threshold = self.options.threshold.unwrap_or(n_pad as f64 * f64::EPSILON);
@@ -375,6 +385,52 @@ mod tests {
     }
 
     #[test]
+    fn verified_schedule_accepts_builtin_and_rejects_corrupt() {
+        use treesvd_orderings::{PairStep, Permutation, Program};
+
+        let a = generate::random_uniform(12, 8, 5);
+        // all built-in orderings pass the pre-flight verifier
+        let run =
+            HestenesSvd::new(SvdOptions::default().with_verify_schedule(true)).compute(&a).unwrap();
+        assert_good_svd(&a, &run, 1e-11);
+
+        // a custom ordering that stalls on its first pairing is rejected
+        // before any matrix data is touched
+        struct Stalled(usize);
+        impl JacobiOrdering for Stalled {
+            fn n(&self) -> usize {
+                self.0
+            }
+            fn name(&self) -> String {
+                "stalled".into()
+            }
+            fn restore_period(&self) -> usize {
+                1
+            }
+            fn sweep_program(&self, _sweep: usize, layout: &[usize]) -> Program {
+                Program {
+                    n: self.0,
+                    initial_layout: layout.to_vec(),
+                    steps: vec![PairStep { move_after: Permutation::identity(self.0) }; self.0 - 1],
+                }
+            }
+        }
+        let options = SvdOptions {
+            ordering: OrderingChoice::Custom(Box::new(|n| {
+                Ok(Box::new(Stalled(n)) as Box<dyn JacobiOrdering>)
+            })),
+            ..SvdOptions::default()
+        }
+        .with_verify_schedule(true);
+        match HestenesSvd::new(options).compute(&a) {
+            Err(SvdError::Schedule(v)) => {
+                assert!(v.to_string().contains("step"), "diagnostic not step-precise: {v}");
+            }
+            other => panic!("expected SvdError::Schedule, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn every_ordering_computes_the_same_svd() {
         let sigma = [8.0, 5.0, 3.0, 2.0, 1.5, 1.0, 0.5, 0.25];
         let a = generate::with_singular_values(16, &sigma, 3);
@@ -446,9 +502,7 @@ mod tests {
     #[test]
     fn no_vectors_mode_skips_v() {
         let a = generate::random_uniform(10, 8, 9);
-        let run = HestenesSvd::new(SvdOptions::default().with_vectors(false))
-            .compute(&a)
-            .unwrap();
+        let run = HestenesSvd::new(SvdOptions::default().with_vectors(false)).compute(&a).unwrap();
         assert!(run.converged);
         // sigma still correct vs a full run
         let full = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
@@ -463,8 +517,7 @@ mod tests {
         assert!(run.svd.residual(&a) < 1e-10);
         // the small singular values are still resolved relatively well —
         // one-sided Jacobi's high relative accuracy
-        let expect: Vec<f64> =
-            (0..16).map(|k| 1e-8_f64.powf(k as f64 / 15.0)).collect();
+        let expect: Vec<f64> = (0..16).map(|k| 1e-8_f64.powf(k as f64 / 15.0)).collect();
         let mut sorted = expect.clone();
         sorted.sort_by(|x, y| y.partial_cmp(x).unwrap());
         for (c, e) in run.svd.sigma.iter().zip(sorted.iter()) {
@@ -482,9 +535,8 @@ mod tests {
     #[test]
     fn unsorted_mode_still_correct() {
         let a = generate::random_uniform(12, 8, 11);
-        let run = HestenesSvd::new(SvdOptions::default().with_sort(SortMode::None))
-            .compute(&a)
-            .unwrap();
+        let run =
+            HestenesSvd::new(SvdOptions::default().with_sort(SortMode::None)).compute(&a).unwrap();
         assert!(run.converged);
         assert!(run.svd.residual(&a) < 1e-11);
         // not necessarily sorted in this mode — but the multiset matches
@@ -552,12 +604,8 @@ mod distributed_tests {
         let a = at.transpose();
         let run = HestenesSvd::new(SvdOptions::default()).compute_distributed(&a).unwrap();
         assert!(run.transposed);
-        let recon = checks::reconstruction_residual(
-            &a.transpose(),
-            &run.svd.v,
-            &run.svd.sigma,
-            &run.svd.u,
-        );
+        let recon =
+            checks::reconstruction_residual(&a.transpose(), &run.svd.v, &run.svd.sigma, &run.svd.u);
         assert!(recon < 1e-11);
     }
 }
@@ -571,9 +619,7 @@ mod off_tracking_tests {
     #[test]
     fn off_history_decays_quadratically() {
         let a = generate::random_uniform(32, 16, 41);
-        let run = HestenesSvd::new(SvdOptions::default().with_track_off(true))
-            .compute(&a)
-            .unwrap();
+        let run = HestenesSvd::new(SvdOptions::default().with_track_off(true)).compute(&a).unwrap();
         let h = &run.off_history;
         assert_eq!(h.len(), run.sweeps + 1);
         // strictly decreasing until roundoff

@@ -71,6 +71,13 @@ pub struct SvdOptions {
     /// data words) below which rotations run serially instead of forking
     /// host threads.
     pub serial_cutoff: usize,
+    /// Statically verify the ordering's schedule (ownership safety, pair
+    /// coverage, order restoration, deadlock freedom) with
+    /// `treesvd-analyze` before touching matrix data, rejecting the run
+    /// with [`SvdError::Schedule`] on a violation. Cheap (combinatorial in
+    /// `n`, independent of `m`); mainly valuable with
+    /// [`OrderingChoice::Custom`].
+    pub verify_schedule: bool,
 }
 
 impl Default for SvdOptions {
@@ -86,6 +93,7 @@ impl Default for SvdOptions {
             track_off: false,
             cached_norms: false,
             serial_cutoff: treesvd_sim::ExecConfig::DEFAULT_SERIAL_CUTOFF,
+            verify_schedule: false,
         }
     }
 }
@@ -139,6 +147,12 @@ impl SvdOptions {
         self.serial_cutoff = serial_cutoff;
         self
     }
+
+    /// Require the schedule to pass static verification before execution.
+    pub fn with_verify_schedule(mut self, verify: bool) -> Self {
+        self.verify_schedule = verify;
+        self
+    }
 }
 
 /// Errors from the SVD driver.
@@ -148,6 +162,9 @@ pub enum SvdError {
     EmptyMatrix,
     /// The chosen ordering rejected the (padded) size.
     Ordering(OrderingError),
+    /// Static schedule verification found a violation (only with
+    /// [`SvdOptions::verify_schedule`]).
+    Schedule(treesvd_analyze::Violation),
     /// The iteration hit `max_sweeps` without converging.
     NoConvergence {
         /// Sweeps performed.
@@ -162,6 +179,7 @@ impl fmt::Display for SvdError {
         match self {
             SvdError::EmptyMatrix => write!(f, "matrix has a zero dimension"),
             SvdError::Ordering(e) => write!(f, "ordering rejected the problem size: {e}"),
+            SvdError::Schedule(v) => write!(f, "schedule verification failed: {v}"),
             SvdError::NoConvergence { sweeps, last_coupling } => write!(
                 f,
                 "no convergence after {sweeps} sweeps (last max coupling {last_coupling:.3e})"
@@ -175,6 +193,12 @@ impl std::error::Error for SvdError {}
 impl From<OrderingError> for SvdError {
     fn from(e: OrderingError) -> Self {
         SvdError::Ordering(e)
+    }
+}
+
+impl From<treesvd_analyze::Violation> for SvdError {
+    fn from(v: treesvd_analyze::Violation) -> Self {
+        SvdError::Schedule(v)
     }
 }
 
@@ -219,8 +243,7 @@ mod tests {
     #[should_panic(expected = "cannot be cloned")]
     fn custom_choice_clone_panics() {
         let c = OrderingChoice::Custom(Box::new(|n| {
-            Ok(Box::new(treesvd_orderings::RoundRobinOrdering::new(n)?)
-                as Box<dyn JacobiOrdering>)
+            Ok(Box::new(treesvd_orderings::RoundRobinOrdering::new(n)?) as Box<dyn JacobiOrdering>)
         }));
         let _ = c.clone();
     }

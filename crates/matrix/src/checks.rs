@@ -19,11 +19,7 @@ pub fn reconstruction_residual(a: &Matrix, u: &Matrix, sigma: &[f64], v: &Matrix
     assert_eq!(u.cols(), sigma.len(), "U/sigma shape mismatch");
     assert_eq!(v.cols(), sigma.len(), "V/sigma shape mismatch");
     let d = Matrix::diagonal(sigma.len(), sigma).expect("square diagonal");
-    let usv = u
-        .matmul(&d)
-        .expect("shapes agree")
-        .matmul(&v.transpose())
-        .expect("shapes agree");
+    let usv = u.matmul(&d).expect("shapes agree").matmul(&v.transpose()).expect("shapes agree");
     let num = a.sub(&usv).expect("same shape").frobenius_norm();
     let den = a.frobenius_norm();
     if den == 0.0 {

@@ -74,13 +74,7 @@ pub fn with_singular_values(rows: usize, sigma: &[f64], seed: u64) -> Matrix {
 pub fn graded(rows: usize, cols: usize, ratio: f64, seed: u64) -> Matrix {
     assert!(ratio > 0.0, "grading ratio must be positive");
     let sigma: Vec<f64> = (0..cols)
-        .map(|k| {
-            if cols == 1 {
-                1.0
-            } else {
-                ratio.powf(k as f64 / (cols - 1) as f64)
-            }
-        })
+        .map(|k| if cols == 1 { 1.0 } else { ratio.powf(k as f64 / (cols - 1) as f64) })
         .collect();
     with_singular_values(rows, &sigma, seed)
 }
@@ -92,8 +86,7 @@ pub fn graded(rows: usize, cols: usize, ratio: f64, seed: u64) -> Matrix {
 /// Panics if `rank > cols` or `rows < cols`.
 pub fn rank_deficient(rows: usize, cols: usize, rank: usize, seed: u64) -> Matrix {
     assert!(rank <= cols, "rank cannot exceed column count");
-    let sigma: Vec<f64> =
-        (0..cols).map(|k| if k < rank { 1.0 + k as f64 } else { 0.0 }).collect();
+    let sigma: Vec<f64> = (0..cols).map(|k| if k < rank { 1.0 + k as f64 } else { 0.0 }).collect();
     with_singular_values(rows, &sigma, seed)
 }
 

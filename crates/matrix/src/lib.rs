@@ -37,11 +37,11 @@
 
 pub mod checks;
 pub mod error;
-#[cfg(test)]
-mod proptests;
 pub mod generate;
 pub mod matrix;
 pub mod ops;
+#[cfg(test)]
+mod proptests;
 pub mod rng;
 pub mod rotation;
 

@@ -179,7 +179,11 @@ impl Matrix {
     /// # Errors
     /// Returns [`MatrixError::DuplicateColumn`] if `a == b` and
     /// [`MatrixError::IndexOutOfBounds`] if either index is out of range.
-    pub fn col_pair_mut(&mut self, a: usize, b: usize) -> Result<(&mut [f64], &mut [f64]), MatrixError> {
+    pub fn col_pair_mut(
+        &mut self,
+        a: usize,
+        b: usize,
+    ) -> Result<(&mut [f64], &mut [f64]), MatrixError> {
         if a == b {
             return Err(MatrixError::DuplicateColumn(a));
         }
@@ -328,7 +332,10 @@ impl Matrix {
         let rows = cols[0].len();
         for (j, c) in cols.iter().enumerate() {
             if c.len() != rows {
-                return Err(MatrixError::ShapeMismatch { left: (rows, cols.len()), right: (c.len(), j) });
+                return Err(MatrixError::ShapeMismatch {
+                    left: (rows, cols.len()),
+                    right: (c.len(), j),
+                });
             }
         }
         let mut data = Vec::with_capacity(rows * cols.len());

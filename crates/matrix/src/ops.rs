@@ -314,11 +314,8 @@ fn rotate_fused_impl<const SWAP: bool>(c: f64, s: f64, a: &mut [f64], b: &mut [f
     for (ca, cb) in am.chunks_exact_mut(ROT_UNROLL).zip(bm.chunks_exact_mut(ROT_UNROLL)) {
         for k in 0..ROT_UNROLL {
             let (x, y) = (ca[k], cb[k]);
-            let (xp, yp) = if SWAP {
-                (s * x + c * y, c * x - s * y)
-            } else {
-                (c * x - s * y, s * x + c * y)
-            };
+            let (xp, yp) =
+                if SWAP { (s * x + c * y, c * x - s * y) } else { (c * x - s * y, s * x + c * y) };
             ca[k] = xp;
             cb[k] = yp;
             na[k] += xp * xp;
@@ -338,10 +335,7 @@ fn rotate_fused_impl<const SWAP: bool>(c: f64, s: f64, a: &mut [f64], b: &mut [f
         tna += xp * xp;
         tnb += yp * yp;
     }
-    (
-        (na[0] + na[1]) + (na[2] + na[3]) + tna,
-        (nb[0] + nb[1]) + (nb[2] + nb[3]) + tnb,
-    )
+    ((na[0] + na[1]) + (na[2] + na[3]) + tna, (nb[0] + nb[1]) + (nb[2] + nb[3]) + tnb)
 }
 
 /// Fused rotation, plain form (equation (1)): returns the exact updated
@@ -393,8 +387,10 @@ mod tests {
             assert!((norm2_sq(&x) - naive::norm2_sq(&x)).abs() <= tol, "norm2_sq len {len}");
             let (aa, bb, ab) = gram3(&x, &y);
             let (naa, nbb, nab) = naive::gram3(&x, &y);
-            assert!((aa - naa).abs() <= tol && (bb - nbb).abs() <= tol && (ab - nab).abs() <= tol,
-                "gram3 len {len}");
+            assert!(
+                (aa - naa).abs() <= tol && (bb - nbb).abs() <= tol && (ab - nab).abs() <= tol,
+                "gram3 len {len}"
+            );
             let mut y1 = y.clone();
             let mut y2 = y.clone();
             axpy(1.5, &x, &mut y1);

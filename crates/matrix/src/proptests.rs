@@ -8,7 +8,9 @@
 #![cfg(test)]
 
 use crate::ops::{self, axpy, dot, gram3, norm2, norm2_sq, rotate_fused, rotate_fused_swapped};
-use crate::rotation::{apply_rotation, apply_rotation_swapped, compute_rotation, orthogonalize_pair};
+use crate::rotation::{
+    apply_rotation, apply_rotation_swapped, compute_rotation, orthogonalize_pair,
+};
 use crate::{generate, Matrix};
 use proptest::prelude::*;
 

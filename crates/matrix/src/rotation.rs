@@ -167,14 +167,16 @@ pub fn rotate_pair_fused(rot: Rotation, a: &mut [f64], b: &mut [f64], swap: bool
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
-pub fn orthogonalize_pair(a: &mut [f64], b: &mut [f64], threshold: f64, sort_descending: bool) -> PairOutcome {
+pub fn orthogonalize_pair(
+    a: &mut [f64],
+    b: &mut [f64],
+    threshold: f64,
+    sort_descending: bool,
+) -> PairOutcome {
     let (alpha, beta, gamma) = gram3(a, b);
     let rot = compute_rotation(alpha, beta, gamma, threshold);
-    let coupling = if alpha > 0.0 && beta > 0.0 {
-        gamma.abs() / (alpha.sqrt() * beta.sqrt())
-    } else {
-        0.0
-    };
+    let coupling =
+        if alpha > 0.0 && beta > 0.0 { gamma.abs() / (alpha.sqrt() * beta.sqrt()) } else { 0.0 };
     // Predicted norms after the rotation (rotation algebra); used only to
     // decide the swap before touching the data. The reported norms come
     // from the fused kernel, i.e. from the written values themselves.

@@ -68,10 +68,7 @@ mod tests {
         assert_eq!(r.level, 1);
         assert_eq!(
             r.channels,
-            vec![
-                Channel { up: true, level: 1, node: 0 },
-                Channel { up: false, level: 1, node: 1 }
-            ]
+            vec![Channel { up: true, level: 1, node: 0 }, Channel { up: false, level: 1, node: 1 }]
         );
     }
 

@@ -10,13 +10,8 @@
 //! over the step-by-step pair structure; [`are_equivalent`] is the
 //! predicate form.
 
-use crate::schedule::{ColIndex, Program};
+use crate::schedule::{pair_key as key, ColIndex, Program};
 use std::collections::HashSet;
-
-/// Unordered pair with canonical ordering.
-fn key(a: ColIndex, b: ColIndex) -> (ColIndex, ColIndex) {
-    (a.min(b), a.max(b))
-}
 
 /// Try to find a permutation `pi` of `0..n` such that applying `pi` to
 /// every index of sweep `a` yields, step for step, exactly the pair sets of
@@ -31,13 +26,7 @@ pub fn find_relabelling(a: &Program, b: &Program) -> Option<Vec<ColIndex>> {
     }
     let n = a.n;
     let a_steps: Vec<Vec<(usize, usize)>> = a.step_pairs();
-    let b_steps: Vec<Vec<HashSet<(usize, usize)>>> = b
-        .step_pairs()
-        .iter()
-        .map(|s| vec![s.iter().map(|&(x, y)| key(x, y)).collect::<HashSet<_>>()])
-        .collect();
-    // flatten b's per-step pair sets
-    let b_sets: Vec<HashSet<(usize, usize)>> = b_steps.into_iter().map(|mut v| v.remove(0)).collect();
+    let b_sets: Vec<HashSet<(usize, usize)>> = b.step_pair_sets();
 
     let mut pi: Vec<Option<usize>> = vec![None; n];
     let mut used: Vec<bool> = vec![false; n];
@@ -160,11 +149,7 @@ pub fn verify_relabelling(a: &Program, b: &Program, pi: &[ColIndex]) -> bool {
     if a.n != b.n || pi.len() != a.n || a.steps.len() != b.steps.len() {
         return false;
     }
-    let b_steps: Vec<HashSet<(usize, usize)>> = b
-        .step_pairs()
-        .iter()
-        .map(|s| s.iter().map(|&(x, y)| key(x, y)).collect())
-        .collect();
+    let b_steps: Vec<HashSet<(usize, usize)>> = b.step_pair_sets();
     for (s, pairs) in a.step_pairs().iter().enumerate() {
         for &(x, y) in pairs {
             if !b_steps[s].contains(&key(pi[x], pi[y])) {

@@ -30,10 +30,7 @@ pub fn module_a_movements(n: usize, base: usize) -> [Permutation; 3] {
         // (0,2)(1,3) -> (0,3)(1,2): exchange slots base+1, base+3
         perm_from_moves(n, &[(base + 1, base + 3), (base + 3, base + 1)]),
         // restore: 3-cycle base+1 -> base+3 -> base+2 -> base+1
-        perm_from_moves(
-            n,
-            &[(base + 1, base + 3), (base + 3, base + 2), (base + 2, base + 1)],
-        ),
+        perm_from_moves(n, &[(base + 1, base + 3), (base + 3, base + 2), (base + 2, base + 1)]),
     ]
 }
 

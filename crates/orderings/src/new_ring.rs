@@ -227,32 +227,16 @@ impl JacobiOrdering for ModifiedRingOrdering {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::validate::{
-        all_moves_even, assert_valid_sweep, check_restores_after, is_one_directional,
-        max_link_load, move_counts,
-    };
+    use crate::validate::{all_moves_even, is_one_directional, max_link_load, move_counts};
+
+    // sweep validity and the period-2 restoration are asserted by the
+    // treesvd-analyze verifier in the cross-crate suites
 
     #[test]
     fn rejects_bad_sizes() {
         assert!(NewRingOrdering::new(5).is_err());
         assert!(ModifiedRingOrdering::new(3).is_err());
         assert!(NewRingOrdering::new(4).is_ok());
-    }
-
-    #[test]
-    fn new_ring_valid_for_many_sizes() {
-        for n in [4, 6, 8, 10, 16, 32, 64] {
-            let ord = NewRingOrdering::new(n).unwrap();
-            assert_valid_sweep(&ord);
-        }
-    }
-
-    #[test]
-    fn modified_ring_valid_for_many_sizes() {
-        for n in [4, 6, 8, 10, 16, 32, 64] {
-            let ord = ModifiedRingOrdering::new(n).unwrap();
-            assert_valid_sweep(&ord);
-        }
     }
 
     #[test]
@@ -280,21 +264,11 @@ mod tests {
     }
 
     #[test]
-    fn both_restore_after_two_sweeps() {
-        for n in [4, 8, 10, 32] {
-            check_restores_after(&NewRingOrdering::new(n).unwrap(), 2);
-            check_restores_after(&ModifiedRingOrdering::new(n).unwrap(), 2);
-        }
-    }
-
-    #[test]
     fn messages_one_directional_evenly_distributed() {
         for n in [8, 16, 32] {
             for prog in [
                 NewRingOrdering::new(n).unwrap().sweep_program(0, &(0..n).collect::<Vec<_>>()),
-                ModifiedRingOrdering::new(n)
-                    .unwrap()
-                    .sweep_program(0, &(0..n).collect::<Vec<_>>()),
+                ModifiedRingOrdering::new(n).unwrap().sweep_program(0, &(0..n).collect::<Vec<_>>()),
             ] {
                 assert!(is_one_directional(&prog), "n = {n}");
                 assert_eq!(max_link_load(&prog), 1, "n = {n}: a link carries > 1 message");

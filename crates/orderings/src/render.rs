@@ -39,9 +39,14 @@ pub fn step_level(prog: &Program, step: usize) -> usize {
 /// following movement crosses a group boundary.
 pub fn render_sweep(prog: &Program, group_size: Option<usize>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "step  index pairs{}", " ".repeat(6 * prog.processors().saturating_sub(2)));
+    let _ =
+        writeln!(out, "step  index pairs{}", " ".repeat(6 * prog.processors().saturating_sub(2)));
     for (s, pairs) in prog.step_pairs().iter().enumerate() {
-        let row: String = pairs.iter().map(|&(a, b)| format!("({} {})", a + 1, b + 1)).collect::<Vec<_>>().join(" ");
+        let row: String = pairs
+            .iter()
+            .map(|&(a, b)| format!("({} {})", a + 1, b + 1))
+            .collect::<Vec<_>>()
+            .join(" ");
         let lvl = step_level(prog, s);
         let marker = match group_size {
             Some(w) if crosses_group(prog, s, w) => "  global".to_string(),
@@ -56,11 +61,7 @@ pub fn render_sweep(prog: &Program, group_size: Option<usize>) -> String {
 /// Whether the movement after `step` crosses a boundary between groups of
 /// `w` consecutive slots.
 pub fn crosses_group(prog: &Program, step: usize, w: usize) -> bool {
-    prog.steps[step]
-        .move_after
-        .inter_processor_moves()
-        .iter()
-        .any(|&(f, t)| f / w != t / w)
+    prog.steps[step].move_after.inter_processor_moves().iter().any(|&(f, t)| f / w != t / w)
 }
 
 /// Histogram of communication levels over a sweep: `hist[l]` counts column
@@ -68,7 +69,8 @@ pub fn crosses_group(prog: &Program, step: usize, w: usize) -> bool {
 /// intra-leaf shuffles, which are free).
 pub fn level_histogram(prog: &Program) -> Vec<usize> {
     let procs = prog.processors();
-    let max_level = if procs <= 1 { 1 } else { (usize::BITS - (procs - 1).leading_zeros()) as usize + 1 };
+    let max_level =
+        if procs <= 1 { 1 } else { (usize::BITS - (procs - 1).leading_zeros()) as usize + 1 };
     let mut hist = vec![0usize; max_level + 1];
     for step in &prog.steps {
         for (f, t) in step.move_after.moves() {

@@ -74,8 +74,7 @@ impl JacobiOrdering for RingOrdering {
     fn sweep_program(&self, _sweep: usize, layout: &[ColIndex]) -> Program {
         assert_eq!(layout.len(), self.n, "layout size mismatch");
         let movement = Self::movement(self.n);
-        let steps =
-            (0..self.n - 1).map(|_| PairStep { move_after: movement.clone() }).collect();
+        let steps = (0..self.n - 1).map(|_| PairStep { move_after: movement.clone() }).collect();
         Program { n: self.n, initial_layout: layout.to_vec(), steps }
     }
 }
@@ -83,28 +82,16 @@ impl JacobiOrdering for RingOrdering {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::validate::{assert_valid_sweep, check_restores_after, ring_traffic};
+    use crate::validate::ring_traffic;
+
+    // sweep validity and order restoration are asserted by the
+    // treesvd-analyze verifier in the cross-crate suites
 
     #[test]
     fn rejects_bad_sizes() {
         assert!(RingOrdering::new(7).is_err());
         assert!(RingOrdering::new(2).is_err());
         assert!(RingOrdering::new(6).is_ok());
-    }
-
-    #[test]
-    fn valid_sweep_for_various_sizes() {
-        for n in [4, 6, 8, 10, 16, 32, 64] {
-            let ord = RingOrdering::new(n).unwrap();
-            assert_valid_sweep(&ord);
-        }
-    }
-
-    #[test]
-    fn restores_every_sweep() {
-        for n in [4, 8, 12, 32] {
-            check_restores_after(&RingOrdering::new(n).unwrap(), 1);
-        }
     }
 
     #[test]

@@ -5,10 +5,20 @@
 //! step's rotations. `n/2` processors own two slots each; processor `p`
 //! rotates whatever occupies slots `2p` and `2p+1`.
 
+use std::collections::HashSet;
 use std::fmt;
 
 /// A logical column index, `0..n`.
 pub type ColIndex = usize;
+
+/// Canonical form of an unordered index pair: `(min, max)`.
+///
+/// The single pair identity used everywhere pairs are compared — the
+/// coverage checker in `treesvd-analyze`, the equivalence search, and any
+/// schedule bookkeeping.
+pub fn pair_key(a: ColIndex, b: ColIndex) -> (ColIndex, ColIndex) {
+    (a.min(b), a.max(b))
+}
 
 /// A physical slot, `0..n`; processor `p` owns slots `2p` and `2p+1`.
 pub type Slot = usize;
@@ -135,12 +145,7 @@ impl Permutation {
     /// The moves that actually leave their slot: `(from, to)` with
     /// `from != to`.
     pub fn moves(&self) -> Vec<(Slot, Slot)> {
-        self.dest
-            .iter()
-            .enumerate()
-            .filter(|&(s, &d)| s != d)
-            .map(|(s, &d)| (s, d))
-            .collect()
+        self.dest.iter().enumerate().filter(|&(s, &d)| s != d).map(|(s, &d)| (s, d)).collect()
     }
 
     /// The moves that cross processor boundaries (slot/2 differs) — the
@@ -202,6 +207,16 @@ impl Program {
         self.layouts()
             .into_iter()
             .map(|layout| layout.chunks(2).map(|c| (c[0], c[1])).collect())
+            .collect()
+    }
+
+    /// The canonical pair *set* of each step: [`Program::step_pairs`] with
+    /// every pair reduced to its [`pair_key`] form. The shape the coverage
+    /// checker and the equivalence search both consume.
+    pub fn step_pair_sets(&self) -> Vec<HashSet<(ColIndex, ColIndex)>> {
+        self.step_pairs()
+            .iter()
+            .map(|pairs| pairs.iter().map(|&(a, b)| pair_key(a, b)).collect())
             .collect()
     }
 

@@ -101,7 +101,12 @@ mod tests {
 
     /// Execute the movements starting from the identity layout and return
     /// (pairs per step, final layout).
-    fn run(n: usize, base: usize, k: usize, rot: RotatingSide) -> (Vec<Vec<(usize, usize)>>, Vec<usize>) {
+    fn run(
+        n: usize,
+        base: usize,
+        k: usize,
+        rot: RotatingSide,
+    ) -> (Vec<Vec<(usize, usize)>>, Vec<usize>) {
         let movements = two_block_movements(n, base, k, rot);
         let mut layout: Vec<usize> = (0..n).collect();
         let mut pairs = Vec::new();

@@ -1,105 +1,13 @@
-//! Combinatorial checkers for Jacobi orderings.
+//! Traffic bookkeeping for Jacobi orderings.
 //!
-//! A *valid sweep* (paper §1) consists of `n(n−1)/2` rotations in which
-//! every unordered column pair meets exactly once; a parallel ordering
-//! additionally partitions them into steps of `n/2` disjoint pairs. These
-//! checkers are used by every ordering's unit tests and by the
-//! property-based suites.
+//! The sweep-validity checkers (pair coverage, ownership safety, order
+//! restoration) live in the `treesvd-analyze` crate, which is the
+//! canonical verifier for the whole workspace — this crate's test suites
+//! use it as a dev-dependency. What remains here is the *traffic*
+//! bookkeeping (move parity, ring link loads) that the ordering
+//! constructions themselves reason about.
 
-use crate::schedule::{JacobiOrdering, Program};
-use std::collections::HashSet;
-
-/// Check that a single program is a valid parallel sweep.
-///
-/// Verifies: the initial layout is a permutation of `0..n`; every step has
-/// `n/2` disjoint pairs (automatic in the slot model, but re-checked);
-/// no unordered pair occurs twice; and the total is `n(n−1)/2`.
-///
-/// # Errors
-/// Returns a human-readable description of the first violation.
-pub fn check_valid_program(prog: &Program) -> Result<(), String> {
-    let n = prog.n;
-    if prog.initial_layout.len() != n {
-        return Err(format!(
-            "initial layout has {} slots, expected {n}",
-            prog.initial_layout.len()
-        ));
-    }
-    let mut seen_idx = vec![false; n];
-    for &idx in &prog.initial_layout {
-        if idx >= n {
-            return Err(format!("index {idx} out of range in initial layout"));
-        }
-        if seen_idx[idx] {
-            return Err(format!("index {idx} appears twice in initial layout"));
-        }
-        seen_idx[idx] = true;
-    }
-    let mut met: HashSet<(usize, usize)> = HashSet::new();
-    for (step_no, step) in prog.step_pairs().iter().enumerate() {
-        if step.len() != n / 2 {
-            return Err(format!("step {step_no} has {} pairs, expected {}", step.len(), n / 2));
-        }
-        let mut in_step: HashSet<usize> = HashSet::new();
-        for &(a, b) in step {
-            if a == b {
-                return Err(format!("step {step_no}: degenerate pair ({a},{b})"));
-            }
-            if !in_step.insert(a) || !in_step.insert(b) {
-                return Err(format!("step {step_no}: index reused within the step"));
-            }
-            let key = (a.min(b), a.max(b));
-            if !met.insert(key) {
-                return Err(format!("pair ({},{}) meets twice in one sweep", key.0, key.1));
-            }
-        }
-    }
-    let expect = n * (n - 1) / 2;
-    if met.len() != expect {
-        return Err(format!("sweep covers {} pairs, expected {expect}", met.len()));
-    }
-    Ok(())
-}
-
-/// Assert that *every* sweep in the ordering's restore period is a valid
-/// parallel sweep (panicking with the violation on failure).
-///
-/// # Panics
-/// Panics if any sweep in the period is invalid.
-pub fn assert_valid_sweep(ord: &dyn JacobiOrdering) {
-    let period = ord.restore_period().max(1);
-    for (k, prog) in ord.programs(period).iter().enumerate() {
-        if let Err(e) = check_valid_program(prog) {
-            panic!("{}: sweep {k} invalid: {e}", ord.name());
-        }
-    }
-}
-
-/// Check the paper's order-restoration property: after `sweeps` sweeps the
-/// slot layout is back to the ordering's initial layout.
-///
-/// # Panics
-/// Panics if the layout is not restored, or if it is *already* restored
-/// after fewer sweeps than claimed (so a period-2 ordering genuinely needs
-/// two sweeps).
-pub fn check_restores_after(ord: &dyn JacobiOrdering, sweeps: usize) {
-    let initial = ord.initial_layout();
-    let mut layout = initial.clone();
-    for k in 0..sweeps {
-        let prog = ord.sweep_program(k, &layout);
-        layout = prog.final_layout();
-        if k + 1 < sweeps {
-            assert_ne!(
-                layout,
-                initial,
-                "{}: layout already restored after {} sweeps (claimed period {sweeps})",
-                ord.name(),
-                k + 1
-            );
-        }
-    }
-    assert_eq!(layout, initial, "{}: layout not restored after {sweeps} sweeps", ord.name());
-}
+use crate::schedule::Program;
 
 /// Count, for a program, how often each index moves between processors
 /// during the sweep (the paper's "shifted r times" bookkeeping in §5).
@@ -173,11 +81,7 @@ pub fn is_one_directional(prog: &Program) -> bool {
 /// single step (lower is better; 1 means perfectly even distribution).
 pub fn max_link_load(prog: &Program) -> usize {
     let (cw, ccw) = ring_traffic(prog);
-    cw.iter()
-        .chain(ccw.iter())
-        .flat_map(|step| step.iter().copied())
-        .max()
-        .unwrap_or(0)
+    cw.iter().chain(ccw.iter()).flat_map(|step| step.iter().copied()).max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -194,44 +98,6 @@ mod tests {
                 .map(|d| PairStep { move_after: Permutation::from_dest(d) })
                 .collect(),
         }
-    }
-
-    #[test]
-    fn valid_program_accepted() {
-        // A correct 3-step tournament for n = 4 with steps
-        // (0,1)(2,3) -> (0,2)(1,3) -> (0,3)(1,2):
-        // layouts 0,1,2,3 -> 0,2,1,3 -> 0,3,1,2.
-        let prog = tiny_program(vec![
-            vec![0, 2, 1, 3], // 1<->2
-            vec![0, 3, 2, 1], // contents of slots 1 and 3 exchange
-            vec![0, 1, 2, 3], // identity after the last step
-        ]);
-        assert!(check_valid_program(&prog).is_ok(), "{:?}", check_valid_program(&prog));
-        // An incomplete sweep (a pair repeats before all pairs are covered):
-        let bad = tiny_program(vec![
-            vec![0, 2, 1, 3],
-            vec![0, 1, 3, 2], // leads back into an already-met pair
-            vec![0, 1, 2, 3],
-        ]);
-        assert!(check_valid_program(&bad).is_err());
-    }
-
-    #[test]
-    fn repeated_pair_rejected() {
-        let prog = tiny_program(vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![0, 1, 2, 3]]);
-        let err = check_valid_program(&prog).unwrap_err();
-        assert!(err.contains("twice"), "{err}");
-    }
-
-    #[test]
-    fn bad_layout_rejected() {
-        let mut prog = tiny_program(vec![vec![0, 1, 2, 3]]);
-        prog.initial_layout = vec![0, 0, 1, 2];
-        assert!(check_valid_program(&prog).unwrap_err().contains("twice"));
-        prog.initial_layout = vec![0, 1, 2, 9];
-        assert!(check_valid_program(&prog).unwrap_err().contains("out of range"));
-        prog.initial_layout = vec![0, 1, 2];
-        assert!(check_valid_program(&prog).unwrap_err().contains("slots"));
     }
 
     #[test]

@@ -31,15 +31,21 @@ pub struct DistributedOutcome {
     pub total_rotations: usize,
 }
 
+/// Everything a per-rank worker owns besides its communicator: the shared
+/// schedule, its two resident columns, and the execution parameters.
+struct WorkerTask<'a> {
+    programs: &'a [Program],
+    left: SlotData,
+    right: SlotData,
+    config: ExecConfig,
+}
+
 /// Per-rank worker: executes its two slots across all sweeps.
-#[allow(clippy::too_many_arguments)]
 fn worker(
     comm: &mut Communicator,
-    programs: &[Program],
-    mut left: SlotData,
-    mut right: SlotData,
-    config: &ExecConfig,
+    task: WorkerTask<'_>,
 ) -> Result<(SlotData, SlotData, usize, usize, bool), RecvError> {
+    let WorkerTask { programs, mut left, mut right, config } = task;
     let rank = comm.rank();
     let my_slots = [2 * rank, 2 * rank + 1];
     let mut total_rotations = 0usize;
@@ -71,11 +77,8 @@ fn worker(
             for (i, &s) in my_slots.iter().enumerate() {
                 let d = perm.dest_of(s);
                 if d / 2 != rank {
-                    let data = if i == 0 {
-                        std::mem::take(&mut left)
-                    } else {
-                        std::mem::take(&mut right)
-                    };
+                    let data =
+                        if i == 0 { std::mem::take(&mut left) } else { std::mem::take(&mut right) };
                     let tag = global_step << 1 | (d % 2) as u64;
                     comm.send(d / 2, tag, encode(&data));
                 }
@@ -85,11 +88,8 @@ fn worker(
             for (i, &s) in my_slots.iter().enumerate() {
                 let d = perm.dest_of(s);
                 if d / 2 == rank {
-                    let data = if i == 0 {
-                        std::mem::take(&mut left)
-                    } else {
-                        std::mem::take(&mut right)
-                    };
+                    let data =
+                        if i == 0 { std::mem::take(&mut left) } else { std::mem::take(&mut right) };
                     next[d % 2] = Some(data);
                 }
             }
@@ -176,9 +176,8 @@ pub fn distributed_svd(
         let left = std::mem::take(&mut slot_data[2 * rank]);
         let right = std::mem::take(&mut slot_data[2 * rank + 1]);
         let programs = Arc::clone(&programs);
-        let cfg = config;
         handles.push(std::thread::spawn(move || {
-            worker(&mut comm, &programs, left, right, &cfg)
+            worker(&mut comm, WorkerTask { programs: &programs, left, right, config })
         }));
     }
 
@@ -265,9 +264,14 @@ mod tests {
         let n = 8;
         let a = generate::random_uniform(10, n, 5);
         let ord = OrderingKind::FatTree.build(n).unwrap();
-        let dist =
-            distributed_svd(ord.as_ref(), a.clone().into_columns(), true, ExecConfig::default(), 40)
-                .unwrap();
+        let dist = distributed_svd(
+            ord.as_ref(),
+            a.clone().into_columns(),
+            true,
+            ExecConfig::default(),
+            40,
+        )
+        .unwrap();
         let (ref_slots, _, _) = reference_run(OrderingKind::FatTree, &a, true, 40);
         for (d, r) in dist.slots.iter().zip(ref_slots.iter()) {
             assert_eq!(d.a, r.a);

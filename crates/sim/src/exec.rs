@@ -11,8 +11,7 @@ use crate::machine::Machine;
 use crate::par;
 use treesvd_matrix::ops;
 use treesvd_matrix::rotation::{
-    apply_rotation, apply_rotation_swapped, compute_rotation, orthogonalize_pair,
-    rotate_pair_fused,
+    apply_rotation, apply_rotation_swapped, compute_rotation, orthogonalize_pair, rotate_pair_fused,
 };
 use treesvd_net::routing::comm_level;
 use treesvd_net::{Message, Phase, PhaseCost};
@@ -314,11 +313,8 @@ pub fn execute_program_with_scratch(
     // Adaptive dispatch: fork only when a step moves enough data to
     // amortize the scoped-thread spawns.
     let step_work = n * column_words;
-    let tasks = if step_work < config.serial_cutoff {
-        1
-    } else {
-        par::num_threads().min(n / 2).max(1)
-    };
+    let tasks =
+        if step_work < config.serial_cutoff { 1 } else { par::num_threads().min(n / 2).max(1) };
     let ctx = RotCtx { threshold: config.threshold, sort: config.sort };
 
     for step in &program.steps {
@@ -437,11 +433,8 @@ fn rotate_pair_cached(
     let alpha = *left_norm_sq;
     let beta = *right_norm_sq;
     let gamma = ops::dot(&left.a, &right.a);
-    let coupling = if alpha > 0.0 && beta > 0.0 {
-        gamma.abs() / (alpha.sqrt() * beta.sqrt())
-    } else {
-        0.0
-    };
+    let coupling =
+        if alpha > 0.0 && beta > 0.0 { gamma.abs() / (alpha.sqrt() * beta.sqrt()) } else { 0.0 };
     let rot = compute_rotation(alpha, beta, gamma, threshold);
     let need_swap = need_swap(rot, alpha, beta, gamma, sort, small_label_on_left);
     if rot.skipped && !need_swap {
@@ -471,11 +464,8 @@ pub(crate) fn rotate_pair(
     small_label_on_left: bool,
 ) -> PairReport {
     let (alpha, beta, gamma) = ops::gram3(&left.a, &right.a);
-    let coupling = if alpha > 0.0 && beta > 0.0 {
-        gamma.abs() / (alpha.sqrt() * beta.sqrt())
-    } else {
-        0.0
-    };
+    let coupling =
+        if alpha > 0.0 && beta > 0.0 { gamma.abs() / (alpha.sqrt() * beta.sqrt()) } else { 0.0 };
     let rot = compute_rotation(alpha, beta, gamma, threshold);
     let need_swap = need_swap(rot, alpha, beta, gamma, sort, small_label_on_left);
     if rot.skipped && !need_swap {
@@ -614,10 +604,7 @@ mod tests {
             }
         }
         assert!(couplings.len() >= 2);
-        assert!(
-            couplings.last().unwrap() < &1e-8,
-            "did not converge: {couplings:?}"
-        );
+        assert!(couplings.last().unwrap() < &1e-8, "did not converge: {couplings:?}");
     }
 
     #[test]
@@ -625,8 +612,7 @@ mod tests {
         let n = 8;
         let ord = FatTreeOrdering::new(n).unwrap();
         let mut store = store_from(10, n, 2, false);
-        let before: f64 =
-            store.slots.iter().map(|s| treesvd_matrix::ops::norm2_sq(&s.a)).sum();
+        let before: f64 = store.slots.iter().map(|s| treesvd_matrix::ops::norm2_sq(&s.a)).sum();
         let prog = ord.sweep_program(0, &ord.initial_layout());
         let mac = machine(n);
         execute_program(&mac, &prog, &mut store, &ExecConfig::default());
@@ -805,10 +791,7 @@ mod tests {
         let cols = store.columns_in_index_order();
         let norms: Vec<f64> =
             cols.iter().map(|c| treesvd_matrix::ops::norm2_sq(&c.a).sqrt()).collect();
-        assert!(
-            treesvd_matrix::checks::is_nonincreasing(&norms),
-            "norms not sorted: {norms:?}"
-        );
+        assert!(treesvd_matrix::checks::is_nonincreasing(&norms), "norms not sorted: {norms:?}");
     }
 }
 

@@ -78,8 +78,10 @@ mod tests {
                 return range.sum();
             }
             let mid = range.start + len / 2;
-            let (lo, hi) =
-                join(|| sum(range.start..mid, tasks / 2), || sum(mid..range.end, tasks - tasks / 2));
+            let (lo, hi) = join(
+                || sum(range.start..mid, tasks / 2),
+                || sum(mid..range.end, tasks - tasks / 2),
+            );
             lo + hi
         }
         assert_eq!(sum(0..1000, 8), 499_500);

@@ -87,12 +87,8 @@ impl Timeline {
     /// its time, split into compute (`#`), serialization (`=`), and
     /// latency (`-`) segments.
     pub fn render(&self, width: usize) -> String {
-        let max = self
-            .steps
-            .iter()
-            .map(StepTiming::total)
-            .fold(0.0_f64, f64::max)
-            .max(f64::MIN_POSITIVE);
+        let max =
+            self.steps.iter().map(StepTiming::total).fold(0.0_f64, f64::max).max(f64::MIN_POSITIVE);
         let mut out = String::new();
         out.push_str("step  lvl  cont  time       profile (#=compute ==serialize --latency)\n");
         for (i, s) in self.steps.iter().enumerate() {

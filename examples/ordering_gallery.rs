@@ -22,7 +22,12 @@ fn main() {
             }
         };
         let prog = ord.sweep_program(0, &ord.initial_layout());
-        println!("== {} (n = {n}, {} steps, restores after {} sweep(s)) ==", ord.name(), prog.steps.len(), ord.restore_period());
+        println!(
+            "== {} (n = {n}, {} steps, restores after {} sweep(s)) ==",
+            ord.name(),
+            prog.steps.len(),
+            ord.restore_period()
+        );
         println!("{}", render_sweep(&prog, None));
 
         let machine = Machine::with_kind(TopologyKind::PerfectFatTree, (n / 2).next_power_of_two());

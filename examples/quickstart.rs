@@ -17,7 +17,10 @@ fn main() {
     // fat-tree, sorted singular values.
     let run = HestenesSvd::new(SvdOptions::default()).compute(&a).expect("convergence");
 
-    println!("converged in {} sweeps (simulated machine time {:.3e})", run.sweeps, run.simulated_time);
+    println!(
+        "converged in {} sweeps (simulated machine time {:.3e})",
+        run.sweeps, run.simulated_time
+    );
     println!("first five singular values: {:?}", &run.svd.sigma[..5]);
     println!("reconstruction residual:    {:.3e}", run.svd.residual(&a));
     println!("factor orthogonality:       {:.3e}", run.svd.orthogonality());

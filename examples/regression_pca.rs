@@ -28,7 +28,10 @@ fn main() {
     }
     let sol = lstsq(&design, &b, None).expect("solvable");
     println!("least squares: rank {}, residual {:.3e}", sol.effective_rank, sol.residual_norm);
-    println!("  coefficients: {:?}", sol.x.iter().map(|x| (x * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!(
+        "  coefficients: {:?}",
+        sol.x.iter().map(|x| (x * 1e4).round() / 1e4).collect::<Vec<_>>()
+    );
     println!("  condition number of the design: {:.2}", condition_number(&design).unwrap());
 
     // ---- PCA on correlated data ----
@@ -47,10 +50,20 @@ fn main() {
         }
     }
     let model = pca(&data).expect("pca fits");
-    println!("\npca: explained variance ratios (first 4): {:?}",
-        model.explained_ratio.iter().take(4).map(|r| (r * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "\npca: explained variance ratios (first 4): {:?}",
+        model
+            .explained_ratio
+            .iter()
+            .take(4)
+            .map(|r| (r * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     let top2: f64 = model.explained_ratio.iter().take(2).sum();
-    println!("  first two components explain {:.1}% of the variance (true latent dim = 2)", top2 * 100.0);
+    println!(
+        "  first two components explain {:.1}% of the variance (true latent dim = 2)",
+        top2 * 100.0
+    );
     assert!(top2 > 0.95);
 
     // ---- symmetric eigenproblem ----
@@ -59,7 +72,9 @@ fn main() {
     let d = Matrix::diagonal(6, &lambda).unwrap();
     let a = q.matmul(&d).unwrap().matmul(&q.transpose()).unwrap();
     let eig = symmetric_eigen(&a).expect("symmetric");
-    println!("\nsymmetric eigenvalues (by |magnitude|): {:?}",
-        eig.lambda.iter().map(|l| (l * 1e6).round() / 1e6).collect::<Vec<_>>());
+    println!(
+        "\nsymmetric eigenvalues (by |magnitude|): {:?}",
+        eig.lambda.iter().map(|l| (l * 1e6).round() / 1e6).collect::<Vec<_>>()
+    );
     println!("  residual ||AQ - QL||/||A|| = {:.2e}", eig.residual(&a));
 }

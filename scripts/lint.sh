@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Workspace lint gate: formatting, clippy at deny-warnings, and the
+# treesvd-analyze schedule verifier run over every built-in ordering
+# (see docs/ANALYSIS.md). Fails on the first violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt: cargo fmt --all --check =="
+cargo fmt --all --check
+
+echo "== clippy: workspace, all targets, deny warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== analyzer self-check: every built-in ordering =="
+cargo build -q --release -p treesvd-cli
+TREESVD=target/release/treesvd
+
+# Each ordering at a representative size, on the topology the paper runs
+# it on. The tree-structured orderings need powers of two; the rest take
+# any even n.
+run_check() {
+    echo "-- treesvd analyze $*"
+    "$TREESVD" analyze "$@" >/dev/null
+}
+run_check --ordering ring          --n 32 --topology perfect
+run_check --ordering round-robin   --n 32 --topology perfect
+run_check --ordering fat-tree      --n 32 --topology perfect
+run_check --ordering fat-tree      --n 64 --topology fat-tree
+run_check --ordering new-ring      --n 32 --topology perfect
+run_check --ordering modified-ring --n 32 --topology perfect
+run_check --ordering llb-fat-tree  --n 32 --topology perfect
+run_check --ordering hybrid        --n 64 --topology fat-tree
+# the paper's §5 headline: the hybrid with groups n/4 is contention-free
+# even on the skinny CM-5 tree
+run_check --ordering hybrid        --n 64 --groups 16 --topology cm5
+
+echo "lint.sh: all gates passed"

@@ -6,6 +6,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== lint gate: scripts/lint.sh =="
+scripts/lint.sh
+
 echo "== tier-1: cargo build --release =="
 cargo build --release --workspace
 

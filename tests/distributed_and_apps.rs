@@ -4,9 +4,7 @@
 //! on top must be internally consistent whichever path produced the SVD.
 
 use treesvd_apps::{lstsq, pca, pseudoinverse, ridge, symmetric_eigen};
-use treesvd_core::{
-    blocked_svd, BlockedOptions, HestenesSvd, OrderingKind, SvdOptions,
-};
+use treesvd_core::{blocked_svd, BlockedOptions, HestenesSvd, OrderingKind, SvdOptions};
 use treesvd_matrix::{checks, generate, Matrix};
 
 #[test]
@@ -33,10 +31,7 @@ fn distributed_path_for_every_ordering_kind() {
     let reference = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
     for kind in OrderingKind::ALL {
         let run = HestenesSvd::with_ordering(kind).compute_distributed(&a).unwrap();
-        assert!(
-            checks::spectrum_distance(&run.svd.sigma, &reference.svd.sigma) < 1e-9,
-            "{kind}"
-        );
+        assert!(checks::spectrum_distance(&run.svd.sigma, &reference.svd.sigma) < 1e-9, "{kind}");
     }
 }
 
@@ -44,9 +39,7 @@ fn distributed_path_for_every_ordering_kind() {
 fn cached_norms_driver_agrees_with_reference() {
     let a = generate::graded(32, 16, 1e-5, 52);
     let reference = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
-    let fast = HestenesSvd::new(SvdOptions::default().with_cached_norms(true))
-        .compute(&a)
-        .unwrap();
+    let fast = HestenesSvd::new(SvdOptions::default().with_cached_norms(true)).compute(&a).unwrap();
     assert!(checks::spectrum_distance(&fast.svd.sigma, &reference.svd.sigma) < 1e-9);
     assert!(fast.svd.residual(&a) < 1e-10);
     assert!(fast.svd.orthogonality() < 1e-10);

@@ -2,10 +2,8 @@
 //! proptest over sizes and group shapes.
 
 use proptest::prelude::*;
-use treesvd_orderings::validate::{
-    all_moves_even, assert_valid_sweep, check_restores_after, check_valid_program,
-    is_one_directional, max_link_load, move_counts,
-};
+use treesvd_analyze::{assert_valid_sweep, check_restores_after, verify_coverage};
+use treesvd_orderings::validate::{all_moves_even, is_one_directional, max_link_load, move_counts};
 use treesvd_orderings::{
     FatTreeOrdering, HybridOrdering, JacobiOrdering, LlbFatTreeOrdering, ModifiedRingOrdering,
     NewRingOrdering, OrderingKind, RingOrdering, RoundRobinOrdering,
@@ -28,7 +26,7 @@ fn sweep_lengths_are_n_minus_1() {
         let ord = kind.build(32).unwrap();
         let prog = ord.sweep_program(0, &ord.initial_layout());
         assert_eq!(prog.steps.len(), 31, "{kind}");
-        assert!(check_valid_program(&prog).is_ok(), "{kind}");
+        assert!(verify_coverage(&prog).is_ok(), "{kind}");
     }
 }
 
@@ -43,6 +41,27 @@ fn restore_periods_match_claims() {
     assert_eq!(ModifiedRingOrdering::new(16).unwrap().restore_period(), 2);
     assert_eq!(LlbFatTreeOrdering::new(16).unwrap().restore_period(), 2);
     assert_eq!(HybridOrdering::new(16, 4).unwrap().restore_period(), 2);
+}
+
+#[test]
+fn hybrid_explicit_shapes_valid_and_periodic() {
+    // the shapes the unit suite used to spot-check, including non-power-of-
+    // two n with power-of-two group sizes
+    for (n, m) in [(8, 2), (16, 2), (16, 4), (32, 4), (32, 8), (24, 6), (24, 3), (12, 3), (64, 8)] {
+        let ord = HybridOrdering::new(n, m).unwrap();
+        assert_valid_sweep(&ord);
+        check_restores_after(&ord, 2);
+    }
+}
+
+#[test]
+fn block_ring_variant_valid_and_periodic() {
+    use treesvd_orderings::IntraGroupOrdering;
+    for (n, m) in [(8, 2), (16, 4), (32, 4), (24, 3)] {
+        let ord = HybridOrdering::with_intra(n, m, IntraGroupOrdering::RoundRobin).unwrap();
+        assert_valid_sweep(&ord);
+        check_restores_after(&ord, 2);
+    }
 }
 
 #[test]
@@ -167,13 +186,9 @@ fn modified_ring_equivalent_to_round_robin_too() {
 fn llb_pair_sequences_forward_equals_reverse_backward() {
     let ord = LlbFatTreeOrdering::new(16).unwrap();
     let progs = ord.programs(2);
-    let fwd = progs[0].step_pairs();
-    let bwd = progs[1].step_pairs();
+    let fwd = progs[0].step_pair_sets();
+    let bwd = progs[1].step_pair_sets();
     for (i, step) in bwd.iter().enumerate() {
-        let f: std::collections::HashSet<_> =
-            fwd[fwd.len() - 1 - i].iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
-        let b: std::collections::HashSet<_> =
-            step.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
-        assert_eq!(f, b, "backward step {i}");
+        assert_eq!(&fwd[fwd.len() - 1 - i], step, "backward step {i}");
     }
 }

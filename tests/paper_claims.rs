@@ -23,9 +23,21 @@ fn comm_report(
 #[test]
 fn c1_fat_tree_ordering_wins_on_perfect_fat_tree() {
     let n = 128;
-    let ft = comm_report(OrderingKind::FatTree.build(n).unwrap().as_ref(), TopologyKind::PerfectFatTree, 256);
-    let rr = comm_report(OrderingKind::RoundRobin.build(n).unwrap().as_ref(), TopologyKind::PerfectFatTree, 256);
-    let ring = comm_report(OrderingKind::Ring.build(n).unwrap().as_ref(), TopologyKind::PerfectFatTree, 256);
+    let ft = comm_report(
+        OrderingKind::FatTree.build(n).unwrap().as_ref(),
+        TopologyKind::PerfectFatTree,
+        256,
+    );
+    let rr = comm_report(
+        OrderingKind::RoundRobin.build(n).unwrap().as_ref(),
+        TopologyKind::PerfectFatTree,
+        256,
+    );
+    let ring = comm_report(
+        OrderingKind::Ring.build(n).unwrap().as_ref(),
+        TopologyKind::PerfectFatTree,
+        256,
+    );
     // global steps: O(log n) for fat-tree vs every step for Fig. 1
     assert!(ft.global_steps <= 8, "{}", ft.global_steps);
     assert_eq!(rr.global_steps, n - 1);

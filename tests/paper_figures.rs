@@ -112,9 +112,7 @@ fn fig2_fig3_two_block_tables() {
     let movements = two_block_movements(8, 0, 4, RotatingSide::Odd);
     let level2_steps = movements
         .iter()
-        .filter(|m| {
-            m.inter_processor_moves().iter().any(|&(f, t)| (f / 2).abs_diff(t / 2) > 1)
-        })
+        .filter(|m| m.inter_processor_moves().iter().any(|&(f, t)| (f / 2).abs_diff(t / 2) > 1))
         .count();
     assert_eq!(level2_steps, 1);
 }

@@ -53,9 +53,7 @@ fn every_topology_gives_identical_numerics() {
     let a = generate::random_uniform(20, 16, 20);
     let base = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
     for topo in [TopologyKind::BinaryTree, TopologyKind::Cm5, TopologyKind::SkinnyAbove(2)] {
-        let run = HestenesSvd::new(SvdOptions::default().with_topology(topo))
-            .compute(&a)
-            .unwrap();
+        let run = HestenesSvd::new(SvdOptions::default().with_topology(topo)).compute(&a).unwrap();
         assert_eq!(run.sweeps, base.sweeps, "{topo}");
         for (x, y) in run.svd.sigma.iter().zip(base.svd.sigma.iter()) {
             assert_eq!(x, y, "{topo}: sigma must be bitwise identical");
@@ -122,9 +120,8 @@ fn duplicate_singular_values() {
 fn unsorted_mode_spectra_match_sorted_multiset() {
     let a = generate::random_uniform(18, 12, 55);
     let sorted = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
-    let unsorted = HestenesSvd::new(SvdOptions::default().with_sort(SortMode::None))
-        .compute(&a)
-        .unwrap();
+    let unsorted =
+        HestenesSvd::new(SvdOptions::default().with_sort(SortMode::None)).compute(&a).unwrap();
     let mut s = unsorted.svd.sigma.clone();
     s.sort_by(|x, y| y.partial_cmp(x).unwrap());
     assert!(checks::spectrum_distance(&s, &sorted.svd.sigma) < 1e-10);
