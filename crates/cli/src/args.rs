@@ -3,15 +3,15 @@
 use crate::io;
 use std::path::PathBuf;
 use treesvd_core::{
-    blocked_svd, BlockedOptions, HestenesSvd, OrderingKind, SvdOptions, TopologyKind,
+    blocked_svd, BlockKernel, BlockedOptions, HestenesSvd, OrderingKind, SvdOptions, TopologyKind,
 };
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "\
 usage:
   treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
-              [--distributed] [--processors P] [--sigma-out FILE]
-              [--u-out FILE] [--v-out FILE]
+              [--distributed] [--processors P] [--block-kernel NAME]
+              [--threads N] [--sigma-out FILE] [--u-out FILE] [--v-out FILE]
   treesvd analyze [--ordering NAME] [--n N] [--topology NAME]
                   [--groups M] [--words W]
   treesvd lstsq <matrix-file> <rhs-file> [--rcond X]
@@ -21,7 +21,10 @@ usage:
 orderings:  ring | round-robin | fat-tree | new-ring | modified-ring |
             llb-fat-tree | hybrid          (default: fat-tree)
 topologies: perfect | fat-tree | cm5 | binary | skinny-above-K
-            (default: perfect for svd; none for analyze)";
+            (default: perfect for svd; none for analyze)
+block kernels (with --processors): pairwise | gram   (default: gram)
+--threads N caps the host worker lanes (default: machine parallelism,
+            or the TREESVD_THREADS environment variable)";
 
 fn parse_ordering(name: &str) -> Result<OrderingKind, String> {
     OrderingKind::ALL
@@ -101,6 +104,18 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     let processors = take_flag(&mut args, "--processors")?
         .map(|p| p.parse::<usize>().map_err(|e| format!("--processors: {e}")))
         .transpose()?;
+    let block_kernel = match take_flag(&mut args, "--block-kernel")?.as_deref() {
+        None => BlockKernel::Gram,
+        Some("gram") => BlockKernel::Gram,
+        Some("pairwise") => BlockKernel::Pairwise,
+        Some(other) => return Err(format!("unknown block kernel {other:?}")),
+    };
+    let threads = take_flag(&mut args, "--threads")?
+        .map(|t| t.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+        .transpose()?;
+    if threads == Some(0) {
+        return Err("--threads must be at least 1".to_string());
+    }
     let no_vectors = take_switch(&mut args, "--no-vectors");
     let distributed = take_switch(&mut args, "--distributed");
     let [path] = args.as_slice() else {
@@ -111,7 +126,9 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     let opts = SvdOptions::default()
         .with_ordering(ordering)
         .with_topology(topology)
-        .with_vectors(!no_vectors);
+        .with_vectors(!no_vectors)
+        .with_block_kernel(block_kernel)
+        .with_threads(threads);
 
     let mut out = String::new();
     let (svd, sweeps, extra) = if let Some(p) = processors {
@@ -313,6 +330,27 @@ mod tests {
         assert!(out.contains("distributed"));
         let out = run(&argv(&["svd", p.to_str().unwrap(), "--processors", "2"])).unwrap();
         assert!(out.contains("block size"));
+    }
+
+    #[test]
+    fn svd_block_kernel_and_threads_flags() {
+        let p = write_temp("k.txt", "2 0 0 0\n0 3 0 0\n0 0 1 0\n0 0 0 4\n1 1 1 1\n");
+        for kernel in ["pairwise", "gram"] {
+            let out = run(&argv(&[
+                "svd",
+                p.to_str().unwrap(),
+                "--processors",
+                "2",
+                "--block-kernel",
+                kernel,
+                "--threads",
+                "1",
+            ]))
+            .unwrap();
+            assert!(out.contains("block size"), "{out}");
+        }
+        assert!(run(&argv(&["svd", p.to_str().unwrap(), "--block-kernel", "nope"])).is_err());
+        assert!(run(&argv(&["svd", p.to_str().unwrap(), "--threads", "0"])).is_err());
     }
 
     #[test]

@@ -15,12 +15,42 @@
 //! within a meeting the columns are fully sorted — an odd-even-merge
 //! argument at block granularity). Termination is unchanged: a full sweep
 //! with no rotation and no interchange anywhere.
+//!
+//! # Meeting kernels
+//!
+//! Two interchangeable kernels implement the meeting
+//! ([`BlockKernel`]): the **pairwise** oracle streams the full `m`-length
+//! columns through [`orthogonalize_pair`] O(c²) times, while the default
+//! **Gram** kernel is block one-sided Jacobi (Bečka–Okša–Vajteršic): it
+//! forms the `2c×2c` Gram matrix `G = [X Y]ᵀ[X Y]` once
+//! ([`ops::gram_block`]), runs the same cyclic pass with sorted storage on
+//! `G` *in cache* — identical rotation and interchange decisions, since
+//! `compute_rotation` only ever consumes the Gram entries — while
+//! accumulating the `2c×2c` orthogonal update `W`, and finally applies
+//! `[X Y] ← [X Y]·W` (and the `V` panel) as one blocked panel multiply
+//! ([`ops::panel_update`]). The panel is read O(1) times per meeting
+//! instead of O(c), which is what turns the dominant cost into
+//! BLAS-3-shaped work. Convergence is preserved because the meeting still
+//! fully orthogonalizes and sorts `X ∪ Y`: `G` is rebuilt from the actual
+//! columns at every meeting, so thresholds see no accumulated drift, and
+//! the termination rule (a full block sweep with no rotation and no
+//! interchange) is evaluated on the same quantities as the pairwise path.
+//!
+//! Meetings of distinct processors touch disjoint blocks, so each step
+//! fans the `P` meetings out over the persistent worker pool
+//! ([`treesvd_sim::par`]) with one scratch arena per lane; after the first
+//! sweep the driver performs no allocation (block movement swaps
+//! pre-allocated buffers, and the Gram/`W`/tile scratches are reused).
 
-use crate::options::{OrderingChoice, SvdError, SvdOptions};
+use crate::options::{BlockKernel, OrderingChoice, SvdError, SvdOptions};
 use crate::result::{complete_orthonormal, Svd};
-use treesvd_matrix::rotation::orthogonalize_pair;
+use treesvd_matrix::ops;
+use treesvd_matrix::rotation::{
+    apply_rotation, apply_rotation_swapped, compute_rotation, orthogonalize_pair,
+};
 use treesvd_matrix::Matrix;
 use treesvd_orderings::JacobiOrdering;
+use treesvd_sim::par;
 
 /// Options for the blocked driver: the machine size plus the usual knobs.
 #[derive(Debug)]
@@ -28,7 +58,8 @@ pub struct BlockedOptions {
     /// Number of physical processors `P`; the columns are distributed over
     /// `2P` block slots.
     pub processors: usize,
-    /// Everything else (ordering, threshold, sweep cap, sorting, vectors).
+    /// Everything else (ordering, threshold, sweep cap, sorting, vectors,
+    /// meeting kernel, thread budget).
     pub svd: SvdOptions,
 }
 
@@ -50,15 +81,59 @@ pub struct BlockedRun {
     pub block_size: usize,
     /// Total column rotations applied.
     pub total_rotations: usize,
+    /// Scratch allocation events after the first sweep (warm-up). Zero in
+    /// steady state: every meeting reuses its lane's Gram/`W`/tile arena
+    /// and block movement swaps pre-allocated buffers.
+    pub steady_alloc_events: u64,
 }
 
-/// A column with its (possibly empty) accumulated `V` column.
-type ColPair = (Vec<f64>, Vec<f64>);
-
-/// One block slot: `c` columns (and optional `V` columns) in label order.
+/// One block slot: `c` columns of `A` (and optionally of the accumulated
+/// `V`) stored contiguously column-major, in label order.
 #[derive(Debug, Clone, Default)]
 struct BlockSlot {
-    cols: Vec<ColPair>, // (a, v) pairs
+    /// `c` columns × `m` rows.
+    a: Vec<f64>,
+    /// `c` columns × `n_pad` rows; empty when vectors are off.
+    v: Vec<f64>,
+}
+
+/// Per-lane scratch for the Gram meeting: the `2c×2c` Gram matrix, the
+/// accumulated orthogonal update, and the panel-multiply tile. Reused
+/// across meetings; `alloc_events` counts buffer growth (zero after
+/// warm-up).
+#[derive(Debug, Default)]
+struct MeetingScratch {
+    g: Vec<f64>,
+    w: Vec<f64>,
+    tile: Vec<f64>,
+    alloc_events: u64,
+}
+
+impl MeetingScratch {
+    fn grow(buf: &mut Vec<f64>, len: usize, events: &mut u64) {
+        if buf.capacity() < len {
+            *events += 1;
+        }
+        buf.resize(len, 0.0);
+    }
+
+    fn ensure(&mut self, k: usize) {
+        Self::grow(&mut self.g, k * k, &mut self.alloc_events);
+        Self::grow(&mut self.w, k * k, &mut self.alloc_events);
+        Self::grow(&mut self.tile, k * ops::PANEL_TILE, &mut self.alloc_events);
+    }
+}
+
+/// Immutable per-run context shared by every meeting.
+#[derive(Clone, Copy)]
+struct MeetCtx {
+    /// Rows of the `A` columns.
+    m: usize,
+    /// Rows of the `V` columns (`0` when vectors are off).
+    v_len: usize,
+    threshold: f64,
+    sort: bool,
+    kernel: BlockKernel,
 }
 
 /// Compute the SVD of `a` on an undersized machine of `opts.processors`
@@ -87,74 +162,93 @@ pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdE
     let c = n.div_ceil(n_super).max(1);
     let n_pad = c * n_super;
 
-    let ordering: Box<dyn JacobiOrdering> = match &opts.svd.ordering {
-        OrderingChoice::Kind(k) => k.build(n_super)?,
-        OrderingChoice::Custom(f) => f(n_super)?,
+    // A single processor needs no ordering: both blocks are resident and
+    // every sweep is one meeting of the pair.
+    let ordering: Option<Box<dyn JacobiOrdering>> = if n_super > 2 {
+        Some(match &opts.svd.ordering {
+            OrderingChoice::Kind(k) => k.build(n_super)?,
+            OrderingChoice::Custom(f) => f(n_super)?,
+        })
+    } else {
+        None
     };
 
-    // distribute columns: super-slot s holds labels [s*c, (s+1)*c)
-    let mut columns = a.clone().into_columns();
-    columns.resize(n_pad, vec![0.0; m]);
+    // distribute columns: super-slot s holds labels [s*c, (s+1)*c),
+    // stored contiguously per slot (padding columns stay zero)
     let vectors = opts.svd.vectors;
     let mut slots: Vec<BlockSlot> = (0..n_super)
-        .map(|s| BlockSlot {
-            cols: (0..c)
-                .map(|k| {
-                    let j = s * c + k;
-                    let v = if vectors {
-                        let mut e = vec![0.0; n_pad];
-                        e[j] = 1.0;
-                        e
-                    } else {
-                        Vec::new()
-                    };
-                    (std::mem::take(&mut columns[j]), v)
-                })
-                .collect(),
+        .map(|s| {
+            let mut a_buf = vec![0.0; c * m];
+            let mut v_buf = if vectors { vec![0.0; c * n_pad] } else { Vec::new() };
+            for k in 0..c {
+                let j = s * c + k;
+                if j < n {
+                    a_buf[k * m..(k + 1) * m].copy_from_slice(a.col(j));
+                }
+                if vectors {
+                    v_buf[k * n_pad + j] = 1.0;
+                }
+            }
+            BlockSlot { a: a_buf, v: v_buf }
         })
         .collect();
 
-    let threshold = opts.svd.threshold.unwrap_or(n_pad as f64 * f64::EPSILON);
-    let sort = matches!(opts.svd.sort, treesvd_sim::SortMode::Descending);
+    let ctx = MeetCtx {
+        m,
+        v_len: if vectors { n_pad } else { 0 },
+        threshold: opts.svd.threshold.unwrap_or(n_pad as f64 * f64::EPSILON),
+        sort: matches!(opts.svd.sort, treesvd_sim::SortMode::Descending),
+        kernel: opts.svd.block_kernel,
+    };
 
-    let mut layout = ordering.initial_layout();
+    // Adaptive dispatch over the persistent pool: fork only when a step's
+    // meetings move enough data, and never more lanes than processors.
+    let lanes = opts.svd.threads.unwrap_or_else(par::num_threads);
+    let step_work = opts.processors * 2 * c * (m + ctx.v_len);
+    let tasks =
+        if step_work < opts.svd.serial_cutoff { 1 } else { lanes.min(opts.processors).max(1) };
+    let mut scratches: Vec<MeetingScratch> =
+        (0..tasks).map(|_| MeetingScratch::default()).collect();
+
+    // double-buffered block movement: `spare` is swapped in every step, so
+    // the steady-state loop never allocates
+    let mut spare: Vec<BlockSlot> = (0..n_super).map(|_| BlockSlot::default()).collect();
+
+    let mut layout = ordering.as_ref().map_or_else(|| vec![0, 1], |o| o.initial_layout());
     let mut sweeps = 0usize;
     let mut total_rotations = 0usize;
+    let mut warm_alloc = 0u64;
     let mut converged = false;
 
     for sweep in 0..opts.svd.max_sweeps {
-        let prog = ordering.sweep_program(sweep, &layout);
-        let layouts = prog.layouts();
         let mut rotations = 0usize;
         let mut swaps = 0usize;
 
-        for (step_no, step) in prog.steps.iter().enumerate() {
-            let lay = &layouts[step_no];
-            for p in 0..opts.processors {
-                // the two resident blocks, in label order
-                let (s_lo, s_hi) = if lay[2 * p] < lay[2 * p + 1] {
-                    (2 * p, 2 * p + 1)
-                } else {
-                    (2 * p + 1, 2 * p)
-                };
-                let (r, s) = local_pass(&mut slots, s_lo, s_hi, threshold, sort);
+        if let Some(ordering) = ordering.as_deref() {
+            let prog = ordering.sweep_program(sweep, &layout);
+            let layouts = prog.layouts();
+            for (step_no, step) in prog.steps.iter().enumerate() {
+                let lay = &layouts[step_no];
+                let (r, s) = meet_range(&mut slots, lay, &mut scratches, tasks, &ctx);
                 rotations += r;
                 swaps += s;
+                // move the blocks (pointer swaps only)
+                for (src, slot) in slots.iter_mut().enumerate() {
+                    spare[step.move_after.dest_of(src)] = std::mem::take(slot);
+                }
+                std::mem::swap(&mut slots, &mut spare);
             }
-            // move the blocks
-            let mut next: Vec<BlockSlot> = (0..n_super).map(|_| BlockSlot::default()).collect();
-            let mut next_layout = vec![0usize; n_super];
-            for (s, slot) in slots.iter_mut().enumerate() {
-                let d = step.move_after.dest_of(s);
-                next[d] = std::mem::take(slot);
-                next_layout[d] = lay[s];
-            }
-            slots = next;
-            let _ = next_layout;
+            layout = prog.final_layout();
+        } else {
+            let (r, s) = meet_leaf(&mut slots, &layout, &ctx, &mut scratches[0]);
+            rotations += r;
+            swaps += s;
         }
-        layout = prog.final_layout();
         total_rotations += rotations;
         sweeps = sweep + 1;
+        if sweep == 0 {
+            warm_alloc = scratches.iter().map(|s| s.alloc_events).sum();
+        }
         if rotations == 0 && swaps == 0 {
             converged = true;
             break;
@@ -163,20 +257,22 @@ pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdE
     if !converged {
         return Err(SvdError::NoConvergence { sweeps, last_coupling: f64::NAN });
     }
+    let steady_alloc_events = scratches.iter().map(|s| s.alloc_events).sum::<u64>() - warm_alloc;
 
-    // collect columns back in label order
-    let mut by_label: Vec<Option<ColPair>> = vec![None; n_pad];
-    for (s, slot) in slots.into_iter().enumerate() {
-        let label_block = layout[s];
-        for (k, col) in slot.cols.into_iter().enumerate() {
-            by_label[label_block * c + k] = Some(col);
+    // locate each label's column: label block `layout[s]` lives in slot s
+    let mut locate: Vec<(usize, usize)> = vec![(0, 0); n_pad];
+    for (s, &label_block) in layout.iter().enumerate() {
+        for k in 0..c {
+            locate[label_block * c + k] = (s, k);
         }
     }
-    let cols: Vec<ColPair> =
-        by_label.into_iter().map(|o| o.expect("layout is a permutation")).collect();
 
     // extraction (mirrors the unblocked driver)
-    let norms: Vec<f64> = cols.iter().map(|(a, _)| treesvd_matrix::ops::norm2(a)).collect();
+    let col_of = |j: usize| -> &[f64] {
+        let (s, k) = locate[j];
+        &slots[s].a[k * m..(k + 1) * m]
+    };
+    let norms: Vec<f64> = (0..n).map(|j| ops::norm2(col_of(j))).collect();
     let max_norm = norms.iter().fold(0.0_f64, |acc, &x| acc.max(x));
     let rank_tol = max_norm * n_pad as f64 * f64::EPSILON;
     let mut u = Matrix::zeros(m, n).map_err(|_| SvdError::EmptyMatrix)?;
@@ -185,8 +281,8 @@ pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdE
     for j in 0..n {
         if norms[j] > rank_tol {
             sigma[j] = norms[j];
-            let mut col = cols[j].0.clone();
-            treesvd_matrix::ops::scal(1.0 / norms[j], &mut col);
+            let mut col = col_of(j).to_vec();
+            ops::scal(1.0 / norms[j], &mut col);
             u.set_col(j, &col);
         } else {
             zero_u.push(j);
@@ -199,8 +295,9 @@ pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdE
         let mut v = Matrix::zeros(n, n).map_err(|_| SvdError::EmptyMatrix)?;
         let mut zero_v = Vec::new();
         for j in 0..n {
-            let vj = &cols[j].1;
-            let head_norm = treesvd_matrix::ops::norm2(&vj[..n]);
+            let (s, k) = locate[j];
+            let vj = &slots[s].v[k * n_pad..(k + 1) * n_pad];
+            let head_norm = ops::norm2(&vj[..n]);
             if sigma[j] > 0.0 || head_norm > 0.5 {
                 v.set_col(j, &vj[..n]);
             } else {
@@ -213,48 +310,115 @@ pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdE
         Matrix::identity(n, n).map_err(|_| SvdError::EmptyMatrix)?
     };
 
-    Ok(BlockedRun { svd: Svd { u, sigma, v, rank }, sweeps, block_size: c, total_rotations })
+    Ok(BlockedRun {
+        svd: Svd { u, sigma, v, rank },
+        sweeps,
+        block_size: c,
+        total_rotations,
+        steady_alloc_events,
+    })
 }
 
-/// One cyclic pass over all column pairs of the two resident blocks, in
-/// label order (the lower-labelled block's columns first). Returns
-/// (rotations, interchanges).
-fn local_pass(
-    slots: &mut [BlockSlot],
-    s_lo: usize,
-    s_hi: usize,
-    threshold: f64,
-    sort: bool,
+/// Run the step's `P` independent meetings, forking into at most `tasks`
+/// leaves over the persistent pool (each leaf owns one scratch arena).
+/// Returns (rotations, interchanges).
+fn meet_range(
+    pairs: &mut [BlockSlot],
+    lay: &[usize],
+    scratches: &mut [MeetingScratch],
+    tasks: usize,
+    ctx: &MeetCtx,
 ) -> (usize, usize) {
-    debug_assert_ne!(s_lo, s_hi);
-    // take both blocks out to get clean disjoint access
-    let mut lo = std::mem::take(&mut slots[s_lo]);
-    let mut hi = std::mem::take(&mut slots[s_hi]);
-    let c = lo.cols.len();
-    let total = c + hi.cols.len();
+    let n_pairs = pairs.len() / 2;
+    if tasks <= 1 || n_pairs <= 1 || scratches.len() <= 1 {
+        return meet_leaf(pairs, lay, ctx, &mut scratches[0]);
+    }
+    let mid = n_pairs / 2;
+    let (pl, pr) = pairs.split_at_mut(2 * mid);
+    let (ll, lr) = lay.split_at(2 * mid);
+    let left_tasks = tasks / 2;
+    let (sl, sr) = scratches.split_at_mut(left_tasks.max(1));
+    let ((r1, w1), (r2, w2)) = par::join(
+        || meet_range(pl, ll, sl, left_tasks, ctx),
+        || meet_range(pr, lr, sr, tasks - left_tasks, ctx),
+    );
+    (r1 + r2, w1 + w2)
+}
+
+/// Serial leaf: every processor's meeting in this range, in order.
+fn meet_leaf(
+    pairs: &mut [BlockSlot],
+    lay: &[usize],
+    ctx: &MeetCtx,
+    scratch: &mut MeetingScratch,
+) -> (usize, usize) {
     let mut rotations = 0usize;
     let mut swaps = 0usize;
+    for (p, chunk) in pairs.chunks_exact_mut(2).enumerate() {
+        let (first, second) = chunk.split_at_mut(1);
+        // the two resident blocks, in label order
+        let (lo, hi) = if lay[2 * p] < lay[2 * p + 1] {
+            (&mut first[0], &mut second[0])
+        } else {
+            (&mut second[0], &mut first[0])
+        };
+        let (r, s) = match ctx.kernel {
+            BlockKernel::Pairwise => pairwise_meeting(lo, hi, ctx),
+            BlockKernel::Gram => gram_meeting(lo, hi, ctx, scratch),
+        };
+        rotations += r;
+        swaps += s;
+    }
+    (rotations, swaps)
+}
 
+/// Mutable references to columns `i < j` of the union `[X Y]` panel
+/// (column length `rows`).
+fn union_pair_mut<'t>(
+    x: &'t mut [f64],
+    y: &'t mut [f64],
+    rows: usize,
+    i: usize,
+    j: usize,
+) -> (&'t mut [f64], &'t mut [f64]) {
+    debug_assert!(i < j);
+    let cx = x.len() / rows;
+    if j < cx {
+        let (a, b) = x.split_at_mut(j * rows);
+        (&mut a[i * rows..(i + 1) * rows], &mut b[..rows])
+    } else if i >= cx {
+        let (a, b) = y.split_at_mut((j - cx) * rows);
+        (&mut a[(i - cx) * rows..(i - cx + 1) * rows], &mut b[..rows])
+    } else {
+        (&mut x[i * rows..(i + 1) * rows], &mut y[(j - cx) * rows..(j - cx + 1) * rows])
+    }
+}
+
+/// Mutable references to columns `i < j` of a `k×k` column-major matrix.
+fn two_cols(buf: &mut [f64], k: usize, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(i < j);
+    let (head, tail) = buf.split_at_mut(k * j);
+    (&mut head[k * i..k * (i + 1)], &mut tail[..k])
+}
+
+/// The pairwise (oracle) meeting: one cyclic pass over all column pairs of
+/// the two resident blocks, in label order (the lower-labelled block's
+/// columns first), streaming the full columns through
+/// [`orthogonalize_pair`]. Returns (rotations, interchanges).
+fn pairwise_meeting(lo: &mut BlockSlot, hi: &mut BlockSlot, ctx: &MeetCtx) -> (usize, usize) {
+    let total = (lo.a.len() + hi.a.len()) / ctx.m;
+    let mut rotations = 0usize;
+    let mut swaps = 0usize;
     for i in 0..total {
         for j in (i + 1)..total {
-            // borrow the two distinct union entries safely: both-in-lo,
-            // both-in-hi, or one in each
-            let (ci, cj): (&mut ColPair, &mut ColPair) = if j < c {
-                let (a, b) = lo.cols.split_at_mut(j);
-                (&mut a[i], &mut b[0])
-            } else if i >= c {
-                let (a, b) = hi.cols.split_at_mut(j - c);
-                (&mut a[i - c], &mut b[0])
-            } else {
-                (&mut lo.cols[i], &mut hi.cols[j - c])
-            };
-            let out = orthogonalize_pair(&mut ci.0, &mut cj.0, threshold, sort);
-            if !ci.1.is_empty() {
-                use treesvd_matrix::rotation::{apply_rotation, apply_rotation_swapped};
+            let (ai, aj) = union_pair_mut(&mut lo.a, &mut hi.a, ctx.m, i, j);
+            let out = orthogonalize_pair(ai, aj, ctx.threshold, ctx.sort);
+            if ctx.v_len > 0 {
+                let (vi, vj) = union_pair_mut(&mut lo.v, &mut hi.v, ctx.v_len, i, j);
                 if out.used_swap {
-                    apply_rotation_swapped(out.rotation, &mut ci.1, &mut cj.1);
+                    apply_rotation_swapped(out.rotation, vi, vj);
                 } else {
-                    apply_rotation(out.rotation, &mut ci.1, &mut cj.1);
+                    apply_rotation(out.rotation, vi, vj);
                 }
             }
             if !out.rotation.skipped {
@@ -265,8 +429,118 @@ fn local_pass(
             }
         }
     }
-    slots[s_lo] = lo;
-    slots[s_hi] = hi;
+    (rotations, swaps)
+}
+
+/// The Gram (block Jacobi) meeting: build `G = [X Y]ᵀ[X Y]`, run the same
+/// cyclic sorted pass on `G` in cache while accumulating the orthogonal
+/// update `W`, then apply `[X Y] ← [X Y]·W` (and the `V` panel) as one
+/// blocked panel multiply. The rotation and interchange decisions are
+/// computed from exactly the Gram quantities the pairwise path measures,
+/// so both kernels agree on what a meeting does (up to rounding in how the
+/// updates are realized). Returns (rotations, interchanges).
+fn gram_meeting(
+    lo: &mut BlockSlot,
+    hi: &mut BlockSlot,
+    ctx: &MeetCtx,
+    scratch: &mut MeetingScratch,
+) -> (usize, usize) {
+    let k = (lo.a.len() + hi.a.len()) / ctx.m;
+    scratch.ensure(k);
+    let MeetingScratch { g, w, tile, .. } = scratch;
+    ops::gram_block(&lo.a, &hi.a, ctx.m, g);
+    w.fill(0.0);
+    for d in 0..k {
+        w[d + k * d] = 1.0;
+    }
+
+    let mut rotations = 0usize;
+    let mut swaps = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let alpha = g[i + k * i];
+            let beta = g[j + k * j];
+            let gamma = g[i + k * j];
+            let rot = compute_rotation(alpha, beta, gamma, ctx.threshold);
+            // predicted post-rotation norms, exactly as orthogonalize_pair
+            // decides the interchange
+            let (alpha_pred, beta_pred) = if rot.skipped {
+                (alpha, beta)
+            } else {
+                let (rc, rs) = (rot.c, rot.s);
+                (
+                    rc * rc * alpha - 2.0 * rc * rs * gamma + rs * rs * beta,
+                    rs * rs * alpha + 2.0 * rc * rs * gamma + rc * rc * beta,
+                )
+            };
+            let want_swap = ctx.sort && beta_pred > alpha_pred;
+            if rot.skipped && !want_swap {
+                continue;
+            }
+            // two-sided update G ← Jᵀ(G·J): columns i,j then rows i,j.
+            // Rows above the pivot are dead for the rest of the sweep
+            // (only entries in rows ≥ i are ever read again — see the
+            // copy-back note below), so the column rotation starts at
+            // row i.
+            let (gi, gj) = two_cols(g, k, i, j);
+            if want_swap {
+                apply_rotation_swapped(rot, &mut gi[i..], &mut gj[i..]);
+            } else {
+                apply_rotation(rot, &mut gi[i..], &mut gj[i..]);
+            }
+            // rows i and j: G is kept bitwise symmetric, so for l ∉ {i, j}
+            // the row entries are exactly the transposes of the columns
+            // just updated — copy them instead of recomputing (the copied
+            // values equal the arithmetic update bitwise, same expression
+            // on identical inputs). Columns left of the pivot row are
+            // dead: every remaining read of this sweep — γ, the
+            // diagonals, and the rotation operands — touches only
+            // columns ≥ i, and G is rebuilt from scratch at the next
+            // meeting, so the copy starts at i + 1.
+            for l in (i + 1)..k {
+                if l != j {
+                    g[i + k * l] = g[l + k * i];
+                    g[j + k * l] = g[l + k * j];
+                }
+            }
+            // the 2×2 diagonal block still needs the row-side arithmetic;
+            // afterwards re-symmetrize its off-diagonal entry so the
+            // invariant survives the rounding-order difference
+            let (rc, rs) = (rot.c, rot.s);
+            for l in [i, j] {
+                let x = g[i + k * l];
+                let y = g[j + k * l];
+                if want_swap {
+                    g[i + k * l] = rs * x + rc * y;
+                    g[j + k * l] = rc * x - rs * y;
+                } else {
+                    g[i + k * l] = rc * x - rs * y;
+                    g[j + k * l] = rs * x + rc * y;
+                }
+            }
+            g[j + k * i] = g[i + k * j];
+            // accumulate the panel update W ← W·J
+            let (wi, wj) = two_cols(w, k, i, j);
+            if want_swap {
+                apply_rotation_swapped(rot, wi, wj);
+            } else {
+                apply_rotation(rot, wi, wj);
+            }
+            if !rot.skipped {
+                rotations += 1;
+            }
+            if want_swap {
+                swaps += 1;
+            }
+        }
+    }
+
+    if rotations > 0 || swaps > 0 {
+        ops::panel_update(&mut lo.a, &mut hi.a, ctx.m, w, tile);
+        if ctx.v_len > 0 {
+            ops::panel_update(&mut lo.v, &mut hi.v, ctx.v_len, w, tile);
+        }
+    }
     (rotations, swaps)
 }
 
@@ -276,20 +550,26 @@ mod tests {
     use crate::{HestenesSvd, SvdOptions};
     use treesvd_matrix::{checks, generate};
 
+    fn opts_with(processors: usize, kernel: BlockKernel) -> BlockedOptions {
+        BlockedOptions { processors, svd: SvdOptions::default().with_block_kernel(kernel) }
+    }
+
     #[test]
     fn blocked_matches_unblocked_spectra() {
         let a = generate::random_uniform(40, 32, 1);
         let full = HestenesSvd::new(SvdOptions::default()).compute(&a).unwrap();
-        for procs in [2usize, 4, 8] {
-            let run = blocked_svd(&a, &BlockedOptions::for_processors(procs)).unwrap();
-            assert_eq!(run.block_size, 32 / (2 * procs));
-            assert!(
-                checks::spectrum_distance(&run.svd.sigma, &full.svd.sigma) < 1e-9,
-                "P = {procs}"
-            );
-            assert!(run.svd.residual(&a) < 1e-10, "P = {procs}");
-            assert!(run.svd.orthogonality() < 1e-10, "P = {procs}");
-            assert!(checks::is_nonincreasing(&run.svd.sigma), "P = {procs}");
+        for kernel in [BlockKernel::Pairwise, BlockKernel::Gram] {
+            for procs in [2usize, 4, 8] {
+                let run = blocked_svd(&a, &opts_with(procs, kernel)).unwrap();
+                assert_eq!(run.block_size, 32 / (2 * procs));
+                assert!(
+                    checks::spectrum_distance(&run.svd.sigma, &full.svd.sigma) < 1e-9,
+                    "P = {procs} kernel = {kernel}"
+                );
+                assert!(run.svd.residual(&a) < 1e-10, "P = {procs} kernel = {kernel}");
+                assert!(run.svd.orthogonality() < 1e-10, "P = {procs} kernel = {kernel}");
+                assert!(checks::is_nonincreasing(&run.svd.sigma), "P = {procs} kernel = {kernel}");
+            }
         }
     }
 
@@ -297,26 +577,32 @@ mod tests {
     fn blocked_handles_non_divisible_columns() {
         // 30 columns on 4 processors: c = ceil(30/8) = 4, padded to 32
         let a = generate::random_uniform(36, 30, 2);
-        let run = blocked_svd(&a, &BlockedOptions::for_processors(4)).unwrap();
-        assert_eq!(run.svd.sigma.len(), 30);
-        assert!(run.svd.residual(&a) < 1e-10);
-        assert!(run.svd.orthogonality() < 1e-10);
+        for kernel in [BlockKernel::Pairwise, BlockKernel::Gram] {
+            let run = blocked_svd(&a, &opts_with(4, kernel)).unwrap();
+            assert_eq!(run.svd.sigma.len(), 30);
+            assert!(run.svd.residual(&a) < 1e-10, "kernel = {kernel}");
+            assert!(run.svd.orthogonality() < 1e-10, "kernel = {kernel}");
+        }
     }
 
     #[test]
     fn blocked_on_two_processors_known_spectrum() {
         let sigma: Vec<f64> = (1..=12).rev().map(|k| k as f64).collect();
         let a = generate::with_singular_values(20, &sigma, 3);
-        let run = blocked_svd(&a, &BlockedOptions::for_processors(2)).unwrap();
-        assert!(checks::spectrum_distance(&run.svd.sigma, &sigma) < 1e-9);
+        for kernel in [BlockKernel::Pairwise, BlockKernel::Gram] {
+            let run = blocked_svd(&a, &opts_with(2, kernel)).unwrap();
+            assert!(checks::spectrum_distance(&run.svd.sigma, &sigma) < 1e-9, "kernel = {kernel}");
+        }
     }
 
     #[test]
     fn blocked_rank_deficient() {
         let a = generate::rank_deficient(24, 16, 10, 4);
-        let run = blocked_svd(&a, &BlockedOptions::for_processors(4)).unwrap();
-        assert_eq!(run.svd.rank, 10);
-        assert!(run.svd.orthogonality() < 1e-10);
+        for kernel in [BlockKernel::Pairwise, BlockKernel::Gram] {
+            let run = blocked_svd(&a, &opts_with(4, kernel)).unwrap();
+            assert_eq!(run.svd.rank, 10, "kernel = {kernel}");
+            assert!(run.svd.orthogonality() < 1e-10, "kernel = {kernel}");
+        }
     }
 
     #[test]
@@ -344,12 +630,89 @@ mod tests {
     #[test]
     fn blocked_with_ring_ordering() {
         let a = generate::random_uniform(30, 24, 7);
-        let opts = BlockedOptions {
-            processors: 3,
-            svd: SvdOptions::default().with_ordering(crate::OrderingKind::NewRing),
-        };
+        for kernel in [BlockKernel::Pairwise, BlockKernel::Gram] {
+            let opts = BlockedOptions {
+                processors: 3,
+                svd: SvdOptions::default()
+                    .with_ordering(crate::OrderingKind::NewRing)
+                    .with_block_kernel(kernel),
+            };
+            let run = blocked_svd(&a, &opts).unwrap();
+            assert!(run.svd.residual(&a) < 1e-10, "kernel = {kernel}");
+            assert_eq!(run.block_size, 4);
+        }
+    }
+
+    #[test]
+    fn gram_kernel_is_zero_alloc_after_warmup() {
+        let a = generate::random_uniform(96, 64, 8);
+        let mut opts = opts_with(4, BlockKernel::Gram);
+        // force the parallel path through the pool as well
+        opts.svd.serial_cutoff = 0;
         let run = blocked_svd(&a, &opts).unwrap();
-        assert!(run.svd.residual(&a) < 1e-10);
-        assert_eq!(run.block_size, 4);
+        assert!(run.sweeps > 1, "need a steady-state sweep to measure");
+        assert_eq!(run.steady_alloc_events, 0);
+    }
+
+    #[test]
+    fn kernels_agree_on_sigma_and_v() {
+        // random c (via P and n), odd/padded sizes, rank-deficient panels
+        // (P must keep 2P a power of two for the default fat-tree ordering)
+        let cases: Vec<(Matrix, usize)> = vec![
+            (generate::random_uniform(48, 30, 11), 2), // padded: 30 -> 32, c = 8
+            (generate::random_uniform(33, 17, 12), 2), // odd everything, c = 5
+            (generate::rank_deficient(40, 24, 9, 13), 4), // c = 3, rank 9
+            (generate::with_singular_values(25, &[9.0, 4.0, 2.5, 1.0, 0.5], 14), 2),
+        ];
+        for (a, procs) in &cases {
+            let pw = blocked_svd(a, &opts_with(*procs, BlockKernel::Pairwise)).unwrap();
+            let gr = blocked_svd(a, &opts_with(*procs, BlockKernel::Gram)).unwrap();
+            assert!(
+                checks::spectrum_distance(&pw.svd.sigma, &gr.svd.sigma) < 1e-9,
+                "sigma mismatch at P = {procs}"
+            );
+            assert_eq!(pw.svd.rank, gr.svd.rank, "rank mismatch at P = {procs}");
+            // V agrees up to sign wherever the spectrum is well separated
+            let n = gr.svd.sigma.len();
+            for j in 0..n {
+                let sep = |i: usize| {
+                    (gr.svd.sigma[j] - gr.svd.sigma[i]).abs() > 1e-6 * gr.svd.sigma[0].max(1.0)
+                };
+                if gr.svd.sigma[j] > 1e-9 && (0..n).all(|i| i == j || sep(i)) {
+                    let d = treesvd_matrix::ops::dot(pw.svd.v.col(j), gr.svd.v.col(j)).abs();
+                    assert!(d > 1.0 - 1e-7, "V col {j} disagrees: |dot| = {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_sequential_over_processor_sweep() {
+        // P = 1 exercises the trivial single-meeting schedule (no ordering)
+        let a = generate::random_uniform(40, 28, 9);
+        let seq = crate::sequential::sequential_svd(&a, 60).unwrap();
+        for kernel in [BlockKernel::Pairwise, BlockKernel::Gram] {
+            for procs in [1usize, 2, 4, 8] {
+                let run = blocked_svd(&a, &opts_with(procs, kernel)).unwrap();
+                assert!(
+                    checks::spectrum_distance(&run.svd.sigma, &seq.svd.sigma) < 1e-9,
+                    "P = {procs} kernel = {kernel}"
+                );
+                assert!(run.svd.residual(&a) < 1e-10, "P = {procs} kernel = {kernel}");
+                assert!(run.svd.orthogonality() < 1e-10, "P = {procs} kernel = {kernel}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_cap_of_one_matches_default() {
+        let a = generate::random_uniform(40, 32, 15);
+        let base = blocked_svd(&a, &opts_with(4, BlockKernel::Gram)).unwrap();
+        let mut opts = opts_with(4, BlockKernel::Gram);
+        opts.svd.threads = Some(1);
+        let capped = blocked_svd(&a, &opts).unwrap();
+        // meetings are data-disjoint, so lane count cannot change results
+        assert_eq!(base.svd.sigma, capped.svd.sigma);
+        assert_eq!(base.sweeps, capped.sweeps);
     }
 }

@@ -152,6 +152,7 @@ impl HestenesSvd {
             sort: self.options.sort,
             cached_norms: self.options.cached_norms,
             serial_cutoff: self.options.serial_cutoff,
+            threads: self.options.threads.unwrap_or(0),
         };
 
         // the layout cycle repeats with the ordering's restore period, so
@@ -162,7 +163,8 @@ impl HestenesSvd {
         let mut sweep_stats: Vec<SweepStats> = Vec::new();
         let mut off_history: Vec<f64> = Vec::new();
         if self.options.track_off {
-            off_history.push(treesvd_sim::off_measure(&store));
+            off_history
+                .push(treesvd_sim::off_measure_limited(&store, self.options.threads.unwrap_or(0)));
         }
         let mut converged = false;
         // one scratch for the whole run: after the first step of the first
@@ -174,7 +176,10 @@ impl HestenesSvd {
             let stats =
                 execute_program_with_scratch(&machine, prog, &mut store, &config, &mut scratch);
             if self.options.track_off {
-                off_history.push(treesvd_sim::off_measure(&store));
+                off_history.push(treesvd_sim::off_measure_limited(
+                    &store,
+                    self.options.threads.unwrap_or(0),
+                ));
             }
             let done = stats.is_converged();
             sweep_stats.push(stats);
@@ -237,6 +242,7 @@ impl HestenesSvd {
             sort: self.options.sort,
             cached_norms: false, // the distributed path keeps the reference kernel
             serial_cutoff: self.options.serial_cutoff,
+            threads: self.options.threads.unwrap_or(0),
         };
         let outcome = treesvd_sim::distributed_svd(
             ordering.as_ref(),

@@ -29,7 +29,7 @@
 //! parallel Jacobi orderings (`treesvd-orderings`), and sweeps until a full
 //! sweep applies no rotation and no interchange (§1's termination rule with
 //! the threshold strategy). Per-sweep rotations execute in parallel on real
-//! host cores via rayon; the machine model meanwhile accounts simulated
+//! host cores via a persistent worker pool; the machine model meanwhile accounts simulated
 //! communication time on the configured topology, so the same run yields
 //! both the numerical result and the performance data the experiments
 //! report.
@@ -42,12 +42,13 @@
 pub mod blocked;
 pub mod driver;
 pub mod options;
+mod proptests;
 pub mod result;
 pub mod sequential;
 
 pub use blocked::{blocked_svd, BlockedOptions, BlockedRun};
 pub use driver::{HestenesSvd, SvdRun};
-pub use options::{OrderingChoice, SvdError, SvdOptions};
+pub use options::{BlockKernel, OrderingChoice, SvdError, SvdOptions};
 pub use result::{complete_orthonormal, Svd};
 
 // convenient re-exports for downstream users

@@ -38,6 +38,33 @@ impl Clone for OrderingChoice {
     }
 }
 
+/// Which meeting kernel the blocked (Schreiber) driver uses when two
+/// column blocks meet on a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockKernel {
+    /// Orthogonalize the `2c`-column union one pair at a time with
+    /// [`orthogonalize_pair`](treesvd_matrix::orthogonalize_pair),
+    /// streaming full `m`-length columns O(c²) times. The reference
+    /// (oracle) path.
+    Pairwise,
+    /// Block one-sided Jacobi: form the `2c×2c` Gram matrix
+    /// `G = [X Y]ᵀ[X Y]`, run the cyclic sweep with sorted storage on `G`
+    /// in-cache while accumulating the orthogonal update `W`, then apply
+    /// `[X Y] ← [X Y]·W` as one blocked panel multiply — BLAS-3-shaped
+    /// work that reads the panel O(1) times per meeting instead of O(c).
+    #[default]
+    Gram,
+}
+
+impl fmt::Display for BlockKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockKernel::Pairwise => write!(f, "pairwise"),
+            BlockKernel::Gram => write!(f, "gram"),
+        }
+    }
+}
+
 /// Options for [`HestenesSvd`](crate::HestenesSvd).
 #[derive(Debug)]
 pub struct SvdOptions {
@@ -78,6 +105,15 @@ pub struct SvdOptions {
     /// `n`, independent of `m`); mainly valuable with
     /// [`OrderingChoice::Custom`].
     pub verify_schedule: bool,
+    /// Meeting kernel for the blocked (Schreiber) driver
+    /// ([`blocked_svd`](crate::blocked_svd)); ignored by the unblocked
+    /// driver. Default: [`BlockKernel::Gram`].
+    pub block_kernel: BlockKernel,
+    /// Host-thread budget: caps the fork lanes used by the executor, the
+    /// blocked driver, and `off_measure`. `None` uses
+    /// [`par::num_threads`](treesvd_sim::par::num_threads) (which honors
+    /// the `TREESVD_THREADS` environment variable).
+    pub threads: Option<usize>,
 }
 
 impl Default for SvdOptions {
@@ -94,6 +130,8 @@ impl Default for SvdOptions {
             cached_norms: false,
             serial_cutoff: treesvd_sim::ExecConfig::DEFAULT_SERIAL_CUTOFF,
             verify_schedule: false,
+            block_kernel: BlockKernel::default(),
+            threads: None,
         }
     }
 }
@@ -151,6 +189,19 @@ impl SvdOptions {
     /// Require the schedule to pass static verification before execution.
     pub fn with_verify_schedule(mut self, verify: bool) -> Self {
         self.verify_schedule = verify;
+        self
+    }
+
+    /// Select the blocked driver's meeting kernel.
+    pub fn with_block_kernel(mut self, kernel: BlockKernel) -> Self {
+        self.block_kernel = kernel;
+        self
+    }
+
+    /// Cap the host-thread budget (`None` = machine parallelism /
+    /// `TREESVD_THREADS`).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -222,12 +273,23 @@ mod tests {
             .with_topology(TopologyKind::Cm5)
             .with_max_sweeps(10)
             .with_sort(SortMode::None)
-            .with_vectors(false);
+            .with_vectors(false)
+            .with_block_kernel(BlockKernel::Pairwise)
+            .with_threads(Some(2));
         assert!(matches!(o.ordering, OrderingChoice::Kind(OrderingKind::NewRing)));
         assert_eq!(o.topology, TopologyKind::Cm5);
         assert_eq!(o.max_sweeps, 10);
         assert_eq!(o.sort, SortMode::None);
         assert!(!o.vectors);
+        assert_eq!(o.block_kernel, BlockKernel::Pairwise);
+        assert_eq!(o.threads, Some(2));
+    }
+
+    #[test]
+    fn block_kernel_default_and_display() {
+        assert_eq!(SvdOptions::default().block_kernel, BlockKernel::Gram);
+        assert_eq!(BlockKernel::Gram.to_string(), "gram");
+        assert_eq!(BlockKernel::Pairwise.to_string(), "pairwise");
     }
 
     #[test]

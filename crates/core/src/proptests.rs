@@ -1,0 +1,77 @@
+//! Property-based tests of the blocked (Schreiber) driver (proptest).
+//!
+//! The Gram meeting kernel and the pairwise oracle realize the same block
+//! meeting two different ways; these properties pin down that the choice
+//! is unobservable in the results across random shapes, machine sizes,
+//! padded/odd block sizes, and rank-deficient inputs.
+
+#![cfg(test)]
+
+use crate::blocked::{blocked_svd, BlockedOptions};
+use crate::options::BlockKernel;
+use crate::SvdOptions;
+use proptest::prelude::*;
+use treesvd_matrix::{checks, generate};
+
+fn opts_with(processors: usize, kernel: BlockKernel) -> BlockedOptions {
+    BlockedOptions { processors, svd: SvdOptions::default().with_block_kernel(kernel) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both kernels produce the same spectrum (and valid factors) on random
+    /// matrices, across machine sizes and block paddings — including odd
+    /// column counts that force padded, uneven final blocks.
+    #[test]
+    fn gram_and_pairwise_agree_on_random_input(
+        n in 4usize..20,
+        extra_rows in 0usize..12,
+        p_log in 0u32..3,
+        seed in 0u64..1000,
+    ) {
+        let m = n + extra_rows;
+        let procs = 1usize << p_log; // 1, 2, 4: 2P stays a power of two
+        let a = generate::random_uniform(m, n, seed);
+        let pw = blocked_svd(&a, &opts_with(procs, BlockKernel::Pairwise)).unwrap();
+        let gr = blocked_svd(&a, &opts_with(procs, BlockKernel::Gram)).unwrap();
+        prop_assert!(
+            checks::spectrum_distance(&pw.svd.sigma, &gr.svd.sigma) < 1e-9,
+            "sigma mismatch: n={} m={} P={} seed={}", n, m, procs, seed
+        );
+        prop_assert!(gr.svd.residual(&a) < 1e-9);
+        prop_assert!(gr.svd.orthogonality() < 1e-9);
+        prop_assert!(checks::is_nonincreasing(&gr.svd.sigma));
+        // V agrees up to sign wherever the spectrum is well separated
+        let sig = &gr.svd.sigma;
+        for j in 0..n {
+            let separated = (0..n).all(|i| {
+                i == j || (sig[j] - sig[i]).abs() > 1e-5 * sig[0].max(1.0)
+            });
+            if sig[j] > 1e-8 && separated {
+                let d = treesvd_matrix::ops::dot(pw.svd.v.col(j), gr.svd.v.col(j)).abs();
+                prop_assert!(d > 1.0 - 1e-6, "V col {} disagrees: |dot|={}", j, d);
+            }
+        }
+    }
+
+    /// Rank-deficient panels (zero directions inside blocks) do not split
+    /// the kernels apart either: same rank, same spectrum.
+    #[test]
+    fn gram_and_pairwise_agree_on_rank_deficient_input(
+        n in 6usize..18,
+        rank_cut in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let rank = n - rank_cut.min(n - 1);
+        let a = generate::rank_deficient(n + 8, n, rank, seed);
+        let pw = blocked_svd(&a, &opts_with(2, BlockKernel::Pairwise)).unwrap();
+        let gr = blocked_svd(&a, &opts_with(2, BlockKernel::Gram)).unwrap();
+        prop_assert_eq!(pw.svd.rank, rank);
+        prop_assert_eq!(gr.svd.rank, rank);
+        prop_assert!(
+            checks::spectrum_distance(&pw.svd.sigma, &gr.svd.sigma) < 1e-9,
+            "sigma mismatch: n={} rank={} seed={}", n, rank, seed
+        );
+    }
+}

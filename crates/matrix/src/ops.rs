@@ -309,33 +309,99 @@ fn rotate_fused_impl<const SWAP: bool>(c: f64, s: f64, a: &mut [f64], b: &mut [f
     let split = a.len() - a.len() % ROT_UNROLL;
     let (am, at) = a.split_at_mut(split);
     let (bm, bt) = b.split_at_mut(split);
-    let mut na = [0.0f64; ROT_UNROLL];
-    let mut nb = [0.0f64; ROT_UNROLL];
-    for (ca, cb) in am.chunks_exact_mut(ROT_UNROLL).zip(bm.chunks_exact_mut(ROT_UNROLL)) {
-        for k in 0..ROT_UNROLL {
-            let (x, y) = (ca[k], cb[k]);
-            let (xp, yp) =
-                if SWAP { (s * x + c * y, c * x - s * y) } else { (c * x - s * y, s * x + c * y) };
-            ca[k] = xp;
-            cb[k] = yp;
-            na[k] += xp * xp;
-            nb[k] += yp * yp;
-        }
-    }
+    let (na, nb) = rotate_fused_main::<SWAP>(c, s, am, bm);
     let (mut tna, mut tnb) = (0.0, 0.0);
     for (x, y) in at.iter_mut().zip(bt.iter_mut()) {
         let (ax, bx) = (*x, *y);
-        let (xp, yp) = if SWAP {
-            (s * ax + c * bx, c * ax - s * bx)
-        } else {
-            (c * ax - s * bx, s * ax + c * bx)
-        };
-        *x = xp;
-        *y = yp;
-        tna += xp * xp;
-        tnb += yp * yp;
+        let xp = c * ax - s * bx;
+        let yp = s * ax + c * bx;
+        let (da, db) = if SWAP { (yp, xp) } else { (xp, yp) };
+        *x = da;
+        *y = db;
+        tna += da * da;
+        tnb += db * db;
     }
     ((na[0] + na[1]) + (na[2] + na[3]) + tna, (nb[0] + nb[1]) + (nb[2] + nb[3]) + tnb)
+}
+
+/// Accumulator lanes of the fused rotation over a
+/// length-multiple-of-[`ROT_UNROLL`] prefix.
+///
+/// Explicit AVX on x86-64 for the same reason as [`gram3_main`]: the plain
+/// form auto-vectorizes, but for `SWAP = true` LLVM's SLP pass pairs the
+/// updates *across* the `a`/`b` streams (scalar + `unpck` shuffles at
+/// 128-bit width) and ran ~3× slower than the plain form. The intrinsic
+/// version is lane-wise multiply/add/sub — no FMA contraction — and routes
+/// both forms through the identical arithmetic (only the store destinations
+/// and norm accumulators exchange roles), so its lanes are bitwise identical
+/// to the scalar fallback below.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
+#[inline]
+fn rotate_fused_main<const SWAP: bool>(
+    c: f64,
+    s: f64,
+    a: &mut [f64],
+    b: &mut [f64],
+) -> ([f64; ROT_UNROLL], [f64; ROT_UNROLL]) {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(a.len() % ROT_UNROLL, 0);
+    debug_assert_eq!(a.len(), b.len());
+    let mut na = [0.0f64; ROT_UNROLL];
+    let mut nb = [0.0f64; ROT_UNROLL];
+    // SAFETY: loads/stores stay within `a`/`b` (length checked to be a
+    // multiple of ROT_UNROLL = 4, processed one 4-lane vector at a time)
+    // and within the 4-lane accumulator arrays; AVX is a compile-time
+    // target feature.
+    unsafe {
+        let vc = _mm256_set1_pd(c);
+        let vs = _mm256_set1_pd(s);
+        let mut acc_a = _mm256_setzero_pd();
+        let mut acc_b = _mm256_setzero_pd();
+        let (pa, pb) = (a.as_mut_ptr(), b.as_mut_ptr());
+        let mut i = 0;
+        while i < a.len() {
+            let x = _mm256_loadu_pd(pa.add(i));
+            let y = _mm256_loadu_pd(pb.add(i));
+            let xp = _mm256_sub_pd(_mm256_mul_pd(vc, x), _mm256_mul_pd(vs, y));
+            let yp = _mm256_add_pd(_mm256_mul_pd(vs, x), _mm256_mul_pd(vc, y));
+            let (da, db) = if SWAP { (yp, xp) } else { (xp, yp) };
+            _mm256_storeu_pd(pa.add(i), da);
+            _mm256_storeu_pd(pb.add(i), db);
+            acc_a = _mm256_add_pd(acc_a, _mm256_mul_pd(da, da));
+            acc_b = _mm256_add_pd(acc_b, _mm256_mul_pd(db, db));
+            i += ROT_UNROLL;
+        }
+        _mm256_storeu_pd(na.as_mut_ptr(), acc_a);
+        _mm256_storeu_pd(nb.as_mut_ptr(), acc_b);
+    }
+    (na, nb)
+}
+
+/// Portable fallback: the same lane assignment in scalar code.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
+#[inline]
+fn rotate_fused_main<const SWAP: bool>(
+    c: f64,
+    s: f64,
+    a: &mut [f64],
+    b: &mut [f64],
+) -> ([f64; ROT_UNROLL], [f64; ROT_UNROLL]) {
+    debug_assert_eq!(a.len() % ROT_UNROLL, 0);
+    let mut na = [0.0f64; ROT_UNROLL];
+    let mut nb = [0.0f64; ROT_UNROLL];
+    for (ca, cb) in a.chunks_exact_mut(ROT_UNROLL).zip(b.chunks_exact_mut(ROT_UNROLL)) {
+        for k in 0..ROT_UNROLL {
+            let (x, y) = (ca[k], cb[k]);
+            let xp = c * x - s * y;
+            let yp = s * x + c * y;
+            let (da, db) = if SWAP { (yp, xp) } else { (xp, yp) };
+            ca[k] = da;
+            cb[k] = db;
+            na[k] += da * da;
+            nb[k] += db * db;
+        }
+    }
+    (na, nb)
 }
 
 /// Fused rotation, plain form (equation (1)): returns the exact updated
@@ -358,6 +424,643 @@ pub fn rotate_fused(c: f64, s: f64, a: &mut [f64], b: &mut [f64]) -> (f64, f64) 
 pub fn rotate_fused_swapped(c: f64, s: f64, a: &mut [f64], b: &mut [f64]) -> (f64, f64) {
     assert_eq!(a.len(), b.len(), "rotate_fused_swapped: length mismatch");
     rotate_fused_impl::<true>(c, s, a, b)
+}
+
+/// Row-tile length (in elements) of the blocked panel kernels
+/// [`gram_block`] / [`panel_update`]. With a `2c = 64` column union the
+/// input tile is `64 · 128 · 8 B = 64 KiB` — resident in L2 while each
+/// output column streams over it.
+pub const PANEL_TILE: usize = 128;
+
+/// Column `i` of the union panel `[X Y]` (both column-major with `m` rows).
+#[inline]
+fn union_col<'a>(x: &'a [f64], y: &'a [f64], m: usize, i: usize) -> &'a [f64] {
+    let off = i * m;
+    if off < x.len() {
+        &x[off..off + m]
+    } else {
+        &y[off - x.len()..off - x.len() + m]
+    }
+}
+
+/// Adjacent columns `j` and `j + 1` of the union panel `[X Y]`, mutably —
+/// both inside `x`, both inside `y`, or straddling the panel boundary.
+#[inline]
+fn union_col_pair_mut<'a>(
+    x: &'a mut [f64],
+    y: &'a mut [f64],
+    m: usize,
+    j: usize,
+) -> (&'a mut [f64], &'a mut [f64]) {
+    let xs = x.len();
+    let off = j * m;
+    if off + 2 * m <= xs {
+        x[off..off + 2 * m].split_at_mut(m)
+    } else if off >= xs {
+        y[off - xs..off - xs + 2 * m].split_at_mut(m)
+    } else {
+        (&mut x[off..off + m], &mut y[0..m])
+    }
+}
+
+/// Unroll width of the 2×2 blocked Gram kernel [`dot4`]: two 4-lane
+/// vectors in flight per dot product (8 independent fma chains total).
+const DOT4_UNROLL: usize = 8;
+
+/// Accumulator lanes of the four simultaneous dot products
+/// `(a0·b0, a1·b0, a0·b1, a1·b1)` over a length-multiple-of-
+/// [`DOT4_UNROLL`] prefix: lane `l` of each dot holds the partial sums
+/// over elements `j·DOT4_UNROLL + l`.
+///
+/// This is the register-blocked heart of [`gram_block`]: four reductions
+/// share every load (2 flops per load versus 1 for four separate
+/// [`dot`]s), and the eight independent fma chains hide the fma latency.
+/// Both paths accumulate with fused multiply-adds (`_mm256_fmadd_pd` /
+/// [`f64::mul_add`]), which are exactly rounded and therefore bitwise
+/// identical between the intrinsic version and the scalar fallback.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+#[inline]
+fn dot4_main(a0: &[f64], a1: &[f64], b0: &[f64], b1: &[f64]) -> [[f64; DOT4_UNROLL]; 4] {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(a0.len() % DOT4_UNROLL, 0);
+    let mut out = [[0.0f64; DOT4_UNROLL]; 4];
+    // SAFETY: loads stay within the four equal-length slices (length a
+    // multiple of DOT4_UNROLL = 8, one 8-lane vector per step) and stores
+    // within the 8-lane accumulator rows; AVX-512F is a compile-time
+    // target feature. The per-lane sums are identical to the 256-bit and
+    // scalar paths — one 8-wide register simply holds what those track as
+    // two halves or eight scalars.
+    unsafe {
+        let mut acc = [_mm512_setzero_pd(); 4];
+        let (p0, p1, q0, q1) = (a0.as_ptr(), a1.as_ptr(), b0.as_ptr(), b1.as_ptr());
+        let mut i = 0;
+        while i < a0.len() {
+            let va0 = _mm512_loadu_pd(p0.add(i));
+            let va1 = _mm512_loadu_pd(p1.add(i));
+            let vb0 = _mm512_loadu_pd(q0.add(i));
+            let vb1 = _mm512_loadu_pd(q1.add(i));
+            acc[0] = _mm512_fmadd_pd(va0, vb0, acc[0]);
+            acc[1] = _mm512_fmadd_pd(va1, vb0, acc[1]);
+            acc[2] = _mm512_fmadd_pd(va0, vb1, acc[2]);
+            acc[3] = _mm512_fmadd_pd(va1, vb1, acc[3]);
+            i += DOT4_UNROLL;
+        }
+        for d in 0..4 {
+            _mm512_storeu_pd(out[d].as_mut_ptr(), acc[d]);
+        }
+    }
+    out
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "fma", not(target_feature = "avx512f")))]
+#[inline]
+#[allow(clippy::many_single_char_names)]
+fn dot4_main(a0: &[f64], a1: &[f64], b0: &[f64], b1: &[f64]) -> [[f64; DOT4_UNROLL]; 4] {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(a0.len() % DOT4_UNROLL, 0);
+    let mut out = [[0.0f64; DOT4_UNROLL]; 4];
+    // SAFETY: loads stay within the four equal-length slices (length a
+    // multiple of DOT4_UNROLL = 8, read in 4-lane halves) and stores
+    // within the 8-lane accumulator rows; FMA is a compile-time target
+    // feature.
+    unsafe {
+        let mut acc = [_mm256_setzero_pd(); 8];
+        let (p0, p1, q0, q1) = (a0.as_ptr(), a1.as_ptr(), b0.as_ptr(), b1.as_ptr());
+        let mut i = 0;
+        while i < a0.len() {
+            let a0l = _mm256_loadu_pd(p0.add(i));
+            let a0h = _mm256_loadu_pd(p0.add(i + 4));
+            let a1l = _mm256_loadu_pd(p1.add(i));
+            let a1h = _mm256_loadu_pd(p1.add(i + 4));
+            let b0l = _mm256_loadu_pd(q0.add(i));
+            let b0h = _mm256_loadu_pd(q0.add(i + 4));
+            let b1l = _mm256_loadu_pd(q1.add(i));
+            let b1h = _mm256_loadu_pd(q1.add(i + 4));
+            acc[0] = _mm256_fmadd_pd(a0l, b0l, acc[0]);
+            acc[1] = _mm256_fmadd_pd(a0h, b0h, acc[1]);
+            acc[2] = _mm256_fmadd_pd(a1l, b0l, acc[2]);
+            acc[3] = _mm256_fmadd_pd(a1h, b0h, acc[3]);
+            acc[4] = _mm256_fmadd_pd(a0l, b1l, acc[4]);
+            acc[5] = _mm256_fmadd_pd(a0h, b1h, acc[5]);
+            acc[6] = _mm256_fmadd_pd(a1l, b1l, acc[6]);
+            acc[7] = _mm256_fmadd_pd(a1h, b1h, acc[7]);
+            i += DOT4_UNROLL;
+        }
+        for d in 0..4 {
+            _mm256_storeu_pd(out[d].as_mut_ptr(), acc[2 * d]);
+            _mm256_storeu_pd(out[d].as_mut_ptr().add(4), acc[2 * d + 1]);
+        }
+    }
+    out
+}
+
+/// Portable fallback: the same lane assignment with scalar fused
+/// multiply-adds.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "fma")))]
+#[inline]
+fn dot4_main(a0: &[f64], a1: &[f64], b0: &[f64], b1: &[f64]) -> [[f64; DOT4_UNROLL]; 4] {
+    debug_assert_eq!(a0.len() % DOT4_UNROLL, 0);
+    let mut out = [[0.0f64; DOT4_UNROLL]; 4];
+    let mut j = 0;
+    while j < a0.len() {
+        for l in 0..DOT4_UNROLL {
+            let (x0, x1, y0, y1) = (a0[j + l], a1[j + l], b0[j + l], b1[j + l]);
+            out[0][l] = x0.mul_add(y0, out[0][l]);
+            out[1][l] = x1.mul_add(y0, out[1][l]);
+            out[2][l] = x0.mul_add(y1, out[2][l]);
+            out[3][l] = x1.mul_add(y1, out[3][l]);
+        }
+        j += DOT4_UNROLL;
+    }
+    out
+}
+
+/// The four dot products `(a0·b0, a1·b0, a0·b1, a1·b1)` in one fused pass.
+#[inline]
+fn dot4(a0: &[f64], a1: &[f64], b0: &[f64], b1: &[f64]) -> [f64; 4] {
+    let n = a0.len();
+    debug_assert!(a1.len() == n && b0.len() == n && b1.len() == n);
+    let split = n - n % DOT4_UNROLL;
+    let lanes = dot4_main(&a0[..split], &a1[..split], &b0[..split], &b1[..split]);
+    let mut out = [0.0f64; 4];
+    for (d, acc) in lanes.iter().enumerate() {
+        out[d] = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    }
+    for i in split..n {
+        out[0] = a0[i].mul_add(b0[i], out[0]);
+        out[1] = a1[i].mul_add(b0[i], out[1]);
+        out[2] = a0[i].mul_add(b1[i], out[2]);
+        out[3] = a1[i].mul_add(b1[i], out[3]);
+    }
+    out
+}
+
+/// `G = [X Y]ᵀ[X Y]`: the `k×k` Gram matrix of the column union of two
+/// column-major panels (`k = (x.len() + y.len()) / m`), written
+/// column-major into `g` (both triangles).
+///
+/// The upper triangle is computed in 2×2 register blocks by [`dot4`]
+/// (four reductions per pass, every load shared by two of them) with the
+/// `2×2` diagonal blocks falling out of one fused [`gram3`] each; the
+/// lower triangle is mirrored. Columns are walked at full length — the
+/// union panels this serves are L2-resident, and each column is read
+/// `k/2` times instead of the `k` times of unblocked dots.
+///
+/// # Panics
+/// Panics if a panel length is not a multiple of `m`, or if `g.len() != k²`.
+pub fn gram_block(x: &[f64], y: &[f64], m: usize, g: &mut [f64]) {
+    assert_eq!(x.len() % m.max(1), 0, "gram_block: x is not whole columns");
+    assert_eq!(y.len() % m.max(1), 0, "gram_block: y is not whole columns");
+    let k = (x.len() + y.len()).checked_div(m).unwrap_or(0);
+    assert_eq!(g.len(), k * k, "gram_block: output must be k×k");
+    if k == 0 {
+        return;
+    }
+    let ke = k & !1;
+    for jb in (0..ke).step_by(2) {
+        let cj0 = union_col(x, y, m, jb);
+        let cj1 = union_col(x, y, m, jb + 1);
+        let (aa, bb, ab) = gram3(cj0, cj1);
+        g[jb + k * jb] = aa;
+        g[jb + 1 + k * (jb + 1)] = bb;
+        g[jb + k * (jb + 1)] = ab;
+        for ib in (0..jb).step_by(2) {
+            let ci0 = union_col(x, y, m, ib);
+            let ci1 = union_col(x, y, m, ib + 1);
+            let d = dot4(ci0, ci1, cj0, cj1);
+            g[ib + k * jb] = d[0];
+            g[ib + 1 + k * jb] = d[1];
+            g[ib + k * (jb + 1)] = d[2];
+            g[ib + 1 + k * (jb + 1)] = d[3];
+        }
+    }
+    if k != ke {
+        let j = k - 1;
+        let cj = union_col(x, y, m, j);
+        for i in 0..j {
+            g[i + k * j] = dot(union_col(x, y, m, i), cj);
+        }
+        g[j + k * j] = norm2_sq(cj);
+    }
+    for j in 0..k {
+        for i in 0..j {
+            g[j + k * i] = g[i + k * j];
+        }
+    }
+}
+
+/// `y = alpha · x` (the initializing form of [`axpy`]).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn scaled_copy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "scaled_copy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha * xi;
+    }
+}
+
+/// Four-source weighted accumulation, the GEMM micro-kernel of
+/// [`panel_update`]: elementwise
+/// `out[i] = w3·s3[i] + (w2·s2[i] + (w1·s1[i] + (w0·s0[i] + base)))`
+/// where `base` is `0` when `INIT` or the previous `out[i]` otherwise,
+/// every product folded in with a fused multiply-add.
+///
+/// Gathering four inputs per pass quarters the load/store traffic on
+/// `out` that made a chain of [`axpy`]s memory-bound, and the element
+/// updates are independent so the four-deep fma chains pipeline across
+/// the unrolled vectors. The operation is elementwise with exactly
+/// rounded fmas, so the intrinsic path and the scalar fallback are
+/// bitwise identical.
+#[cfg(all(target_arch = "x86_64", target_feature = "fma"))]
+#[inline]
+fn wsum4<const INIT: bool>(
+    w: [f64; 4],
+    s0: &[f64],
+    s1: &[f64],
+    s2: &[f64],
+    s3: &[f64],
+    out: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+    let n = out.len();
+    debug_assert!(s0.len() == n && s1.len() == n && s2.len() == n && s3.len() == n);
+    // SAFETY: all loads/stores stay within the five equal-length slices;
+    // the vector loop covers whole 4-lane chunks and the scalar tail the
+    // rest; FMA is a compile-time target feature.
+    unsafe {
+        let (vw0, vw1) = (_mm256_set1_pd(w[0]), _mm256_set1_pd(w[1]));
+        let (vw2, vw3) = (_mm256_set1_pd(w[2]), _mm256_set1_pd(w[3]));
+        let (p0, p1, p2, p3) = (s0.as_ptr(), s1.as_ptr(), s2.as_ptr(), s3.as_ptr());
+        let po = out.as_mut_ptr();
+        let mut i = 0;
+        // two vectors in flight: each output element is a serial chain of
+        // four fmas, so independent chunks are needed to hide the latency
+        while i + 8 <= n {
+            let mut va = if INIT { _mm256_setzero_pd() } else { _mm256_loadu_pd(po.add(i)) };
+            let mut vb = if INIT { _mm256_setzero_pd() } else { _mm256_loadu_pd(po.add(i + 4)) };
+            va = _mm256_fmadd_pd(vw0, _mm256_loadu_pd(p0.add(i)), va);
+            vb = _mm256_fmadd_pd(vw0, _mm256_loadu_pd(p0.add(i + 4)), vb);
+            va = _mm256_fmadd_pd(vw1, _mm256_loadu_pd(p1.add(i)), va);
+            vb = _mm256_fmadd_pd(vw1, _mm256_loadu_pd(p1.add(i + 4)), vb);
+            va = _mm256_fmadd_pd(vw2, _mm256_loadu_pd(p2.add(i)), va);
+            vb = _mm256_fmadd_pd(vw2, _mm256_loadu_pd(p2.add(i + 4)), vb);
+            va = _mm256_fmadd_pd(vw3, _mm256_loadu_pd(p3.add(i)), va);
+            vb = _mm256_fmadd_pd(vw3, _mm256_loadu_pd(p3.add(i + 4)), vb);
+            _mm256_storeu_pd(po.add(i), va);
+            _mm256_storeu_pd(po.add(i + 4), vb);
+            i += 8;
+        }
+        while i + 4 <= n {
+            let mut va = if INIT { _mm256_setzero_pd() } else { _mm256_loadu_pd(po.add(i)) };
+            va = _mm256_fmadd_pd(vw0, _mm256_loadu_pd(p0.add(i)), va);
+            va = _mm256_fmadd_pd(vw1, _mm256_loadu_pd(p1.add(i)), va);
+            va = _mm256_fmadd_pd(vw2, _mm256_loadu_pd(p2.add(i)), va);
+            va = _mm256_fmadd_pd(vw3, _mm256_loadu_pd(p3.add(i)), va);
+            _mm256_storeu_pd(po.add(i), va);
+            i += 4;
+        }
+        while i < n {
+            let base = if INIT { 0.0 } else { *po.add(i) };
+            let acc = w[0].mul_add(*p0.add(i), base);
+            let acc = w[1].mul_add(*p1.add(i), acc);
+            let acc = w[2].mul_add(*p2.add(i), acc);
+            *po.add(i) = w[3].mul_add(*p3.add(i), acc);
+            i += 1;
+        }
+    }
+}
+
+/// Portable fallback: the same elementwise fused-multiply-add chain.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "fma")))]
+#[inline]
+fn wsum4<const INIT: bool>(
+    w: [f64; 4],
+    s0: &[f64],
+    s1: &[f64],
+    s2: &[f64],
+    s3: &[f64],
+    out: &mut [f64],
+) {
+    for (i, o) in out.iter_mut().enumerate() {
+        let base = if INIT { 0.0 } else { *o };
+        let acc = w[0].mul_add(s0[i], base);
+        let acc = w[1].mul_add(s1[i], acc);
+        let acc = w[2].mul_add(s2[i], acc);
+        *o = w[3].mul_add(s3[i], acc);
+    }
+}
+
+/// Two-output variant of [`wsum4`]: the same four sources accumulated
+/// into two output columns with independent weight quadruples. Sharing
+/// the source loads between the outputs doubles the flops per load,
+/// which is what lifts the panel multiply from memory-bound to
+/// near-arithmetic-bound. Same exactly-rounded fma semantics as
+/// [`wsum4`], so the intrinsic and fallback paths agree bitwise.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn wsum4x2<const INIT: bool>(
+    wa: [f64; 4],
+    wb: [f64; 4],
+    s0: &[f64],
+    s1: &[f64],
+    s2: &[f64],
+    s3: &[f64],
+    out_a: &mut [f64],
+    out_b: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+    let n = out_a.len();
+    debug_assert!(out_b.len() == n);
+    debug_assert!(s0.len() == n && s1.len() == n && s2.len() == n && s3.len() == n);
+    // SAFETY: all loads/stores stay within the six equal-length slices;
+    // the vector loop covers whole 8-lane chunks and the scalar tail the
+    // rest; AVX-512F is a compile-time target feature. Elementwise
+    // exactly-rounded fma chains — bitwise identical to the narrower
+    // paths.
+    unsafe {
+        let (va0, va1) = (_mm512_set1_pd(wa[0]), _mm512_set1_pd(wa[1]));
+        let (va2, va3) = (_mm512_set1_pd(wa[2]), _mm512_set1_pd(wa[3]));
+        let (vb0, vb1) = (_mm512_set1_pd(wb[0]), _mm512_set1_pd(wb[1]));
+        let (vb2, vb3) = (_mm512_set1_pd(wb[2]), _mm512_set1_pd(wb[3]));
+        let (p0, p1, p2, p3) = (s0.as_ptr(), s1.as_ptr(), s2.as_ptr(), s3.as_ptr());
+        let (pa, pb) = (out_a.as_mut_ptr(), out_b.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let x0 = _mm512_loadu_pd(p0.add(i));
+            let x1 = _mm512_loadu_pd(p1.add(i));
+            let x2 = _mm512_loadu_pd(p2.add(i));
+            let x3 = _mm512_loadu_pd(p3.add(i));
+            let mut aa = if INIT { _mm512_setzero_pd() } else { _mm512_loadu_pd(pa.add(i)) };
+            let mut ab = if INIT { _mm512_setzero_pd() } else { _mm512_loadu_pd(pb.add(i)) };
+            aa = _mm512_fmadd_pd(va0, x0, aa);
+            ab = _mm512_fmadd_pd(vb0, x0, ab);
+            aa = _mm512_fmadd_pd(va1, x1, aa);
+            ab = _mm512_fmadd_pd(vb1, x1, ab);
+            aa = _mm512_fmadd_pd(va2, x2, aa);
+            ab = _mm512_fmadd_pd(vb2, x2, ab);
+            aa = _mm512_fmadd_pd(va3, x3, aa);
+            ab = _mm512_fmadd_pd(vb3, x3, ab);
+            _mm512_storeu_pd(pa.add(i), aa);
+            _mm512_storeu_pd(pb.add(i), ab);
+            i += 8;
+        }
+        while i < n {
+            let (x0, x1, x2, x3) = (*p0.add(i), *p1.add(i), *p2.add(i), *p3.add(i));
+            let base_a = if INIT { 0.0 } else { *pa.add(i) };
+            let acc = wa[0].mul_add(x0, base_a);
+            let acc = wa[1].mul_add(x1, acc);
+            let acc = wa[2].mul_add(x2, acc);
+            *pa.add(i) = wa[3].mul_add(x3, acc);
+            let base_b = if INIT { 0.0 } else { *pb.add(i) };
+            let acc = wb[0].mul_add(x0, base_b);
+            let acc = wb[1].mul_add(x1, acc);
+            let acc = wb[2].mul_add(x2, acc);
+            *pb.add(i) = wb[3].mul_add(x3, acc);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "fma", not(target_feature = "avx512f")))]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn wsum4x2<const INIT: bool>(
+    wa: [f64; 4],
+    wb: [f64; 4],
+    s0: &[f64],
+    s1: &[f64],
+    s2: &[f64],
+    s3: &[f64],
+    out_a: &mut [f64],
+    out_b: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+    let n = out_a.len();
+    debug_assert!(out_b.len() == n);
+    debug_assert!(s0.len() == n && s1.len() == n && s2.len() == n && s3.len() == n);
+    // SAFETY: all loads/stores stay within the six equal-length slices;
+    // the vector loop covers whole 4-lane chunks and the scalar tail the
+    // rest; FMA is a compile-time target feature.
+    unsafe {
+        let (va0, va1) = (_mm256_set1_pd(wa[0]), _mm256_set1_pd(wa[1]));
+        let (va2, va3) = (_mm256_set1_pd(wa[2]), _mm256_set1_pd(wa[3]));
+        let (vb0, vb1) = (_mm256_set1_pd(wb[0]), _mm256_set1_pd(wb[1]));
+        let (vb2, vb3) = (_mm256_set1_pd(wb[2]), _mm256_set1_pd(wb[3]));
+        let (p0, p1, p2, p3) = (s0.as_ptr(), s1.as_ptr(), s2.as_ptr(), s3.as_ptr());
+        let (pa, pb) = (out_a.as_mut_ptr(), out_b.as_mut_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let x0 = _mm256_loadu_pd(p0.add(i));
+            let x1 = _mm256_loadu_pd(p1.add(i));
+            let x2 = _mm256_loadu_pd(p2.add(i));
+            let x3 = _mm256_loadu_pd(p3.add(i));
+            let mut aa = if INIT { _mm256_setzero_pd() } else { _mm256_loadu_pd(pa.add(i)) };
+            let mut ab = if INIT { _mm256_setzero_pd() } else { _mm256_loadu_pd(pb.add(i)) };
+            aa = _mm256_fmadd_pd(va0, x0, aa);
+            ab = _mm256_fmadd_pd(vb0, x0, ab);
+            aa = _mm256_fmadd_pd(va1, x1, aa);
+            ab = _mm256_fmadd_pd(vb1, x1, ab);
+            aa = _mm256_fmadd_pd(va2, x2, aa);
+            ab = _mm256_fmadd_pd(vb2, x2, ab);
+            aa = _mm256_fmadd_pd(va3, x3, aa);
+            ab = _mm256_fmadd_pd(vb3, x3, ab);
+            _mm256_storeu_pd(pa.add(i), aa);
+            _mm256_storeu_pd(pb.add(i), ab);
+            i += 4;
+        }
+        while i < n {
+            let (x0, x1, x2, x3) = (*p0.add(i), *p1.add(i), *p2.add(i), *p3.add(i));
+            let base_a = if INIT { 0.0 } else { *pa.add(i) };
+            let acc = wa[0].mul_add(x0, base_a);
+            let acc = wa[1].mul_add(x1, acc);
+            let acc = wa[2].mul_add(x2, acc);
+            *pa.add(i) = wa[3].mul_add(x3, acc);
+            let base_b = if INIT { 0.0 } else { *pb.add(i) };
+            let acc = wb[0].mul_add(x0, base_b);
+            let acc = wb[1].mul_add(x1, acc);
+            let acc = wb[2].mul_add(x2, acc);
+            *pb.add(i) = wb[3].mul_add(x3, acc);
+            i += 1;
+        }
+    }
+}
+
+/// Portable fallback: the same elementwise fused-multiply-add chains.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "fma")))]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn wsum4x2<const INIT: bool>(
+    wa: [f64; 4],
+    wb: [f64; 4],
+    s0: &[f64],
+    s1: &[f64],
+    s2: &[f64],
+    s3: &[f64],
+    out_a: &mut [f64],
+    out_b: &mut [f64],
+) {
+    for (i, (oa, ob)) in out_a.iter_mut().zip(out_b.iter_mut()).enumerate() {
+        let (x0, x1, x2, x3) = (s0[i], s1[i], s2[i], s3[i]);
+        let base_a = if INIT { 0.0 } else { *oa };
+        let acc = wa[0].mul_add(x0, base_a);
+        let acc = wa[1].mul_add(x1, acc);
+        let acc = wa[2].mul_add(x2, acc);
+        *oa = wa[3].mul_add(x3, acc);
+        let base_b = if INIT { 0.0 } else { *ob };
+        let acc = wb[0].mul_add(x0, base_b);
+        let acc = wb[1].mul_add(x1, acc);
+        let acc = wb[2].mul_add(x2, acc);
+        *ob = wb[3].mul_add(x3, acc);
+    }
+}
+
+/// Blocked panel update `[X Y] ← [X Y] · W` where `W` is the `k×k`
+/// column-major orthogonal update accumulated by a block meeting
+/// (`k = (x.len() + y.len()) / m`).
+///
+/// Row-tiled by [`PANEL_TILE`]: each tile of the input union is
+/// snapshotted into `tile` (caller scratch, length ≥ `k · PANEL_TILE`),
+/// then every output column is accumulated over the cache-resident
+/// snapshot four sources at a time by the [`wsum4`] micro-kernel — one
+/// read plus one write of the panel total, against the O(k²·m) column
+/// traffic of applying rotations one pair at a time. Exact zeros in `W`
+/// are skipped, so a near-identity `W` (late sweeps) degenerates to
+/// cheap column copies.
+///
+/// # Panics
+/// Panics if a panel length is not a multiple of `m`, `w.len() != k²`, or
+/// `tile` is shorter than `k · PANEL_TILE`.
+pub fn panel_update(x: &mut [f64], y: &mut [f64], m: usize, w: &[f64], tile: &mut [f64]) {
+    assert_eq!(x.len() % m.max(1), 0, "panel_update: x is not whole columns");
+    assert_eq!(y.len() % m.max(1), 0, "panel_update: y is not whole columns");
+    let k = (x.len() + y.len()).checked_div(m).unwrap_or(0);
+    assert_eq!(w.len(), k * k, "panel_update: w must be k×k");
+    if k == 0 {
+        return;
+    }
+    assert!(tile.len() >= k * PANEL_TILE, "panel_update: tile scratch too short");
+    let mut r0 = 0;
+    while r0 < m {
+        let tb = (m - r0).min(PANEL_TILE);
+        for i in 0..k {
+            let src = &union_col(x, y, m, i)[r0..r0 + tb];
+            tile[i * PANEL_TILE..i * PANEL_TILE + tb].copy_from_slice(src);
+        }
+        let nnz_of = |wj: &[f64]| wj.iter().filter(|&&v| v != 0.0).count();
+        let mut j = 0;
+        while j < k {
+            let wj = &w[k * j..k * j + k];
+            // two outputs at a time whenever both columns mix several
+            // sources: the paired kernel shares every source load
+            if j + 1 < k && nnz_of(wj) >= 2 && nnz_of(&w[k * (j + 1)..k * (j + 1) + k]) >= 2 {
+                let wjb = &w[k * (j + 1)..k * (j + 1) + k];
+                let (col_a, col_b) = union_col_pair_mut(x, y, m, j);
+                let out_a = &mut col_a[r0..r0 + tb];
+                let out_b = &mut col_b[r0..r0 + tb];
+                let src_of = |i: usize| &tile[i * PANEL_TILE..i * PANEL_TILE + tb];
+                let mut wsa = [0.0f64; 4];
+                let mut wsb = [0.0f64; 4];
+                let mut idx = [0usize; 4];
+                let (mut fill, mut first) = (0usize, true);
+                let mut flush = |wsa: [f64; 4], wsb: [f64; 4], idx: [usize; 4], first: bool| {
+                    let (s0, s1, s2, s3) =
+                        (src_of(idx[0]), src_of(idx[1]), src_of(idx[2]), src_of(idx[3]));
+                    if first {
+                        wsum4x2::<true>(wsa, wsb, s0, s1, s2, s3, out_a, out_b);
+                    } else {
+                        wsum4x2::<false>(wsa, wsb, s0, s1, s2, s3, out_a, out_b);
+                    }
+                };
+                for i in 0..k {
+                    let (wa, wb) = (wj[i], wjb[i]);
+                    if wa == 0.0 && wb == 0.0 {
+                        continue;
+                    }
+                    wsa[fill] = wa;
+                    wsb[fill] = wb;
+                    idx[fill] = i;
+                    fill += 1;
+                    if fill == 4 {
+                        flush(wsa, wsb, idx, first);
+                        first = false;
+                        fill = 0;
+                    }
+                }
+                if fill > 0 {
+                    for slot in fill..4 {
+                        wsa[slot] = 0.0;
+                        wsb[slot] = 0.0;
+                        idx[slot] = idx[0];
+                    }
+                    flush(wsa, wsb, idx, first);
+                }
+                j += 2;
+                continue;
+            }
+            let out = {
+                let off = j * m;
+                let col = if off < x.len() {
+                    &mut x[off..off + m]
+                } else {
+                    let off = off - x.len();
+                    &mut y[off..off + m]
+                };
+                &mut col[r0..r0 + tb]
+            };
+            let src_of = |i: usize| &tile[i * PANEL_TILE..i * PANEL_TILE + tb];
+            match nnz_of(wj) {
+                0 => out.fill(0.0),
+                1 => {
+                    let i = wj.iter().position(|&v| v != 0.0).expect("nnz == 1");
+                    scaled_copy(wj[i], src_of(i), out);
+                }
+                _ => {
+                    // batches of four nonzero sources; a final partial
+                    // batch is padded with zero weights (exact no-ops)
+                    let mut ws = [0.0f64; 4];
+                    let mut idx = [0usize; 4];
+                    let (mut fill, mut first) = (0usize, true);
+                    for (i, &wij) in wj.iter().enumerate() {
+                        if wij == 0.0 {
+                            continue;
+                        }
+                        ws[fill] = wij;
+                        idx[fill] = i;
+                        fill += 1;
+                        if fill == 4 {
+                            let (s0, s1, s2, s3) =
+                                (src_of(idx[0]), src_of(idx[1]), src_of(idx[2]), src_of(idx[3]));
+                            if first {
+                                wsum4::<true>(ws, s0, s1, s2, s3, out);
+                                first = false;
+                            } else {
+                                wsum4::<false>(ws, s0, s1, s2, s3, out);
+                            }
+                            fill = 0;
+                        }
+                    }
+                    if fill > 0 {
+                        for slot in fill..4 {
+                            ws[slot] = 0.0;
+                            idx[slot] = idx[0];
+                        }
+                        let (s0, s1, s2, s3) =
+                            (src_of(idx[0]), src_of(idx[1]), src_of(idx[2]), src_of(idx[3]));
+                        if first {
+                            wsum4::<true>(ws, s0, s1, s2, s3, out);
+                        } else {
+                            wsum4::<false>(ws, s0, s1, s2, s3, out);
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        r0 += tb;
+    }
 }
 
 #[cfg(test)]
@@ -484,5 +1187,102 @@ mod tests {
         assert_eq!(b, a0);
         assert!((na - norm2_sq(&b0)).abs() < 1e-14);
         assert!((nb - norm2_sq(&a0)).abs() < 1e-14);
+    }
+
+    /// Deterministic pseudo-random panel (column-major, m×k).
+    fn test_panel(m: usize, k: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..m * k)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gram_block_matches_pairwise_dots() {
+        // straddle the tile boundary and odd/uneven splits
+        for (m, cx, cy) in [(5, 2, 3), (PANEL_TILE, 4, 4), (PANEL_TILE + 7, 3, 5), (300, 1, 0)] {
+            let x = test_panel(m, cx, 1);
+            let y = test_panel(m, cy, 2);
+            let k = cx + cy;
+            let mut g = vec![0.0; k * k];
+            gram_block(&x, &y, m, &mut g);
+            for j in 0..k {
+                for i in 0..k {
+                    let want = naive::dot(union_col(&x, &y, m, i), union_col(&x, &y, m, j));
+                    let got = g[i + k * j];
+                    assert!(
+                        (got - want).abs() <= 1e-12 * (m as f64),
+                        "G[{i},{j}] m={m} cx={cx} cy={cy}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_block_empty_is_ok() {
+        let mut g = [];
+        gram_block(&[], &[], 0, &mut g);
+        gram_block(&[], &[], 4, &mut g);
+    }
+
+    #[test]
+    fn panel_update_matches_explicit_multiply() {
+        for (m, cx, cy) in [(6, 2, 2), (PANEL_TILE + 3, 3, 4), (2 * PANEL_TILE + 1, 5, 3)] {
+            let k = cx + cy;
+            let x0 = test_panel(m, cx, 3);
+            let y0 = test_panel(m, cy, 4);
+            // a dense-ish W with some exact zeros to exercise the skip path
+            let mut w = test_panel(k, k, 5);
+            w[0] = 0.0;
+            if k > 1 {
+                w[k + 1] = 0.0;
+            }
+            let (mut x, mut y) = (x0.clone(), y0.clone());
+            let mut tile = vec![0.0; k * PANEL_TILE];
+            panel_update(&mut x, &mut y, m, &w, &mut tile);
+            for j in 0..k {
+                for r in 0..m {
+                    let want: f64 =
+                        (0..k).map(|i| union_col(&x0, &y0, m, i)[r] * w[i + k * j]).sum();
+                    let got = union_col(&x, &y, m, j)[r];
+                    assert!(
+                        (got - want).abs() <= 1e-12 * (k as f64),
+                        "col {j} row {r} m={m}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_update_identity_is_noop_bitwise() {
+        let m = PANEL_TILE + 9;
+        let (cx, cy) = (3, 2);
+        let k = cx + cy;
+        let x0 = test_panel(m, cx, 7);
+        let y0 = test_panel(m, cy, 8);
+        let mut w = vec![0.0; k * k];
+        for i in 0..k {
+            w[i + k * i] = 1.0;
+        }
+        let (mut x, mut y) = (x0.clone(), y0.clone());
+        let mut tile = vec![0.0; k * PANEL_TILE];
+        panel_update(&mut x, &mut y, m, &w, &mut tile);
+        assert_eq!(x, x0);
+        assert_eq!(y, y0);
+    }
+
+    #[test]
+    fn scaled_copy_basic() {
+        let x = [1.0, -2.0, 4.0];
+        let mut y = [0.0; 3];
+        scaled_copy(0.5, &x, &mut y);
+        assert_eq!(y, [0.5, -1.0, 2.0]);
     }
 }

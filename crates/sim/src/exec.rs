@@ -53,6 +53,10 @@ pub struct ExecConfig {
     /// are faster without it. Set to `0` to always fork, `usize::MAX` to
     /// always run serially.
     pub serial_cutoff: usize,
+    /// Maximum fork lanes for a parallel step; `0` means use
+    /// [`par::num_threads`] (which itself honors `TREESVD_THREADS`). The
+    /// effective lane count is still capped by the machine size (`n / 2`).
+    pub threads: usize,
 }
 
 impl ExecConfig {
@@ -68,6 +72,7 @@ impl Default for ExecConfig {
             sort: SortMode::Descending,
             cached_norms: false,
             serial_cutoff: Self::DEFAULT_SERIAL_CUTOFF,
+            threads: 0,
         }
     }
 }
@@ -311,10 +316,10 @@ pub fn execute_program_with_scratch(
     }
 
     // Adaptive dispatch: fork only when a step moves enough data to
-    // amortize the scoped-thread spawns.
+    // amortize the queue handoff to the worker pool.
     let step_work = n * column_words;
-    let tasks =
-        if step_work < config.serial_cutoff { 1 } else { par::num_threads().min(n / 2).max(1) };
+    let lanes = if config.threads == 0 { par::num_threads() } else { config.threads };
+    let tasks = if step_work < config.serial_cutoff { 1 } else { lanes.min(n / 2).max(1) };
     let ctx = RotCtx { threshold: config.threshold, sort: config.sort };
 
     for step in &program.steps {
@@ -546,9 +551,16 @@ const OFF_MEASURE_SERIAL_CUTOFF: usize = 1 << 17;
 /// instrumentation, not in the hot path. Large stores are measured in
 /// parallel (strided over `i` to balance the triangular loop).
 pub fn off_measure(store: &ColumnStore) -> f64 {
+    off_measure_limited(store, 0)
+}
+
+/// [`off_measure`] with an explicit lane cap: `threads == 0` means use
+/// [`par::num_threads`]. Lets callers honor a configured thread budget.
+pub fn off_measure_limited(store: &ColumnStore, threads: usize) -> f64 {
     let n = store.n();
     let work = n * n * store.m() / 2;
-    let tasks = if work < OFF_MEASURE_SERIAL_CUTOFF { 1 } else { par::num_threads() };
+    let lanes = if threads == 0 { par::num_threads() } else { threads };
+    let tasks = if work < OFF_MEASURE_SERIAL_CUTOFF { 1 } else { lanes };
     par::par_sum_indexed(n, tasks, |i| {
         let mut acc = 0.0;
         for j in (i + 1)..n {

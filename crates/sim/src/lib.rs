@@ -9,7 +9,7 @@
 //! 1. every processor orthogonalizes its resident column pair (a real
 //!    Hestenes rotation on real data — the simulator *is* the parallel
 //!    machine, not a trace replayer); the per-step rotations run on real
-//!    host cores via a scoped fork–join ([`par`]), since pairs touch
+//!    host cores via a persistent worker pool ([`par`]), since pairs touch
 //!    disjoint columns — with an adaptive serial cutoff for small steps;
 //! 2. the step's `move_after` permutation becomes a communication phase:
 //!    inter-leaf column movements are routed through the tree and costed
@@ -47,8 +47,8 @@ pub mod timeline;
 pub use analyze::{analyze_program, CommReport};
 pub use distributed::{distributed_svd, DistributedOutcome};
 pub use exec::{
-    execute_program, execute_program_with_scratch, off_measure, ColumnStore, ExecConfig,
-    ExecScratch, SortMode, SweepStats,
+    execute_program, execute_program_with_scratch, off_measure, off_measure_limited, ColumnStore,
+    ExecConfig, ExecScratch, SortMode, SweepStats,
 };
 pub use machine::Machine;
 pub use timeline::{StepTiming, Timeline};

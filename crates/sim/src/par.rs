@@ -1,62 +1,265 @@
-//! Minimal fork–join parallelism on `std::thread::scope`.
+//! Minimal fork–join parallelism on a **persistent parked-worker pool**.
 //!
-//! The executor previously leaned on an external work-stealing pool; the
-//! rotation step's parallel structure is actually static (disjoint column
-//! pairs, one per processor), so a recursive binary fork over scoped
-//! threads is all it needs. [`join`] runs two closures concurrently and
-//! blocks for both; callers build a balanced tree by recursing, so `t`-way
-//! parallelism costs `t − 1` thread spawns — which the executor's adaptive
-//! serial cutoff only pays when the per-step work is large enough to
-//! amortize it.
+//! The executor previously forked scoped threads per step
+//! (`std::thread::scope`); the spawn + join cost tens of microseconds per
+//! step, which caps speedup on the thousands of small steps a sweep
+//! program emits. The pool here is spawned **once** (lazily, on first
+//! use) and reused for every step of every sweep: workers park on a
+//! condvar when idle, so a fork is one queue push + one wake instead of a
+//! thread spawn.
+//!
+//! [`join`] keeps the fork–join shape callers build balanced trees with:
+//! it runs two closures concurrently and blocks for both. The forked
+//! closure is pushed to the shared queue as a stack job; when the caller
+//! finishes its own half it either *reclaims* the job (if no worker got
+//! to it yet — the job is removed from the queue and run inline) or
+//! parks until the worker that took it signals completion. Because a
+//! waiter only ever parks on a job some thread is *actively running*,
+//! nested joins cannot deadlock, whatever the worker count.
+//!
+//! Pool size: [`num_threads`] − 1 workers (the caller is the remaining
+//! lane). `TREESVD_THREADS` overrides the probed parallelism; setting it
+//! to `1` disables forking entirely.
 
-use std::sync::OnceLock;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::Thread;
 
-/// Number of worker threads worth forking into: the machine's available
-/// parallelism, probed once and cached.
+/// Parse a `TREESVD_THREADS`-style override: a positive integer, else
+/// `None` (invalid or absent values fall back to the probed parallelism).
+fn parse_thread_override(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// Number of worker lanes (pool workers + the calling thread): the
+/// `TREESVD_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism. Probed once and cached —
+/// the persistent pool is sized from this on first use.
 pub fn num_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        parse_thread_override(std::env::var("TREESVD_THREADS").ok().as_deref()).unwrap_or_else(
+            || std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        )
     })
 }
 
-/// Run both closures, `b` on a freshly scoped thread and `a` on the caller,
-/// and return both results. Panics in either closure propagate.
+/// A type-erased pointer to a stack-allocated [`JobSlot`], valid until the
+/// owning `join`/`par_sum_indexed` call returns (enforced by the
+/// reclaim-or-wait protocol).
+struct JobPtr(*const dyn Job);
+// SAFETY: the pointee is a `JobSlot` whose closure and result types are
+// `Send`; the queue discipline guarantees exactly one thread executes it.
+unsafe impl Send for JobPtr {}
+
+/// What the workers run. Implemented only by [`JobSlot`].
+trait Job {
+    /// Execute the job. Called exactly once, by whichever thread popped
+    /// the job from the queue (worker) or reclaimed it (owner).
+    fn execute(&self);
+}
+
+/// Erase the borrow lifetime of a stack job so it can sit in the static
+/// queue.
+///
+/// SAFETY (caller): the pointer must be removed from the queue (reclaim)
+/// or fully executed before the referent's frame is popped — the
+/// reclaim-or-wait protocol in [`join`]/[`par_sum_indexed`] guarantees it.
+fn erase<'a>(job: &'a (dyn Job + 'a)) -> *const (dyn Job + 'static) {
+    unsafe {
+        std::mem::transmute::<*const (dyn Job + 'a), *const (dyn Job + 'static)>(
+            job as *const (dyn Job + 'a),
+        )
+    }
+}
+
+/// The persistent pool: a shared FIFO of pending jobs plus parked workers.
+struct Pool {
+    queue: Mutex<VecDeque<JobPtr>>,
+    available: Condvar,
+    /// Worker threads spawned (0 when `num_threads() == 1` — every join
+    /// then degrades to a serial call).
+    workers: usize,
+}
+
+impl Pool {
+    /// Push a job and wake one parked worker.
+    fn push(&self, job: *const dyn Job) {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        q.push_back(JobPtr(job));
+        drop(q);
+        self.available.notify_one();
+    }
+
+    /// Remove `job` from the queue if no worker has taken it yet.
+    /// Returns `true` when the caller now owns the job and must run it
+    /// inline.
+    fn reclaim(&self, job: *const dyn Job) -> bool {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        let target = job as *const ();
+        if let Some(pos) = q.iter().position(|j| std::ptr::eq(j.0 as *const (), target)) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Worker body: pop jobs forever, parking on the condvar while the
+    /// queue is empty. Workers live for the process lifetime.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = self.available.wait(q).expect("pool queue poisoned");
+                }
+            };
+            // SAFETY: the owning call frame is alive: it cannot return
+            // before the job is executed (reclaim-or-wait), and we are the
+            // unique executor because we popped the queue entry.
+            unsafe { (*job.0).execute() };
+        }
+    }
+}
+
+/// The process-wide pool, spawned on first use.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = num_threads().saturating_sub(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::with_capacity(4 * workers.max(1))),
+            available: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("treesvd-worker-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+/// A fork's stack-allocated state: the closure to run, the slot its result
+/// (or panic payload) lands in, and the completion handshake.
+struct JobSlot<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+    owner: Thread,
+}
+
+// SAFETY: `func`/`result` are touched by exactly one executor thread
+// (queue discipline) and read back by the owner only after the `done`
+// release/acquire handshake.
+unsafe impl<F: Send, R: Send> Sync for JobSlot<F, R> {}
+
+impl<F: FnOnce() -> R + Send, R: Send> JobSlot<F, R> {
+    fn new(func: F) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+            owner: std::thread::current(),
+        }
+    }
+
+    /// Block until a worker finishes the job, then return its result,
+    /// re-raising a panic from the worker on the owner.
+    fn wait(&self) -> R {
+        while !self.done.load(Ordering::Acquire) {
+            std::thread::park();
+        }
+        // SAFETY: `done` is set with release ordering after the result is
+        // written; we are the only reader.
+        let result = unsafe { (*self.result.get()).take().expect("job completed without result") };
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Run the job on the owner itself after reclaiming it from the queue.
+    fn run_inline(&self) -> R {
+        // SAFETY: reclaiming removed the queue entry, so we are the unique
+        // executor.
+        let func = unsafe { (*self.func.get()).take().expect("job executed twice") };
+        func()
+    }
+}
+
+impl<F: FnOnce() -> R + Send, R: Send> Job for JobSlot<F, R> {
+    fn execute(&self) {
+        // SAFETY: we are the unique executor (popped the queue entry).
+        let func = unsafe { (*self.func.get()).take().expect("job executed twice") };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(func));
+        // Clone the unpark handle *before* publishing completion: the
+        // owner may observe `done` and pop its frame the moment the store
+        // lands, so no access to `self` is allowed after it.
+        let owner = self.owner.clone();
+        // SAFETY: unique executor; owner reads only after the handshake.
+        unsafe { *self.result.get() = Some(result) };
+        self.done.store(true, Ordering::Release);
+        owner.unpark();
+    }
+}
+
+/// Run both closures, `b` on the persistent pool and `a` on the caller,
+/// and return both results. Panics in either closure propagate. With a
+/// single-lane pool (`TREESVD_THREADS=1` or a one-core machine) both run
+/// serially on the caller.
 pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
     B: FnOnce() -> RB + Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("forked task panicked");
-        (ra, rb)
-    })
+    let pool = pool();
+    if pool.workers == 0 {
+        return (a(), b());
+    }
+    let slot = JobSlot::new(b);
+    let job = erase(&slot);
+    pool.push(job);
+    let ra = a();
+    let rb = if pool.reclaim(job) { slot.run_inline() } else { slot.wait() };
+    (ra, rb)
 }
 
-/// Parallel sum of `f(i)` over `i in 0..count` using up to `tasks` scoped
-/// threads with a strided index assignment (balances triangular loops).
-/// Falls back to a serial loop for `tasks <= 1`.
+/// Parallel sum of `f(i)` over `i in 0..count` using up to `tasks` lanes of
+/// the persistent pool with a strided index assignment (balances
+/// triangular loops). Falls back to a serial loop for `tasks <= 1`.
 pub fn par_sum_indexed<F>(count: usize, tasks: usize, f: F) -> f64
 where
     F: Fn(usize) -> f64 + Sync,
 {
     let tasks = tasks.clamp(1, count.max(1));
-    if tasks <= 1 {
+    if tasks <= 1 || pool().workers == 0 {
         return (0..count).map(&f).sum();
     }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (1..tasks)
-            .map(|t| {
-                let f = &f;
-                s.spawn(move || (t..count).step_by(tasks).map(f).sum::<f64>())
-            })
-            .collect();
-        let mine: f64 = (0..count).step_by(tasks).map(&f).sum();
-        mine + handles.into_iter().map(|h| h.join().expect("sum task panicked")).sum::<f64>()
-    })
+    let p = pool();
+    let f = &f;
+    let slots: Vec<_> = (1..tasks)
+        .map(|t| JobSlot::new(move || (t..count).step_by(tasks).map(f).sum::<f64>()))
+        .collect();
+    for slot in &slots {
+        p.push(erase(slot));
+    }
+    let mine: f64 = (0..count).step_by(tasks).map(f).sum();
+    let mut total = mine;
+    for slot in &slots {
+        let job = erase(slot);
+        total += if p.reclaim(job) { slot.run_inline() } else { slot.wait() };
+    }
+    total
 }
 
 #[cfg(test)]
@@ -88,6 +291,30 @@ mod tests {
     }
 
     #[test]
+    fn join_deeply_nested_and_repeated() {
+        // thousands of small forks: the per-step pattern the pool exists
+        // for. Also exercises reclaim (tiny jobs are often won back by the
+        // owner before a worker wakes).
+        for round in 0..200u64 {
+            let (a, (b, c)) = join(|| round * 2, || join(|| round * 3, || round * 5));
+            assert_eq!((a, b, c), (round * 2, round * 3, round * 5));
+        }
+    }
+
+    #[test]
+    fn join_propagates_forked_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            join(|| 1, || -> i32 { panic!("forked job panicked on purpose") })
+        });
+        let payload = caught.expect_err("panic must propagate to the joiner");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("on purpose"), "unexpected payload: {msg:?}");
+        // the pool survives a panicked job
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!(a + b, 3);
+    }
+
+    #[test]
     fn par_sum_matches_serial() {
         let f = |i: usize| (i as f64).sqrt();
         let serial: f64 = (0..500).map(f).sum();
@@ -101,5 +328,16 @@ mod tests {
     fn num_threads_is_positive_and_stable() {
         assert!(num_threads() >= 1);
         assert_eq!(num_threads(), num_threads());
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("0")), None);
+        assert_eq!(parse_thread_override(Some("-2")), None);
+        assert_eq!(parse_thread_override(Some("abc")), None);
+        assert_eq!(parse_thread_override(Some("1")), Some(1));
+        assert_eq!(parse_thread_override(Some(" 8 ")), Some(8));
     }
 }

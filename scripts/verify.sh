@@ -18,4 +18,7 @@ cargo test -q --workspace
 echo "== bench smoke: fused vs unfused rotation (512x64) =="
 cargo run --release -p treesvd-bench --bin bench_kernels -- --smoke
 
+echo "== bench smoke: Gram vs pairwise blocked meeting (512x128, c=16) =="
+cargo run --release -p treesvd-bench --bin bench_blocked -- --smoke
+
 echo "verify.sh: all gates passed"
