@@ -52,6 +52,38 @@ pub enum CommOp {
         /// Message tag.
         tag: u64,
     },
+    /// Nonblocking prefetch post (MPI `Irecv` style): the rank registers
+    /// the landing buffer for a future arrival and continues computing.
+    /// The overlapped executor posts the arrivals of movement *s* at the
+    /// top of step *s*, before its rotation — the double buffer.
+    PostRecv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Blocking completion of an earlier [`CommOp::PostRecv`] with the
+    /// same `(from, tag)` — issued at the point of use, one step after the
+    /// post.
+    WaitRecv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+    },
+}
+
+/// Tag of an overlapped-transport A-phase message (the data column) for
+/// an arrival into `dest_slot` belonging to global step `step`. The low
+/// bit is the phase (A = 0, V = 1), the next the destination-slot parity.
+pub fn overlap_tag_a(step: usize, dest_slot: usize) -> u64 {
+    (step as u64) << 2 | ((dest_slot % 2) as u64) << 1
+}
+
+/// Tag of an overlapped-transport V-phase message (the accumulated right
+/// singular vector column); see [`overlap_tag_a`].
+pub fn overlap_tag_v(step: usize, dest_slot: usize) -> u64 {
+    overlap_tag_a(step, dest_slot) | 1
 }
 
 /// The per-rank, program-ordered communication operations implied by a
@@ -95,6 +127,91 @@ impl CommPlan {
         Self { ranks, ops }
     }
 
+    /// Extract the communication plan of one sweep under the *overlapped*
+    /// transport, mirroring `treesvd-sim`'s send-ahead executor. Per step
+    /// `s`, each rank:
+    ///
+    /// 1. posts the receives for movement-`s` arrivals (`PostRecv`, the
+    ///    prefetch/double buffer — legal because the movement permutation
+    ///    fixes every next destination statically);
+    /// 2. completes the movement-`s−1` A-phase arrivals (`WaitRecv`) it
+    ///    posted one step earlier, then rotates the data columns;
+    /// 3. sends its departing A-phase columns;
+    /// 4. completes the movement-`s−1` V-phase arrivals, rotates the
+    ///    vector columns, and sends the departing V phase (when `vectors`).
+    ///
+    /// A final drain step (index `steps.len()`) completes the last
+    /// movement's arrivals.
+    pub fn from_program_overlapped(prog: &Program, vectors: bool) -> Self {
+        let ranks = prog.processors();
+        let mut ops: Vec<Vec<(usize, CommOp)>> = vec![Vec::new(); ranks];
+        // arrivals[rank] = the (src_rank, dest_slot, step) triples whose
+        // completions are still pending from the previous movement
+        let mut arrivals: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); ranks];
+        for (step, pair_step) in prog.steps.iter().enumerate() {
+            let perm = &pair_step.move_after;
+            let inv = perm.inverse();
+            for (rank, rank_ops) in ops.iter_mut().enumerate() {
+                let mut posted = Vec::new();
+                for dest_slot in [2 * rank, 2 * rank + 1] {
+                    let src_slot = inv.dest_of(dest_slot);
+                    if src_slot / 2 != rank {
+                        let from = src_slot / 2;
+                        let tag = overlap_tag_a(step, dest_slot);
+                        rank_ops.push((step, CommOp::PostRecv { from, tag }));
+                        if vectors {
+                            let tag = overlap_tag_v(step, dest_slot);
+                            rank_ops.push((step, CommOp::PostRecv { from, tag }));
+                        }
+                        posted.push((from, dest_slot, step));
+                    }
+                }
+                for &(from, dest_slot, prev) in &arrivals[rank] {
+                    let tag = overlap_tag_a(prev, dest_slot);
+                    rank_ops.push((step, CommOp::WaitRecv { from, tag }));
+                }
+                for s in [2 * rank, 2 * rank + 1] {
+                    let d = perm.dest_of(s);
+                    if d / 2 != rank {
+                        let tag = overlap_tag_a(step, d);
+                        rank_ops.push((step, CommOp::Send { to: d / 2, tag }));
+                    }
+                }
+                if vectors {
+                    for &(from, dest_slot, prev) in &arrivals[rank] {
+                        let tag = overlap_tag_v(prev, dest_slot);
+                        rank_ops.push((step, CommOp::WaitRecv { from, tag }));
+                    }
+                    for s in [2 * rank, 2 * rank + 1] {
+                        let d = perm.dest_of(s);
+                        if d / 2 != rank {
+                            let tag = overlap_tag_v(step, d);
+                            rank_ops.push((step, CommOp::Send { to: d / 2, tag }));
+                        }
+                    }
+                }
+                arrivals[rank] = posted;
+            }
+        }
+        // drain: the last movement's posts complete after the sweep loop
+        let drain = prog.steps.len();
+        for (rank, rank_ops) in ops.iter_mut().enumerate() {
+            for &(from, dest_slot, prev) in &arrivals[rank] {
+                rank_ops
+                    .push((drain, CommOp::WaitRecv { from, tag: overlap_tag_a(prev, dest_slot) }));
+            }
+            if vectors {
+                for &(from, dest_slot, prev) in &arrivals[rank] {
+                    rank_ops.push((
+                        drain,
+                        CommOp::WaitRecv { from, tag: overlap_tag_v(prev, dest_slot) },
+                    ));
+                }
+            }
+        }
+        Self { ranks, ops }
+    }
+
     /// Total operation count across all ranks.
     pub fn op_count(&self) -> usize {
         self.ops.iter().map(Vec::len).sum()
@@ -104,7 +221,11 @@ impl CommPlan {
         let (step, op) = self.ops[rank][pos];
         match op {
             CommOp::Send { to, tag } => OpRef { rank, step, is_send: true, peer: to, tag },
-            CommOp::Recv { from, tag } => OpRef { rank, step, is_send: false, peer: from, tag },
+            CommOp::Recv { from, tag }
+            | CommOp::PostRecv { from, tag }
+            | CommOp::WaitRecv { from, tag } => {
+                OpRef { rank, step, is_send: false, peer: from, tag }
+            }
         }
     }
 }
@@ -124,15 +245,26 @@ pub fn verify_plan(plan: &CommPlan, model: CommModel) -> Result<(), Violation> {
     let node_count = base[plan.ranks];
     let id = |rank: usize, pos: usize| base[rank] + pos;
 
-    // match sends to recvs on (sender, receiver, tag)
+    // match sends to recvs on (sender, receiver, tag); prefetch posts are
+    // matched the same way, keyed by the rank that posts them
     let mut sends: HashMap<(usize, usize, u64), usize> = HashMap::new();
+    let mut posts: HashMap<(usize, usize, u64), usize> = HashMap::new();
     let mut consumed: Vec<bool> = vec![false; node_count];
+    let mut post_used: Vec<bool> = vec![false; node_count];
     for rank in 0..plan.ranks {
         for (pos, &(_, op)) in plan.ops[rank].iter().enumerate() {
-            if let CommOp::Send { to, tag } = op {
-                if sends.insert((rank, to, tag), id(rank, pos)).is_some() {
+            match op {
+                CommOp::Send { to, tag }
+                    if sends.insert((rank, to, tag), id(rank, pos)).is_some() =>
+                {
                     return Err(Violation::AmbiguousTag { op: plan.op_ref(rank, pos) });
                 }
+                CommOp::PostRecv { from, tag }
+                    if posts.insert((from, rank, tag), pos).is_some() =>
+                {
+                    return Err(Violation::AmbiguousTag { op: plan.op_ref(rank, pos) });
+                }
+                _ => {}
             }
         }
     }
@@ -151,20 +283,54 @@ pub fn verify_plan(plan: &CommPlan, model: CommModel) -> Result<(), Violation> {
             if pos > 0 {
                 add_edge(&mut edges, &mut indegree, id(rank, pos - 1), node);
             }
-            if let CommOp::Recv { from, tag } = op {
-                let Some(&send) = sends.get(&(from, rank, tag)) else {
-                    return Err(Violation::UnmatchedRecv { op: plan.op_ref(rank, pos) });
-                };
-                consumed[send] = true;
-                // the message must be sent before it is received
-                add_edge(&mut edges, &mut indegree, send, node);
-                if model == CommModel::Rendezvous {
-                    // a synchronous send cannot complete until the peer has
-                    // *reached* the receive: everything before the recv in
-                    // the peer's program order must complete first
-                    if pos > 0 {
-                        add_edge(&mut edges, &mut indegree, id(rank, pos - 1), send);
+            match op {
+                CommOp::Recv { from, tag } => {
+                    let Some(&send) = sends.get(&(from, rank, tag)) else {
+                        return Err(Violation::UnmatchedRecv { op: plan.op_ref(rank, pos) });
+                    };
+                    consumed[send] = true;
+                    // the message must be sent before it is received
+                    add_edge(&mut edges, &mut indegree, send, node);
+                    if model == CommModel::Rendezvous {
+                        // a synchronous send cannot complete until the peer
+                        // has *reached* the receive: everything before the
+                        // recv in the peer's program order must complete
+                        // first
+                        if pos > 0 {
+                            add_edge(&mut edges, &mut indegree, id(rank, pos - 1), send);
+                        }
                     }
+                }
+                CommOp::WaitRecv { from, tag } => {
+                    // the completion must pair with an earlier prefetch
+                    // post on this rank ...
+                    match posts.get(&(from, rank, tag)) {
+                        Some(&post_pos) if post_pos < pos => post_used[id(rank, post_pos)] = true,
+                        _ => return Err(Violation::PrefetchMissing { op: plan.op_ref(rank, pos) }),
+                    }
+                    // ... and with a send, which must happen first
+                    let Some(&send) = sends.get(&(from, rank, tag)) else {
+                        return Err(Violation::UnmatchedRecv { op: plan.op_ref(rank, pos) });
+                    };
+                    consumed[send] = true;
+                    add_edge(&mut edges, &mut indegree, send, node);
+                    // under rendezvous the send blocks only until the peer
+                    // *posts* the receive — not until the completion — so
+                    // the prefetch is exactly what breaks the exchange
+                    // idiom's two-cycle
+                }
+                _ => {}
+            }
+        }
+    }
+    if model == CommModel::Rendezvous {
+        for (&(from, to, tag), &post_pos) in &posts {
+            if let Some(&send) = sends.get(&(from, to, tag)) {
+                // a synchronous send completes once the peer has reached
+                // the matching post: everything before the post must
+                // complete first
+                if post_pos > 0 {
+                    add_edge(&mut edges, &mut indegree, id(to, post_pos - 1), send);
                 }
             }
         }
@@ -173,6 +339,9 @@ pub fn verify_plan(plan: &CommPlan, model: CommModel) -> Result<(), Violation> {
         for (pos, &(_, op)) in plan.ops[rank].iter().enumerate() {
             if matches!(op, CommOp::Send { .. }) && !consumed[id(rank, pos)] {
                 return Err(Violation::UnconsumedSend { op: plan.op_ref(rank, pos) });
+            }
+            if matches!(op, CommOp::PostRecv { .. }) && !post_used[id(rank, pos)] {
+                return Err(Violation::PrefetchUnused { op: plan.op_ref(rank, pos) });
             }
         }
     }
@@ -242,6 +411,23 @@ fn find_cycle(edges: &[Vec<usize>], indegree: &[usize], start: usize) -> Vec<usi
 /// As [`verify_plan`].
 pub fn verify_deadlock_freedom(prog: &Program) -> Result<(), Violation> {
     verify_plan(&CommPlan::from_program(prog), CommModel::Buffered)
+}
+
+/// Verify the *overlapped* (send-ahead) plan of one sweep program under
+/// **both** communication models. This is the gate the distributed
+/// executor runs before enabling comm/compute overlap: unlike the legacy
+/// blocking plan — whose exchange idiom deadlocks under rendezvous — the
+/// prefetch posts make the overlapped order acyclic even with synchronous
+/// sends, because a send only waits for the peer to *post* the receive at
+/// the top of its step, never for the completion.
+///
+/// # Errors
+/// As [`verify_plan`], plus [`Violation::PrefetchMissing`] /
+/// [`Violation::PrefetchUnused`] if posts and completions do not pair up.
+pub fn verify_overlap_freedom(prog: &Program, vectors: bool) -> Result<(), Violation> {
+    let plan = CommPlan::from_program_overlapped(prog, vectors);
+    verify_plan(&plan, CommModel::Buffered)?;
+    verify_plan(&plan, CommModel::Rendezvous)
 }
 
 #[cfg(test)]
@@ -325,5 +511,78 @@ mod tests {
             plan.ops.iter().flatten().filter(|(_, op)| matches!(op, CommOp::Send { .. })).count();
         assert_eq!(sends, prog.total_messages());
         assert_eq!(plan.op_count(), 2 * prog.total_messages());
+    }
+
+    #[test]
+    fn overlapped_plans_deadlock_free_under_both_models() {
+        use treesvd_orderings::{HybridOrdering, ModifiedRingOrdering, RingOrdering};
+        let orderings: Vec<Box<dyn JacobiOrdering>> = vec![
+            Box::new(NewRingOrdering::new(10).unwrap()),
+            Box::new(RingOrdering::new(8).unwrap()),
+            Box::new(ModifiedRingOrdering::new(8).unwrap()),
+            Box::new(RoundRobinOrdering::new(12).unwrap()),
+            Box::new(FatTreeOrdering::new(16).unwrap()),
+            Box::new(HybridOrdering::with_default_groups(16).unwrap()),
+        ];
+        for ord in &orderings {
+            for vectors in [false, true] {
+                // every sweep of the restore period, since movement
+                // patterns differ sweep to sweep
+                for prog in ord.programs(ord.restore_period().max(1)) {
+                    verify_overlap_freedom(&prog, vectors).unwrap_or_else(|v| {
+                        panic!("{} (vectors={vectors}): {v}", ord.name());
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_plan_doubles_messages_with_vectors() {
+        let prog = sweep(&FatTreeOrdering::new(16).unwrap());
+        for (vectors, factor) in [(false, 1), (true, 2)] {
+            let plan = CommPlan::from_program_overlapped(&prog, vectors);
+            let count = |pred: fn(&CommOp) -> bool| {
+                plan.ops.iter().flatten().filter(|(_, op)| pred(op)).count()
+            };
+            let sends = count(|op| matches!(op, CommOp::Send { .. }));
+            let posts = count(|op| matches!(op, CommOp::PostRecv { .. }));
+            let waits = count(|op| matches!(op, CommOp::WaitRecv { .. }));
+            assert_eq!(sends, factor * prog.total_messages());
+            assert_eq!(posts, sends, "one prefetch post per message");
+            assert_eq!(waits, sends, "one completion per message");
+        }
+    }
+
+    #[test]
+    fn legacy_blocking_plan_still_cycles_but_overlap_does_not() {
+        // the PR 2 two-cycle: blocking receives + rendezvous sends deadlock
+        // on the very same schedule whose overlapped plan is clean
+        let prog = sweep(&NewRingOrdering::new(8).unwrap());
+        assert!(matches!(
+            verify_plan(&CommPlan::from_program(&prog), CommModel::Rendezvous),
+            Err(Violation::WaitCycle { .. })
+        ));
+        assert!(verify_overlap_freedom(&prog, true).is_ok());
+    }
+
+    #[test]
+    fn corrupted_prefetch_is_rejected_step_precisely() {
+        let prog = sweep(&NewRingOrdering::new(8).unwrap());
+        let mut plan = CommPlan::from_program_overlapped(&prog, false);
+        // aim one prefetch at the wrong next destination
+        let pos = plan.ops[1]
+            .iter()
+            .position(|(_, op)| matches!(op, CommOp::PostRecv { .. }))
+            .expect("rank 1 posts something");
+        let (step, CommOp::PostRecv { from, tag }) = plan.ops[1][pos] else { unreachable!() };
+        plan.ops[1][pos] = (step, CommOp::PostRecv { from: (from + 1) % plan.ranks, tag });
+        match verify_plan(&plan, CommModel::Buffered) {
+            Err(Violation::PrefetchMissing { op }) => {
+                assert_eq!(op.rank, 1);
+                assert_eq!(op.peer, from, "the starving completion names the true source");
+            }
+            other => panic!("expected PrefetchMissing, got {other:?}"),
+        }
     }
 }

@@ -50,7 +50,10 @@ pub mod report;
 
 pub use contention::{verify_contention, ContentionProof};
 pub use coverage::{assert_valid_sweep, check_restores_after, verify_coverage, verify_restore};
-pub use deadlock::{verify_deadlock_freedom, verify_plan, CommModel, CommOp, CommPlan};
+pub use deadlock::{
+    overlap_tag_a, overlap_tag_v, verify_deadlock_freedom, verify_overlap_freedom, verify_plan,
+    CommModel, CommOp, CommPlan,
+};
 pub use permutation::verify_permutation_safety;
 pub use report::{AnalysisReport, Check, CheckOutcome, OpRef, Violation};
 
@@ -121,8 +124,19 @@ pub fn analyze_ordering(ord: &dyn JacobiOrdering, opts: &AnalysisOptions) -> Ana
 
     let deadlock = programs
         .iter()
-        .try_for_each(verify_deadlock_freedom)
-        .map(|()| "wait-for graph acyclic; all sends matched (buffered model)".to_string());
+        .try_for_each(|prog| {
+            verify_deadlock_freedom(prog)?;
+            // the overlapped (send-ahead) plan must hold under both
+            // buffered and rendezvous semantics before the executor may
+            // prefetch
+            verify_overlap_freedom(prog, true)?;
+            verify_overlap_freedom(prog, false)
+        })
+        .map(|()| {
+            "wait-for graph acyclic; all sends matched (buffered model); \
+             overlapped plan safe under buffered + rendezvous"
+                .to_string()
+        });
     outcomes.push((Check::Deadlock, deadlock));
 
     AnalysisReport {

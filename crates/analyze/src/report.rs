@@ -185,6 +185,19 @@ pub enum Violation {
         /// The operations forming the cycle, in wait order.
         cycle: Vec<OpRef>,
     },
+    /// A blocking completion (`WaitRecv`) with no earlier matching
+    /// prefetch post on the same rank: the overlapped executor would wait
+    /// on a receive it never posted.
+    PrefetchMissing {
+        /// The completion lacking a post.
+        op: OpRef,
+    },
+    /// A prefetch post (`PostRecv`) that no completion ever consumes —
+    /// e.g. a prefetch aimed at the wrong next destination.
+    PrefetchUnused {
+        /// The dangling post.
+        op: OpRef,
+    },
 }
 
 impl Violation {
@@ -203,7 +216,9 @@ impl Violation {
             Violation::UnmatchedRecv { .. }
             | Violation::UnconsumedSend { .. }
             | Violation::AmbiguousTag { .. }
-            | Violation::WaitCycle { .. } => Check::Deadlock,
+            | Violation::WaitCycle { .. }
+            | Violation::PrefetchMissing { .. }
+            | Violation::PrefetchUnused { .. } => Check::Deadlock,
         }
     }
 }
@@ -271,6 +286,12 @@ impl fmt::Display for Violation {
                     write!(f, "[{op}]")?;
                 }
                 Ok(())
+            }
+            Violation::PrefetchMissing { op } => {
+                write!(f, "{op} completes a receive that was never posted as a prefetch")
+            }
+            Violation::PrefetchUnused { op } => {
+                write!(f, "{op} posts a prefetch that no completion consumes (wrong destination?)")
             }
         }
     }

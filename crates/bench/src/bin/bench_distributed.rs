@@ -1,0 +1,220 @@
+//! Machine-readable distributed-executor benchmarks: legacy copying
+//! transport vs zero-copy pooled messaging, with and without
+//! comm/compute overlap.
+//!
+//! ```text
+//! cargo run --release -p treesvd-bench --bin bench_distributed            # full run,
+//!                                                                         # writes BENCH_distributed.json
+//! cargo run --release -p treesvd-bench --bin bench_distributed -- --smoke # quick gate, no file
+//! ```
+//!
+//! The full run times `distributed_svd_with` end to end (one thread per
+//! processor, vectors accumulated) over three orderings and two problem
+//! sizes, for three executor configurations: the legacy encode/decode
+//! transport (the baseline this PR replaces), the zero-copy transport with
+//! overlap off, and the zero-copy transport with send-ahead overlap. It
+//! writes median wall-clock seconds plus derived speedups to
+//! `BENCH_distributed.json` at the repository root. The smoke run is the
+//! regression gate wired into `scripts/verify.sh`: overlap + pool must not
+//! lose to the legacy executor, the overlapped schedule must actually
+//! engage, and the steady state must make zero payload allocations.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use treesvd_matrix::generate;
+use treesvd_orderings::OrderingKind;
+use treesvd_sim::{distributed_svd_with, DistConfig, DistributedOutcome, ExecConfig, Transport};
+
+/// Timed samples per configuration; the median is reported.
+const SAMPLES: usize = 5;
+
+/// The three executor configurations under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Config {
+    Legacy,
+    ZeroCopy,
+    ZeroCopyOverlap,
+}
+
+impl Config {
+    const ALL: [Config; 3] = [Config::Legacy, Config::ZeroCopy, Config::ZeroCopyOverlap];
+
+    fn label(self) -> &'static str {
+        match self {
+            Config::Legacy => "legacy",
+            Config::ZeroCopy => "zero-copy",
+            Config::ZeroCopyOverlap => "zero-copy+overlap",
+        }
+    }
+
+    fn dist(self) -> DistConfig {
+        let (transport, overlap) = match self {
+            Config::Legacy => (Transport::Legacy, false),
+            Config::ZeroCopy => (Transport::ZeroCopy, false),
+            Config::ZeroCopyOverlap => (Transport::ZeroCopy, true),
+        };
+        DistConfig { exec: ExecConfig::default(), max_sweeps: 64, transport, overlap }
+    }
+}
+
+/// Median wall-clock seconds of a full distributed run, plus the outcome
+/// of the final sample for sweep/allocation introspection.
+fn time_distributed(
+    kind: OrderingKind,
+    m: usize,
+    n: usize,
+    config: Config,
+) -> (f64, DistributedOutcome) {
+    let a = generate::random_uniform(m, n, 42);
+    let ord = kind.build(n).expect("ordering");
+    let cfg = config.dist();
+    let mut samples = [0.0f64; SAMPLES];
+    let mut last = None;
+    for s in &mut samples {
+        let columns = a.clone().into_columns();
+        let t = Instant::now();
+        let run = distributed_svd_with(ord.as_ref(), columns, true, &cfg).expect("distributed_svd");
+        *s = t.elapsed().as_secs_f64();
+        last = Some(run);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[SAMPLES / 2], last.unwrap())
+}
+
+struct Record {
+    ordering: OrderingKind,
+    n: usize,
+    config: Config,
+    seconds: f64,
+    sweeps: usize,
+    overlap: bool,
+    steady_allocs: u64,
+}
+
+fn find(records: &[Record], ordering: OrderingKind, n: usize, config: Config) -> f64 {
+    records
+        .iter()
+        .find(|r| r.ordering == ordering && r.n == n && r.config == config)
+        .map(|r| r.seconds)
+        .unwrap_or(f64::NAN)
+}
+
+fn full_run() {
+    const M: usize = 4096;
+    let orderings = [OrderingKind::NewRing, OrderingKind::FatTree, OrderingKind::Hybrid];
+    let sizes = [16usize, 32];
+    let mut records = Vec::new();
+
+    for &kind in &orderings {
+        for &n in &sizes {
+            for config in Config::ALL {
+                let (seconds, run) = time_distributed(kind, M, n, config);
+                eprintln!(
+                    "{} n={n:2} P={:2} {}: {seconds:.4} s over {} sweeps \
+                     (overlap {}, steady payload allocs {})",
+                    kind.name(),
+                    n / 2,
+                    config.label(),
+                    run.sweeps,
+                    run.overlap,
+                    run.steady_payload_allocs
+                );
+                records.push(Record {
+                    ordering: kind,
+                    n,
+                    config,
+                    seconds,
+                    sweeps: run.sweeps,
+                    overlap: run.overlap,
+                    steady_allocs: run.steady_payload_allocs,
+                });
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p treesvd-bench --bin bench_distributed\",\n",
+    );
+    let _ = writeln!(json, "  \"matrix_rows\": {M},");
+    json.push_str(
+        "  \"unit\": \"seconds (median wall-clock, full distributed_svd, vectors on)\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"ordering\": \"{}\", \"n\": {}, \"processors\": {}, \
+             \"config\": \"{}\", \"seconds\": {:.6}, \"sweeps\": {}, \
+             \"overlap\": {}, \"steady_payload_allocs\": {}}}{comma}",
+            r.ordering.name(),
+            r.n,
+            r.n / 2,
+            r.config.label(),
+            r.seconds,
+            r.sweeps,
+            r.overlap,
+            r.steady_allocs
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"overlap_speedup_over_legacy\": {\n");
+    for (i, &kind) in orderings.iter().enumerate() {
+        let mut entries = String::new();
+        for (j, &n) in sizes.iter().enumerate() {
+            let sep = if j + 1 < sizes.len() { ", " } else { "" };
+            let s = find(&records, kind, n, Config::Legacy)
+                / find(&records, kind, n, Config::ZeroCopyOverlap);
+            let _ = write!(entries, "\"{n}\": {s:.2}{sep}");
+        }
+        let comma = if i + 1 < orderings.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}\": {{{entries}}}{comma}", kind.name());
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_distributed.json");
+    std::fs::write(out, &json).expect("write BENCH_distributed.json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}
+
+/// Quick gate: zero-copy + overlap must not lose to the legacy executor,
+/// the overlapped schedule must actually engage, and the steady state must
+/// make zero payload allocations.
+fn smoke_run() -> bool {
+    const M: usize = 4096;
+    const N: usize = 16;
+    let kind = OrderingKind::NewRing;
+
+    let (legacy, _) = time_distributed(kind, M, N, Config::Legacy);
+    let (overlapped, run) = time_distributed(kind, M, N, Config::ZeroCopyOverlap);
+
+    // generous 10% slack: the gate guards against regressions, not noise
+    let fast_enough = overlapped <= legacy * 1.10;
+    let engaged = run.overlap;
+    let zero_alloc = run.steady_payload_allocs == 0;
+    println!(
+        "smoke {M}x{N} {}: overlap {:.1} ms vs legacy {:.1} ms ({:.2}x), \
+         overlap engaged {engaged}, steady payload allocations {} — {}",
+        kind.name(),
+        overlapped * 1e3,
+        legacy * 1e3,
+        legacy / overlapped,
+        run.steady_payload_allocs,
+        if fast_enough && engaged && zero_alloc { "PASS" } else { "FAIL" }
+    );
+    fast_enough && engaged && zero_alloc
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        if !smoke_run() {
+            std::process::exit(1);
+        }
+    } else {
+        full_run();
+    }
+}

@@ -10,8 +10,9 @@ use treesvd_core::{
 pub const USAGE: &str = "\
 usage:
   treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
-              [--distributed] [--processors P] [--block-kernel NAME]
-              [--threads N] [--sigma-out FILE] [--u-out FILE] [--v-out FILE]
+              [--distributed] [--no-overlap] [--processors P]
+              [--block-kernel NAME] [--threads N]
+              [--sigma-out FILE] [--u-out FILE] [--v-out FILE]
   treesvd analyze [--ordering NAME] [--n N] [--topology NAME]
                   [--groups M] [--words W]
   treesvd lstsq <matrix-file> <rhs-file> [--rcond X]
@@ -23,6 +24,8 @@ orderings:  ring | round-robin | fat-tree | new-ring | modified-ring |
 topologies: perfect | fat-tree | cm5 | binary | skinny-above-K
             (default: perfect for svd; none for analyze)
 block kernels (with --processors): pairwise | gram   (default: gram)
+--no-overlap disables comm/compute overlap in the distributed executor
+            (bitwise-identical results; overlap is on by default)
 --threads N caps the host worker lanes (default: machine parallelism,
             or the TREESVD_THREADS environment variable)";
 
@@ -118,6 +121,7 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     }
     let no_vectors = take_switch(&mut args, "--no-vectors");
     let distributed = take_switch(&mut args, "--distributed");
+    let no_overlap = take_switch(&mut args, "--no-overlap");
     let [path] = args.as_slice() else {
         return Err("svd needs exactly one matrix file".to_string());
     };
@@ -128,6 +132,7 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
         .with_topology(topology)
         .with_vectors(!no_vectors)
         .with_block_kernel(block_kernel)
+        .with_overlap(!no_overlap)
         .with_threads(threads);
 
     let mut out = String::new();
@@ -328,6 +333,16 @@ mod tests {
         let p = write_temp("c.txt", "2 0 0 0\n0 3 0 0\n0 0 1 0\n0 0 0 4\n1 1 1 1\n");
         let out = run(&argv(&["svd", p.to_str().unwrap(), "--distributed"])).unwrap();
         assert!(out.contains("distributed"));
+        // --no-overlap parses and produces the identical spectrum
+        let plain =
+            run(&argv(&["svd", p.to_str().unwrap(), "--distributed", "--no-overlap"])).unwrap();
+        let sigmas = |s: &str| -> Vec<f64> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .filter_map(|l| l.trim().parse::<f64>().ok())
+                .collect()
+        };
+        assert_eq!(sigmas(&out), sigmas(&plain), "overlap must be bitwise-invisible");
         let out = run(&argv(&["svd", p.to_str().unwrap(), "--processors", "2"])).unwrap();
         assert!(out.contains("block size"));
     }

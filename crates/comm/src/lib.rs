@@ -14,11 +14,15 @@
 //! * barrier and allreduce collectives built on the point-to-point layer,
 //!   as a real message-passing library would.
 //!
-//! Messages are `Vec<f64>` payloads with a `u64` tag; receives match on
+//! Messages are [`MsgBuf`] payloads with a `u64` tag; receives match on
 //! `(source, tag)` exactly, so the deterministic schedules of
 //! `treesvd-orderings` translate into deadlock-free, order-independent
 //! exchanges (sends are buffered/asynchronous, like a buffered CMMD
-//! `send_noblock`).
+//! `send_noblock`). Payloads move zero-copy: a pooled buffer is leased
+//! from the sender's [`BufferPool`] and recycled when the receiver drops
+//! the lease, while a detached one transfers ownership of its allocation
+//! outright — either way the steady state of a long run allocates nothing
+//! (see the `pool` module).
 //!
 //! ```
 //! use treesvd_comm::ThreadWorld;
@@ -36,9 +40,11 @@
 pub mod collectives;
 #[cfg(feature = "hb-tracker")]
 pub mod hb;
+pub mod pool;
 pub mod world;
 
-pub use collectives::{allreduce_sum, barrier};
+pub use collectives::{allreduce_sum, allreduce_sum_in_place, barrier};
 #[cfg(feature = "hb-tracker")]
 pub use hb::RaceViolation;
+pub use pool::{BufferPool, MsgBuf};
 pub use world::{Communicator, RecvError, ThreadWorld};

@@ -1,0 +1,203 @@
+//! Rank-local buffer pool with lease-based zero-copy payloads.
+//!
+//! Every [`Communicator`](crate::Communicator) owns a [`BufferPool`]. A
+//! send borrows a buffer from the sender's pool ([`BufferPool::take`]),
+//! fills it, and ships it as a [`MsgBuf`]; the receiver gets the *same*
+//! allocation as a lease and, when it drops the lease, the storage rides a
+//! return channel back to the originating rank's pool. After a short
+//! warm-up the pool reaches a fixed population and a multi-sweep run makes
+//! **zero payload allocations** — the same `steady_alloc_events == 0`
+//! discipline the blocked driver enforces for its scratch space.
+//!
+//! A [`MsgBuf`] can also be *detached* (no home pool): then the `Vec`
+//! itself transfers ownership from sender to receiver, which is how the
+//! distributed executor moves whole columns without copying them at all.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A leased (or free-floating) message payload.
+///
+/// Dereferences to `[f64]`. Dropping a pooled buffer returns its storage
+/// to the pool it was taken from, on whichever thread that pool lives;
+/// dropping a detached one frees it. [`MsgBuf::detach`] takes the storage
+/// out, adopting the allocation instead of returning it.
+pub struct MsgBuf {
+    data: Vec<f64>,
+    /// Return channel to the owning pool; `None` for detached buffers.
+    home: Option<Sender<Vec<f64>>>,
+}
+
+impl MsgBuf {
+    /// Wrap an owned vector as a free-floating (pool-less) buffer. The
+    /// receiver that [`detach`es](MsgBuf::detach) it adopts the
+    /// allocation — ownership transfer, zero copies.
+    pub fn detached(data: Vec<f64>) -> Self {
+        Self { data, home: None }
+    }
+
+    /// Take the storage out, defusing the return-to-pool drop.
+    pub fn detach(mut self) -> Vec<f64> {
+        self.home = None;
+        std::mem::take(&mut self.data)
+    }
+
+    /// Replace the contents with a copy of `src` (reusing capacity).
+    pub fn load(&mut self, src: &[f64]) {
+        self.data.clear();
+        self.data.extend_from_slice(src);
+    }
+
+    /// Append a copy of `src` (reusing capacity; the pool pre-reserves).
+    pub fn extend_from_slice(&mut self, src: &[f64]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for MsgBuf {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for MsgBuf {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl std::fmt::Debug for MsgBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsgBuf")
+            .field("len", &self.data.len())
+            .field("pooled", &self.home.is_some())
+            .finish()
+    }
+}
+
+impl Drop for MsgBuf {
+    fn drop(&mut self) {
+        if let Some(home) = self.home.take() {
+            // The pool (and its rank) may already be gone during teardown;
+            // then the storage simply frees here.
+            let _ = home.send(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+/// A rank-local pool of reusable payload buffers.
+///
+/// `take` hands out cleared buffers with at least the requested capacity,
+/// preferring storage recycled through the return channel; it counts every
+/// fresh allocation (and every capacity growth) so executors can assert
+/// the zero-allocation steady state.
+pub struct BufferPool {
+    free: Vec<Vec<f64>>,
+    returns: Receiver<Vec<f64>>,
+    home: Sender<Vec<f64>>,
+    allocations: u64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        let (home, returns) = channel();
+        Self { free: Vec::new(), returns, home, allocations: 0 }
+    }
+
+    /// Borrow a cleared buffer with capacity for `capacity` elements.
+    ///
+    /// Recycled leases that have come back through the return channel are
+    /// reused first; only an empty pool (or a buffer too small for
+    /// `capacity`) costs an allocation event.
+    pub fn take(&mut self, capacity: usize) -> MsgBuf {
+        while let Ok(returned) = self.returns.try_recv() {
+            self.free.push(returned);
+        }
+        let mut data = match self.free.pop() {
+            Some(buf) => buf,
+            None => {
+                self.allocations += 1;
+                Vec::with_capacity(capacity)
+            }
+        };
+        data.clear();
+        if data.capacity() < capacity {
+            self.allocations += 1;
+            data.reserve(capacity - data.len());
+        }
+        MsgBuf { data, home: Some(self.home.clone()) }
+    }
+
+    /// Number of allocation events so far (fresh buffers plus capacity
+    /// growths). Stable across an interval ⇔ that interval ran
+    /// allocation-free.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("free", &self.free.len())
+            .field("allocations", &self.allocations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_lease_returns_to_pool() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.take(8);
+        buf.load(&[1.0, 2.0]);
+        assert_eq!(pool.allocations(), 1);
+        drop(buf);
+        let again = pool.take(8);
+        assert_eq!(pool.allocations(), 1, "recycled, not reallocated");
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+    }
+
+    #[test]
+    fn detach_adopts_the_storage() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.take(4);
+        buf.load(&[3.0]);
+        let v = buf.detach();
+        assert_eq!(v, vec![3.0]);
+        // detached storage never comes back
+        let _ = pool.take(4);
+        assert_eq!(pool.allocations(), 2);
+    }
+
+    #[test]
+    fn capacity_growth_counts_as_allocation() {
+        let mut pool = BufferPool::new();
+        drop(pool.take(2));
+        let big = pool.take(64);
+        assert!(big.home.is_some());
+        assert_eq!(pool.allocations(), 2, "reuse that had to grow is an event");
+        drop(big);
+        drop(pool.take(64));
+        assert_eq!(pool.allocations(), 2, "right-sized reuse is free");
+    }
+
+    #[test]
+    fn lease_returns_across_threads() {
+        let mut pool = BufferPool::new();
+        let buf = pool.take(16);
+        std::thread::spawn(move || drop(buf)).join().unwrap();
+        drop(pool.take(16));
+        assert_eq!(pool.allocations(), 1);
+    }
+}

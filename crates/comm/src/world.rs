@@ -1,14 +1,15 @@
 //! The communicator and its threaded implementation.
 
+use crate::pool::{BufferPool, MsgBuf};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 /// A point-to-point message: payload plus matching metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Envelope {
     source: usize,
     tag: u64,
-    payload: Vec<f64>,
+    payload: MsgBuf,
     /// Sender's vector clock at the send — the happens-before piggyback.
     #[cfg(feature = "hb-tracker")]
     clock: Vec<u64>,
@@ -56,6 +57,7 @@ pub struct Communicator {
     peers: Vec<Sender<Envelope>>,
     pending: Vec<Envelope>,
     recv_timeout: Duration,
+    pool: BufferPool,
     #[cfg(feature = "hb-tracker")]
     hb: crate::hb::RankState,
 }
@@ -71,12 +73,32 @@ impl Communicator {
         self.size
     }
 
+    /// Borrow a cleared buffer from this rank's pool, with capacity for
+    /// `capacity` elements. Fill it and pass it to
+    /// [`send_buf`](Communicator::send_buf); when the receiver drops the
+    /// lease the storage returns here for reuse.
+    pub fn buf(&mut self, capacity: usize) -> MsgBuf {
+        self.pool.take(capacity)
+    }
+
+    /// Allocation events charged to this rank's buffer pool so far. Stable
+    /// across an interval ⇔ every message in that interval reused pooled
+    /// (or adopted) storage.
+    pub fn payload_allocations(&self) -> u64 {
+        self.pool.allocations()
+    }
+
     /// Asynchronous (buffered) send of `payload` to `dest` with `tag`.
+    ///
+    /// The buffer travels by reference-move, never by copy: a pooled
+    /// buffer comes back to this rank's pool when the receiver drops its
+    /// lease; a [detached](MsgBuf::detached) one transfers ownership of
+    /// the allocation outright.
     ///
     /// # Panics
     /// Panics if `dest` is out of range. Sending to self is allowed (the
     /// message is received like any other).
-    pub fn send(&self, dest: usize, tag: u64, payload: Vec<f64>) {
+    pub fn send_buf(&self, dest: usize, tag: u64, payload: MsgBuf) {
         assert!(dest < self.size, "rank {dest} out of range");
         // unbounded channel: cannot block, cannot deadlock
         self.peers[dest]
@@ -90,12 +112,24 @@ impl Communicator {
             .expect("world torn down during send");
     }
 
-    /// Blocking receive of the message with exactly `(source, tag)`.
+    /// Asynchronous (buffered) send of an owned `payload` — the
+    /// compatibility wrapper over [`send_buf`](Communicator::send_buf).
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range. Sending to self is allowed (the
+    /// message is received like any other).
+    pub fn send(&self, dest: usize, tag: u64, payload: Vec<f64>) {
+        self.send_buf(dest, tag, MsgBuf::detached(payload));
+    }
+
+    /// Blocking receive of the message with exactly `(source, tag)`,
+    /// returning the payload as a lease. Dropping the lease recycles the
+    /// storage into the *sender's* pool; [`MsgBuf::detach`] adopts it.
     ///
     /// # Errors
     /// [`RecvError::Timeout`] if nothing matching arrives in time (a
     /// schedule bug) or [`RecvError::Disconnected`] if the world died.
-    pub fn recv(&mut self, source: usize, tag: u64) -> Result<Vec<f64>, RecvError> {
+    pub fn recv_buf(&mut self, source: usize, tag: u64) -> Result<MsgBuf, RecvError> {
         // check the pending buffer first
         if let Some(idx) = self.pending.iter().position(|e| e.source == source && e.tag == tag) {
             let env = self.pending.swap_remove(idx);
@@ -119,6 +153,46 @@ impl Communicator {
                 Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
             }
         }
+    }
+
+    /// Non-blocking receive: returns the `(source, tag)` message if it has
+    /// already been delivered, `None` otherwise (never parks). Used by the
+    /// overlapped executor to complete a prefetched arrival early — at the
+    /// top of the step instead of its deferred point of use — whenever the
+    /// message is in; correctness never depends on it succeeding.
+    pub fn try_recv_buf(&mut self, source: usize, tag: u64) -> Option<MsgBuf> {
+        if let Some(idx) = self.pending.iter().position(|e| e.source == source && e.tag == tag) {
+            let env = self.pending.swap_remove(idx);
+            #[cfg(feature = "hb-tracker")]
+            self.hb.join(&env.clock);
+            return Some(env.payload);
+        }
+        while let Ok(env) = self.inbox.try_recv() {
+            if env.source == source && env.tag == tag {
+                #[cfg(feature = "hb-tracker")]
+                self.hb.join(&env.clock);
+                return Some(env.payload);
+            }
+            self.pending.push(env);
+        }
+        None
+    }
+
+    /// Non-blocking receive returning an owned `Vec<f64>` — the detaching
+    /// wrapper over [`try_recv_buf`](Communicator::try_recv_buf).
+    pub fn try_recv(&mut self, source: usize, tag: u64) -> Option<Vec<f64>> {
+        Some(self.try_recv_buf(source, tag)?.detach())
+    }
+
+    /// Blocking receive returning an owned `Vec<f64>` — the compatibility
+    /// wrapper over [`recv_buf`](Communicator::recv_buf) (the payload is
+    /// detached, so pooled storage is adopted rather than recycled).
+    ///
+    /// # Errors
+    /// [`RecvError::Timeout`] if nothing matching arrives in time (a
+    /// schedule bug) or [`RecvError::Disconnected`] if the world died.
+    pub fn recv(&mut self, source: usize, tag: u64) -> Result<Vec<f64>, RecvError> {
+        Ok(self.recv_buf(source, tag)?.detach())
     }
 
     /// Exchange with a peer: send ours, receive theirs (same tag). The
@@ -197,6 +271,7 @@ impl ThreadWorld {
                 peers: senders.clone(),
                 pending: Vec::new(),
                 recv_timeout,
+                pool: BufferPool::new(),
                 #[cfg(feature = "hb-tracker")]
                 hb: crate::hb::RankState::new(rank, size, registry.clone()),
             })
@@ -322,6 +397,44 @@ mod tests {
         comms[0].record_access(3).unwrap();
         comms[0].record_access(3).unwrap();
         assert!(comms[0].vector_clock()[0] >= 2);
+    }
+
+    #[test]
+    fn pooled_send_recycles_to_sender_after_lease_drop() {
+        let world = ThreadWorld::new(2);
+        let mut comms = world.into_communicators();
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let h = thread::spawn(move || {
+            for step in 0..4u64 {
+                let lease = c1.recv_buf(0, step).unwrap();
+                assert_eq!(&lease[..], &[step as f64]);
+                drop(lease); // storage rides the return channel to rank 0
+                c1.send(0, 100 + step, Vec::new()); // ack paces the sender
+            }
+        });
+        for step in 0..4u64 {
+            let mut buf = c0.buf(1);
+            buf.load(&[step as f64]);
+            c0.send_buf(1, step, buf);
+            c0.recv(1, 100 + step).unwrap();
+        }
+        assert_eq!(c0.payload_allocations(), 1, "one warm-up allocation, then reuse");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn detached_send_transfers_ownership_without_pool_traffic() {
+        let world = ThreadWorld::new(2);
+        let mut comms = world.into_communicators();
+        let mut c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        let column = vec![1.0, 2.0, 3.0];
+        let ptr = column.as_ptr();
+        c0.send(1, 0, column);
+        let adopted = c1.recv(0, 0).unwrap();
+        assert_eq!(adopted.as_ptr(), ptr, "the very same allocation arrives");
+        assert_eq!(c1.payload_allocations(), 0);
     }
 
     #[test]

@@ -244,12 +244,17 @@ impl HestenesSvd {
             serial_cutoff: self.options.serial_cutoff,
             threads: self.options.threads.unwrap_or(0),
         };
-        let outcome = treesvd_sim::distributed_svd(
+        let dist_cfg = treesvd_sim::DistConfig {
+            exec: config,
+            max_sweeps: self.options.max_sweeps,
+            transport: treesvd_sim::Transport::ZeroCopy,
+            overlap: self.options.overlap,
+        };
+        let outcome = treesvd_sim::distributed_svd_with(
             ordering.as_ref(),
             columns,
             self.options.vectors,
-            config,
-            self.options.max_sweeps,
+            &dist_cfg,
         )
         .map_err(|_| SvdError::NoConvergence { sweeps: 0, last_coupling: f64::NAN })?;
         if !outcome.converged {
@@ -602,6 +607,21 @@ mod distributed_tests {
             assert!(run.svd.residual(&a) < 1e-10, "{kind}");
             assert!(checks::is_nonincreasing(&run.svd.sigma), "{kind}");
         }
+    }
+
+    #[test]
+    fn overlap_option_is_bitwise_invisible() {
+        let a = generate::random_uniform(18, 8, 34);
+        let on = HestenesSvd::new(SvdOptions::default().with_overlap(true))
+            .compute_distributed(&a)
+            .unwrap();
+        let off = HestenesSvd::new(SvdOptions::default().with_overlap(false))
+            .compute_distributed(&a)
+            .unwrap();
+        assert_eq!(on.sweeps, off.sweeps);
+        assert_eq!(on.svd.sigma, off.svd.sigma);
+        assert_eq!(on.svd.u, off.svd.u);
+        assert_eq!(on.svd.v, off.svd.v);
     }
 
     #[test]

@@ -109,6 +109,14 @@ pub struct SvdOptions {
     /// ([`blocked_svd`](crate::blocked_svd)); ignored by the unblocked
     /// driver. Default: [`BlockKernel::Gram`].
     pub block_kernel: BlockKernel,
+    /// Communication/computation overlap in the distributed executor
+    /// ([`HestenesSvd::compute_distributed`](crate::HestenesSvd::compute_distributed)):
+    /// ship a rotated data column as soon as its A-phase completes and
+    /// defer each arrival to its point of use one step later. Only takes
+    /// effect after `treesvd-analyze` proves the overlapped plan
+    /// deadlock-free for the ordering; bitwise-identical results either
+    /// way. Default: `true`.
+    pub overlap: bool,
     /// Host-thread budget: caps the fork lanes used by the executor, the
     /// blocked driver, and `off_measure`. `None` uses
     /// [`par::num_threads`](treesvd_sim::par::num_threads) (which honors
@@ -131,6 +139,7 @@ impl Default for SvdOptions {
             serial_cutoff: treesvd_sim::ExecConfig::DEFAULT_SERIAL_CUTOFF,
             verify_schedule: false,
             block_kernel: BlockKernel::default(),
+            overlap: true,
             threads: None,
         }
     }
@@ -195,6 +204,12 @@ impl SvdOptions {
     /// Select the blocked driver's meeting kernel.
     pub fn with_block_kernel(mut self, kernel: BlockKernel) -> Self {
         self.block_kernel = kernel;
+        self
+    }
+
+    /// Enable or disable comm/compute overlap in the distributed executor.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
         self
     }
 
@@ -275,6 +290,7 @@ mod tests {
             .with_sort(SortMode::None)
             .with_vectors(false)
             .with_block_kernel(BlockKernel::Pairwise)
+            .with_overlap(false)
             .with_threads(Some(2));
         assert!(matches!(o.ordering, OrderingChoice::Kind(OrderingKind::NewRing)));
         assert_eq!(o.topology, TopologyKind::Cm5);
@@ -282,6 +298,7 @@ mod tests {
         assert_eq!(o.sort, SortMode::None);
         assert!(!o.vectors);
         assert_eq!(o.block_kernel, BlockKernel::Pairwise);
+        assert!(!o.overlap);
         assert_eq!(o.threads, Some(2));
     }
 

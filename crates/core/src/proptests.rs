@@ -55,6 +55,57 @@ proptest! {
         }
     }
 
+    /// The distributed executor is bitwise-deterministic across its
+    /// communication strategies: the zero-copy transport with send-ahead
+    /// overlap, the non-overlapped zero-copy transport, and the
+    /// synchronous simulated oracle all produce identical singular values,
+    /// identical singular vectors, and identical sweep counts — over
+    /// random shapes, random processor counts, and three orderings with
+    /// very different movement patterns.
+    #[test]
+    fn overlapped_distributed_run_is_bitwise_identical_to_oracle(
+        half_n in 2usize..9,
+        extra_rows in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        use treesvd_orderings::OrderingKind;
+        let n = 2 * half_n; // P = half_n ranks; tree orderings pad internally
+        let m = n + extra_rows;
+        let a = generate::random_uniform(m, n, seed);
+        for kind in [OrderingKind::NewRing, OrderingKind::FatTree, OrderingKind::Hybrid] {
+            let solver = |overlap: bool| {
+                crate::HestenesSvd::new(
+                    SvdOptions::default().with_ordering(kind).with_overlap(overlap),
+                )
+            };
+            let oracle = solver(true).compute(&a).unwrap();
+            let overlapped = solver(true).compute_distributed(&a).unwrap();
+            let plain = solver(false).compute_distributed(&a).unwrap();
+            for (label, run) in [("overlap", &overlapped), ("no-overlap", &plain)] {
+                prop_assert_eq!(
+                    run.sweeps, oracle.sweeps,
+                    "{}: sweep count diverged ({} n={} m={} seed={})",
+                    label, kind, n, m, seed
+                );
+                prop_assert_eq!(
+                    &run.svd.sigma, &oracle.svd.sigma,
+                    "{}: sigma not bitwise-identical ({} n={} m={} seed={})",
+                    label, kind, n, m, seed
+                );
+                prop_assert_eq!(
+                    &run.svd.u, &oracle.svd.u,
+                    "{}: U not bitwise-identical ({} n={} m={} seed={})",
+                    label, kind, n, m, seed
+                );
+                prop_assert_eq!(
+                    &run.svd.v, &oracle.svd.v,
+                    "{}: V not bitwise-identical ({} n={} m={} seed={})",
+                    label, kind, n, m, seed
+                );
+            }
+        }
+    }
+
     /// Rank-deficient panels (zero directions inside blocks) do not split
     /// the kernels apart either: same rank, same spectrum.
     #[test]

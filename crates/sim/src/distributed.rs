@@ -9,11 +9,83 @@
 //! (asserted in this module's tests and in
 //! `tests/simulation_integration.rs`), because rotation order within a pair
 //! is fully determined by the schedule and f64 arithmetic is deterministic.
+//!
+//! Two transports are available ([`Transport`]):
+//!
+//! * **Legacy** — the original oracle path: every exchange serializes both
+//!   columns into a fresh header-prefixed `Vec<f64>` (plus two more
+//!   allocations on decode) and every step blocks on its receives.
+//! * **Zero-copy** (default) — a departing column's storage *is* the
+//!   message: the sender moves its `Vec` into a detached
+//!   [`MsgBuf`](treesvd_comm::MsgBuf) and the receiver adopts the
+//!   allocation. Exactly `n` data (and `n` vector) buffers exist for the
+//!   whole run, wandering between ranks along the movement permutations;
+//!   the steady state performs **zero payload allocations** (collectives
+//!   lease from the rank-local [`BufferPool`](treesvd_comm::BufferPool),
+//!   which is warm after the first sweep).
+//!
+//! On top of the zero-copy transport, [`DistConfig::overlap`] enables
+//! communication/computation overlap: §4's movement permutations fix every
+//! next destination statically, so a rank ships a departing data column
+//! immediately after the A-phase rotation — while its own vector update,
+//! the V-phase messages, and the *receiver's* current step are still in
+//! flight — and defers each arrival to its point of use one step later
+//! (post at the top of step `s`, complete at step `s+1`). The split is
+//! bitwise-invisible because a Jacobi pair factors exactly into
+//! `rotate_pair_a` (Gram + data columns) then `rotate_pair_v` (vector
+//! columns). Before enabling the overlap the executor asks
+//! `treesvd-analyze` to prove the overlapped plan deadlock-free under both
+//! buffered and rendezvous semantics ([`verify_overlap_freedom`]); if the
+//! proof fails for an exotic ordering, the run silently falls back to the
+//! non-overlapped zero-copy path.
 
-use crate::exec::{rotate_pair, ExecConfig, SlotData};
+use crate::exec::{rotate_pair, rotate_pair_a, rotate_pair_v, ExecConfig, SlotData};
 use std::sync::Arc;
-use treesvd_comm::{allreduce_sum, Communicator, RecvError, ThreadWorld};
+use treesvd_analyze::{overlap_tag_a, overlap_tag_v, verify_overlap_freedom};
+use treesvd_comm::{
+    allreduce_sum, allreduce_sum_in_place, Communicator, MsgBuf, RecvError, ThreadWorld,
+};
 use treesvd_orderings::{ColIndex, JacobiOrdering, Program};
+
+/// Column-exchange transport of the distributed executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Serialize both columns of an exchange into a fresh header-prefixed
+    /// `Vec<f64>` per message (the original executor; kept as the oracle
+    /// and benchmark baseline).
+    Legacy,
+    /// Move the column storage itself as a detached
+    /// [`MsgBuf`](treesvd_comm::MsgBuf); the receiver adopts the
+    /// allocation. Zero copies, zero steady-state allocations.
+    #[default]
+    ZeroCopy,
+}
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct DistConfig {
+    /// Rotation/kernel parameters (shared with the simulated executor).
+    pub exec: ExecConfig,
+    /// Sweep cap.
+    pub max_sweeps: usize,
+    /// Column-exchange transport.
+    pub transport: Transport,
+    /// Communication/computation overlap (send-ahead + deferred receives).
+    /// Only effective with [`Transport::ZeroCopy`], and only after the
+    /// analyzer proves the overlapped plan deadlock-free for the ordering.
+    pub overlap: bool,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            exec: ExecConfig::default(),
+            max_sweeps: 64,
+            transport: Transport::ZeroCopy,
+            overlap: true,
+        }
+    }
+}
 
 /// Result of a distributed run.
 #[derive(Debug)]
@@ -29,6 +101,15 @@ pub struct DistributedOutcome {
     pub converged: bool,
     /// Total rotations across all ranks and sweeps.
     pub total_rotations: usize,
+    /// Whether the overlapped (send-ahead) schedule actually ran — i.e.
+    /// it was requested *and* the analyzer proved it safe.
+    pub overlap: bool,
+    /// Payload allocation events during the warm-up sweep, summed over all
+    /// ranks' buffer pools.
+    pub warm_payload_allocs: u64,
+    /// Payload allocation events *after* the warm-up sweep, summed over
+    /// all ranks. Zero for a zero-copy run (the smoke-benchmark gate).
+    pub steady_payload_allocs: u64,
 }
 
 /// Everything a per-rank worker owns besides its communicator: the shared
@@ -38,20 +119,42 @@ struct WorkerTask<'a> {
     left: SlotData,
     right: SlotData,
     config: ExecConfig,
+    transport: Transport,
+    overlap: bool,
+    vectors: bool,
+}
+
+/// What a per-rank worker reports back.
+struct WorkerOut {
+    left: SlotData,
+    right: SlotData,
+    sweeps: usize,
+    rotations: usize,
+    converged: bool,
+    warm_allocs: u64,
+    steady_allocs: u64,
 }
 
 /// Per-rank worker: executes its two slots across all sweeps.
-fn worker(
-    comm: &mut Communicator,
-    task: WorkerTask<'_>,
-) -> Result<(SlotData, SlotData, usize, usize, bool), RecvError> {
-    let WorkerTask { programs, mut left, mut right, config } = task;
+fn worker(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, RecvError> {
+    match (task.transport, task.overlap) {
+        (Transport::Legacy, _) => worker_legacy(comm, task),
+        (Transport::ZeroCopy, false) => worker_zero_copy(comm, task),
+        (Transport::ZeroCopy, true) => worker_overlapped(comm, task),
+    }
+}
+
+/// The original executor loop: encode/decode copies, blocking receives at
+/// the end of every step. Kept verbatim as the oracle and baseline.
+fn worker_legacy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, RecvError> {
+    let WorkerTask { programs, mut left, mut right, config, .. } = task;
     let rank = comm.rank();
     let my_slots = [2 * rank, 2 * rank + 1];
     let mut total_rotations = 0usize;
     let mut sweeps = 0usize;
     let mut converged = false;
     let mut global_step: u64 = 0;
+    let mut warm_allocs = 0u64;
 
     'sweeps: for (sweep_no, program) in programs.iter().enumerate() {
         let layouts = program.layouts();
@@ -116,12 +219,278 @@ fn worker(
         let sums = allreduce_sum(comm, sweep_no as u64, vec![rotations as f64, swaps as f64])?;
         total_rotations += rotations;
         sweeps = sweep_no + 1;
+        if sweep_no == 0 {
+            warm_allocs = comm.payload_allocations();
+        }
         if sums[0] == 0.0 && sums[1] == 0.0 {
             converged = true;
             break 'sweeps;
         }
     }
-    Ok((left, right, sweeps, total_rotations, converged))
+    let steady_allocs = comm.payload_allocations() - warm_allocs;
+    Ok(WorkerOut {
+        left,
+        right,
+        sweeps,
+        rotations: total_rotations,
+        converged,
+        warm_allocs,
+        steady_allocs,
+    })
+}
+
+/// Zero-copy transport without overlap: the full pair rotation runs, then
+/// departing columns leave as two detached messages (A phase: the data
+/// column; V phase: the vector column) whose storage the receiver adopts,
+/// and the step blocks on its arrivals like the legacy loop.
+fn worker_zero_copy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, RecvError> {
+    let WorkerTask { programs, mut left, mut right, config, vectors, .. } = task;
+    let rank = comm.rank();
+    let my_slots = [2 * rank, 2 * rank + 1];
+    let mut total_rotations = 0usize;
+    let mut sweeps = 0usize;
+    let mut converged = false;
+    let mut global_step = 0usize;
+    let mut warm_allocs = 0u64;
+
+    'sweeps: for (sweep_no, program) in programs.iter().enumerate() {
+        let layouts = program.layouts();
+        let mut rotations = 0usize;
+        let mut swaps = 0usize;
+        for (step_no, step) in program.steps.iter().enumerate() {
+            let layout = &layouts[step_no];
+            let small_on_left = layout[my_slots[0]] < layout[my_slots[1]];
+            let report =
+                rotate_pair(&mut left, &mut right, config.threshold, config.sort, small_on_left);
+            rotations += report.rotated as usize;
+            swaps += report.swapped as usize;
+
+            let perm = &step.move_after;
+            let inv = perm.inverse();
+            // departures: the column's storage is the message
+            for (i, &s) in my_slots.iter().enumerate() {
+                let d = perm.dest_of(s);
+                if d / 2 != rank {
+                    let slot = if i == 0 { &mut left } else { &mut right };
+                    let a = std::mem::take(&mut slot.a);
+                    comm.send_buf(d / 2, overlap_tag_a(global_step, d), MsgBuf::detached(a));
+                    if vectors {
+                        let v = std::mem::take(&mut slot.v);
+                        comm.send_buf(d / 2, overlap_tag_v(global_step, d), MsgBuf::detached(v));
+                    }
+                }
+            }
+            // local shuffle: a stay crossing slots is a plain swap of the
+            // resident pair (departed columns left empty shells behind)
+            if crosses_locally(perm, rank) {
+                std::mem::swap(&mut left, &mut right);
+            }
+            // arrivals: adopt the sender's storage into the vacated shells
+            for (local, &dest_slot) in my_slots.iter().enumerate() {
+                let src_slot = inv.dest_of(dest_slot);
+                if src_slot / 2 != rank {
+                    let slot = if local == 0 { &mut left } else { &mut right };
+                    slot.a = comm.recv(src_slot / 2, overlap_tag_a(global_step, dest_slot))?;
+                    if vectors {
+                        slot.v = comm.recv(src_slot / 2, overlap_tag_v(global_step, dest_slot))?;
+                    }
+                }
+            }
+            global_step += 1;
+        }
+
+        let mut sums = [rotations as f64, swaps as f64];
+        allreduce_sum_in_place(comm, sweep_no as u64, &mut sums)?;
+        total_rotations += rotations;
+        sweeps = sweep_no + 1;
+        if sweep_no == 0 {
+            warm_allocs = comm.payload_allocations();
+        }
+        if sums[0] == 0.0 && sums[1] == 0.0 {
+            converged = true;
+            break 'sweeps;
+        }
+    }
+    let steady_allocs = comm.payload_allocations() - warm_allocs;
+    Ok(WorkerOut {
+        left,
+        right,
+        sweeps,
+        rotations: total_rotations,
+        converged,
+        warm_allocs,
+        steady_allocs,
+    })
+}
+
+/// An arrival deferred to its point of use: the column headed for local
+/// slot `local`, sent by `src` during movement `step`. `v_done` marks a
+/// vector payload that was opportunistically completed at the top of the
+/// step (it had already been delivered), skipping the deferred blocking
+/// receive.
+#[derive(Clone, Copy)]
+struct PendingArrival {
+    local: usize,
+    src: usize,
+    step: usize,
+    v_done: bool,
+}
+
+/// Zero-copy transport with communication/computation overlap, mirroring
+/// the analyzer's overlapped `CommPlan` op for op. Per step `s`: post the
+/// movement-`s` arrival set (the double buffer — computable ahead of time
+/// because next destinations are static), complete the movement-`s−1` A
+/// arrivals at their point of use, rotate the data columns, ship the
+/// departing A phase, then do the same for the V phase, and finally
+/// shuffle locally. Arrivals of the last movement drain after the loop.
+fn worker_overlapped(
+    comm: &mut Communicator,
+    task: WorkerTask<'_>,
+) -> Result<WorkerOut, RecvError> {
+    let WorkerTask { programs, mut left, mut right, config, vectors, .. } = task;
+    let rank = comm.rank();
+    let my_slots = [2 * rank, 2 * rank + 1];
+    let mut total_rotations = 0usize;
+    let mut sweeps = 0usize;
+    let mut converged = false;
+    let mut global_step = 0usize;
+    let mut warm_allocs = 0u64;
+    let mut pending: Vec<PendingArrival> = Vec::with_capacity(2);
+    let mut posted: Vec<PendingArrival> = Vec::with_capacity(2);
+
+    'sweeps: for (sweep_no, program) in programs.iter().enumerate() {
+        let layouts = program.layouts();
+        let mut rotations = 0usize;
+        let mut swaps = 0usize;
+        for (step_no, step) in program.steps.iter().enumerate() {
+            let perm = &step.move_after;
+            let inv = perm.inverse();
+
+            // 1. prefetch post: register this movement's arrivals before
+            //    any compute (the PostRecv ops of the overlapped plan)
+            posted.clear();
+            for (local, &dest_slot) in my_slots.iter().enumerate() {
+                let src_slot = inv.dest_of(dest_slot);
+                if src_slot / 2 != rank {
+                    posted.push(PendingArrival {
+                        local,
+                        src: src_slot / 2,
+                        step: global_step,
+                        v_done: false,
+                    });
+                }
+            }
+
+            // 2. complete the previous movement's A arrivals at their
+            //    point of use, adopting the sender's storage; piggyback
+            //    any vector payload that is already in (one parking point
+            //    per step instead of two when the sender runs ahead)
+            for p in &mut pending {
+                let slot = if p.local == 0 { &mut left } else { &mut right };
+                slot.a = comm.recv(p.src, overlap_tag_a(p.step, my_slots[p.local]))?;
+                if vectors {
+                    if let Some(v) = comm.try_recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))
+                    {
+                        slot.v = v;
+                        p.v_done = true;
+                    }
+                }
+            }
+
+            // 3. A-phase rotation (Gram + data columns)
+            let layout = &layouts[step_no];
+            let small_on_left = layout[my_slots[0]] < layout[my_slots[1]];
+            let (rot, report) =
+                rotate_pair_a(&mut left, &mut right, config.threshold, config.sort, small_on_left);
+            rotations += report.rotated as usize;
+            swaps += report.swapped as usize;
+
+            // 4. ship departing data columns immediately — the receiver is
+            //    still mid-step; its vector work and ours overlap the wire
+            for (i, &s) in my_slots.iter().enumerate() {
+                let d = perm.dest_of(s);
+                if d / 2 != rank {
+                    let slot = if i == 0 { &mut left } else { &mut right };
+                    let a = std::mem::take(&mut slot.a);
+                    comm.send_buf(d / 2, overlap_tag_a(global_step, d), MsgBuf::detached(a));
+                }
+            }
+
+            if vectors {
+                // 5. complete the previous movement's V arrivals (unless
+                //    already piggybacked at the top of the step)
+                for p in &pending {
+                    if p.v_done {
+                        continue;
+                    }
+                    let slot = if p.local == 0 { &mut left } else { &mut right };
+                    slot.v = comm.recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))?;
+                }
+                // 6. V-phase rotation
+                rotate_pair_v(rot, &report, &mut left, &mut right);
+                // 7. ship departing vector columns
+                for (i, &s) in my_slots.iter().enumerate() {
+                    let d = perm.dest_of(s);
+                    if d / 2 != rank {
+                        let slot = if i == 0 { &mut left } else { &mut right };
+                        let v = std::mem::take(&mut slot.v);
+                        comm.send_buf(d / 2, overlap_tag_v(global_step, d), MsgBuf::detached(v));
+                    }
+                }
+            }
+
+            // 8. local shuffle; the posted arrivals become pending
+            if crosses_locally(perm, rank) {
+                std::mem::swap(&mut left, &mut right);
+            }
+            std::mem::swap(&mut pending, &mut posted);
+            global_step += 1;
+        }
+
+        let mut sums = [rotations as f64, swaps as f64];
+        allreduce_sum_in_place(comm, sweep_no as u64, &mut sums)?;
+        total_rotations += rotations;
+        sweeps = sweep_no + 1;
+        if sweep_no == 0 {
+            warm_allocs = comm.payload_allocations();
+        }
+        if sums[0] == 0.0 && sums[1] == 0.0 {
+            converged = true;
+            break 'sweeps;
+        }
+    }
+
+    // drain: the final movement's arrivals complete after the sweep loop
+    for p in &pending {
+        let slot = if p.local == 0 { &mut left } else { &mut right };
+        slot.a = comm.recv(p.src, overlap_tag_a(p.step, my_slots[p.local]))?;
+        if vectors {
+            slot.v = comm.recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))?;
+        }
+    }
+
+    let steady_allocs = comm.payload_allocations() - warm_allocs;
+    Ok(WorkerOut {
+        left,
+        right,
+        sweeps,
+        rotations: total_rotations,
+        converged,
+        warm_allocs,
+        steady_allocs,
+    })
+}
+
+/// Whether this step's movement keeps a column on `rank` but moves it to
+/// the other local slot — the only intra-rank shuffle two slots allow.
+fn crosses_locally(perm: &treesvd_orderings::schedule::Permutation, rank: usize) -> bool {
+    for (i, s) in [2 * rank, 2 * rank + 1].into_iter().enumerate() {
+        let d = perm.dest_of(s);
+        if d / 2 == rank && d % 2 != i {
+            return true;
+        }
+    }
+    false
 }
 
 fn encode(d: &SlotData) -> Vec<f64> {
@@ -139,7 +508,8 @@ fn decode(payload: Vec<f64>) -> SlotData {
     SlotData { a, v }
 }
 
-/// Run the ordering to convergence with one thread per processor.
+/// Run the ordering to convergence with one thread per processor, using
+/// the default [`DistConfig`] (zero-copy transport with overlap).
 ///
 /// `columns[j]` is column `j`; `accumulate_v` attaches identity `V`
 /// columns. Returns the final slots, layout, and counters.
@@ -157,13 +527,40 @@ pub fn distributed_svd(
     config: ExecConfig,
     max_sweeps: usize,
 ) -> Result<DistributedOutcome, RecvError> {
+    let cfg = DistConfig { exec: config, max_sweeps, ..DistConfig::default() };
+    distributed_svd_with(ordering, columns, accumulate_v, &cfg)
+}
+
+/// [`distributed_svd`] with full control over transport and overlap.
+///
+/// # Errors
+/// Returns a [`RecvError`] if a rank times out (schedule bug) or the world
+/// is torn down.
+///
+/// # Panics
+/// Panics if `columns.len()` is odd or disagrees with the ordering.
+pub fn distributed_svd_with(
+    ordering: &dyn JacobiOrdering,
+    columns: Vec<Vec<f64>>,
+    accumulate_v: bool,
+    cfg: &DistConfig,
+) -> Result<DistributedOutcome, RecvError> {
     let n = columns.len();
     assert_eq!(n, ordering.n(), "column count disagrees with the ordering");
     assert_eq!(n % 2, 0, "need an even column count");
     let procs = n / 2;
 
     // programs are precomputed (they are deterministic) and shared read-only
-    let programs: Arc<Vec<Program>> = Arc::new(ordering.programs(max_sweeps));
+    let programs: Arc<Vec<Program>> = Arc::new(ordering.programs(cfg.max_sweeps));
+
+    // overlap only runs on the zero-copy transport, and only once the
+    // analyzer has proved the send-ahead plan deadlock-free under both
+    // buffered and rendezvous semantics; one restore period covers every
+    // distinct per-sweep program the ordering generates
+    let period = ordering.restore_period().max(1).min(programs.len());
+    let overlap = cfg.overlap
+        && cfg.transport == Transport::ZeroCopy
+        && programs[..period].iter().all(|p| verify_overlap_freedom(p, accumulate_v).is_ok());
 
     let store = crate::exec::ColumnStore::from_columns(columns, accumulate_v);
     let mut slot_data: Vec<SlotData> = store.slots;
@@ -171,13 +568,26 @@ pub fn distributed_svd(
     let world = ThreadWorld::new(procs);
     let comms = world.into_communicators();
 
+    let config = cfg.exec;
+    let transport = cfg.transport;
     let mut handles = Vec::with_capacity(procs);
     for (rank, mut comm) in comms.into_iter().enumerate() {
         let left = std::mem::take(&mut slot_data[2 * rank]);
         let right = std::mem::take(&mut slot_data[2 * rank + 1]);
         let programs = Arc::clone(&programs);
         handles.push(std::thread::spawn(move || {
-            worker(&mut comm, WorkerTask { programs: &programs, left, right, config })
+            worker(
+                &mut comm,
+                WorkerTask {
+                    programs: &programs,
+                    left,
+                    right,
+                    config,
+                    transport,
+                    overlap,
+                    vectors: accumulate_v,
+                },
+            )
         }));
     }
 
@@ -185,13 +595,17 @@ pub fn distributed_svd(
     let mut sweeps = 0usize;
     let mut total_rotations = 0usize;
     let mut converged = false;
+    let mut warm_payload_allocs = 0u64;
+    let mut steady_payload_allocs = 0u64;
     for (rank, h) in handles.into_iter().enumerate() {
-        let (left, right, s, r, c) = h.join().expect("worker panicked")?;
-        slots[2 * rank] = left;
-        slots[2 * rank + 1] = right;
-        sweeps = s; // identical on all ranks by the allreduce
-        converged = c;
-        total_rotations += r;
+        let out = h.join().expect("worker panicked")?;
+        slots[2 * rank] = out.left;
+        slots[2 * rank + 1] = out.right;
+        sweeps = out.sweeps; // identical on all ranks by the allreduce
+        converged = out.converged;
+        total_rotations += out.rotations;
+        warm_payload_allocs += out.warm_allocs;
+        steady_payload_allocs += out.steady_allocs;
     }
 
     // final layout: replay the programs that actually ran
@@ -200,7 +614,16 @@ pub fn distributed_svd(
         layout = program.final_layout();
     }
 
-    Ok(DistributedOutcome { slots, layout, sweeps, converged, total_rotations })
+    Ok(DistributedOutcome {
+        slots,
+        layout,
+        sweeps,
+        converged,
+        total_rotations,
+        overlap,
+        warm_payload_allocs,
+        steady_payload_allocs,
+    })
 }
 
 #[cfg(test)]
@@ -278,6 +701,70 @@ mod tests {
             assert_eq!(d.v, r.v);
         }
         assert!(dist.converged);
+    }
+
+    #[test]
+    fn transports_and_overlap_are_bitwise_identical() {
+        for kind in [OrderingKind::NewRing, OrderingKind::FatTree, OrderingKind::Hybrid] {
+            let n = 8;
+            let a = generate::random_uniform(12, n, 11);
+            let ord = kind.build(n).unwrap();
+            let mut runs = Vec::new();
+            for (transport, overlap) in [
+                (Transport::Legacy, false),
+                (Transport::ZeroCopy, false),
+                (Transport::ZeroCopy, true),
+            ] {
+                let cfg = DistConfig { transport, overlap, ..DistConfig::default() };
+                let run = distributed_svd_with(ord.as_ref(), a.clone().into_columns(), true, &cfg)
+                    .unwrap();
+                assert_eq!(run.overlap, overlap, "{kind}: overlap gate disagreed");
+                runs.push(run);
+            }
+            let base = &runs[0];
+            for run in &runs[1..] {
+                assert_eq!(run.sweeps, base.sweeps, "{kind}");
+                assert_eq!(run.total_rotations, base.total_rotations, "{kind}");
+                assert_eq!(run.layout, base.layout, "{kind}");
+                for (s, (d, r)) in run.slots.iter().zip(base.slots.iter()).enumerate() {
+                    assert_eq!(d.a, r.a, "{kind}: slot {s} data differs");
+                    assert_eq!(d.v, r.v, "{kind}: slot {s} vectors differ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_steady_state_makes_no_payload_allocations() {
+        for overlap in [false, true] {
+            let n = 16;
+            let a = generate::random_uniform(24, n, 13);
+            let ord = OrderingKind::NewRing.build(n).unwrap();
+            let cfg =
+                DistConfig { transport: Transport::ZeroCopy, overlap, ..DistConfig::default() };
+            let run = distributed_svd_with(ord.as_ref(), a.into_columns(), true, &cfg).unwrap();
+            assert!(run.converged);
+            assert!(run.sweeps > 2, "need a steady state to measure");
+            assert!(run.warm_payload_allocs > 0, "warm-up must populate the pools");
+            assert_eq!(
+                run.steady_payload_allocs, 0,
+                "overlap={overlap}: steady state allocated payload buffers"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_transport_never_overlaps() {
+        let n = 8;
+        let a = generate::random_uniform(16, n, 17);
+        let ord = OrderingKind::NewRing.build(n).unwrap();
+        // even with overlap requested, the legacy transport must refuse it:
+        // its blocking plan cycles under rendezvous semantics (PR 2)
+        let cfg =
+            DistConfig { transport: Transport::Legacy, overlap: true, ..DistConfig::default() };
+        let run = distributed_svd_with(ord.as_ref(), a.into_columns(), true, &cfg).unwrap();
+        assert!(run.converged);
+        assert!(!run.overlap, "legacy transport must never overlap");
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod par;
 pub mod timeline;
 
 pub use analyze::{analyze_program, CommReport};
-pub use distributed::{distributed_svd, DistributedOutcome};
+pub use distributed::{
+    distributed_svd, distributed_svd_with, DistConfig, DistributedOutcome, Transport,
+};
 pub use exec::{
     execute_program, execute_program_with_scratch, off_measure, off_measure_limited, ColumnStore,
     ExecConfig, ExecScratch, SortMode, SweepStats,

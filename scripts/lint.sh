@@ -11,6 +11,9 @@ cargo fmt --all --check
 echo "== clippy: workspace, all targets, deny warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy: treesvd-comm with hb-tracker, deny warnings =="
+cargo clippy -p treesvd-comm --all-targets --features hb-tracker -- -D warnings
+
 echo "== analyzer self-check: every built-in ordering =="
 cargo build -q --release -p treesvd-cli
 TREESVD=target/release/treesvd

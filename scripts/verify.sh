@@ -21,4 +21,7 @@ cargo run --release -p treesvd-bench --bin bench_kernels -- --smoke
 echo "== bench smoke: Gram vs pairwise blocked meeting (512x128, c=16) =="
 cargo run --release -p treesvd-bench --bin bench_blocked -- --smoke
 
+echo "== bench smoke: zero-copy overlapped vs legacy distributed executor (4096x16) =="
+cargo run --release -p treesvd-bench --bin bench_distributed -- --smoke
+
 echo "verify.sh: all gates passed"

@@ -258,6 +258,63 @@ fn mutilated_comm_plan_fails_deadlock_check() {
 }
 
 #[test]
+fn overlapped_plans_verify_and_legacy_plans_cycle_under_rendezvous() {
+    // the overlapped (send-ahead) plan the distributed executor runs must
+    // hold under BOTH message models — including rendezvous, where the
+    // legacy blocking plan deadlocks (previous test) — for every built-in
+    // ordering
+    for n in [8usize, 16] {
+        for ord in orderings_for(n) {
+            for prog in ord.programs(ord.restore_period().max(1)) {
+                for vectors in [true, false] {
+                    treesvd_analyze::verify_overlap_freedom(&prog, vectors).unwrap_or_else(|v| {
+                        panic!("{} n = {n} vectors = {vectors}: {v}", ord.name())
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_overlap_plan_fails_with_step_precise_error() {
+    let prog = valid_sweep(16);
+    let intact = CommPlan::from_program_overlapped(&prog, true);
+    assert!(verify_plan(&intact, CommModel::Buffered).is_ok());
+    assert!(verify_plan(&intact, CommModel::Rendezvous).is_ok());
+
+    // corrupt one prefetch: rank 5's first PostRecv now names the wrong
+    // source rank, as if the executor prefetched from the wrong neighbour
+    let mut wrong_dest = intact.clone();
+    let ranks = wrong_dest.ops.len();
+    let (pos, true_source) = wrong_dest.ops[5]
+        .iter()
+        .enumerate()
+        .find_map(|(i, (_, op))| match op {
+            treesvd_analyze::CommOp::PostRecv { from, .. } => Some((i, *from)),
+            _ => None,
+        })
+        .expect("rank 5 prefetches in a fat-tree sweep");
+    if let (_, treesvd_analyze::CommOp::PostRecv { from, .. }) = &mut wrong_dest.ops[5][pos] {
+        *from = (true_source + 1) % ranks;
+    }
+
+    // the completion that expected the true source now has no posted
+    // prefetch — and the diagnostic names the exact rank, step, and peer
+    match verify_plan(&wrong_dest, CommModel::Buffered) {
+        Err(Violation::PrefetchMissing { op }) => {
+            assert_eq!(op.rank, 5, "diagnostic must name the corrupted rank");
+            assert_eq!(op.peer, true_source, "diagnostic must name the expected source");
+            assert!(op.step < prog.steps.len() + 1, "step must be in range");
+            assert!(!op.is_send);
+            let msg = format!("{}", Violation::PrefetchMissing { op });
+            assert!(msg.contains("never posted"), "human-readable diagnostic: {msg}");
+        }
+        other => panic!("expected PrefetchMissing, got {other:?}"),
+    }
+}
+
+#[test]
 fn hb_tracker_complements_the_static_check() {
     use std::thread;
     use treesvd_comm::ThreadWorld;
