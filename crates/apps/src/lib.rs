@@ -34,4 +34,24 @@ pub mod procrustes;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use lstsq::{condition_number, lstsq, pseudoinverse, ridge, LstsqResult};
 pub use pca::{pca, Pca};
-pub use procrustes::orthogonal_procrustes;
+pub use procrustes::{orthogonal_procrustes, orthogonal_procrustes_batch};
+
+/// Largest problem order the applications route through the batched
+/// small-SVD engine ([`treesvd_batch`]) instead of the tree-machine
+/// driver. Below this order the cross-covariance / Gram matrices are too
+/// small for within-problem parallelism to pay off; the SoA engine solves
+/// them with the sequential driver's exact conventions.
+pub const SMALL_ORDER_MAX: usize = 64;
+
+/// Map a batched-engine error onto the driver error type so application
+/// signatures stay uniform. Only `NoConvergence` can actually surface from
+/// well-formed application inputs (shapes are validated before packing);
+/// the batch engine reports no coupling estimate, so that field is `NaN`.
+pub(crate) fn batch_to_svd_error(e: treesvd_batch::BatchError) -> treesvd_core::SvdError {
+    match e {
+        treesvd_batch::BatchError::NoConvergence { sweeps, .. } => {
+            treesvd_core::SvdError::NoConvergence { sweeps, last_coupling: f64::NAN }
+        }
+        _ => treesvd_core::SvdError::EmptyMatrix,
+    }
+}

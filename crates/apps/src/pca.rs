@@ -3,7 +3,16 @@
 //! Samples are rows of the data matrix; components are the right singular
 //! vectors of the centered data, and explained variances are `σ²/(m−1)` —
 //! all falling out of one sorted SVD.
+//!
+//! For tall data with few features (`d ≤ SMALL_ORDER_MAX ≤ m`) the model
+//! is fit through the **small-Gram path**: the `d × d` Gram matrix
+//! `G = CᵀC` has eigendecomposition `G = V Σ² Vᵀ`, so its SVD on the
+//! batched SoA engine yields the components (`V`) and the explained
+//! variances (`σ_G/(m−1)`, since `σ_G = σ²`) without running the
+//! tree-machine driver over all `m` rows.
 
+use crate::{batch_to_svd_error, SMALL_ORDER_MAX};
+use treesvd_batch::{batch_svd, BatchOptions, BatchSoA};
 use treesvd_core::{HestenesSvd, Matrix, SvdError, SvdOptions};
 
 /// A fitted PCA model.
@@ -64,21 +73,37 @@ pub fn pca(data: &Matrix) -> Result<Pca, SvdError> {
     let centered = Matrix::from_fn(m, d, |i, j| data.get(i, j) - mean[j])
         .map_err(|_| SvdError::EmptyMatrix)?;
 
-    let run = HestenesSvd::new(SvdOptions::default()).compute(&centered)?;
-    let svd = run.svd;
-    let k = svd.sigma.len();
     let denom = (m - 1) as f64;
-    let explained_variance: Vec<f64> = svd.sigma.iter().map(|s| s * s / denom).collect();
+    let (explained_variance, components) = if d <= SMALL_ORDER_MAX && m >= d {
+        // small-Gram path: G = CᵀC is d × d and its singular values are
+        // exactly σ², so one batched-engine solve replaces a full driver
+        // run over all m rows. V stays orthonormal even at reduced rank
+        // (the engine completes rank-deficient factors).
+        let gram = centered.transpose().matmul(&centered).map_err(|_| SvdError::EmptyMatrix)?;
+        let mut batch = BatchSoA::from_matrices(std::slice::from_ref(&gram), treesvd_batch::LANES)
+            .map_err(batch_to_svd_error)?;
+        let out = batch_svd(&mut batch, &BatchOptions::default()).map_err(batch_to_svd_error)?;
+        let variances: Vec<f64> = out.sigma(0).iter().map(|s2| s2 / denom).collect();
+        let components = out.v_problem(0).expect("vector accumulation is on by default");
+        (variances, components)
+    } else {
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&centered)?;
+        let svd = run.svd;
+        let variances: Vec<f64> = svd.sigma.iter().map(|s| s * s / denom).collect();
+        // components = right singular vectors of the centered data. For a
+        // wide (d > m) input the driver transposes internally and swaps
+        // factors, so the feature-space directions are whichever factor
+        // has d rows.
+        let components = if svd.v.rows() == d { svd.v } else { svd.u };
+        (variances, components)
+    };
+    let k = explained_variance.len();
     let total: f64 = explained_variance.iter().sum();
     let explained_ratio: Vec<f64> = if total > 0.0 {
         explained_variance.iter().map(|v| v / total).collect()
     } else {
         vec![0.0; k]
     };
-    // components = right singular vectors of the centered data. For a wide
-    // (d > m) input the driver transposes internally and swaps factors, so
-    // the feature-space directions are whichever factor has d rows.
-    let components = if svd.v.rows() == d { svd.v } else { svd.u };
     Ok(Pca { mean, components, explained_variance, explained_ratio })
 }
 
@@ -142,6 +167,58 @@ mod tests {
             sample.iter().zip(back.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
         let scale = treesvd_matrix::ops::norm2(&sample).max(1.0);
         assert!(err / scale < 0.05, "relative err {}", err / scale);
+    }
+
+    #[test]
+    fn gram_path_agrees_with_the_driver() {
+        // d = 7 ≤ SMALL_ORDER_MAX takes the Gram path; re-derive the
+        // model through the tree-machine driver and compare
+        let data = generate::random_uniform(35, 7, 6);
+        let model = pca(&data).unwrap();
+
+        let (m, d) = data.shape();
+        let mut mean = vec![0.0; d];
+        for (j, mj) in mean.iter_mut().enumerate() {
+            *mj = data.col(j).iter().sum::<f64>() / m as f64;
+        }
+        let centered = Matrix::from_fn(m, d, |i, j| data.get(i, j) - mean[j]).unwrap();
+        let run = HestenesSvd::new(SvdOptions::default()).compute(&centered).unwrap();
+
+        for (t, s) in run.svd.sigma.iter().enumerate() {
+            let reference = s * s / (m - 1) as f64;
+            let got = model.explained_variance[t];
+            assert!(
+                (got - reference).abs() <= 1e-9 * reference.max(1.0),
+                "variance {t}: {got} vs {reference}"
+            );
+        }
+        // components agree up to per-column sign
+        for t in 0..d {
+            let dot = treesvd_matrix::ops::dot(model.components.col(t), run.svd.v.col(t));
+            assert!(dot.abs() > 1.0 - 1e-7, "component {t}: |dot| = {}", dot.abs());
+        }
+        assert!(treesvd_matrix::checks::orthogonality_residual(&model.components) < 1e-12);
+    }
+
+    #[test]
+    fn gram_path_handles_rank_deficient_data() {
+        // two informative directions, the rest exactly dependent
+        let data = Matrix::from_fn(24, 6, |i, j| {
+            let t = i as f64 - 12.0;
+            let u = ((i * 7 + 3) % 11) as f64 - 5.0;
+            match j {
+                0 => t,
+                1 => u,
+                _ => t + 2.0 * u, // linear combination of cols 0 and 1
+            }
+        })
+        .unwrap();
+        let model = pca(&data).unwrap();
+        // only two nonzero variances, components still orthonormal
+        assert!(model.explained_variance[2] < 1e-18 * model.explained_variance[0]);
+        assert!(treesvd_matrix::checks::orthogonality_residual(&model.components) < 1e-12);
+        let ratio_sum: f64 = model.explained_ratio.iter().sum();
+        assert!((ratio_sum - 1.0).abs() < 1e-12);
     }
 
     #[test]

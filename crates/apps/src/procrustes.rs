@@ -1,12 +1,24 @@
 //! The orthogonal Procrustes problem: the rotation best aligning one point
 //! set with another — solved, as always, by one SVD.
+//!
+//! The cross-covariance `AᵀB` is `n × n` for `n` features — tiny compared
+//! to the point sets — so up to [`SMALL_ORDER_MAX`](crate::SMALL_ORDER_MAX)
+//! features its SVD runs on the batched SoA engine rather than the
+//! tree-machine driver, and [`orthogonal_procrustes_batch`] aligns many
+//! pairs at once with one engine run (the classic batched-Procrustes
+//! workload: per-frame rigid alignment, shape analysis, sensor fusion).
 
+use crate::{batch_to_svd_error, SMALL_ORDER_MAX};
+use treesvd_batch::{batch_svd, BatchOptions, BatchSoA};
 use treesvd_core::{HestenesSvd, Matrix, SvdError, SvdOptions};
 
 /// Solve `min_R ‖A R − B‖_F` over orthogonal `R`: with `AᵀB = U Σ Vᵀ`,
 /// the minimizer is `R = U Vᵀ`.
 ///
-/// `A` and `B` are `m × n` point sets (rows are points).
+/// `A` and `B` are `m × n` point sets (rows are points). For
+/// `n ≤ SMALL_ORDER_MAX` the `n × n` SVD runs on the batched small-SVD
+/// engine (as a batch of one); larger problems use the tree-machine
+/// driver.
 ///
 /// # Errors
 /// Propagates solver errors.
@@ -16,8 +28,55 @@ use treesvd_core::{HestenesSvd, Matrix, SvdError, SvdOptions};
 pub fn orthogonal_procrustes(a: &Matrix, b: &Matrix) -> Result<Matrix, SvdError> {
     assert_eq!(a.shape(), b.shape(), "point sets must have the same shape");
     let m = a.transpose().matmul(b).map_err(|_| SvdError::EmptyMatrix)?;
+    if m.cols() <= SMALL_ORDER_MAX {
+        let rs = align_batch(std::slice::from_ref(&m))?;
+        return Ok(rs.into_iter().next().expect("one problem in, one rotation out"));
+    }
     let run = HestenesSvd::new(SvdOptions::default()).compute(&m)?;
     run.svd.u.matmul(&run.svd.v.transpose()).map_err(|_| SvdError::EmptyMatrix)
+}
+
+/// Align every `(Aᵢ, Bᵢ)` pair at once: one batched engine run solves all
+/// the `n × n` cross-covariance SVDs in SoA lanes, returning each
+/// minimizer `Rᵢ = Uᵢ Vᵢᵀ`.
+///
+/// All pairs must share the feature dimension `n` (their point counts may
+/// differ). An empty slice yields an empty vector.
+///
+/// # Errors
+/// Propagates solver errors.
+///
+/// # Panics
+/// Panics if a pair's shapes differ or the feature dimensions disagree
+/// across pairs.
+pub fn orthogonal_procrustes_batch(pairs: &[(Matrix, Matrix)]) -> Result<Vec<Matrix>, SvdError> {
+    let Some(((first_a, _), _)) = pairs.split_first() else {
+        return Ok(Vec::new());
+    };
+    let n = first_a.cols();
+    let ms = pairs
+        .iter()
+        .map(|(a, b)| {
+            assert_eq!(a.shape(), b.shape(), "point sets must have the same shape");
+            assert_eq!(a.cols(), n, "all pairs must share the feature dimension");
+            a.transpose().matmul(b).map_err(|_| SvdError::EmptyMatrix)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    align_batch(&ms)
+}
+
+/// `Rᵢ = Uᵢ Vᵢᵀ` for every cross-covariance in `ms`, from one batched run.
+fn align_batch(ms: &[Matrix]) -> Result<Vec<Matrix>, SvdError> {
+    let mut batch =
+        BatchSoA::from_matrices(ms, treesvd_batch::LANES).map_err(batch_to_svd_error)?;
+    let out = batch_svd(&mut batch, &BatchOptions::default()).map_err(batch_to_svd_error)?;
+    (0..ms.len())
+        .map(|i| {
+            let u = batch.problem(i);
+            let v = out.v_problem(i).expect("vector accumulation is on by default");
+            u.matmul(&v.transpose()).map_err(|_| SvdError::EmptyMatrix)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -63,5 +122,70 @@ mod tests {
         let a = Matrix::zeros(3, 2).unwrap();
         let b = Matrix::zeros(3, 3).unwrap();
         let _ = orthogonal_procrustes(&a, &b);
+    }
+
+    #[test]
+    fn batch_alignment_matches_per_pair_calls() {
+        // an uneven batch (spills into a second lane group, varied point
+        // counts) must reproduce the one-pair entry point exactly
+        let pairs: Vec<(Matrix, Matrix)> = (0..11)
+            .map(|i| {
+                let m = 12 + (i % 4) * 3;
+                let a = generate::random_uniform(m, 5, 40 + i as u64);
+                let q = generate::random_orthogonal(5, 80 + i as u64);
+                let b = a.matmul(&q).unwrap();
+                (a, b)
+            })
+            .collect();
+        let rs = orthogonal_procrustes_batch(&pairs).unwrap();
+        assert_eq!(rs.len(), pairs.len());
+        for (i, ((a, b), r)) in pairs.iter().zip(rs.iter()).enumerate() {
+            assert!(checks::orthogonality_residual(r) < 1e-10, "pair {i}");
+            let solo = orthogonal_procrustes(a, b).unwrap();
+            assert!(
+                r.sub(&solo).unwrap().frobenius_norm() < 1e-12,
+                "pair {i} disagrees with the solo path"
+            );
+            let err = a.matmul(r).unwrap().sub(b).unwrap().frobenius_norm();
+            assert!(err < 1e-9, "pair {i} residual {err}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_result() {
+        assert!(orthogonal_procrustes_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension")]
+    fn mixed_feature_dimensions_panic() {
+        let pairs = [
+            (generate::random_uniform(6, 3, 1), generate::random_uniform(6, 3, 2)),
+            (generate::random_uniform(6, 4, 3), generate::random_uniform(6, 4, 4)),
+        ];
+        let _ = orthogonal_procrustes_batch(&pairs);
+    }
+
+    #[test]
+    fn rank_deficient_cross_covariance_still_yields_a_rotation() {
+        // B = A · (rank-1 projector): AᵀB is rank deficient; the engine's
+        // orthonormal completion must still deliver an orthogonal R
+        let a = generate::random_uniform(20, 4, 9);
+        let p = Matrix::from_fn(4, 4, |i, j| if i == 0 && j == 0 { 1.0 } else { 0.0 }).unwrap();
+        let b = a.matmul(&p).unwrap();
+        let r = orthogonal_procrustes(&a, &b).unwrap();
+        assert!(checks::orthogonality_residual(&r) < 1e-10);
+    }
+
+    #[test]
+    fn large_order_falls_back_to_the_driver() {
+        // n > SMALL_ORDER_MAX exercises the tree-machine path
+        let n = crate::SMALL_ORDER_MAX + 1;
+        let a = generate::random_uniform(n + 5, n, 11);
+        let q = generate::random_orthogonal(n, 12);
+        let b = a.matmul(&q).unwrap();
+        let r = orthogonal_procrustes(&a, &b).unwrap();
+        assert!(checks::orthogonality_residual(&r) < 1e-9);
+        assert!(r.sub(&q).unwrap().frobenius_norm() < 1e-8);
     }
 }

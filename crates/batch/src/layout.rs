@@ -1,0 +1,318 @@
+//! The structure-of-arrays batch container.
+//!
+//! A [`BatchSoA`] holds `count` independent `rows × cols` matrices in
+//! **group-major SoA layout**: problems are grouped `lanes` at a time
+//! (problem `i` is lane `i % lanes` of group `i / lanes`), and each group
+//! is one contiguous block of `cols` column *planes* of `rows × lanes`
+//! entries:
+//!
+//! ```text
+//! data = [ group 0                                | group 1 | … ]
+//! group = [ plane of col 0   | plane of col 1 | … ]          (cols planes)
+//! plane = [ row 0: lane 0 … lane L−1 | row 1: … ]     (rows × lanes f64s)
+//! ```
+//!
+//! so entry `(r, j)` of problem `g·L + l` lives at
+//! `((g·cols + j)·rows + r)·L + l`. Two properties make this the right
+//! layout for the batched Jacobi engine:
+//!
+//! * a column pair `(p, q)` of **all `L` problems in a group** is two
+//!   contiguous planes — exactly the shape the lane kernels in
+//!   [`treesvd_matrix::soa`] consume with unit-stride vector loads;
+//! * groups are contiguous and independent, so a batch shards across pool
+//!   workers by splitting `data` at group boundaries (`split_at_mut`, no
+//!   locks, no copies).
+//!
+//! The final group is padded with zero lanes when `count % lanes != 0`;
+//! zero columns are skipped by the rotation solve, so padding lanes never
+//! rotate, never converge late, and cost only the blended stores.
+
+use crate::options::BatchError;
+use treesvd_matrix::Matrix;
+
+/// Lane-group widths the engine dispatches on: 4 (one AVX2 register),
+/// 8 (one AVX-512 register — the default, [`treesvd_matrix::soa::LANES`]),
+/// 16 (two AVX-512 registers, amortizing the per-pair solve further).
+pub const SUPPORTED_LANES: [usize; 3] = [4, 8, 16];
+
+/// A batch of `count` same-shape small matrices in group-major SoA layout.
+#[derive(Debug, Clone)]
+pub struct BatchSoA {
+    rows: usize,
+    cols: usize,
+    count: usize,
+    lanes: usize,
+    data: Vec<f64>,
+}
+
+impl BatchSoA {
+    /// An all-zero batch of `count` matrices of shape `rows × cols`
+    /// (`rows ≥ cols ≥ 1` — batched problems are tall or square), grouped
+    /// `lanes` problems at a time.
+    ///
+    /// # Errors
+    /// [`BatchError::BadShape`], [`BatchError::BadLanes`] or
+    /// [`BatchError::EmptyBatch`] on invalid parameters.
+    pub fn new(rows: usize, cols: usize, count: usize, lanes: usize) -> Result<Self, BatchError> {
+        if cols == 0 || rows < cols {
+            return Err(BatchError::BadShape { rows, cols });
+        }
+        if !SUPPORTED_LANES.contains(&lanes) {
+            return Err(BatchError::BadLanes(lanes));
+        }
+        if count == 0 {
+            return Err(BatchError::EmptyBatch);
+        }
+        let groups = count.div_ceil(lanes);
+        let data = vec![0.0; groups * cols * rows * lanes];
+        Ok(Self { rows, cols, count, lanes, data })
+    }
+
+    /// An empty placeholder (used by the engine for its reusable V
+    /// storage before the first run).
+    pub(crate) fn placeholder() -> Self {
+        Self { rows: 0, cols: 0, count: 0, lanes: crate::LANES, data: Vec::new() }
+    }
+
+    /// Re-shape in place for a new run, reusing the existing allocation
+    /// when it is large enough (`events` counts the grows). All entries
+    /// are reset to zero.
+    pub(crate) fn reshape(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        count: usize,
+        lanes: usize,
+        events: &mut u64,
+    ) {
+        let groups = count.div_ceil(lanes);
+        let len = groups * cols * rows * lanes;
+        if self.data.capacity() < len {
+            *events += 1;
+        }
+        self.data.clear();
+        self.data.resize(len, 0.0); // from empty: every entry is freshly zeroed
+        self.rows = rows;
+        self.cols = cols;
+        self.count = count;
+        self.lanes = lanes;
+    }
+
+    /// Pack a slice of same-shape matrices into a new batch.
+    ///
+    /// # Errors
+    /// Propagates [`BatchSoA::new`] errors, plus
+    /// [`BatchError::ShapeMismatch`] if the matrices disagree in shape.
+    pub fn from_matrices(ms: &[Matrix], lanes: usize) -> Result<Self, BatchError> {
+        let first = ms.first().ok_or(BatchError::EmptyBatch)?;
+        let (rows, cols) = first.shape();
+        let mut batch = Self::new(rows, cols, ms.len(), lanes)?;
+        for (i, m) in ms.iter().enumerate() {
+            batch.set_problem(i, m)?;
+        }
+        Ok(batch)
+    }
+
+    /// Rows of each problem.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of each problem.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of real (non-padding) problems.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Lane-group width.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of lane groups (`⌈count / lanes⌉`).
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.count.div_ceil(self.lanes)
+    }
+
+    /// `groups · lanes` — the problem count including padding lanes.
+    #[must_use]
+    pub fn padded_count(&self) -> usize {
+        self.groups() * self.lanes
+    }
+
+    /// Length of one column plane (`rows · lanes`).
+    #[must_use]
+    pub fn plane_len(&self) -> usize {
+        self.rows * self.lanes
+    }
+
+    /// Length of one group block (`cols · rows · lanes`).
+    #[must_use]
+    pub fn group_stride(&self) -> usize {
+        self.cols * self.rows * self.lanes
+    }
+
+    /// The raw SoA buffer (group-major, as documented on the module).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer, for the engine's group-boundary sharding.
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column plane `j` of group `g` (read-only).
+    ///
+    /// # Panics
+    /// Panics if `g` or `j` is out of range.
+    #[must_use]
+    pub fn plane(&self, g: usize, j: usize) -> &[f64] {
+        assert!(g < self.groups() && j < self.cols, "plane index out of range");
+        let start = (g * self.cols + j) * self.plane_len();
+        &self.data[start..start + self.plane_len()]
+    }
+
+    /// Entry `(r, c)` of problem `i`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn value(&self, i: usize, r: usize, c: usize) -> f64 {
+        assert!(i < self.count && r < self.rows && c < self.cols, "index out of range");
+        let (g, l) = (i / self.lanes, i % self.lanes);
+        self.data[((g * self.cols + c) * self.rows + r) * self.lanes + l]
+    }
+
+    /// Overwrite problem `i` with the entries of `m` (the AoS → SoA
+    /// transpose for one problem).
+    ///
+    /// # Errors
+    /// [`BatchError::ShapeMismatch`] on a shape disagreement,
+    /// [`BatchError::IndexOutOfBounds`] for `i ≥ count`.
+    pub fn set_problem(&mut self, i: usize, m: &Matrix) -> Result<(), BatchError> {
+        if m.shape() != (self.rows, self.cols) {
+            return Err(BatchError::ShapeMismatch {
+                expected: (self.rows, self.cols),
+                got: m.shape(),
+            });
+        }
+        if i >= self.count {
+            return Err(BatchError::IndexOutOfBounds { index: i, bound: self.count });
+        }
+        let (g, l) = (i / self.lanes, i % self.lanes);
+        let (rows, lanes, plane_len) = (self.rows, self.lanes, self.plane_len());
+        for c in 0..self.cols {
+            let col = m.col(c);
+            let start = (g * self.cols + c) * plane_len;
+            let plane = &mut self.data[start..start + plane_len];
+            for r in 0..rows {
+                plane[r * lanes + l] = col[r];
+            }
+        }
+        Ok(())
+    }
+
+    /// Gather problem `i` back out as a dense [`Matrix`] (the SoA → AoS
+    /// transpose; allocates — intended for result extraction, not hot
+    /// loops).
+    ///
+    /// # Panics
+    /// Panics if `i ≥ count`.
+    #[must_use]
+    pub fn problem(&self, i: usize) -> Matrix {
+        assert!(i < self.count, "problem index out of range");
+        let (g, l) = (i / self.lanes, i % self.lanes);
+        let mut out = vec![0.0; self.rows * self.cols];
+        for c in 0..self.cols {
+            let plane = self.plane(g, c);
+            for r in 0..self.rows {
+                out[c * self.rows + r] = plane[r * self.lanes + l];
+            }
+        }
+        Matrix::from_col_major(self.rows, self.cols, out).expect("valid shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_matrix::generate;
+
+    #[test]
+    fn roundtrip_preserves_problems() {
+        let ms: Vec<Matrix> =
+            (0..11).map(|i| generate::random_uniform(5, 3, 100 + i as u64)).collect();
+        let batch = BatchSoA::from_matrices(&ms, 4).unwrap();
+        assert_eq!(batch.count(), 11);
+        assert_eq!(batch.groups(), 3);
+        assert_eq!(batch.padded_count(), 12);
+        for (i, m) in ms.iter().enumerate() {
+            let back = batch.problem(i);
+            for c in 0..3 {
+                assert_eq!(back.col(c), m.col(c), "problem {i} col {c}");
+                for r in 0..5 {
+                    assert_eq!(batch.value(i, r, c), m.get(r, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_lanes_are_zero() {
+        let ms: Vec<Matrix> = (0..5).map(|i| generate::random_uniform(3, 3, i as u64)).collect();
+        let batch = BatchSoA::from_matrices(&ms, 8).unwrap();
+        // lanes 5..8 of the single group must be zero everywhere
+        for j in 0..3 {
+            let plane = batch.plane(0, j);
+            for r in 0..3 {
+                for l in 5..8 {
+                    assert_eq!(plane[r * 8 + l], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_is_group_major() {
+        let batch = BatchSoA::new(2, 2, 16, 8).unwrap();
+        assert_eq!(batch.group_stride(), 2 * 2 * 8);
+        assert_eq!(batch.plane_len(), 2 * 8);
+        assert_eq!(batch.as_slice().len(), 2 * batch.group_stride());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(matches!(BatchSoA::new(2, 3, 4, 8), Err(BatchError::BadShape { .. })));
+        assert!(matches!(BatchSoA::new(3, 0, 4, 8), Err(BatchError::BadShape { .. })));
+        assert!(matches!(BatchSoA::new(3, 3, 4, 5), Err(BatchError::BadLanes(5))));
+        assert!(matches!(BatchSoA::new(3, 3, 0, 8), Err(BatchError::EmptyBatch)));
+        assert!(matches!(BatchSoA::from_matrices(&[], 8), Err(BatchError::EmptyBatch)));
+        let ms = [generate::random_uniform(3, 3, 1), generate::random_uniform(4, 3, 2)];
+        assert!(matches!(BatchSoA::from_matrices(&ms, 8), Err(BatchError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn reshape_reuses_capacity() {
+        let mut b = BatchSoA::placeholder();
+        let mut events = 0u64;
+        b.reshape(4, 4, 20, 8, &mut events);
+        assert_eq!(events, 1);
+        b.data_mut()[0] = 7.0;
+        b.reshape(4, 4, 20, 8, &mut events);
+        assert_eq!(events, 1, "same shape must not reallocate");
+        assert_eq!(b.as_slice()[0], 0.0, "reshape zeroes the buffer");
+        b.reshape(2, 2, 4, 4, &mut events);
+        assert_eq!(events, 1, "smaller shape must not reallocate");
+    }
+}

@@ -1,0 +1,51 @@
+//! Batched small-SVD engine: structure-of-arrays layout, problem-wise
+//! SIMD, pool-sharded.
+//!
+//! The tree-architecture Jacobi machinery in `treesvd-core` solves one
+//! *large* SVD by parallelizing within the problem. This crate covers the
+//! opposite workload: **millions of independent small SVDs** (2×2 up to
+//! ~64×64) — per-pair Procrustes alignments, per-window signal subspaces,
+//! per-user Gram whitening — where each problem is far too small to
+//! vectorize on its own. Following the batched order-2 SVD of Novaković
+//! (arXiv 2005.07403) and the GPU batch solver line of work, the engine
+//! vectorizes *across* problems instead:
+//!
+//! * [`BatchSoA`] stores the batch in group-major structure-of-arrays
+//!   layout — problem `i` at lane `i % lanes` of group `i / lanes` — so a
+//!   column pair of `lanes` problems is two contiguous planes and one
+//!   AVX-512/AVX2 instruction advances 8 (or 4) problems at once;
+//! * the engine ([`BatchEngine`] / [`batch_svd`]) runs a cyclic-by-rows
+//!   one-sided Jacobi iteration per lane group with the branch-free
+//!   rotation solve and masked rotate kernels of
+//!   [`treesvd_matrix::soa`], per-problem convergence masks, and the
+//!   sequential driver's exact conventions (threshold `n·ε`, descending
+//!   sort via rotation-with-swap, counted final empty sweep, `‖A‖·n·ε`
+//!   rank tolerance, Gram–Schmidt completion of rank-deficient factors);
+//! * batches shard across the persistent parked-worker pool
+//!   ([`treesvd_sim::par`]) at lane-group boundaries, and every buffer is
+//!   engine-owned and reused: from the second same-shape run on, a batch
+//!   solve performs **zero allocations**.
+//!
+//! ```
+//! use treesvd_batch::{batch_svd, BatchOptions, BatchSoA};
+//! use treesvd_matrix::generate;
+//!
+//! let ms: Vec<_> = (0..100).map(|i| generate::random_uniform(8, 8, i)).collect();
+//! let mut batch = BatchSoA::from_matrices(&ms, treesvd_batch::LANES).unwrap();
+//! let out = batch_svd(&mut batch, &BatchOptions::default()).unwrap();
+//! let u0 = batch.problem(0); // A was transformed to U in place
+//! let residual = treesvd_matrix::checks::reconstruction_residual(
+//!     &ms[0], &u0, out.sigma(0), &out.v_problem(0).unwrap());
+//! assert!(residual < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod layout;
+pub mod options;
+
+pub use engine::{batch_svd, BatchEngine, BatchOutput};
+pub use layout::{BatchSoA, SUPPORTED_LANES};
+pub use options::{BatchError, BatchOptions, BatchStats};
+pub use treesvd_matrix::soa::{LanePath, LANES};

@@ -1,0 +1,219 @@
+//! Configuration, errors, and run statistics for the batched engine.
+
+use std::fmt;
+use treesvd_matrix::soa::LanePath;
+
+/// Options for [`batch_svd`](crate::batch_svd) / [`BatchEngine`](crate::BatchEngine).
+///
+/// Mirrors the knobs of `treesvd_core::SvdOptions` that make sense for
+/// batches of independent small problems; the ordering/topology machinery
+/// does not apply (every problem is solved by one cyclic-by-rows sweep
+/// schedule, vectorized across problems).
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Which kernel body executes the lane math (default: widest SIMD).
+    pub path: LanePath,
+    /// Pair threshold relative to the column norms; `None` derives the
+    /// classical `n · ε` from the column count, matching the sequential
+    /// driver.
+    pub threshold: Option<f64>,
+    /// Hard cap on sweeps per problem (default 60, like the drivers).
+    pub max_sweeps: usize,
+    /// Keep singular values sorted descending via the folded
+    /// rotation-with-swap (default `true`, matching the sequential
+    /// driver's conventions).
+    pub sort: bool,
+    /// Accumulate right singular vectors `V` (default `true`). Turning
+    /// this off halves the rotate traffic per pair.
+    pub vectors: bool,
+    /// Host-thread budget for pool sharding; `None` uses
+    /// [`par::num_threads`](treesvd_sim::par::num_threads) (which honors
+    /// `TREESVD_THREADS`).
+    pub threads: Option<usize>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            path: LanePath::Auto,
+            threshold: None,
+            max_sweeps: 60,
+            sort: true,
+            vectors: true,
+            threads: None,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Select the kernel path (`Auto` = widest SIMD, `Scalar` = portable
+    /// fallback; bitwise-identical results either way).
+    #[must_use]
+    pub fn with_path(mut self, path: LanePath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Set an explicit pair threshold (`None` = classical `n · ε`).
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: Option<f64>) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Set the sweep cap.
+    #[must_use]
+    pub fn with_max_sweeps(mut self, max_sweeps: usize) -> Self {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Enable or disable descending sort of the singular values.
+    #[must_use]
+    pub fn with_sort(mut self, sort: bool) -> Self {
+        self.sort = sort;
+        self
+    }
+
+    /// Enable or disable right-singular-vector accumulation.
+    #[must_use]
+    pub fn with_vectors(mut self, vectors: bool) -> Self {
+        self.vectors = vectors;
+        self
+    }
+
+    /// Cap the host-thread budget (`None` = machine parallelism /
+    /// `TREESVD_THREADS`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Errors from the batched engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// The batch holds no problems.
+    EmptyBatch,
+    /// Problems must be tall or square with at least one column.
+    BadShape {
+        /// Rows of each problem.
+        rows: usize,
+        /// Columns of each problem.
+        cols: usize,
+    },
+    /// Unsupported lane-group width (see
+    /// [`SUPPORTED_LANES`](crate::SUPPORTED_LANES)).
+    BadLanes(usize),
+    /// A matrix disagreed with the batch shape.
+    ShapeMismatch {
+        /// The batch's problem shape.
+        expected: (usize, usize),
+        /// The offending matrix's shape.
+        got: (usize, usize),
+    },
+    /// A problem index beyond the batch count.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of problems.
+        bound: usize,
+    },
+    /// One or more problems hit the sweep cap without converging. The
+    /// batch data is left in its rotated (unnormalized) state.
+    NoConvergence {
+        /// How many problems failed to converge.
+        unconverged: usize,
+        /// The sweep cap that was hit.
+        sweeps: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::EmptyBatch => write!(f, "batch holds no problems"),
+            BatchError::BadShape { rows, cols } => {
+                write!(f, "batched problems must be tall or square, got {rows}x{cols}")
+            }
+            BatchError::BadLanes(l) => {
+                write!(f, "unsupported lane width {l} (supported: 4, 8, 16)")
+            }
+            BatchError::ShapeMismatch { expected, got } => write!(
+                f,
+                "matrix shape {}x{} does not match batch shape {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            BatchError::IndexOutOfBounds { index, bound } => {
+                write!(f, "problem index {index} out of bounds for batch of {bound}")
+            }
+            BatchError::NoConvergence { unconverged, sweeps } => {
+                write!(f, "{unconverged} problem(s) did not converge within {sweeps} sweeps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Summary statistics of one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Real problems solved.
+    pub problems: usize,
+    /// Lane groups processed (including the padded tail group).
+    pub groups: usize,
+    /// Lane-group width used.
+    pub lanes: usize,
+    /// The largest per-problem sweep count observed.
+    pub max_sweeps_used: u32,
+    /// Allocation events during this run (buffer grows anywhere in the
+    /// engine). Zero from the second same-shape run on: the steady state
+    /// is allocation-free.
+    pub alloc_events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_drivers() {
+        let o = BatchOptions::default();
+        assert_eq!(o.path, LanePath::Auto);
+        assert_eq!(o.threshold, None);
+        assert_eq!(o.max_sweeps, 60);
+        assert!(o.sort);
+        assert!(o.vectors);
+        assert_eq!(o.threads, None);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let o = BatchOptions::default()
+            .with_path(LanePath::Scalar)
+            .with_threshold(Some(1e-14))
+            .with_max_sweeps(10)
+            .with_sort(false)
+            .with_vectors(false)
+            .with_threads(Some(3));
+        assert_eq!(o.path, LanePath::Scalar);
+        assert_eq!(o.threshold, Some(1e-14));
+        assert_eq!(o.max_sweeps, 10);
+        assert!(!o.sort);
+        assert!(!o.vectors);
+        assert_eq!(o.threads, Some(3));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(BatchError::EmptyBatch.to_string().contains("no problems"));
+        assert!(BatchError::BadShape { rows: 2, cols: 3 }.to_string().contains("2x3"));
+        assert!(BatchError::BadLanes(5).to_string().contains('5'));
+        let e = BatchError::ShapeMismatch { expected: (4, 4), got: (3, 2) };
+        assert!(e.to_string().contains("3x2") && e.to_string().contains("4x4"));
+        let e = BatchError::NoConvergence { unconverged: 2, sweeps: 60 };
+        assert!(e.to_string().contains('2') && e.to_string().contains("60"));
+    }
+}

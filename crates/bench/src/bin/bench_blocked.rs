@@ -62,7 +62,7 @@ fn find(records: &[Record], kernel: BlockKernel, vectors: bool, c: usize) -> f64
         .unwrap_or(f64::NAN)
 }
 
-fn full_run() {
+fn full_run(seed: u64) {
     const M: usize = 1024;
     const PROCESSORS: usize = 4; // 8 block slots, n = 8c
     let block_widths = [4usize, 8, 16, 32];
@@ -70,7 +70,7 @@ fn full_run() {
 
     for &c in &block_widths {
         let n = 2 * PROCESSORS * c;
-        let a = generate::random_uniform(M, n, 42);
+        let a = generate::random_uniform(M, n, seed);
         for vectors in [true, false] {
             for kernel in [BlockKernel::Pairwise, BlockKernel::Gram] {
                 let (seconds, run) = time_blocked(&a, &opts_for(kernel, vectors, PROCESSORS));
@@ -89,6 +89,7 @@ fn full_run() {
     json.push_str(
         "  \"generated_by\": \"cargo run --release -p treesvd-bench --bin bench_blocked\",\n",
     );
+    let _ = writeln!(json, "  \"meta\": {},", treesvd_bench::meta::meta_json(seed));
     let _ = writeln!(json, "  \"matrix_rows\": {M},");
     let _ = writeln!(json, "  \"processors\": {PROCESSORS},");
     json.push_str("  \"unit\": \"seconds (median wall-clock, full blocked_svd)\",\n");
@@ -132,12 +133,12 @@ fn full_run() {
 /// Quick gate: at block width 16 the Gram kernel must not lose to the
 /// pairwise oracle, and its scratch buffers must stop growing after the
 /// warm-up sweep.
-fn smoke_run() -> bool {
+fn smoke_run(seed: u64) -> bool {
     const M: usize = 512;
     const C: usize = 16;
     const PROCESSORS: usize = 4;
     let n = 2 * PROCESSORS * C;
-    let a = generate::random_uniform(M, n, 42);
+    let a = generate::random_uniform(M, n, seed);
 
     let (pairwise, _) = time_blocked(&a, &opts_for(BlockKernel::Pairwise, true, PROCESSORS));
     let (gram, run) = time_blocked(&a, &opts_for(BlockKernel::Gram, true, PROCESSORS));
@@ -158,11 +159,12 @@ fn smoke_run() -> bool {
 }
 
 fn main() {
+    let seed = treesvd_bench::meta::seed_from_args();
     if std::env::args().any(|a| a == "--smoke") {
-        if !smoke_run() {
+        if !smoke_run(seed) {
             std::process::exit(1);
         }
     } else {
-        full_run();
+        full_run(seed);
     }
 }

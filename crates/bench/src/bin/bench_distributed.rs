@@ -64,8 +64,9 @@ fn time_distributed(
     m: usize,
     n: usize,
     config: Config,
+    seed: u64,
 ) -> (f64, DistributedOutcome) {
-    let a = generate::random_uniform(m, n, 42);
+    let a = generate::random_uniform(m, n, seed);
     let ord = kind.build(n).expect("ordering");
     let cfg = config.dist();
     let mut samples = [0.0f64; SAMPLES];
@@ -99,7 +100,7 @@ fn find(records: &[Record], ordering: OrderingKind, n: usize, config: Config) ->
         .unwrap_or(f64::NAN)
 }
 
-fn full_run() {
+fn full_run(seed: u64) {
     const M: usize = 4096;
     let orderings = [OrderingKind::NewRing, OrderingKind::FatTree, OrderingKind::Hybrid];
     let sizes = [16usize, 32];
@@ -108,7 +109,7 @@ fn full_run() {
     for &kind in &orderings {
         for &n in &sizes {
             for config in Config::ALL {
-                let (seconds, run) = time_distributed(kind, M, n, config);
+                let (seconds, run) = time_distributed(kind, M, n, config, seed);
                 eprintln!(
                     "{} n={n:2} P={:2} {}: {seconds:.4} s over {} sweeps \
                      (overlap {}, steady payload allocs {})",
@@ -137,6 +138,7 @@ fn full_run() {
     json.push_str(
         "  \"generated_by\": \"cargo run --release -p treesvd-bench --bin bench_distributed\",\n",
     );
+    let _ = writeln!(json, "  \"meta\": {},", treesvd_bench::meta::meta_json(seed));
     let _ = writeln!(json, "  \"matrix_rows\": {M},");
     json.push_str(
         "  \"unit\": \"seconds (median wall-clock, full distributed_svd, vectors on)\",\n",
@@ -184,13 +186,13 @@ fn full_run() {
 /// Quick gate: zero-copy + overlap must not lose to the legacy executor,
 /// the overlapped schedule must actually engage, and the steady state must
 /// make zero payload allocations.
-fn smoke_run() -> bool {
+fn smoke_run(seed: u64) -> bool {
     const M: usize = 4096;
     const N: usize = 16;
     let kind = OrderingKind::NewRing;
 
-    let (legacy, _) = time_distributed(kind, M, N, Config::Legacy);
-    let (overlapped, run) = time_distributed(kind, M, N, Config::ZeroCopyOverlap);
+    let (legacy, _) = time_distributed(kind, M, N, Config::Legacy, seed);
+    let (overlapped, run) = time_distributed(kind, M, N, Config::ZeroCopyOverlap, seed);
 
     // generous 10% slack: the gate guards against regressions, not noise
     let fast_enough = overlapped <= legacy * 1.10;
@@ -210,11 +212,12 @@ fn smoke_run() -> bool {
 }
 
 fn main() {
+    let seed = treesvd_bench::meta::seed_from_args();
     if std::env::args().any(|a| a == "--smoke") {
-        if !smoke_run() {
+        if !smoke_run(seed) {
             std::process::exit(1);
         }
     } else {
-        full_run();
+        full_run(seed);
     }
 }

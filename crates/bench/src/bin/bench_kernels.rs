@@ -9,7 +9,9 @@
 //!
 //! The full run times every hot-path kernel at several column lengths
 //! (median ns/iter over repeated samples) and writes the results — plus
-//! the derived unrolled-over-naive and fused-over-unfused speedups — to
+//! the derived unrolled-over-naive and fused-over-unfused speedups and a
+//! `meta` provenance block (SIMD tier, lane width, thread budget, seed;
+//! `--seed N` overrides the default 42) — to
 //! `BENCH_kernels.json` at the repository root. The smoke run is the
 //! cheap regression gate used by `scripts/verify.sh`: on 64 column pairs
 //! of length 512 the fused rotate-and-measure kernel must not be slower
@@ -46,9 +48,10 @@ fn time_ns<F: FnMut() -> f64>(mut routine: F) -> f64 {
     samples[SAMPLES / 2]
 }
 
-fn columns(m: usize) -> (Vec<f64>, Vec<f64>) {
-    let a: Vec<f64> = (0..m).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
-    let b: Vec<f64> = (0..m).map(|i| ((i * 40503 + 7) % 1000) as f64 / 500.0 - 1.0).collect();
+fn columns(m: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = treesvd_matrix::rng::Rng::seed_from_u64(seed);
+    let a: Vec<f64> = (0..m).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b: Vec<f64> = (0..m).map(|_| rng.uniform(-1.0, 1.0)).collect();
     (a, b)
 }
 
@@ -59,8 +62,8 @@ struct Record {
 }
 
 /// Benchmark every kernel tier at `len`, appending to `records`.
-fn bench_len(len: usize, records: &mut Vec<Record>) {
-    let (a, b) = columns(len);
+fn bench_len(len: usize, seed: u64, records: &mut Vec<Record>) {
+    let (a, b) = columns(len, seed);
     let (alpha, beta, gamma) = gram3(&a, &b);
     let rot = compute_rotation(alpha, beta, gamma, 0.0);
     let mut push = |kernel, ns| records.push(Record { kernel, len, ns_per_iter: ns });
@@ -119,12 +122,12 @@ fn find(records: &[Record], kernel: &str, len: usize) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
-fn full_run() {
+fn full_run(seed: u64) {
     let lens = [64usize, 256, 1024, 4096];
     let mut records = Vec::new();
     for &len in &lens {
         eprintln!("benchmarking len {len} ...");
-        bench_len(len, &mut records);
+        bench_len(len, seed, &mut records);
     }
 
     let mut json = String::new();
@@ -132,6 +135,7 @@ fn full_run() {
     json.push_str(
         "  \"generated_by\": \"cargo run --release -p treesvd-bench --bin bench_kernels\",\n",
     );
+    let _ = writeln!(json, "  \"meta\": {},", treesvd_bench::meta::meta_json(seed));
     json.push_str("  \"unit\": \"ns_per_iter (median)\",\n");
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -175,10 +179,11 @@ fn full_run() {
 
 /// Quick gate: fused rotate-and-measure must not lose to the unfused
 /// rotate + two-norm sequence on 64 pairs of length-512 columns.
-fn smoke_run() -> bool {
+fn smoke_run(seed: u64) -> bool {
     const M: usize = 512;
     const PAIRS: usize = 64;
-    let cols: Vec<(Vec<f64>, Vec<f64>)> = (0..PAIRS).map(|_| columns(M)).collect();
+    let cols: Vec<(Vec<f64>, Vec<f64>)> =
+        (0..PAIRS).map(|p| columns(M, seed.wrapping_add(p as u64))).collect();
     let (alpha, beta, gamma) = gram3(&cols[0].0, &cols[0].1);
     let rot = compute_rotation(alpha, beta, gamma, 0.0);
 
@@ -210,11 +215,12 @@ fn smoke_run() -> bool {
 }
 
 fn main() {
+    let seed = treesvd_bench::meta::seed_from_args();
     if std::env::args().any(|a| a == "--smoke") {
-        if !smoke_run() {
+        if !smoke_run(seed) {
             std::process::exit(1);
         }
     } else {
-        full_run();
+        full_run(seed);
     }
 }

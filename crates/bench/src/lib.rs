@@ -17,4 +17,5 @@
 pub mod ablations;
 pub mod experiments;
 pub mod figures;
+pub mod meta;
 pub mod table;

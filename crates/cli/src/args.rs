@@ -15,6 +15,8 @@ usage:
               [--sigma-out FILE] [--u-out FILE] [--v-out FILE]
   treesvd analyze [--ordering NAME] [--n N] [--topology NAME]
                   [--groups M] [--words W]
+  treesvd batch --order N --count K [--rows M] [--seed S] [--lanes L]
+                [--scalar] [--threads T] [--no-vectors] [--max-sweeps S]
   treesvd lstsq <matrix-file> <rhs-file> [--rcond X]
   treesvd cond <matrix-file>
   treesvd info
@@ -27,7 +29,12 @@ block kernels (with --processors): pairwise | gram   (default: gram)
 --no-overlap disables comm/compute overlap in the distributed executor
             (bitwise-identical results; overlap is on by default)
 --threads N caps the host worker lanes (default: machine parallelism,
-            or the TREESVD_THREADS environment variable)";
+            or the TREESVD_THREADS environment variable)
+batch:      synthetic throughput run of the batched small-SVD engine —
+            K random M×N problems (M defaults to N, N ≤ 64 is the
+            intended regime) solved in SoA lanes; --lanes picks the
+            group width (4 | 8 | 16, default 8), --scalar forces the
+            portable kernel path (bitwise-identical results)";
 
 fn parse_ordering(name: &str) -> Result<OrderingKind, String> {
     OrderingKind::ALL
@@ -60,6 +67,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     match cmd.as_str() {
         "svd" => cmd_svd(&argv[1..]),
         "analyze" => cmd_analyze(&argv[1..]),
+        "batch" => cmd_batch(&argv[1..]),
         "lstsq" => cmd_lstsq(&argv[1..]),
         "cond" => cmd_cond(&argv[1..]),
         "info" => Ok(cmd_info()),
@@ -213,6 +221,75 @@ fn cmd_analyze(rest: &[String]) -> Result<String, String> {
     } else {
         Err(format!("schedule verification failed\n{report}"))
     }
+}
+
+fn cmd_batch(rest: &[String]) -> Result<String, String> {
+    let mut args = rest.to_vec();
+    let order = take_flag(&mut args, "--order")?
+        .ok_or_else(|| "batch needs --order N".to_string())?
+        .parse::<usize>()
+        .map_err(|e| format!("--order: {e}"))?;
+    let count = take_flag(&mut args, "--count")?
+        .ok_or_else(|| "batch needs --count K".to_string())?
+        .parse::<usize>()
+        .map_err(|e| format!("--count: {e}"))?;
+    let rows = take_flag(&mut args, "--rows")?
+        .map_or(Ok(order), |v| v.parse::<usize>().map_err(|e| format!("--rows: {e}")))?;
+    let seed = take_flag(&mut args, "--seed")?
+        .map_or(Ok(42), |v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))?;
+    let lanes = take_flag(&mut args, "--lanes")?.map_or(Ok(treesvd_batch::LANES), |v| {
+        v.parse::<usize>().map_err(|e| format!("--lanes: {e}"))
+    })?;
+    let threads = take_flag(&mut args, "--threads")?
+        .map(|t| t.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+        .transpose()?;
+    if threads == Some(0) {
+        return Err("--threads must be at least 1".to_string());
+    }
+    let max_sweeps = take_flag(&mut args, "--max-sweeps")?
+        .map_or(Ok(60), |v| v.parse::<usize>().map_err(|e| format!("--max-sweeps: {e}")))?;
+    let scalar = take_switch(&mut args, "--scalar");
+    let no_vectors = take_switch(&mut args, "--no-vectors");
+    if !args.is_empty() {
+        return Err(format!("batch: unexpected argument {:?}", args[0]));
+    }
+
+    // fill the SoA batch one problem at a time so peak memory stays at
+    // one dense matrix plus the batch itself
+    let mut batch = treesvd_batch::BatchSoA::new(rows, order, count, lanes)
+        .map_err(|e| format!("batch setup: {e}"))?;
+    for i in 0..count {
+        let m = treesvd_matrix::generate::random_uniform(rows, order, seed.wrapping_add(i as u64));
+        batch.set_problem(i, &m).map_err(|e| format!("batch setup: {e}"))?;
+    }
+
+    let path = if scalar { treesvd_batch::LanePath::Scalar } else { treesvd_batch::LanePath::Auto };
+    let opts = treesvd_batch::BatchOptions::default()
+        .with_path(path)
+        .with_vectors(!no_vectors)
+        .with_max_sweeps(max_sweeps)
+        .with_threads(threads);
+    let start = std::time::Instant::now();
+    let out = treesvd_batch::batch_svd(&mut batch, &opts).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = out.stats;
+    let mut text = format!(
+        "# batched svd: {count} problems of {rows}x{order}, lanes {}, path {}, seed {seed}\n",
+        stats.lanes,
+        if scalar { "scalar" } else { "auto" },
+    );
+    text.push_str(&format!(
+        "# {} lane groups, max {} sweeps, {} alloc events\n",
+        stats.groups, stats.max_sweeps_used, stats.alloc_events
+    ));
+    text.push_str(&format!(
+        "# solved in {elapsed:.6} s — {:.0} problems/s\n",
+        count as f64 / elapsed.max(1e-12)
+    ));
+    text.push_str("# singular values of problem 0 (descending):\n");
+    text.push_str(&io::format_vector(out.sigma(0)));
+    Ok(text)
 }
 
 fn cmd_lstsq(rest: &[String]) -> Result<String, String> {
@@ -414,6 +491,44 @@ mod tests {
                 .unwrap_err();
         assert!(err.contains("FAIL"), "{err}");
         assert!(err.contains("contention"), "{err}");
+    }
+
+    #[test]
+    fn batch_runs_and_reports_throughput() {
+        let out = run(&argv(&["batch", "--order", "6", "--count", "37", "--seed", "7"])).unwrap();
+        assert!(out.contains("37 problems of 6x6"), "{out}");
+        assert!(out.contains("problems/s"), "{out}");
+        // 37 problems over 8 lanes → 5 groups
+        assert!(out.contains("5 lane groups"), "{out}");
+    }
+
+    #[test]
+    fn batch_scalar_path_is_bitwise_identical() {
+        let base = argv(&["batch", "--order", "5", "--count", "13", "--rows", "9"]);
+        let auto = run(&base).unwrap();
+        let mut scalar_args = base.clone();
+        scalar_args.push("--scalar".to_string());
+        let scalar = run(&scalar_args).unwrap();
+        let sigmas = |s: &str| -> Vec<String> {
+            s.lines().filter(|l| !l.starts_with('#')).map(str::to_string).collect()
+        };
+        assert_eq!(sigmas(&auto), sigmas(&scalar), "kernel paths must agree bitwise");
+    }
+
+    #[test]
+    fn batch_flags_validate() {
+        assert!(run(&argv(&["batch", "--count", "4"])).is_err(), "missing --order");
+        assert!(run(&argv(&["batch", "--order", "4"])).is_err(), "missing --count");
+        assert!(run(&argv(&["batch", "--order", "4", "--count", "4", "--lanes", "5"])).is_err());
+        assert!(run(&argv(&["batch", "--order", "4", "--count", "4", "--rows", "2"])).is_err());
+        assert!(run(&argv(&["batch", "--order", "4", "--count", "4", "--threads", "0"])).is_err());
+        assert!(run(&argv(&["batch", "--order", "4", "--count", "4", "stray"])).is_err());
+        // lanes 4 and 16, thread caps, and --no-vectors all parse and run
+        for extra in [&["--lanes", "4"][..], &["--lanes", "16"], &["--threads", "2"]] {
+            let mut a = argv(&["batch", "--order", "3", "--count", "9", "--no-vectors"]);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            assert!(run(&a).is_ok(), "{extra:?}");
+        }
     }
 
     #[test]

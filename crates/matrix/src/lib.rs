@@ -44,6 +44,7 @@ pub mod ops;
 mod proptests;
 pub mod rng;
 pub mod rotation;
+pub mod soa;
 
 pub use error::MatrixError;
 pub use matrix::Matrix;

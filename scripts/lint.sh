@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== clippy: treesvd-comm with hb-tracker, deny warnings =="
 cargo clippy -p treesvd-comm --all-targets --features hb-tracker -- -D warnings
 
+echo "== clippy: treesvd-batch (SoA lane kernels + engine), deny warnings =="
+cargo clippy -p treesvd-batch --all-targets -- -D warnings
+
 echo "== analyzer self-check: every built-in ordering =="
 cargo build -q --release -p treesvd-cli
 TREESVD=target/release/treesvd

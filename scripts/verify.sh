@@ -24,4 +24,7 @@ cargo run --release -p treesvd-bench --bin bench_blocked -- --smoke
 echo "== bench smoke: zero-copy overlapped vs legacy distributed executor (4096x16) =="
 cargo run --release -p treesvd-bench --bin bench_distributed -- --smoke
 
+echo "== bench smoke: batched SoA engine vs per-problem sequential loop (8x8 x 100k) =="
+cargo run --release -p treesvd-bench --bin bench_batched -- --smoke
+
 echo "verify.sh: all gates passed"

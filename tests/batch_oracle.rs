@@ -1,0 +1,267 @@
+//! Cross-crate validation of the batched small-SVD engine against the
+//! sequential reference driver.
+//!
+//! Two layers:
+//!
+//! * an exhaustive order-2 edge-case suite (zero matrices, rank-1, equal
+//!   singular values, denormal and huge entries, sign/ordering
+//!   conventions), every problem checked against `sequential_svd`;
+//! * property tests over random mixed batches — σ to tight relative
+//!   bounds against the per-problem oracle, factor orthogonality,
+//!   reconstruction residual — across lane widths, thread counts, and
+//!   both kernel paths.
+
+use proptest::prelude::*;
+use treesvd_batch::{batch_svd, BatchOptions, BatchOutput, BatchSoA, LanePath};
+use treesvd_core::sequential::sequential_svd;
+use treesvd_matrix::{checks, generate, ops, Matrix};
+
+/// Relative σ tolerance vs the oracle: the engines run the same
+/// iteration but accumulate Gram entries in different orders, so the
+/// trajectories (and the final values) differ by a few ulps per sweep.
+fn sigma_tol(scale: f64) -> f64 {
+    1e4 * f64::EPSILON * scale.max(1.0)
+}
+
+/// Check one problem of a batch output against the sequential oracle.
+fn check_against_oracle(a: &Matrix, batch: &BatchSoA, out: &BatchOutput, i: usize, tag: &str) {
+    let oracle = sequential_svd(a, 60).expect("oracle converges");
+    let sigma = out.sigma(i);
+    let scale = oracle.svd.sigma.iter().fold(0.0_f64, |m, &s| m.max(s));
+    for (j, (&got, &want)) in sigma.iter().zip(oracle.svd.sigma.iter()).enumerate() {
+        assert!(
+            (got - want).abs() <= sigma_tol(scale),
+            "{tag} problem {i} sigma[{j}]: {got} vs oracle {want}"
+        );
+    }
+    // descending order, like the oracle
+    for w in sigma.windows(2) {
+        assert!(w[0] >= w[1] - sigma_tol(scale), "{tag} problem {i}: sigma not sorted {sigma:?}");
+    }
+    assert_eq!(out.rank(i), oracle.svd.rank, "{tag} problem {i}: rank");
+    let u = batch.problem(i);
+    let v = out.v_problem(i).expect("vectors accumulated");
+    // Outside roughly [1e-145, 1e150] the Gram entries σ² are subnormal
+    // (or the scaled norms overflow their 1/scale factor), and *neither*
+    // engine can orthogonalize or measure residuals meaningfully — both
+    // still agree on σ and rank above, but factor quality is only checked
+    // in the representable regime.
+    let amax = a.max_abs();
+    let gram_representable = amax == 0.0 || (1e-145..=1e151).contains(&amax);
+    if gram_representable {
+        assert!(checks::orthogonality_residual(&u) < 1e-11, "{tag} problem {i}: U orthogonality");
+        assert!(checks::orthogonality_residual(&v) < 1e-11, "{tag} problem {i}: V orthogonality");
+        let residual = checks::reconstruction_residual(a, &u, sigma, &v);
+        assert!(residual < 1e-11, "{tag} problem {i}: residual {residual}");
+    }
+}
+
+/// Solve `ms` as one batch and check every problem against the oracle.
+fn batch_vs_oracle(ms: &[Matrix], lanes: usize, opts: &BatchOptions, tag: &str) {
+    let mut batch = BatchSoA::from_matrices(ms, lanes).expect("valid batch");
+    let out = batch_svd(&mut batch, opts).expect("batch converges");
+    for (i, a) in ms.iter().enumerate() {
+        check_against_oracle(a, &batch, &out, i, tag);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// order-2 edge cases (satellite: exhaustive 2×2 suite)
+// ---------------------------------------------------------------------------
+
+/// The order-2 edge-case zoo: every degenerate shape the batched kernel
+/// must agree with the sequential driver on.
+fn order2_edge_cases() -> Vec<(&'static str, Matrix)> {
+    let m = |d: [f64; 4]| Matrix::from_row_major(2, 2, &d).unwrap();
+    vec![
+        ("zero", m([0.0, 0.0, 0.0, 0.0])),
+        ("identity", m([1.0, 0.0, 0.0, 1.0])),
+        ("rank1-cols", m([1.0, 2.0, 2.0, 4.0])),
+        ("rank1-rows", m([3.0, 4.0, 0.0, 0.0])),
+        ("zero-col", m([5.0, 0.0, -2.0, 0.0])),
+        ("equal-sigma-rotation", m([0.6, -0.8, 0.8, 0.6])),
+        ("equal-sigma-scaled", m([3.0, 0.0, 0.0, -3.0])),
+        ("needs-swap", m([1.0, 0.0, 0.0, 7.0])),
+        ("already-sorted", m([7.0, 0.0, 0.0, 1.0])),
+        ("coupled", m([2.0, 1.0, 1.0, 3.0])),
+        ("negative", m([-2.0, 1.5, 0.5, -3.0])),
+        ("tiny", m([1e-160, 2e-160, -3e-160, 1e-161])),
+        ("denormal", m([5e-310, 1e-310, -2e-310, 3e-310])),
+        ("huge", m([3e150, -1e150, 2e150, 5e149])),
+        ("graded", m([1e100, 1.0, 1.0, 1e-100])),
+        ("near-rank1", m([1.0, 1.0, 1.0, 1.0 + 1e-12])),
+    ]
+}
+
+#[test]
+fn order2_edge_cases_match_the_sequential_driver() {
+    for (name, a) in order2_edge_cases() {
+        // each case solved alone AND inside a shared batch below
+        batch_vs_oracle(std::slice::from_ref(&a), 4, &BatchOptions::default(), name);
+    }
+}
+
+#[test]
+fn order2_edge_cases_share_one_lane_group() {
+    // all edge cases packed into one batch: lanes see wildly different
+    // data side by side, exercising the per-lane masks hard
+    let ms: Vec<Matrix> = order2_edge_cases().into_iter().map(|(_, m)| m).collect();
+    for lanes in [4, 8, 16] {
+        batch_vs_oracle(&ms, lanes, &BatchOptions::default(), "edge-zoo");
+        let opts = BatchOptions::default().with_path(LanePath::Scalar);
+        batch_vs_oracle(&ms, lanes, &opts, "edge-zoo-scalar");
+    }
+}
+
+#[test]
+fn order2_no_overflow_on_extreme_magnitudes() {
+    // α, β near the f64 limits: the batched (c, s) solve must not
+    // overflow ζ² (the sequential driver never reaches |ζ| > 1e150 on
+    // this data either — both must converge and agree)
+    let ms = vec![
+        Matrix::from_row_major(2, 2, &[1e154, 1e0, 1e0, 1e-154]).unwrap(),
+        Matrix::from_row_major(2, 2, &[1e150, 1e150, -1e150, 1e150]).unwrap(),
+        Matrix::from_row_major(2, 2, &[1e-150, 1e-155, 1e-155, 1e-150]).unwrap(),
+    ];
+    let mut batch = BatchSoA::from_matrices(&ms, 4).unwrap();
+    let out = batch_svd(&mut batch, &BatchOptions::default()).unwrap();
+    for (i, m) in ms.iter().enumerate() {
+        assert!(out.sigma(i).iter().all(|s| s.is_finite()), "problem {i}: {:?}", out.sigma(i));
+        check_against_oracle(m, &batch, &out, i, "extreme");
+    }
+}
+
+#[test]
+fn order2_sign_conventions_match_the_oracle() {
+    // well-separated σ: each singular direction is unique up to a joint
+    // (u_j, v_j) sign flip — verify the batch picks directions that agree
+    // with the oracle's up to that joint sign, per problem
+    let ms: Vec<Matrix> = (0..6)
+        .map(|i| generate::with_singular_values(2, &[4.0 + i as f64, 1.0], 900 + i as u64))
+        .collect();
+    let mut batch = BatchSoA::from_matrices(&ms, 4).unwrap();
+    let out = batch_svd(&mut batch, &BatchOptions::default()).unwrap();
+    for (i, a) in ms.iter().enumerate() {
+        let oracle = sequential_svd(a, 60).unwrap();
+        let u = batch.problem(i);
+        let v = out.v_problem(i).unwrap();
+        for j in 0..2 {
+            let du = ops::dot(u.col(j), oracle.svd.u.col(j));
+            let dv = ops::dot(v.col(j), oracle.svd.v.col(j));
+            assert!(du.abs() > 1.0 - 1e-9, "problem {i} col {j}: |u·u'| = {}", du.abs());
+            assert!(dv.abs() > 1.0 - 1e-9, "problem {i} col {j}: |v·v'| = {}", dv.abs());
+            // the sign flip must be *joint*: u_j and v_j flip together,
+            // or UΣVᵀ would change sign
+            assert!(du * dv > 0.0, "problem {i} col {j}: inconsistent signs ({du}, {dv})");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mixed-content batches vs the oracle (satellite: property tests)
+// ---------------------------------------------------------------------------
+
+/// A deterministic batch of mixed content: full-rank, rank-deficient,
+/// graded, prescribed-spectrum, and zero problems interleaved.
+fn mixed_batch(rows: usize, cols: usize, count: usize, seed: u64) -> Vec<Matrix> {
+    (0..count)
+        .map(|i| {
+            let s = seed + 31 * i as u64;
+            match i % 5 {
+                0 => generate::random_uniform(rows, cols, s),
+                1 => generate::rank_deficient(rows, cols, (cols / 2).max(1), s),
+                2 => generate::graded(rows, cols, 10.0, s),
+                3 => {
+                    let sv: Vec<f64> = (0..cols).map(|k| (cols - k) as f64).collect();
+                    generate::with_singular_values(rows, &sv, s)
+                }
+                _ => Matrix::zeros(rows, cols).unwrap(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_batches_match_the_oracle_across_lane_widths() {
+    for lanes in [4, 8, 16] {
+        // count chosen to leave a partially-filled (padded) tail group
+        let ms = mixed_batch(6, 4, lanes + lanes / 2 + 1, 1000 + lanes as u64);
+        batch_vs_oracle(&ms, lanes, &BatchOptions::default(), &format!("mixed-l{lanes}"));
+    }
+}
+
+#[test]
+fn mixed_batches_match_the_oracle_across_thread_counts() {
+    let ms = mixed_batch(5, 5, 26, 2000);
+    for threads in [1, 2, 3, 4] {
+        let opts = BatchOptions::default().with_threads(Some(threads));
+        batch_vs_oracle(&ms, 4, &opts, &format!("mixed-t{threads}"));
+    }
+}
+
+#[test]
+fn scalar_and_auto_paths_are_bitwise_identical_end_to_end() {
+    let ms = mixed_batch(8, 6, 13, 3000);
+    let solve = |path: LanePath| {
+        let mut batch = BatchSoA::from_matrices(&ms, 8).unwrap();
+        let out = batch_svd(&mut batch, &BatchOptions::default().with_path(path)).unwrap();
+        (batch, out)
+    };
+    let (batch_a, out_a) = solve(LanePath::Auto);
+    let (batch_s, out_s) = solve(LanePath::Scalar);
+    assert_eq!(batch_a.as_slice(), batch_s.as_slice(), "U planes differ between paths");
+    assert_eq!(out_a.sigmas(), out_s.sigmas(), "sigmas differ between paths");
+    for i in 0..ms.len() {
+        assert_eq!(out_a.sweeps(i), out_s.sweeps(i), "sweep counts differ at {i}");
+    }
+}
+
+#[test]
+fn sweep_counts_match_the_oracle_on_identical_trajectories() {
+    // diagonal problems rotate nothing: both engines must report the
+    // same (minimal) sweep count and identical σ
+    let ms: Vec<Matrix> = (0..5)
+        .map(|i| Matrix::diagonal(4, &[4.0, 3.0, 2.0, 1.0 + i as f64 * 0.1]).unwrap())
+        .collect();
+    let mut batch = BatchSoA::from_matrices(&ms, 4).unwrap();
+    let out = batch_svd(&mut batch, &BatchOptions::default()).unwrap();
+    for (i, a) in ms.iter().enumerate() {
+        let oracle = sequential_svd(a, 60).unwrap();
+        assert_eq!(out.sweeps(i), oracle.sweeps, "problem {i}");
+        assert_eq!(out.sigma(i), &oracle.svd.sigma[..], "problem {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_batches_match_the_oracle(
+        cols in 1usize..7,
+        extra_rows in 0usize..3,
+        count in 1usize..11,
+        seed in 0u64..1_000_000,
+    ) {
+        let rows = cols + extra_rows;
+        let ms = mixed_batch(rows, cols, count, seed);
+        let mut batch = BatchSoA::from_matrices(&ms, 4).expect("valid batch");
+        let out = batch_svd(&mut batch, &BatchOptions::default()).expect("converges");
+        for (i, a) in ms.iter().enumerate() {
+            let oracle = sequential_svd(a, 60).expect("oracle converges");
+            let scale = oracle.svd.sigma.iter().fold(0.0_f64, |m, &s| m.max(s));
+            let dist: f64 = out
+                .sigma(i)
+                .iter()
+                .zip(oracle.svd.sigma.iter())
+                .map(|(&c, &r)| (c - r).abs())
+                .fold(0.0, f64::max);
+            prop_assert!(dist <= sigma_tol(scale), "problem {i}: sigma distance {dist}");
+            prop_assert_eq!(out.rank(i), oracle.svd.rank, "problem {}", i);
+            let u = batch.problem(i);
+            let v = out.v_problem(i).expect("vectors");
+            prop_assert!(checks::orthogonality_residual(&u) < 1e-11);
+            prop_assert!(checks::orthogonality_residual(&v) < 1e-11);
+            prop_assert!(checks::reconstruction_residual(a, &u, out.sigma(i), &v) < 1e-11);
+        }
+    }
+}
