@@ -52,7 +52,7 @@ pub use contention::{verify_contention, ContentionProof};
 pub use coverage::{assert_valid_sweep, check_restores_after, verify_coverage, verify_restore};
 pub use deadlock::{
     overlap_tag_a, overlap_tag_v, verify_deadlock_freedom, verify_overlap_freedom, verify_plan,
-    CommModel, CommOp, CommPlan,
+    verify_recovery_freedom, CommModel, CommOp, CommPlan,
 };
 pub use permutation::verify_permutation_safety;
 pub use report::{AnalysisReport, Check, CheckOutcome, OpRef, Violation};

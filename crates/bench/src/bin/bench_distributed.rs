@@ -53,7 +53,13 @@ impl Config {
             Config::ZeroCopy => (Transport::ZeroCopy, false),
             Config::ZeroCopyOverlap => (Transport::ZeroCopy, true),
         };
-        DistConfig { exec: ExecConfig::default(), max_sweeps: 64, transport, overlap }
+        DistConfig {
+            exec: ExecConfig::default(),
+            max_sweeps: 64,
+            transport,
+            overlap,
+            ..DistConfig::default()
+        }
     }
 }
 

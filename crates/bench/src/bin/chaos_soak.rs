@@ -1,0 +1,129 @@
+//! Seeded chaos soak for the distributed executor's recovery layer.
+//!
+//! ```text
+//! cargo run --release -p treesvd-bench --bin chaos_soak
+//! ```
+//!
+//! The gate wired into `scripts/verify.sh`. For a fixed list of chaos
+//! seeds it runs the distributed SVD under the canonical seeded fault
+//! plan ([`FaultPlan::chaos`]) with the chaos recovery policy and checks,
+//! per seed, that
+//!
+//! 1. the run converges,
+//! 2. the surviving columns are **bitwise identical** to the fault-free
+//!    oracle (recovery must be numerically invisible, not just accurate),
+//! 3. faults were actually injected (the plan is not vacuous).
+//!
+//! A final run arms an *inert* plan (all probabilities zero) and checks
+//! the interposition itself stays out of the steady-state payload-pool
+//! accounting: `steady_payload_allocs` must remain 0 and no fault may
+//! fire. Everything is deterministic and bounded: small problem, fixed
+//! seeds, millisecond receive windows.
+
+use std::time::Instant;
+use treesvd_matrix::generate;
+use treesvd_orderings::OrderingKind;
+use treesvd_sim::{distributed_svd_with, DistConfig, DistributedOutcome, FaultPlan, FaultPolicy};
+
+/// Chaos seeds exercised by the soak; each drives an independent plan.
+const SEEDS: [u64; 6] = [2, 3, 5, 8, 13, 21];
+/// Problem shape: small enough to stay fast, large enough that every
+/// sweep moves real traffic over all P = 8 ranks.
+const M: usize = 96;
+const N: usize = 16;
+
+fn run_with(a_seed: u64, cfg: &DistConfig) -> DistributedOutcome {
+    let a = generate::random_uniform(M, N, a_seed);
+    let ord = OrderingKind::NewRing.build(N).expect("ordering");
+    distributed_svd_with(ord.as_ref(), a.into_columns(), true, cfg).expect("distributed_svd")
+}
+
+/// Bitwise comparison of the surviving slot contents, in layout order.
+fn bitwise_equal(x: &DistributedOutcome, y: &DistributedOutcome) -> bool {
+    x.layout == y.layout
+        && x.slots.len() == y.slots.len()
+        && x.slots.iter().zip(&y.slots).all(|(s, t)| {
+            s.a.iter().zip(&t.a).all(|(p, q)| p.to_bits() == q.to_bits())
+                && s.v.iter().zip(&t.v).all(|(p, q)| p.to_bits() == q.to_bits())
+                && s.a.len() == t.a.len()
+                && s.v.len() == t.v.len()
+        })
+}
+
+fn main() {
+    let matrix_seed = treesvd_bench::meta::seed_from_args();
+    let start = Instant::now();
+    let mut failures = 0usize;
+
+    let oracle = run_with(matrix_seed, &DistConfig::default());
+    assert!(oracle.converged, "fault-free oracle must converge");
+
+    let mut policy = FaultPolicy::chaos();
+    policy.recv_timeout = std::time::Duration::from_millis(10);
+    for seed in SEEDS {
+        let cfg =
+            DistConfig { policy, fault: Some(FaultPlan::chaos(seed)), ..DistConfig::default() };
+        let run = run_with(matrix_seed, &cfg);
+        let h = &run.health;
+        let bitwise = bitwise_equal(&oracle, &run);
+        let injected = h.faults.injected() > 0;
+        let ok = run.converged && bitwise && injected;
+        println!(
+            "chaos seed {seed:2}: {} faults ({} drops, {} dups, {} corruptions, {} stalls), \
+             {} redeliveries, {} retries, {} restarts, fallbacks [{}] — {}",
+            h.faults.injected(),
+            h.faults.drops,
+            h.faults.duplicates,
+            h.faults.corruptions,
+            h.faults.stalls,
+            h.faults.redeliveries,
+            h.retries,
+            h.restarts,
+            h.fallbacks.join(" → "),
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            if !run.converged {
+                eprintln!("  seed {seed}: did not converge");
+            }
+            if !bitwise {
+                eprintln!("  seed {seed}: recovered result is not bitwise-identical to the oracle");
+            }
+            if !injected {
+                eprintln!("  seed {seed}: plan injected no faults — the soak is vacuous");
+            }
+            failures += 1;
+        }
+    }
+
+    // armed-but-inert plan: interposition must be invisible to the pools
+    let inert = DistConfig {
+        policy,
+        fault: Some(FaultPlan { seed: 99, ..FaultPlan::default() }),
+        ..DistConfig::default()
+    };
+    let run = run_with(matrix_seed, &inert);
+    let inert_ok = run.converged
+        && bitwise_equal(&oracle, &run)
+        && run.health.faults.injected() == 0
+        && run.steady_payload_allocs == 0;
+    println!(
+        "inert plan: {} faults, steady payload allocs {} — {}",
+        run.health.faults.injected(),
+        run.steady_payload_allocs,
+        if inert_ok { "PASS" } else { "FAIL" }
+    );
+    if !inert_ok {
+        failures += 1;
+    }
+
+    println!(
+        "chaos soak: {} seeds + inert in {:.2} s — {}",
+        SEEDS.len(),
+        start.elapsed().as_secs_f64(),
+        if failures == 0 { "PASS" } else { "FAIL" }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

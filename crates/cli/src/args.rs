@@ -12,6 +12,7 @@ usage:
   treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
               [--distributed] [--no-overlap] [--processors P]
               [--block-kernel NAME] [--threads N]
+              [--chaos SEED] [--recv-timeout MS] [--max-retries N]
               [--sigma-out FILE] [--u-out FILE] [--v-out FILE]
   treesvd analyze [--ordering NAME] [--n N] [--topology NAME]
                   [--groups M] [--words W]
@@ -30,6 +31,11 @@ block kernels (with --processors): pairwise | gram   (default: gram)
             (bitwise-identical results; overlap is on by default)
 --threads N caps the host worker lanes (default: machine parallelism,
             or the TREESVD_THREADS environment variable)
+--chaos SEED arms the seeded fault-injection plan on the distributed
+            executor (requires --distributed); recovery must reproduce
+            the fault-free run bitwise or fail with a diagnostic
+--recv-timeout MS / --max-retries N tune the receive watchdog and
+            retransmission budget of the recovery layer (distributed)
 batch:      synthetic throughput run of the batched small-SVD engine —
             K random M×N problems (M defaults to N, N ≤ 64 is the
             intended regime) solved in SoA lanes; --lanes picks the
@@ -127,21 +133,44 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     if threads == Some(0) {
         return Err("--threads must be at least 1".to_string());
     }
+    let chaos = take_flag(&mut args, "--chaos")?
+        .map(|s| s.parse::<u64>().map_err(|e| format!("--chaos: {e}")))
+        .transpose()?;
+    let recv_timeout = take_flag(&mut args, "--recv-timeout")?
+        .map(|t| t.parse::<u64>().map_err(|e| format!("--recv-timeout: {e}")))
+        .transpose()?;
+    let max_retries = take_flag(&mut args, "--max-retries")?
+        .map(|r| r.parse::<u32>().map_err(|e| format!("--max-retries: {e}")))
+        .transpose()?;
     let no_vectors = take_switch(&mut args, "--no-vectors");
     let distributed = take_switch(&mut args, "--distributed");
     let no_overlap = take_switch(&mut args, "--no-overlap");
+    if !distributed && (chaos.is_some() || recv_timeout.is_some() || max_retries.is_some()) {
+        return Err(
+            "--chaos / --recv-timeout / --max-retries only apply with --distributed".to_string()
+        );
+    }
     let [path] = args.as_slice() else {
         return Err("svd needs exactly one matrix file".to_string());
     };
 
     let a = io::read_matrix(&PathBuf::from(path))?;
-    let opts = SvdOptions::default()
+    let mut opts = SvdOptions::default()
         .with_ordering(ordering)
         .with_topology(topology)
         .with_vectors(!no_vectors)
         .with_block_kernel(block_kernel)
         .with_overlap(!no_overlap)
         .with_threads(threads);
+    if let Some(seed) = chaos {
+        opts = opts.with_chaos(seed);
+    }
+    if let Some(ms) = recv_timeout {
+        opts = opts.with_recv_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(r) = max_retries {
+        opts = opts.with_max_retries(r);
+    }
 
     let mut out = String::new();
     let (svd, sweeps, extra) = if let Some(p) = processors {
@@ -150,7 +179,29 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
         (run.svd, run.sweeps, format!("block size {}", run.block_size))
     } else if distributed {
         let run = HestenesSvd::new(opts).compute_distributed(&a).map_err(|e| e.to_string())?;
-        (run.svd, run.sweeps, "distributed executor".to_string())
+        let mut extra = "distributed executor".to_string();
+        if let Some(health) = &run.health {
+            let f = health.faults;
+            extra.push_str(&format!(
+                "\n# health: {} faults injected ({} drops, {} delays, {} dups, \
+                 {} corruptions, {} stalls), {} redeliveries, {} retries, {} restarts",
+                f.injected(),
+                f.drops,
+                f.delays,
+                f.duplicates,
+                f.corruptions,
+                f.stalls,
+                f.redeliveries,
+                health.retries,
+                health.restarts
+            ));
+            if health.fallbacks.is_empty() {
+                extra.push_str(", no fallbacks");
+            } else {
+                extra.push_str(&format!(", fell back past [{}]", health.fallbacks.join(" → ")));
+            }
+        }
+        (run.svd, run.sweeps, extra)
     } else {
         let run = HestenesSvd::new(opts).compute(&a).map_err(|e| e.to_string())?;
         (run.svd, run.sweeps, format!("simulated time {:.3e} on {topology}", run.simulated_time))
@@ -443,6 +494,55 @@ mod tests {
         }
         assert!(run(&argv(&["svd", p.to_str().unwrap(), "--block-kernel", "nope"])).is_err());
         assert!(run(&argv(&["svd", p.to_str().unwrap(), "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn chaos_run_matches_the_fault_free_spectrum_and_reports_health() {
+        let p = write_temp("chaos.txt", "2 0 0 0\n0 3 0 0\n0 0 1 0\n0 0 0 4\n1 1 1 1\n");
+        let clean = run(&argv(&["svd", p.to_str().unwrap(), "--distributed"])).unwrap();
+        let chaotic = run(&argv(&[
+            "svd",
+            p.to_str().unwrap(),
+            "--distributed",
+            "--chaos",
+            "11",
+            "--recv-timeout",
+            "20",
+            "--max-retries",
+            "6",
+        ]))
+        .unwrap();
+        assert!(chaotic.contains("# health:"), "{chaotic}");
+        assert!(chaotic.contains("faults injected"), "{chaotic}");
+        let sigmas = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .filter(|l| !l.trim().is_empty())
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(sigmas(&clean), sigmas(&chaotic), "recovery must be bitwise-invisible");
+    }
+
+    #[test]
+    fn fault_flags_require_distributed_and_validate() {
+        let p = write_temp("chaos2.txt", "1 0\n0 2\n");
+        for flags in [&["--chaos", "1"][..], &["--recv-timeout", "50"], &["--max-retries", "3"]] {
+            let mut a = argv(&["svd", p.to_str().unwrap()]);
+            a.extend(flags.iter().map(|s| s.to_string()));
+            let err = run(&a).unwrap_err();
+            assert!(err.contains("--distributed"), "{err}");
+        }
+        assert!(run(&argv(&[
+            "svd",
+            p.to_str().unwrap(),
+            "--distributed",
+            "--chaos",
+            "not-a-seed"
+        ]))
+        .is_err());
+        assert!(run(&argv(&["svd", p.to_str().unwrap(), "--distributed", "--recv-timeout", "-4"]))
+            .is_err());
     }
 
     #[test]

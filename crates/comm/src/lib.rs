@@ -12,7 +12,11 @@
 //! * [`ThreadWorld`] — a real multi-threaded implementation over
 //!   std channels (one mailbox per rank, tag-matched receives);
 //! * barrier and allreduce collectives built on the point-to-point layer,
-//!   as a real message-passing library would.
+//!   as a real message-passing library would;
+//! * a deterministic, seeded fault-injection and recovery layer (the
+//!   `fault` module: replayable drop/delay/duplicate/corrupt plans, rank
+//!   stall/crash events, a retransmission store with ack-on-receive, and
+//!   bounded-timeout retries with exponential backoff at the recv seam).
 //!
 //! Messages are [`MsgBuf`] payloads with a `u64` tag; receives match on
 //! `(source, tag)` exactly, so the deterministic schedules of
@@ -38,13 +42,17 @@
 #![deny(missing_docs)]
 
 pub mod collectives;
+pub mod fault;
 #[cfg(feature = "hb-tracker")]
 pub mod hb;
 pub mod pool;
 pub mod world;
 
 pub use collectives::{allreduce_sum, allreduce_sum_in_place, barrier};
+pub use fault::{
+    FaultInjector, FaultPlan, FaultSnapshot, RetryPolicy, SendFate, StallEvent, StallKind,
+};
 #[cfg(feature = "hb-tracker")]
 pub use hb::RaceViolation;
 pub use pool::{BufferPool, MsgBuf};
-pub use world::{Communicator, RecvError, ThreadWorld};
+pub use world::{Communicator, RecvError, ThreadWorld, WorldConfig};

@@ -39,6 +39,9 @@ pub struct SvdRun {
     /// Exact off-diagonal measure before the first sweep and after each
     /// sweep (empty unless `track_off` was set).
     pub off_history: Vec<f64>,
+    /// Recovery summary of a distributed run (injected faults, retries,
+    /// restarts, ladder descents). `None` on the simulated path.
+    pub health: Option<treesvd_sim::HealthReport>,
 }
 
 impl SvdRun {
@@ -206,6 +209,7 @@ impl HestenesSvd {
             transposed,
             padded_n: n_pad,
             off_history,
+            health: None,
         })
     }
 
@@ -217,9 +221,16 @@ impl HestenesSvd {
     /// bitwise-equivalent); no simulated timing is produced, so
     /// `simulated_time` is 0 and `sweep_stats` is empty.
     ///
+    /// With [`SvdOptions::chaos`] and/or [`SvdOptions::fault_policy`] set,
+    /// the executor runs under seeded fault injection with the recovery
+    /// layer armed (retry + redelivery, checkpoint restarts, degradation
+    /// ladder); every absorbed fault leaves the result bitwise unchanged,
+    /// and what recovery did is reported in [`SvdRun::health`].
+    ///
     /// # Errors
-    /// As [`HestenesSvd::compute`], plus an internal communication failure
-    /// surfaces as [`SvdError::NoConvergence`] with zero sweeps.
+    /// As [`HestenesSvd::compute`], plus [`SvdError::Unrecoverable`] when
+    /// the executor fails past its recovery budget — carrying the failing
+    /// rank, sweep, step, and message context.
     pub fn compute_distributed(&self, a: &Matrix) -> Result<SvdRun, SvdError> {
         if a.rows() == 0 || a.cols() == 0 {
             return Err(SvdError::EmptyMatrix);
@@ -249,14 +260,15 @@ impl HestenesSvd {
             max_sweeps: self.options.max_sweeps,
             transport: treesvd_sim::Transport::ZeroCopy,
             overlap: self.options.overlap,
+            policy: self.options.effective_policy(),
+            fault: self.options.chaos.clone(),
         };
         let outcome = treesvd_sim::distributed_svd_with(
             ordering.as_ref(),
             columns,
             self.options.vectors,
             &dist_cfg,
-        )
-        .map_err(|_| SvdError::NoConvergence { sweeps: 0, last_coupling: f64::NAN })?;
+        )?;
         if !outcome.converged {
             return Err(SvdError::NoConvergence {
                 sweeps: outcome.sweeps,
@@ -274,6 +286,7 @@ impl HestenesSvd {
             transposed: false,
             padded_n: n_pad,
             off_history: Vec::new(),
+            health: Some(outcome.health),
         })
     }
 
@@ -633,6 +646,21 @@ mod distributed_tests {
         let recon =
             checks::reconstruction_residual(&a.transpose(), &run.svd.v, &run.svd.sigma, &run.svd.u);
         assert!(recon < 1e-11);
+    }
+
+    #[test]
+    fn chaos_run_is_bitwise_identical_and_reports_health() {
+        let a = generate::random_uniform(16, 8, 35);
+        let clean = HestenesSvd::new(SvdOptions::default()).compute_distributed(&a).unwrap();
+        let health = clean.health.as_ref().expect("distributed runs report health");
+        assert!(!health.degraded(), "clean run must need no recovery");
+        let chaotic =
+            HestenesSvd::new(SvdOptions::default().with_chaos(13)).compute_distributed(&a).unwrap();
+        assert_eq!(clean.svd.sigma, chaotic.svd.sigma, "absorbed faults must be bitwise-invisible");
+        assert_eq!(clean.svd.u, chaotic.svd.u);
+        assert_eq!(clean.svd.v, chaotic.svd.v);
+        let health = chaotic.health.expect("chaos run reports health");
+        assert!(health.faults.injected() > 0, "the seeded plan must actually fire");
     }
 }
 

@@ -56,3 +56,6 @@ pub use treesvd_matrix::Matrix;
 pub use treesvd_net::{CostModel, TopologyKind};
 pub use treesvd_orderings::OrderingKind;
 pub use treesvd_sim::SortMode;
+pub use treesvd_sim::{
+    DistError, FaultPlan, FaultPolicy, FaultSnapshot, HealthReport, StallEvent, StallKind,
+};

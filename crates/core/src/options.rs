@@ -3,7 +3,7 @@
 use std::fmt;
 use treesvd_net::{CostModel, TopologyKind};
 use treesvd_orderings::{JacobiOrdering, OrderingError, OrderingKind};
-use treesvd_sim::SortMode;
+use treesvd_sim::{DistError, FaultPlan, FaultPolicy, SortMode};
 
 /// A caller-supplied ordering factory: given the padded column count,
 /// produce the ordering.
@@ -122,6 +122,17 @@ pub struct SvdOptions {
     /// [`par::num_threads`](treesvd_sim::par::num_threads) (which honors
     /// the `TREESVD_THREADS` environment variable).
     pub threads: Option<usize>,
+    /// Recovery policy for the distributed executor: receive windows,
+    /// retries with backoff, sweep-boundary checkpoints, whole-world
+    /// restarts, and the degradation ladder. `None` uses
+    /// [`FaultPolicy::default`] (pre-recovery behavior: a 5 s window and
+    /// fail-fast on the first timeout), unless [`SvdOptions::chaos`] is
+    /// armed, in which case [`FaultPolicy::chaos`] is the baseline.
+    pub fault_policy: Option<FaultPolicy>,
+    /// Seeded deterministic fault plan for the distributed executor
+    /// (chaos testing). Replayable: the same seed injects the identical
+    /// fault sequence. Ignored by the simulated/sequential paths.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for SvdOptions {
@@ -141,6 +152,8 @@ impl Default for SvdOptions {
             block_kernel: BlockKernel::default(),
             overlap: true,
             threads: None,
+            fault_policy: None,
+            chaos: None,
         }
     }
 }
@@ -219,6 +232,49 @@ impl SvdOptions {
         self.threads = threads;
         self
     }
+
+    /// Set the distributed executor's recovery policy.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Set the initial receive window of the distributed executor's
+    /// blocking receives (layered onto the effective policy).
+    pub fn with_recv_timeout(mut self, timeout: std::time::Duration) -> Self {
+        let mut policy = self.effective_policy();
+        policy.recv_timeout = timeout;
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Set the receive retry budget (attempts beyond the first, each with
+    /// exponential backoff and a redelivery request).
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        let mut policy = self.effective_policy();
+        policy.max_retries = max_retries;
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Arm the canonical seeded chaos plan ([`FaultPlan::chaos`]) and, if
+    /// no explicit policy was chosen, the matching recovery profile
+    /// ([`FaultPolicy::chaos`]).
+    pub fn with_chaos(mut self, seed: u64) -> Self {
+        self.chaos = Some(FaultPlan::chaos(seed));
+        self
+    }
+
+    /// The recovery policy a distributed run will actually use: the
+    /// explicit one, else the chaos profile when a chaos plan is armed,
+    /// else the fail-fast default.
+    pub fn effective_policy(&self) -> FaultPolicy {
+        match (&self.fault_policy, &self.chaos) {
+            (Some(p), _) => *p,
+            (None, Some(_)) => FaultPolicy::chaos(),
+            (None, None) => FaultPolicy::default(),
+        }
+    }
 }
 
 /// Errors from the SVD driver.
@@ -238,6 +294,11 @@ pub enum SvdError {
         /// Last sweep's maximum normalized coupling.
         last_coupling: f64,
     },
+    /// The distributed executor exhausted its recovery budget (retries,
+    /// restarts, and — if permitted — the whole degradation ladder). The
+    /// inner [`DistError`] pinpoints the final failure: rank, sweep,
+    /// global step, and the offending message's source/tag.
+    Unrecoverable(DistError),
 }
 
 impl fmt::Display for SvdError {
@@ -250,11 +311,25 @@ impl fmt::Display for SvdError {
                 f,
                 "no convergence after {sweeps} sweeps (last max coupling {last_coupling:.3e})"
             ),
+            SvdError::Unrecoverable(e) => write!(f, "distributed run unrecoverable: {e}"),
         }
     }
 }
 
-impl std::error::Error for SvdError {}
+impl std::error::Error for SvdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SvdError::Unrecoverable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for SvdError {
+    fn from(e: DistError) -> Self {
+        SvdError::Unrecoverable(e)
+    }
+}
 
 impl From<OrderingError> for SvdError {
     fn from(e: OrderingError) -> Self {
@@ -316,6 +391,38 @@ mod tests {
         assert!(SvdError::EmptyMatrix.to_string().contains("zero"));
         let e: SvdError = OrderingError::OddSize(7).into();
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn fault_builders_layer_onto_the_effective_policy() {
+        use std::time::Duration;
+        // no knobs: fail-fast default
+        assert_eq!(SvdOptions::default().effective_policy(), FaultPolicy::default());
+        // chaos alone: the chaos profile
+        let o = SvdOptions::default().with_chaos(11);
+        assert_eq!(o.effective_policy(), FaultPolicy::chaos());
+        assert_eq!(o.chaos.as_ref().unwrap().seed, 11);
+        // per-knob builders refine the baseline in effect
+        let o = SvdOptions::default()
+            .with_chaos(11)
+            .with_recv_timeout(Duration::from_millis(7))
+            .with_max_retries(9);
+        let p = o.effective_policy();
+        assert_eq!(p.recv_timeout, Duration::from_millis(7));
+        assert_eq!(p.max_retries, 9);
+        assert!(p.degrade, "chaos baseline survives the refinement");
+        // an explicit policy wins outright
+        let o = SvdOptions::default().with_fault_policy(FaultPolicy::default()).with_chaos(5);
+        assert_eq!(o.effective_policy(), FaultPolicy::default());
+    }
+
+    #[test]
+    fn unrecoverable_error_keeps_the_distributed_context() {
+        let inner = DistError::Crashed { rank: 3, sweep: 2 };
+        let e: SvdError = inner.into();
+        let msg = e.to_string();
+        assert!(msg.contains("rank 3") && msg.contains("sweep 2"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

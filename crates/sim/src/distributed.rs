@@ -38,13 +38,48 @@
 //! buffered and rendezvous semantics ([`verify_overlap_freedom`]); if the
 //! proof fails for an exotic ordering, the run silently falls back to the
 //! non-overlapped zero-copy path.
+//!
+//! # Fault tolerance
+//!
+//! [`DistConfig::policy`] and [`DistConfig::fault`] arm the recovery
+//! layer. A [`FaultPlan`] interposes deterministic, seeded message faults
+//! (drop / delay / duplication / corruption, rank stalls and crashes,
+//! poisoned links) at the communicator boundary; a [`FaultPolicy`]
+//! decides how much the run absorbs:
+//!
+//! 1. **Retry + redelivery** — receives are bounded and retried with
+//!    exponential backoff; each retry first asks the retransmission store
+//!    for the lost payload (proved deadlock-free by
+//!    `treesvd_analyze::verify_recovery_freedom`, which also gates the
+//!    overlap when recovery is armed).
+//! 2. **Checkpoint restart** — ranks deposit their columns at sweep
+//!    boundaries; a crash restarts the world from the last sweep *all*
+//!    ranks completed.
+//! 3. **Degradation ladder** — when restarts are exhausted the executor
+//!    descends overlapped → zero-copy → legacy → single-rank sequential
+//!    (no network at all, so even a fully poisoned link is absorbed).
+//!
+//! Absorbable faults leave the result **bitwise identical** to the
+//! fault-free run — the store redelivers the exact payload, checkpoints
+//! capture exact state, and every ladder rung computes the same
+//! arithmetic. Unabsorbable faults surface as a precise
+//! [`DistError::Unrecoverable`]; the executor never hangs. What recovery
+//! actually ran is reported in [`DistributedOutcome::health`].
 
-use crate::exec::{rotate_pair, rotate_pair_a, rotate_pair_v, ExecConfig, SlotData};
-use std::sync::Arc;
-use treesvd_analyze::{overlap_tag_a, overlap_tag_v, verify_overlap_freedom};
-use treesvd_comm::{
-    allreduce_sum, allreduce_sum_in_place, Communicator, MsgBuf, RecvError, ThreadWorld,
+use crate::exec::{
+    execute_program, rotate_pair, rotate_pair_a, rotate_pair_v, ColumnStore, ExecConfig, SlotData,
 };
+use crate::machine::Machine;
+use crate::recovery::{CheckpointStore, DistError, FaultPolicy, HealthReport, RankCkpt};
+use std::sync::Arc;
+use treesvd_analyze::{
+    overlap_tag_a, overlap_tag_v, verify_overlap_freedom, verify_recovery_freedom,
+};
+use treesvd_comm::{
+    allreduce_sum, allreduce_sum_in_place, Communicator, FaultInjector, FaultPlan, MsgBuf,
+    RecvError, RetryPolicy, StallKind, ThreadWorld, WorldConfig,
+};
+use treesvd_net::TopologyKind;
 use treesvd_orderings::{ColIndex, JacobiOrdering, Program};
 
 /// Column-exchange transport of the distributed executor.
@@ -62,7 +97,7 @@ pub enum Transport {
 }
 
 /// Configuration of a distributed run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DistConfig {
     /// Rotation/kernel parameters (shared with the simulated executor).
     pub exec: ExecConfig,
@@ -74,6 +109,13 @@ pub struct DistConfig {
     /// Only effective with [`Transport::ZeroCopy`], and only after the
     /// analyzer proves the overlapped plan deadlock-free for the ordering.
     pub overlap: bool,
+    /// Recovery knobs: receive windows, retries, checkpoints, restarts,
+    /// and the degradation ladder. The default policy reproduces the
+    /// pre-recovery executor (5 s windows, fail on first timeout).
+    pub policy: FaultPolicy,
+    /// Seeded fault plan to arm, if any. `None` runs fault-free with no
+    /// interposition at all.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for DistConfig {
@@ -83,6 +125,8 @@ impl Default for DistConfig {
             max_sweeps: 64,
             transport: Transport::ZeroCopy,
             overlap: true,
+            policy: FaultPolicy::default(),
+            fault: None,
         }
     }
 }
@@ -102,18 +146,62 @@ pub struct DistributedOutcome {
     /// Total rotations across all ranks and sweeps.
     pub total_rotations: usize,
     /// Whether the overlapped (send-ahead) schedule actually ran — i.e.
-    /// it was requested *and* the analyzer proved it safe.
+    /// it was requested *and* the analyzer proved it safe *and* no ladder
+    /// descent abandoned it.
     pub overlap: bool,
     /// Payload allocation events during the warm-up sweep, summed over all
     /// ranks' buffer pools.
     pub warm_payload_allocs: u64,
     /// Payload allocation events *after* the warm-up sweep, summed over
-    /// all ranks. Zero for a zero-copy run (the smoke-benchmark gate).
+    /// all ranks. Zero for a zero-copy run (the smoke-benchmark gate);
+    /// fault-layer copies are charged separately
+    /// ([`FaultSnapshot::chaos_allocations`](treesvd_comm::FaultSnapshot)).
     pub steady_payload_allocs: u64,
+    /// What the recovery layer actually did: injected faults, retries,
+    /// restarts, ladder descents. All-zero/empty for a clean run.
+    pub health: HealthReport,
+}
+
+/// One rung of the degradation ladder, ordered fastest-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rung {
+    Overlapped,
+    ZeroCopy,
+    Legacy,
+    Sequential,
+}
+
+impl Rung {
+    fn label(self) -> &'static str {
+        match self {
+            Self::Overlapped => "overlapped",
+            Self::ZeroCopy => "zero-copy",
+            Self::Legacy => "legacy",
+            Self::Sequential => "sequential",
+        }
+    }
+}
+
+/// The rungs a run may use, fastest first: entry point from the requested
+/// transport (and whether the overlap proof went through), descent only
+/// when the policy allows degradation.
+fn build_ladder(transport: Transport, overlap_ok: bool, degrade: bool) -> Vec<Rung> {
+    const FULL: [Rung; 4] = [Rung::Overlapped, Rung::ZeroCopy, Rung::Legacy, Rung::Sequential];
+    let start = match (transport, overlap_ok) {
+        (Transport::ZeroCopy, true) => 0,
+        (Transport::ZeroCopy, false) => 1,
+        (Transport::Legacy, _) => 2,
+    };
+    if degrade {
+        FULL[start..].to_vec()
+    } else {
+        vec![FULL[start]]
+    }
 }
 
 /// Everything a per-rank worker owns besides its communicator: the shared
-/// schedule, its two resident columns, and the execution parameters.
+/// schedule, its two resident columns, the execution parameters, and its
+/// resume/checkpoint context.
 struct WorkerTask<'a> {
     programs: &'a [Program],
     left: SlotData,
@@ -122,6 +210,15 @@ struct WorkerTask<'a> {
     transport: Transport,
     overlap: bool,
     vectors: bool,
+    /// First sweep to execute (0 on a fresh start, the checkpointed sweep
+    /// count on a restart).
+    start_sweep: usize,
+    /// Global step counter at `start_sweep` (steps of all prior sweeps).
+    start_step: usize,
+    /// This rank's cumulative rotation count at `start_sweep`.
+    base_rotations: usize,
+    checkpoints: Option<Arc<CheckpointStore>>,
+    checkpoint_every: usize,
 }
 
 /// What a per-rank worker reports back.
@@ -133,10 +230,54 @@ struct WorkerOut {
     converged: bool,
     warm_allocs: u64,
     steady_allocs: u64,
+    retries: u64,
+}
+
+/// Context-preserving wrapper for receive failures inside a worker.
+fn recv_fail(rank: usize, sweep: usize, step: u64) -> impl Fn(RecvError) -> DistError {
+    move |err| DistError::Recv { rank, sweep, step, err }
+}
+
+/// Fire this rank's stall/crash event at the top of `sweep`, if the armed
+/// plan schedules one (one-shot: a restarted run resumes past it).
+fn check_stall(comm: &Communicator, rank: usize, sweep: usize) -> Result<(), DistError> {
+    let Some(inj) = comm.fault() else { return Ok(()) };
+    match inj.stall_event(rank, sweep) {
+        Some(StallKind::Sleep(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(StallKind::Crash) => Err(DistError::Crashed { rank, sweep }),
+        None => Ok(()),
+    }
+}
+
+/// Deposit a sweep-boundary checkpoint when one is due.
+fn maybe_checkpoint(
+    checkpoints: &Option<Arc<CheckpointStore>>,
+    every: usize,
+    sweeps_done: usize,
+    rank: usize,
+    left: &SlotData,
+    right: &SlotData,
+    rotations: usize,
+) {
+    if every == 0 {
+        return;
+    }
+    if let Some(store) = checkpoints {
+        if sweeps_done.is_multiple_of(every) {
+            store.deposit(
+                sweeps_done,
+                rank,
+                RankCkpt { left: left.clone(), right: right.clone(), rotations },
+            );
+        }
+    }
 }
 
 /// Per-rank worker: executes its two slots across all sweeps.
-fn worker(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, RecvError> {
+fn worker(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, DistError> {
     match (task.transport, task.overlap) {
         (Transport::Legacy, _) => worker_legacy(comm, task),
         (Transport::ZeroCopy, false) => worker_zero_copy(comm, task),
@@ -146,17 +287,29 @@ fn worker(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, Re
 
 /// The original executor loop: encode/decode copies, blocking receives at
 /// the end of every step. Kept verbatim as the oracle and baseline.
-fn worker_legacy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, RecvError> {
-    let WorkerTask { programs, mut left, mut right, config, .. } = task;
+fn worker_legacy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, DistError> {
+    let WorkerTask {
+        programs,
+        mut left,
+        mut right,
+        config,
+        start_sweep,
+        start_step,
+        base_rotations,
+        checkpoints,
+        checkpoint_every,
+        ..
+    } = task;
     let rank = comm.rank();
     let my_slots = [2 * rank, 2 * rank + 1];
-    let mut total_rotations = 0usize;
-    let mut sweeps = 0usize;
+    let mut total_rotations = base_rotations;
+    let mut sweeps = start_sweep;
     let mut converged = false;
-    let mut global_step: u64 = 0;
+    let mut global_step: u64 = start_step as u64;
     let mut warm_allocs = 0u64;
 
-    'sweeps: for (sweep_no, program) in programs.iter().enumerate() {
+    'sweeps: for (sweep_no, program) in programs.iter().enumerate().skip(start_sweep) {
+        check_stall(comm, rank, sweep_no)?;
         let layouts = program.layouts();
         let mut rotations = 0usize;
         let mut swaps = 0usize;
@@ -206,7 +359,11 @@ fn worker_legacy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<Worker
                         continue;
                     }
                     let tag = global_step << 1 | (dest_slot % 2) as u64;
-                    let payload = comm.recv(src_slot / 2, tag)?;
+                    let payload = comm.recv(src_slot / 2, tag).map_err(recv_fail(
+                        rank,
+                        sweep_no,
+                        global_step,
+                    ))?;
                     next[local] = Some(decode(payload));
                 }
             }
@@ -216,12 +373,22 @@ fn worker_legacy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<Worker
         }
 
         // --- global convergence test ---
-        let sums = allreduce_sum(comm, sweep_no as u64, vec![rotations as f64, swaps as f64])?;
+        let sums = allreduce_sum(comm, sweep_no as u64, vec![rotations as f64, swaps as f64])
+            .map_err(recv_fail(rank, sweep_no, global_step))?;
         total_rotations += rotations;
         sweeps = sweep_no + 1;
-        if sweep_no == 0 {
+        if sweep_no == start_sweep {
             warm_allocs = comm.payload_allocations();
         }
+        maybe_checkpoint(
+            &checkpoints,
+            checkpoint_every,
+            sweeps,
+            rank,
+            &left,
+            &right,
+            total_rotations,
+        );
         if sums[0] == 0.0 && sums[1] == 0.0 {
             converged = true;
             break 'sweeps;
@@ -236,6 +403,7 @@ fn worker_legacy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<Worker
         converged,
         warm_allocs,
         steady_allocs,
+        retries: comm.retries(),
     })
 }
 
@@ -243,17 +411,30 @@ fn worker_legacy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<Worker
 /// departing columns leave as two detached messages (A phase: the data
 /// column; V phase: the vector column) whose storage the receiver adopts,
 /// and the step blocks on its arrivals like the legacy loop.
-fn worker_zero_copy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, RecvError> {
-    let WorkerTask { programs, mut left, mut right, config, vectors, .. } = task;
+fn worker_zero_copy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<WorkerOut, DistError> {
+    let WorkerTask {
+        programs,
+        mut left,
+        mut right,
+        config,
+        vectors,
+        start_sweep,
+        start_step,
+        base_rotations,
+        checkpoints,
+        checkpoint_every,
+        ..
+    } = task;
     let rank = comm.rank();
     let my_slots = [2 * rank, 2 * rank + 1];
-    let mut total_rotations = 0usize;
-    let mut sweeps = 0usize;
+    let mut total_rotations = base_rotations;
+    let mut sweeps = start_sweep;
     let mut converged = false;
-    let mut global_step = 0usize;
+    let mut global_step = start_step;
     let mut warm_allocs = 0u64;
 
-    'sweeps: for (sweep_no, program) in programs.iter().enumerate() {
+    'sweeps: for (sweep_no, program) in programs.iter().enumerate().skip(start_sweep) {
+        check_stall(comm, rank, sweep_no)?;
         let layouts = program.layouts();
         let mut rotations = 0usize;
         let mut swaps = 0usize;
@@ -290,9 +471,13 @@ fn worker_zero_copy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<Wor
                 let src_slot = inv.dest_of(dest_slot);
                 if src_slot / 2 != rank {
                     let slot = if local == 0 { &mut left } else { &mut right };
-                    slot.a = comm.recv(src_slot / 2, overlap_tag_a(global_step, dest_slot))?;
+                    slot.a = comm
+                        .recv(src_slot / 2, overlap_tag_a(global_step, dest_slot))
+                        .map_err(recv_fail(rank, sweep_no, global_step as u64))?;
                     if vectors {
-                        slot.v = comm.recv(src_slot / 2, overlap_tag_v(global_step, dest_slot))?;
+                        slot.v = comm
+                            .recv(src_slot / 2, overlap_tag_v(global_step, dest_slot))
+                            .map_err(recv_fail(rank, sweep_no, global_step as u64))?;
                     }
                 }
             }
@@ -300,12 +485,25 @@ fn worker_zero_copy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<Wor
         }
 
         let mut sums = [rotations as f64, swaps as f64];
-        allreduce_sum_in_place(comm, sweep_no as u64, &mut sums)?;
+        allreduce_sum_in_place(comm, sweep_no as u64, &mut sums).map_err(recv_fail(
+            rank,
+            sweep_no,
+            global_step as u64,
+        ))?;
         total_rotations += rotations;
         sweeps = sweep_no + 1;
-        if sweep_no == 0 {
+        if sweep_no == start_sweep {
             warm_allocs = comm.payload_allocations();
         }
+        maybe_checkpoint(
+            &checkpoints,
+            checkpoint_every,
+            sweeps,
+            rank,
+            &left,
+            &right,
+            total_rotations,
+        );
         if sums[0] == 0.0 && sums[1] == 0.0 {
             converged = true;
             break 'sweeps;
@@ -320,6 +518,7 @@ fn worker_zero_copy(comm: &mut Communicator, task: WorkerTask<'_>) -> Result<Wor
         converged,
         warm_allocs,
         steady_allocs,
+        retries: comm.retries(),
     })
 }
 
@@ -342,23 +541,39 @@ struct PendingArrival {
 /// because next destinations are static), complete the movement-`s−1` A
 /// arrivals at their point of use, rotate the data columns, ship the
 /// departing A phase, then do the same for the V phase, and finally
-/// shuffle locally. Arrivals of the last movement drain after the loop.
+/// shuffle locally. Arrivals of the last movement drain after the loop —
+/// or early at a checkpoint boundary, so the deposited state is the full
+/// post-sweep state (completing an arrival is pure data adoption, so the
+/// early completion is bitwise-invisible).
 fn worker_overlapped(
     comm: &mut Communicator,
     task: WorkerTask<'_>,
-) -> Result<WorkerOut, RecvError> {
-    let WorkerTask { programs, mut left, mut right, config, vectors, .. } = task;
+) -> Result<WorkerOut, DistError> {
+    let WorkerTask {
+        programs,
+        mut left,
+        mut right,
+        config,
+        vectors,
+        start_sweep,
+        start_step,
+        base_rotations,
+        checkpoints,
+        checkpoint_every,
+        ..
+    } = task;
     let rank = comm.rank();
     let my_slots = [2 * rank, 2 * rank + 1];
-    let mut total_rotations = 0usize;
-    let mut sweeps = 0usize;
+    let mut total_rotations = base_rotations;
+    let mut sweeps = start_sweep;
     let mut converged = false;
-    let mut global_step = 0usize;
+    let mut global_step = start_step;
     let mut warm_allocs = 0u64;
     let mut pending: Vec<PendingArrival> = Vec::with_capacity(2);
     let mut posted: Vec<PendingArrival> = Vec::with_capacity(2);
 
-    'sweeps: for (sweep_no, program) in programs.iter().enumerate() {
+    'sweeps: for (sweep_no, program) in programs.iter().enumerate().skip(start_sweep) {
+        check_stall(comm, rank, sweep_no)?;
         let layouts = program.layouts();
         let mut rotations = 0usize;
         let mut swaps = 0usize;
@@ -387,7 +602,9 @@ fn worker_overlapped(
             //    per step instead of two when the sender runs ahead)
             for p in &mut pending {
                 let slot = if p.local == 0 { &mut left } else { &mut right };
-                slot.a = comm.recv(p.src, overlap_tag_a(p.step, my_slots[p.local]))?;
+                slot.a = comm
+                    .recv(p.src, overlap_tag_a(p.step, my_slots[p.local]))
+                    .map_err(recv_fail(rank, sweep_no, p.step as u64))?;
                 if vectors {
                     if let Some(v) = comm.try_recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))
                     {
@@ -424,7 +641,9 @@ fn worker_overlapped(
                         continue;
                     }
                     let slot = if p.local == 0 { &mut left } else { &mut right };
-                    slot.v = comm.recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))?;
+                    slot.v = comm
+                        .recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))
+                        .map_err(recv_fail(rank, sweep_no, p.step as u64))?;
                 }
                 // 6. V-phase rotation
                 rotate_pair_v(rot, &report, &mut left, &mut right);
@@ -448,11 +667,40 @@ fn worker_overlapped(
         }
 
         let mut sums = [rotations as f64, swaps as f64];
-        allreduce_sum_in_place(comm, sweep_no as u64, &mut sums)?;
+        allreduce_sum_in_place(comm, sweep_no as u64, &mut sums).map_err(recv_fail(
+            rank,
+            sweep_no,
+            global_step as u64,
+        ))?;
         total_rotations += rotations;
         sweeps = sweep_no + 1;
-        if sweep_no == 0 {
+        if sweep_no == start_sweep {
             warm_allocs = comm.payload_allocations();
+        }
+        // a due checkpoint first materializes the deferred arrivals, so
+        // the deposit is the true post-sweep state
+        if checkpoint_every > 0 && checkpoints.is_some() && sweeps % checkpoint_every == 0 {
+            for p in &pending {
+                let slot = if p.local == 0 { &mut left } else { &mut right };
+                slot.a = comm
+                    .recv(p.src, overlap_tag_a(p.step, my_slots[p.local]))
+                    .map_err(recv_fail(rank, sweep_no, p.step as u64))?;
+                if vectors && !p.v_done {
+                    slot.v = comm
+                        .recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))
+                        .map_err(recv_fail(rank, sweep_no, p.step as u64))?;
+                }
+            }
+            pending.clear();
+            maybe_checkpoint(
+                &checkpoints,
+                checkpoint_every,
+                sweeps,
+                rank,
+                &left,
+                &right,
+                total_rotations,
+            );
         }
         if sums[0] == 0.0 && sums[1] == 0.0 {
             converged = true;
@@ -461,11 +709,18 @@ fn worker_overlapped(
     }
 
     // drain: the final movement's arrivals complete after the sweep loop
+    // (already empty if the last sweep ended on a checkpoint boundary)
     for p in &pending {
         let slot = if p.local == 0 { &mut left } else { &mut right };
-        slot.a = comm.recv(p.src, overlap_tag_a(p.step, my_slots[p.local]))?;
-        if vectors {
-            slot.v = comm.recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))?;
+        slot.a = comm.recv(p.src, overlap_tag_a(p.step, my_slots[p.local])).map_err(recv_fail(
+            rank,
+            sweeps,
+            p.step as u64,
+        ))?;
+        if vectors && !p.v_done {
+            slot.v = comm
+                .recv(p.src, overlap_tag_v(p.step, my_slots[p.local]))
+                .map_err(recv_fail(rank, sweeps, p.step as u64))?;
         }
     }
 
@@ -478,6 +733,7 @@ fn worker_overlapped(
         converged,
         warm_allocs,
         steady_allocs,
+        retries: comm.retries(),
     })
 }
 
@@ -508,15 +764,205 @@ fn decode(payload: Vec<f64>) -> SlotData {
     SlotData { a, v }
 }
 
+/// What one completed attempt (any rung) produced.
+struct AttemptOut {
+    slots: Vec<SlotData>,
+    sweeps: usize,
+    converged: bool,
+    total_rotations: usize,
+    warm: u64,
+    steady: u64,
+    retries: u64,
+    overlap: bool,
+}
+
+/// Where a (re)start resumes: the newest complete checkpoint, or the
+/// initial columns.
+fn resume_point(
+    checkpoints: &Option<Arc<CheckpointStore>>,
+    initial: &[SlotData],
+    procs: usize,
+) -> (usize, Vec<SlotData>, Vec<usize>) {
+    if let Some(store) = checkpoints {
+        if let Some((sweeps, row)) = store.latest_complete() {
+            let mut slots = Vec::with_capacity(initial.len());
+            let mut bases = Vec::with_capacity(procs);
+            for ckpt in row {
+                slots.push(ckpt.left);
+                slots.push(ckpt.right);
+                bases.push(ckpt.rotations);
+            }
+            return (sweeps, slots, bases);
+        }
+    }
+    (0, initial.to_vec(), vec![0; procs])
+}
+
+/// One threaded-world attempt on a network rung. Spawns a thread per
+/// rank, joins them all (a failed rank makes its peers time out, so every
+/// thread terminates), and reports the first failure — a crash wins over
+/// the receive errors it caused on other ranks.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    rung: Rung,
+    programs: &Arc<Vec<Program>>,
+    start_sweep: usize,
+    mut slot_data: Vec<SlotData>,
+    bases: &[usize],
+    vectors: bool,
+    exec: ExecConfig,
+    policy: &FaultPolicy,
+    injector: &Option<Arc<FaultInjector>>,
+    checkpoints: &Option<Arc<CheckpointStore>>,
+) -> Result<AttemptOut, DistError> {
+    let procs = slot_data.len() / 2;
+    let (transport, overlap) = match rung {
+        Rung::Overlapped => (Transport::ZeroCopy, true),
+        Rung::ZeroCopy => (Transport::ZeroCopy, false),
+        Rung::Legacy => (Transport::Legacy, false),
+        Rung::Sequential => unreachable!("the sequential rung runs outside the world"),
+    };
+    let world = ThreadWorld::with_config(
+        procs,
+        WorldConfig {
+            recv_timeout: policy.recv_timeout,
+            retry: RetryPolicy { max_retries: policy.max_retries, backoff: policy.backoff },
+            check_finite: policy.check_finite,
+            fault: injector.clone(),
+        },
+    );
+    let start_step: usize = programs[..start_sweep].iter().map(|p| p.steps.len()).sum();
+    let checkpoint_every = policy.checkpoint_every;
+
+    let mut handles = Vec::with_capacity(procs);
+    for (rank, mut comm) in world.into_communicators().into_iter().enumerate() {
+        let left = std::mem::take(&mut slot_data[2 * rank]);
+        let right = std::mem::take(&mut slot_data[2 * rank + 1]);
+        let programs = Arc::clone(programs);
+        let checkpoints = checkpoints.clone();
+        let base_rotations = bases[rank];
+        handles.push(std::thread::spawn(move || {
+            worker(
+                &mut comm,
+                WorkerTask {
+                    programs: &programs,
+                    left,
+                    right,
+                    config: exec,
+                    transport,
+                    overlap,
+                    vectors,
+                    start_sweep,
+                    start_step,
+                    base_rotations,
+                    checkpoints,
+                    checkpoint_every,
+                },
+            )
+        }));
+    }
+
+    let n = 2 * procs;
+    let mut slots: Vec<SlotData> = (0..n).map(|_| SlotData::default()).collect();
+    let mut sweeps = start_sweep;
+    let mut converged = false;
+    let mut total_rotations = 0usize;
+    let mut warm = 0u64;
+    let mut steady = 0u64;
+    let mut retries = 0u64;
+    let mut first_err: Option<DistError> = None;
+    for (rank, h) in handles.into_iter().enumerate() {
+        match h.join().expect("worker panicked") {
+            Ok(out) => {
+                slots[2 * rank] = out.left;
+                slots[2 * rank + 1] = out.right;
+                sweeps = out.sweeps; // identical on all ranks by the allreduce
+                converged = out.converged;
+                total_rotations += out.rotations;
+                warm += out.warm_allocs;
+                steady += out.steady_allocs;
+                retries += out.retries;
+            }
+            Err(e) => {
+                let crash = matches!(e, DistError::Crashed { .. });
+                match &first_err {
+                    None => first_err = Some(e),
+                    Some(prev) if crash && !matches!(prev, DistError::Crashed { .. }) => {
+                        first_err = Some(e);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(AttemptOut {
+        slots,
+        sweeps,
+        converged,
+        total_rotations,
+        warm,
+        steady,
+        retries,
+        overlap: rung == Rung::Overlapped,
+    })
+}
+
+/// The bottom of the ladder: the synchronous single-process executor,
+/// which exchanges no messages and therefore cannot be faulted. Bitwise
+/// identical to the distributed rungs (that equivalence is this module's
+/// founding invariant).
+fn run_sequential(
+    programs: &[Program],
+    start_sweep: usize,
+    slots: Vec<SlotData>,
+    bases: &[usize],
+    exec: ExecConfig,
+) -> AttemptOut {
+    let n = slots.len();
+    let mac = Machine::with_kind(TopologyKind::PerfectFatTree, (n / 2).next_power_of_two());
+    let layout: Vec<ColIndex> = if start_sweep == 0 {
+        programs.first().map_or_else(|| (0..n).collect(), |p| p.initial_layout.clone())
+    } else {
+        programs[start_sweep - 1].final_layout()
+    };
+    let mut store = ColumnStore { slots, layout };
+    let mut total_rotations: usize = bases.iter().sum();
+    let mut sweeps = start_sweep;
+    let mut converged = false;
+    for (k, program) in programs.iter().enumerate().skip(start_sweep) {
+        let stats = execute_program(&mac, program, &mut store, &exec);
+        total_rotations += stats.rotations;
+        sweeps = k + 1;
+        if stats.is_converged() {
+            converged = true;
+            break;
+        }
+    }
+    AttemptOut {
+        slots: store.slots,
+        sweeps,
+        converged,
+        total_rotations,
+        warm: 0,
+        steady: 0,
+        retries: 0,
+        overlap: false,
+    }
+}
+
 /// Run the ordering to convergence with one thread per processor, using
-/// the default [`DistConfig`] (zero-copy transport with overlap).
+/// the default [`DistConfig`] (zero-copy transport with overlap, no
+/// recovery armed).
 ///
 /// `columns[j]` is column `j`; `accumulate_v` attaches identity `V`
 /// columns. Returns the final slots, layout, and counters.
 ///
 /// # Errors
-/// Returns a [`RecvError`] if a rank times out (schedule bug) or the world
-/// is torn down.
+/// Returns a [`DistError`] if a rank fails past its recovery budget (with
+/// the default policy: on the first receive timeout — a schedule bug).
 ///
 /// # Panics
 /// Panics if `columns.len()` is odd or disagrees with the ordering.
@@ -526,16 +972,26 @@ pub fn distributed_svd(
     accumulate_v: bool,
     config: ExecConfig,
     max_sweeps: usize,
-) -> Result<DistributedOutcome, RecvError> {
+) -> Result<DistributedOutcome, DistError> {
     let cfg = DistConfig { exec: config, max_sweeps, ..DistConfig::default() };
     distributed_svd_with(ordering, columns, accumulate_v, &cfg)
 }
 
-/// [`distributed_svd`] with full control over transport and overlap.
+/// [`distributed_svd`] with full control over transport, overlap, fault
+/// injection, and recovery.
+///
+/// The supervisor walks the degradation ladder: on each rung it runs up
+/// to `1 + policy.max_restarts` whole-world attempts (each resuming from
+/// the newest complete checkpoint, or the initial columns), then — if the
+/// policy allows — descends to the next rung. The retransmission store is
+/// cleared between attempts (rungs encode tags differently, so a stale
+/// deposit must never satisfy a later redelivery); stall/crash latches
+/// are *not* cleared, so a restarted run resumes past the event that
+/// killed its predecessor.
 ///
 /// # Errors
-/// Returns a [`RecvError`] if a rank times out (schedule bug) or the world
-/// is torn down.
+/// [`DistError::Unrecoverable`] when every attempt on every permitted
+/// rung failed, carrying the final failure and the recovery history.
 ///
 /// # Panics
 /// Panics if `columns.len()` is odd or disagrees with the ordering.
@@ -544,7 +1000,7 @@ pub fn distributed_svd_with(
     columns: Vec<Vec<f64>>,
     accumulate_v: bool,
     cfg: &DistConfig,
-) -> Result<DistributedOutcome, RecvError> {
+) -> Result<DistributedOutcome, DistError> {
     let n = columns.len();
     assert_eq!(n, ordering.n(), "column count disagrees with the ordering");
     assert_eq!(n % 2, 0, "need an even column count");
@@ -553,76 +1009,113 @@ pub fn distributed_svd_with(
     // programs are precomputed (they are deterministic) and shared read-only
     let programs: Arc<Vec<Program>> = Arc::new(ordering.programs(cfg.max_sweeps));
 
+    let policy = cfg.policy;
+    let injector: Option<Arc<FaultInjector>> =
+        cfg.fault.as_ref().map(|plan| Arc::new(FaultInjector::new(plan.clone())));
+    let recovery = injector.is_some() || policy.is_armed();
+
     // overlap only runs on the zero-copy transport, and only once the
     // analyzer has proved the send-ahead plan deadlock-free under both
-    // buffered and rendezvous semantics; one restore period covers every
-    // distinct per-sweep program the ordering generates
+    // buffered and rendezvous semantics; with recovery armed the stricter
+    // proof (send-ahead *plus* the deposit/ack retransmission protocol)
+    // gates it instead. One restore period covers every distinct
+    // per-sweep program the ordering generates.
     let period = ordering.restore_period().max(1).min(programs.len());
-    let overlap = cfg.overlap
+    let overlap_ok = cfg.overlap
         && cfg.transport == Transport::ZeroCopy
-        && programs[..period].iter().all(|p| verify_overlap_freedom(p, accumulate_v).is_ok());
+        && programs[..period].iter().all(|p| {
+            if recovery {
+                verify_recovery_freedom(p, accumulate_v).is_ok()
+            } else {
+                verify_overlap_freedom(p, accumulate_v).is_ok()
+            }
+        });
 
-    let store = crate::exec::ColumnStore::from_columns(columns, accumulate_v);
-    let mut slot_data: Vec<SlotData> = store.slots;
+    let store = ColumnStore::from_columns(columns, accumulate_v);
+    let initial: Vec<SlotData> = store.slots;
 
-    let world = ThreadWorld::new(procs);
-    let comms = world.into_communicators();
+    let ladder = build_ladder(cfg.transport, overlap_ok, policy.degrade);
+    let checkpoints = (policy.checkpoint_every > 0).then(|| Arc::new(CheckpointStore::new(procs)));
 
-    let config = cfg.exec;
-    let transport = cfg.transport;
-    let mut handles = Vec::with_capacity(procs);
-    for (rank, mut comm) in comms.into_iter().enumerate() {
-        let left = std::mem::take(&mut slot_data[2 * rank]);
-        let right = std::mem::take(&mut slot_data[2 * rank + 1]);
-        let programs = Arc::clone(&programs);
-        handles.push(std::thread::spawn(move || {
-            worker(
-                &mut comm,
-                WorkerTask {
-                    programs: &programs,
-                    left,
-                    right,
-                    config,
-                    transport,
-                    overlap,
-                    vectors: accumulate_v,
-                },
-            )
-        }));
+    let mut restarts_used = 0u32;
+    let mut fallbacks: Vec<&'static str> = Vec::new();
+    let mut rungs_tried: Vec<&'static str> = Vec::new();
+    let mut last_err: Option<DistError> = None;
+    let mut completed: Option<AttemptOut> = None;
+
+    'ladder: for (ri, &rung) in ladder.iter().enumerate() {
+        rungs_tried.push(rung.label());
+        for attempt in 0..=policy.max_restarts {
+            if attempt > 0 {
+                restarts_used += 1;
+            }
+            if let Some(inj) = &injector {
+                inj.reset_store();
+            }
+            let (start_sweep, slots, bases) = resume_point(&checkpoints, &initial, procs);
+            let result = if rung == Rung::Sequential {
+                Ok(run_sequential(&programs, start_sweep, slots, &bases, cfg.exec))
+            } else {
+                run_attempt(
+                    rung,
+                    &programs,
+                    start_sweep,
+                    slots,
+                    &bases,
+                    accumulate_v,
+                    cfg.exec,
+                    &policy,
+                    &injector,
+                    &checkpoints,
+                )
+            };
+            match result {
+                Ok(out) => {
+                    completed = Some(out);
+                    break 'ladder;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if ri + 1 < ladder.len() {
+            fallbacks.push(rung.label());
+        }
     }
 
-    let mut slots: Vec<SlotData> = (0..n).map(|_| SlotData::default()).collect();
-    let mut sweeps = 0usize;
-    let mut total_rotations = 0usize;
-    let mut converged = false;
-    let mut warm_payload_allocs = 0u64;
-    let mut steady_payload_allocs = 0u64;
-    for (rank, h) in handles.into_iter().enumerate() {
-        let out = h.join().expect("worker panicked")?;
-        slots[2 * rank] = out.left;
-        slots[2 * rank + 1] = out.right;
-        sweeps = out.sweeps; // identical on all ranks by the allreduce
-        converged = out.converged;
-        total_rotations += out.rotations;
-        warm_payload_allocs += out.warm_allocs;
-        steady_payload_allocs += out.steady_allocs;
-    }
+    let out = match completed {
+        Some(out) => out,
+        None => {
+            return Err(DistError::Unrecoverable {
+                last: Box::new(last_err.expect("a failed attempt recorded its error")),
+                restarts: restarts_used,
+                rungs: rungs_tried,
+            });
+        }
+    };
+
+    let health = HealthReport {
+        faults: injector.as_ref().map(|i| i.snapshot()).unwrap_or_default(),
+        retries: out.retries,
+        restarts: restarts_used,
+        fallbacks,
+    };
 
     // final layout: replay the programs that actually ran
     let mut layout: Vec<ColIndex> = (0..n).collect();
-    for program in programs.iter().take(sweeps) {
+    for program in programs.iter().take(out.sweeps) {
         layout = program.final_layout();
     }
 
     Ok(DistributedOutcome {
-        slots,
+        slots: out.slots,
         layout,
-        sweeps,
-        converged,
-        total_rotations,
-        overlap,
-        warm_payload_allocs,
-        steady_payload_allocs,
+        sweeps: out.sweeps,
+        converged: out.converged,
+        total_rotations: out.total_rotations,
+        overlap: out.overlap,
+        warm_payload_allocs: out.warm,
+        steady_payload_allocs: out.steady,
+        health,
     })
 }
 
@@ -631,6 +1124,8 @@ mod tests {
     use super::*;
     use crate::exec::{execute_program, ColumnStore, ExecConfig};
     use crate::machine::Machine;
+    use std::time::Duration;
+    use treesvd_comm::{StallEvent, StallKind};
     use treesvd_matrix::generate;
     use treesvd_net::TopologyKind;
     use treesvd_orderings::OrderingKind;
@@ -679,6 +1174,7 @@ mod tests {
             for (s, (d, r)) in dist.slots.iter().zip(ref_slots.iter()).enumerate() {
                 assert_eq!(d.a, r.a, "{kind}: slot {s} differs");
             }
+            assert!(!dist.health.degraded(), "{kind}: clean run reported recovery");
         }
     }
 
@@ -786,5 +1282,183 @@ mod tests {
                 assert!(d <= 1e-10 * ni * nj, "columns in slots {i},{j} coupled");
             }
         }
+    }
+
+    // ---- recovery layer ----
+
+    /// Fault-free oracle with the default config.
+    fn oracle(kind: OrderingKind, a: &treesvd_matrix::Matrix, vectors: bool) -> DistributedOutcome {
+        let ord = kind.build(a.cols()).unwrap();
+        distributed_svd(ord.as_ref(), a.clone().into_columns(), vectors, ExecConfig::default(), 40)
+            .unwrap()
+    }
+
+    fn assert_bitwise(run: &DistributedOutcome, base: &DistributedOutcome, what: &str) {
+        assert_eq!(run.sweeps, base.sweeps, "{what}: sweeps");
+        assert_eq!(run.total_rotations, base.total_rotations, "{what}: rotations");
+        assert_eq!(run.layout, base.layout, "{what}: layout");
+        for (s, (d, r)) in run.slots.iter().zip(base.slots.iter()).enumerate() {
+            assert_eq!(d.a, r.a, "{what}: slot {s} data differs");
+            assert_eq!(d.v, r.v, "{what}: slot {s} vectors differ");
+        }
+    }
+
+    /// A quick-failing recovery policy for tests (small windows so
+    /// unabsorbable faults surface in milliseconds, not seconds).
+    fn test_policy() -> FaultPolicy {
+        FaultPolicy {
+            recv_timeout: Duration::from_millis(10),
+            max_retries: 4,
+            backoff: 2.0,
+            checkpoint_every: 1,
+            max_restarts: 2,
+            degrade: true,
+            check_finite: true,
+        }
+    }
+
+    #[test]
+    fn seeded_message_chaos_is_bitwise_identical_to_fault_free() {
+        for kind in [OrderingKind::NewRing, OrderingKind::FatTree] {
+            let n = 8;
+            let a = generate::random_uniform(12, n, 23);
+            let base = oracle(kind, &a, true);
+            let plan = FaultPlan {
+                seed: 7,
+                drop: 0.1,
+                delay: 0.1,
+                max_delay: Duration::from_millis(2),
+                duplicate: 0.1,
+                corrupt: 0.05,
+                stalls: vec![StallEvent {
+                    rank: 1,
+                    sweep: 1,
+                    kind: StallKind::Sleep(Duration::from_millis(3)),
+                }],
+                ..FaultPlan::default()
+            };
+            let cfg =
+                DistConfig { policy: test_policy(), fault: Some(plan), ..DistConfig::default() };
+            let ord = kind.build(n).unwrap();
+            let run =
+                distributed_svd_with(ord.as_ref(), a.clone().into_columns(), true, &cfg).unwrap();
+            assert!(run.converged, "{kind}");
+            assert!(run.health.faults.injected() > 0, "{kind}: plan never fired");
+            assert!(run.health.restarts == 0, "{kind}: message faults must not need a restart");
+            assert_bitwise(&run, &base, &format!("{kind} under message chaos"));
+        }
+    }
+
+    #[test]
+    fn crash_restarts_from_the_last_checkpoint() {
+        let n = 8;
+        let a = generate::random_uniform(12, n, 29);
+        let base = oracle(OrderingKind::NewRing, &a, true);
+        let plan = FaultPlan::default().with_stall(StallEvent {
+            rank: 1,
+            sweep: 2,
+            kind: StallKind::Crash,
+        });
+        let cfg = DistConfig { policy: test_policy(), fault: Some(plan), ..DistConfig::default() };
+        let ord = OrderingKind::NewRing.build(n).unwrap();
+        let run = distributed_svd_with(ord.as_ref(), a.clone().into_columns(), true, &cfg).unwrap();
+        assert!(run.converged);
+        assert!(run.health.restarts >= 1, "the crash must consume a restart");
+        assert_eq!(run.health.faults.stalls, 1);
+        assert!(run.health.fallbacks.is_empty(), "a checkpointed crash needs no ladder descent");
+        assert_bitwise(&run, &base, "crash + checkpoint restart");
+    }
+
+    #[test]
+    fn canonical_chaos_plan_recovers_bitwise() {
+        // the exact profile the CLI's --chaos flag arms
+        let n = 8;
+        let a = generate::random_uniform(12, n, 31);
+        let base = oracle(OrderingKind::Hybrid, &a, true);
+        let ord = OrderingKind::Hybrid.build(n).unwrap();
+        for seed in [2u64, 3, 5] {
+            let mut policy = FaultPolicy::chaos();
+            policy.recv_timeout = Duration::from_millis(10); // keep the test fast
+            let cfg =
+                DistConfig { policy, fault: Some(FaultPlan::chaos(seed)), ..DistConfig::default() };
+            let run =
+                distributed_svd_with(ord.as_ref(), a.clone().into_columns(), true, &cfg).unwrap();
+            assert!(run.converged, "seed {seed}");
+            assert!(run.health.faults.injected() > 0, "seed {seed}: plan never fired");
+            assert_bitwise(&run, &base, &format!("chaos seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn poisoned_link_descends_the_ladder_to_sequential() {
+        let n = 8;
+        let a = generate::random_uniform(12, n, 37);
+        let base = oracle(OrderingKind::NewRing, &a, true);
+        let plan = FaultPlan::default().with_poisoned_link(0, 1).with_poisoned_link(1, 0);
+        let policy = FaultPolicy {
+            recv_timeout: Duration::from_millis(5),
+            max_retries: 1,
+            max_restarts: 0,
+            ..test_policy()
+        };
+        let cfg = DistConfig { policy, fault: Some(plan), ..DistConfig::default() };
+        let ord = OrderingKind::NewRing.build(n).unwrap();
+        let run = distributed_svd_with(ord.as_ref(), a.clone().into_columns(), true, &cfg).unwrap();
+        assert!(run.converged);
+        assert_eq!(
+            run.health.fallbacks,
+            vec!["overlapped", "zero-copy", "legacy"],
+            "every network rung must fail on a dead edge"
+        );
+        assert!(!run.overlap);
+        assert_bitwise(&run, &base, "sequential fallback");
+    }
+
+    #[test]
+    fn unabsorbable_fault_without_degradation_fails_fast_with_context() {
+        let n = 8;
+        let a = generate::random_uniform(12, n, 41);
+        let plan = FaultPlan::default().with_poisoned_link(0, 1);
+        let policy = FaultPolicy {
+            recv_timeout: Duration::from_millis(5),
+            max_retries: 1,
+            max_restarts: 1,
+            degrade: false,
+            ..test_policy()
+        };
+        let cfg = DistConfig { policy, fault: Some(plan), ..DistConfig::default() };
+        let ord = OrderingKind::NewRing.build(n).unwrap();
+        let err = distributed_svd_with(ord.as_ref(), a.into_columns(), true, &cfg).unwrap_err();
+        let DistError::Unrecoverable { last, restarts, rungs } = &err else {
+            panic!("expected Unrecoverable, got {err}");
+        };
+        assert_eq!(*restarts, 1, "the restart budget must be spent before giving up");
+        assert_eq!(rungs.len(), 1, "degrade=false must stay on one rung");
+        assert!(matches!(**last, DistError::Recv { .. }), "a dead link surfaces as a recv failure");
+        let msg = err.to_string();
+        assert!(msg.contains("rank") && msg.contains("sweep"), "diagnostic lacks context: {msg}");
+    }
+
+    #[test]
+    fn armed_inert_plan_is_bitwise_invisible_and_allocation_free() {
+        let n = 16;
+        let a = generate::random_uniform(24, n, 43);
+        let base = oracle(OrderingKind::NewRing, &a, true);
+        let cfg = DistConfig {
+            policy: test_policy(),
+            fault: Some(FaultPlan::default()),
+            ..DistConfig::default()
+        };
+        let ord = OrderingKind::NewRing.build(n).unwrap();
+        let run = distributed_svd_with(ord.as_ref(), a.clone().into_columns(), true, &cfg).unwrap();
+        assert!(run.converged);
+        assert_eq!(run.health.faults.injected(), 0);
+        assert!(!run.health.degraded(), "inert plan must not trigger recovery");
+        assert_eq!(
+            run.steady_payload_allocs, 0,
+            "armed recovery must keep the zero-alloc steady state (fault-layer copies are \
+             charged to chaos_allocations, not the pools)"
+        );
+        assert_bitwise(&run, &base, "armed-inert plan");
     }
 }

@@ -27,4 +27,9 @@ cargo run --release -p treesvd-bench --bin bench_distributed -- --smoke
 echo "== bench smoke: batched SoA engine vs per-problem sequential loop (8x8 x 100k) =="
 cargo run --release -p treesvd-bench --bin bench_batched -- --smoke
 
+echo "== chaos soak: seeded fault plans must recover bitwise (96x16, P=8) =="
+# fixed seeds, bounded wall time; also gates zero steady-state payload
+# allocations with an armed-but-inert plan (see DESIGN.md §12)
+cargo run --release -p treesvd-bench --bin chaos_soak
+
 echo "verify.sh: all gates passed"

@@ -3,9 +3,24 @@
 //! blocked undersized-machine driver must all agree — and the apps built
 //! on top must be internally consistent whichever path produced the SVD.
 
+use std::time::Duration;
 use treesvd_apps::{lstsq, pca, pseudoinverse, ridge, symmetric_eigen};
-use treesvd_core::{blocked_svd, BlockedOptions, HestenesSvd, OrderingKind, SvdOptions};
+use treesvd_core::{
+    blocked_svd, BlockedOptions, FaultPlan, FaultPolicy, HestenesSvd, OrderingKind, SvdError,
+    SvdOptions,
+};
 use treesvd_matrix::{checks, generate, Matrix};
+
+/// Run `f` on its own thread and fail loudly if it does not finish in
+/// `limit` — the recovery layer's contract is "bitwise or a clean error,
+/// never a hang", and only a watchdog can observe the third outcome.
+fn with_watchdog<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(limit).expect("distributed run hung past the watchdog")
+}
 
 #[test]
 fn three_execution_paths_agree() {
@@ -43,6 +58,90 @@ fn cached_norms_driver_agrees_with_reference() {
     assert!(checks::spectrum_distance(&fast.svd.sigma, &reference.svd.sigma) < 1e-9);
     assert!(fast.svd.residual(&a) < 1e-10);
     assert!(fast.svd.orthogonality() < 1e-10);
+}
+
+#[test]
+fn chaos_recovery_is_bitwise_across_orderings_and_world_sizes() {
+    // random (seeded) fault plans × three orderings × P ∈ {2, 4, 8}: every
+    // absorbable plan must reproduce the fault-free run bitwise
+    let mut total_injected = 0u64;
+    for kind in [OrderingKind::NewRing, OrderingKind::FatTree, OrderingKind::Hybrid] {
+        for (n, seed) in [(4usize, 101u64), (8, 102), (16, 103)] {
+            if kind == OrderingKind::Hybrid && n < 8 {
+                continue; // the hybrid ordering needs at least two groups of 4
+            }
+            let a = generate::random_uniform(24, n, seed);
+            let clean = HestenesSvd::with_ordering(kind).compute_distributed(&a).unwrap();
+            let opts = SvdOptions::default()
+                .with_ordering(kind)
+                .with_chaos(seed ^ (n as u64) << 32)
+                .with_recv_timeout(Duration::from_millis(10));
+            let chaotic = with_watchdog(Duration::from_secs(120), move || {
+                HestenesSvd::new(opts).compute_distributed(&a)
+            })
+            .unwrap();
+            assert_eq!(clean.svd.sigma, chaotic.svd.sigma, "{kind} n={n}");
+            assert_eq!(clean.svd.u, chaotic.svd.u, "{kind} n={n}");
+            assert_eq!(clean.svd.v, chaotic.svd.v, "{kind} n={n}");
+            let health = chaotic.health.expect("distributed runs report health");
+            total_injected += health.faults.injected();
+        }
+    }
+    assert!(total_injected > 0, "nine chaos plans injected nothing — the suite is vacuous");
+}
+
+#[test]
+fn unabsorbable_fault_fails_fast_with_a_clean_error_not_a_hang() {
+    // both directions of the rank 0 ↔ 1 link are poisoned and the ladder
+    // is disabled: no retry budget can absorb that, so the run must
+    // surface `SvdError::Unrecoverable` well inside the watchdog window
+    let a = generate::random_uniform(16, 8, 104);
+    let plan = FaultPlan::default().with_poisoned_link(0, 1).with_poisoned_link(1, 0);
+    let policy = FaultPolicy {
+        recv_timeout: Duration::from_millis(5),
+        max_retries: 1,
+        degrade: false,
+        ..FaultPolicy::chaos()
+    };
+    let mut opts = SvdOptions::default().with_fault_policy(policy);
+    opts.chaos = Some(plan);
+    let err = with_watchdog(Duration::from_secs(60), move || {
+        HestenesSvd::new(opts).compute_distributed(&a)
+    })
+    .expect_err("a fully poisoned link with no fallback cannot succeed");
+    assert!(matches!(err, SvdError::Unrecoverable(_)), "{err:?}");
+    let msg = err.to_string();
+    for needle in ["unrecoverable", "rank", "sweep"] {
+        assert!(msg.contains(needle), "diagnostic {msg:?} misses {needle:?}");
+    }
+}
+
+#[test]
+fn degradation_ladder_rescues_the_same_unabsorbable_fault() {
+    // the identical poisoned-link plan, but with the ladder armed: the
+    // supervisor must walk down to a rung that avoids the dead link (the
+    // sequential fallback at worst) and still match the oracle bitwise
+    let a = generate::random_uniform(16, 8, 104);
+    let clean = HestenesSvd::new(SvdOptions::default()).compute_distributed(&a).unwrap();
+    let plan = FaultPlan::default().with_poisoned_link(0, 1).with_poisoned_link(1, 0);
+    let policy = FaultPolicy {
+        recv_timeout: Duration::from_millis(5),
+        max_retries: 1,
+        max_restarts: 0,
+        ..FaultPolicy::chaos()
+    };
+    let mut opts = SvdOptions::default().with_fault_policy(policy);
+    opts.chaos = Some(plan);
+    let rescued = with_watchdog(Duration::from_secs(120), move || {
+        HestenesSvd::new(opts).compute_distributed(&a)
+    })
+    .unwrap();
+    assert_eq!(clean.svd.sigma, rescued.svd.sigma);
+    assert_eq!(clean.svd.u, rescued.svd.u);
+    assert_eq!(clean.svd.v, rescued.svd.v);
+    let health = rescued.health.expect("distributed runs report health");
+    assert!(health.degraded(), "the ladder must have been used");
+    assert!(!health.fallbacks.is_empty(), "at least one rung must have been abandoned");
 }
 
 #[test]
