@@ -1,0 +1,534 @@
+//! `treesvd-lint`: the workspace source audit.
+//!
+//! Three mechanical rules, enforced over every `crates/*/src/**/*.rs`
+//! file (see docs/ANALYSIS.md §6):
+//!
+//! 1. **SAFETY adjacency** — every `unsafe` token (block, fn, or impl)
+//!    is annotated: either a trailing `// SAFETY:` comment on the same
+//!    line, or a contiguous block of comments/attributes immediately
+//!    above it containing `SAFETY` (or a `# Safety` doc heading).
+//!    Boilerplate-free by construction: the rule checks *presence and
+//!    placement*; review checks content.
+//! 2. **Forbid consistency** — the crates that need no `unsafe`
+//!    (`treesvd-core`, `treesvd-orderings`, `treesvd-apps`,
+//!    `treesvd-analyze`, `treesvd-net`, `treesvd-cli`) must declare
+//!    `#![forbid(unsafe_code)]` at the crate root, and no file under
+//!    them may contain an `unsafe` token.
+//! 3. **Concurrency seams** — no raw `std::thread::spawn`,
+//!    `thread::Builder`, or ad-hoc `mpsc` channel construction outside
+//!    the two seams the analyzer actually models: `treesvd-comm` (the
+//!    communicator) and `crates/sim/src/par.rs` (the fork/join pool and
+//!    its [`spawn_worker`] escape hatch). A thread the analyzer cannot
+//!    see is a wait-for edge the deadlock proof cannot see.
+//!
+//! Comments and string literals are stripped before token matching, so
+//! prose about `unsafe` or `thread::spawn` (like this paragraph) never
+//! trips the audit.
+//!
+//! Usage: `treesvd-lint [--root DIR]` — `--root` defaults to the current
+//! directory and must contain a `crates/` directory. Exits nonzero on
+//! any finding, printing one `file:line: message` per finding.
+//!
+//! [`spawn_worker`]: ../treesvd_sim/par/fn.spawn_worker.html
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One audit violation.
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.msg)
+    }
+}
+
+/// The crates that must declare `#![forbid(unsafe_code)]`, with their
+/// crate-root source file.
+const FORBID_CRATES: &[(&str, &str)] = &[
+    ("core", "src/lib.rs"),
+    ("orderings", "src/lib.rs"),
+    ("apps", "src/lib.rs"),
+    ("analyze", "src/lib.rs"),
+    ("net", "src/lib.rs"),
+    ("cli", "src/main.rs"),
+];
+
+/// Paths (relative to the root, `/`-separated) allowed to spawn threads
+/// or build channels: the seams the analyzer models.
+fn seam_allowed(rel: &str) -> bool {
+    rel.starts_with("crates/comm/") || rel == "crates/sim/src/par.rs"
+}
+
+// ---------------------------------------------------------------------
+// source scanning
+
+/// Per-line view of a source file: the code with comments and string
+/// literals blanked out (spaces, preserving column positions), plus the
+/// original text.
+struct Lines<'a> {
+    code: Vec<String>,
+    raw: Vec<&'a str>,
+}
+
+/// Strip comments and string/char literals from `source`, preserving the
+/// line structure. Handles nested `/* */`, raw strings (`r#"…"#`), and
+/// the lifetime-vs-char-literal ambiguity of `'`.
+fn strip(source: &str) -> Lines<'_> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        Block(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut state = St::Code;
+    let mut code = Vec::new();
+    let mut raw = Vec::new();
+    for line in source.lines() {
+        raw.push(line);
+        if state == St::LineComment {
+            state = St::Code;
+        }
+        let bytes = line.as_bytes();
+        let mut out = vec![b' '; bytes.len()];
+        let mut i = 0;
+        while i < bytes.len() {
+            match state {
+                St::Code => {
+                    let rest = &bytes[i..];
+                    if rest.starts_with(b"//") {
+                        state = St::LineComment;
+                        break;
+                    } else if rest.starts_with(b"/*") {
+                        state = St::Block(1);
+                        i += 2;
+                    } else if rest[0] == b'"' {
+                        state = St::Str;
+                        i += 1;
+                    } else if rest[0] == b'r' || rest.starts_with(b"br") {
+                        // raw string? r"…", r#"…"#, br"…", …
+                        let skip = if rest[0] == b'r' { 1 } else { 2 };
+                        let hashes = rest[skip..].iter().take_while(|&&b| b == b'#').count();
+                        if rest.get(skip + hashes) == Some(&b'"') {
+                            state = St::RawStr(hashes);
+                            out[i] = bytes[i]; // keep the identifier-ish prefix
+                            i += skip + hashes + 1;
+                        } else {
+                            out[i] = bytes[i];
+                            i += 1;
+                        }
+                    } else if rest[0] == b'\'' {
+                        // lifetime ('a) or char literal ('x', '\n')?
+                        let is_char = match rest.get(1) {
+                            Some(b'\\') => true,
+                            Some(&c) => rest.get(2) == Some(&b'\'') && c != b'\'',
+                            None => false,
+                        };
+                        if is_char {
+                            state = St::Char;
+                        } else {
+                            out[i] = bytes[i]; // lifetime quote stays code
+                        }
+                        i += 1;
+                    } else {
+                        out[i] = bytes[i];
+                        i += 1;
+                    }
+                }
+                St::LineComment => unreachable!("handled at line start / break"),
+                St::Block(depth) => {
+                    let rest = &bytes[i..];
+                    if rest.starts_with(b"*/") {
+                        state = if depth == 1 { St::Code } else { St::Block(depth - 1) };
+                        i += 2;
+                    } else if rest.starts_with(b"/*") {
+                        state = St::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'"' {
+                            state = St::Code;
+                        }
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    if bytes[i] == b'"'
+                        && bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes
+                    {
+                        state = St::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::Char => {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\'' {
+                            state = St::Code;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+        code.push(String::from_utf8_lossy(&out).into_owned());
+    }
+    Lines { code, raw }
+}
+
+/// Whether `code` contains `word` as a standalone token (Rust identifier
+/// boundaries on both sides).
+fn has_token(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Whether line `idx` is an annotation line — pure comment (line or
+/// block) or an attribute — that a SAFETY block may span.
+fn is_annotation(lines: &Lines<'_>, idx: usize) -> bool {
+    let code = lines.code[idx].trim();
+    let raw = lines.raw[idx].trim();
+    (code.is_empty() && !raw.is_empty()) || code.starts_with("#[") || code.starts_with("#!")
+}
+
+fn mentions_safety(raw: &str) -> bool {
+    raw.contains("SAFETY") || raw.contains("Safety")
+}
+
+// ---------------------------------------------------------------------
+// audits
+
+/// Rule 1: every `unsafe` token is SAFETY-annotated.
+fn audit_unsafe(rel: &Path, lines: &Lines<'_>, findings: &mut Vec<Finding>) -> usize {
+    let mut sites = 0;
+    for (idx, code) in lines.code.iter().enumerate() {
+        if !has_token(code, "unsafe") {
+            continue;
+        }
+        sites += 1;
+        // trailing comment on the same line
+        let raw = lines.raw[idx];
+        let code_len = code.trim_end().len();
+        if raw.len() > code_len && mentions_safety(&raw[code_len..]) {
+            continue;
+        }
+        // contiguous annotation block above
+        let mut covered = false;
+        let mut up = idx;
+        while up > 0 && is_annotation(lines, up - 1) {
+            up -= 1;
+            if mentions_safety(lines.raw[up]) {
+                covered = true;
+                break;
+            }
+        }
+        if !covered {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: idx + 1,
+                msg: "`unsafe` without an adjacent `// SAFETY:` comment (same line or the \
+                      comment/attribute block immediately above)"
+                    .to_string(),
+            });
+        }
+    }
+    sites
+}
+
+/// Rule 3: no raw thread spawns or ad-hoc channels outside the seams.
+fn audit_seams(rel: &Path, rel_str: &str, lines: &Lines<'_>, findings: &mut Vec<Finding>) {
+    if seam_allowed(rel_str) {
+        return;
+    }
+    for (idx, code) in lines.code.iter().enumerate() {
+        for pattern in ["thread::spawn", "thread::Builder", "mpsc::channel", "mpsc::sync_channel"] {
+            if code.contains(pattern) {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    msg: format!(
+                        "`{pattern}` outside the modelled seams (treesvd-comm, sim::par): \
+                         threads the analyzer cannot see break the deadlock proof — use \
+                         `treesvd_sim::par` (or `par::spawn_worker`) instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 2: the unsafe-free crates declare `#![forbid(unsafe_code)]` and
+/// stay unsafe-free.
+fn audit_forbid(root: &Path, findings: &mut Vec<Finding>) {
+    for &(krate, entry) in FORBID_CRATES {
+        let entry_path = root.join("crates").join(krate).join(entry);
+        let Ok(source) = std::fs::read_to_string(&entry_path) else {
+            continue; // absent under this root (e.g. a test fixture tree)
+        };
+        let lines = strip(&source);
+        if !lines.code.iter().any(|c| c.contains("#![forbid(unsafe_code)]")) {
+            findings.push(Finding {
+                file: PathBuf::from(format!("crates/{krate}/{entry}")),
+                line: 1,
+                msg: "crate must declare #![forbid(unsafe_code)] (it needs no unsafe)".to_string(),
+            });
+        }
+        for file in rust_sources(&root.join("crates").join(krate).join("src")) {
+            let Ok(source) = std::fs::read_to_string(&file) else { continue };
+            let lines = strip(&source);
+            for (idx, code) in lines.code.iter().enumerate() {
+                if has_token(code, "unsafe") {
+                    let rel = file.strip_prefix(root).unwrap_or(&file);
+                    findings.push(Finding {
+                        file: rel.to_path_buf(),
+                        line: idx + 1,
+                        msg: format!("`unsafe` in crate treesvd-{krate}, which forbids it"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for stable output.
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Run all three audits over `root/crates/*/src`. Returns
+/// `(files_scanned, unsafe_sites_audited, findings)`.
+fn run_audit(root: &Path) -> (usize, usize, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut files = 0;
+    let mut sites = 0;
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map(|entries| {
+            entries.flatten().map(|e| e.path()).filter(|p| p.join("src").is_dir()).collect()
+        })
+        .unwrap_or_default();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        for file in rust_sources(&crate_dir.join("src")) {
+            let Ok(source) = std::fs::read_to_string(&file) else { continue };
+            files += 1;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let rel_str = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let lines = strip(&source);
+            sites += audit_unsafe(&rel, &lines, &mut findings);
+            audit_seams(&rel, &rel_str, &lines, &mut findings);
+        }
+    }
+    audit_forbid(root, &mut findings);
+    (files, sites, findings)
+}
+
+const USAGE: &str = "treesvd-lint: source audit (SAFETY adjacency, forbid(unsafe_code) \
+consistency, concurrency seams)\n\nusage: treesvd-lint [--root DIR]\n\n  --root DIR   \
+workspace root to audit (default: current directory); must contain crates/";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("treesvd-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("treesvd-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !root.join("crates").is_dir() {
+        eprintln!("treesvd-lint: {} has no crates/ directory\n{USAGE}", root.display());
+        return ExitCode::FAILURE;
+    }
+    let (files, sites, findings) = run_audit(&root);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("treesvd-lint: clean — {files} file(s) scanned, {sites} unsafe site(s) audited");
+        ExitCode::SUCCESS
+    } else {
+        println!("treesvd-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(src: &str) -> Lines<'_> {
+        strip(src)
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let l = lines("let x = \"unsafe\"; // unsafe here\nlet y = 'u';\n/* unsafe */ let z = 1;");
+        assert!(!has_token(&l.code[0], "unsafe"));
+        assert!(!has_token(&l.code[1], "unsafe"));
+        assert!(!has_token(&l.code[2], "unsafe"));
+        assert!(l.code[2].contains("let z"));
+    }
+
+    #[test]
+    fn token_boundaries_exclude_identifiers() {
+        let l =
+            lines("#![forbid(unsafe_code)]\n#![deny(unsafe_op_in_unsafe_fn)]\nunsafe fn f() {}");
+        assert!(!has_token(&l.code[0], "unsafe"));
+        assert!(!has_token(&l.code[1], "unsafe"));
+        assert!(has_token(&l.code[2], "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lines("fn f<'a>(x: &'a str) -> &'a str { x } // unsafe");
+        assert!(l.code[0].contains("fn f<'a>"));
+        assert!(!has_token(&l.code[0], "unsafe"));
+    }
+
+    #[test]
+    fn uncommented_unsafe_is_flagged_and_commented_passes() {
+        let mut findings = Vec::new();
+        let bad = lines("fn f() {\n    unsafe { g() }\n}");
+        assert_eq!(audit_unsafe(Path::new("x.rs"), &bad, &mut findings), 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+
+        findings.clear();
+        let good = lines("fn f() {\n    // SAFETY: g is fine\n    unsafe { g() }\n}");
+        assert_eq!(audit_unsafe(Path::new("x.rs"), &good, &mut findings), 1);
+        assert!(findings.is_empty());
+
+        let trailing = lines("unsafe impl Send for X {} // SAFETY: no shared state");
+        audit_unsafe(Path::new("x.rs"), &trailing, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn safety_doc_heading_spans_attributes() {
+        // the soa.rs idiom: `/// # Safety` doc, then attributes, then fn
+        let src = "/// # Safety\n/// caller upholds bounds\n#[cfg(feature = \"x\")]\n#[inline]\nunsafe fn f() {}";
+        let mut findings = Vec::new();
+        audit_unsafe(Path::new("x.rs"), &lines(src), &mut findings);
+        assert!(findings.is_empty(), "{:?}", findings.iter().map(|f| f.line).collect::<Vec<_>>());
+        // but a *detached* comment (blank code line between) does not count
+        let src = "// SAFETY: stale\nfn g() {}\nunsafe fn f() {}";
+        audit_unsafe(Path::new("x.rs"), &lines(src), &mut findings);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn seam_rule_flags_raw_spawns_outside_the_allowlist() {
+        let mut findings = Vec::new();
+        let src = lines("let h = std::thread::spawn(|| {});\nlet (tx, rx) = mpsc::channel();");
+        audit_seams(
+            Path::new("crates/sim/src/distributed.rs"),
+            "crates/sim/src/distributed.rs",
+            &src,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 2);
+
+        findings.clear();
+        audit_seams(
+            Path::new("crates/sim/src/par.rs"),
+            "crates/sim/src/par.rs",
+            &src,
+            &mut findings,
+        );
+        audit_seams(
+            Path::new("crates/comm/src/world.rs"),
+            "crates/comm/src/world.rs",
+            &src,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "the modelled seams are exempt");
+    }
+
+    #[test]
+    fn negative_fixture_tree_is_rejected() {
+        // a deliberately uncommented unsafe block + a forbid crate without
+        // the attribute, under a throwaway root
+        let root = std::env::temp_dir().join(format!("treesvd-lint-test-{}", std::process::id()));
+        let src = root.join("crates/badcrate/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n",
+        )
+        .unwrap();
+        let core_src = root.join("crates/core/src");
+        std::fs::create_dir_all(&core_src).unwrap();
+        std::fs::write(core_src.join("lib.rs"), "pub fn g() {}\n").unwrap();
+
+        let (files, sites, findings) = run_audit(&root);
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(files, 2);
+        assert_eq!(sites, 1);
+        // finding 1: the uncommented unsafe; finding 2: core missing forbid
+        assert!(findings.iter().any(|f| f.line == 2 && f.msg.contains("SAFETY")));
+        assert!(findings.iter().any(|f| f.msg.contains("forbid(unsafe_code)")));
+    }
+}

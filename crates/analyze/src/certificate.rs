@@ -1,0 +1,1210 @@
+//! Proof certificates: serializable, independently re-checkable witnesses
+//! of the analyzer's schedule proofs.
+//!
+//! Every run of the driver and the distributed executor used to re-derive
+//! and re-check the schedule/comm proofs from scratch — pure overhead
+//! under repeated traffic, and useless across a process boundary where
+//! the proving side and the executing side are different programs. A
+//! [`ProofCertificate`] turns each proof into a *cacheable artifact*: it
+//! carries, per proof, the witness the prover produced —
+//!
+//! * **permutation safety** — the per-step ownership tables (slot
+//!   layouts) across the restore period;
+//! * **coverage/restore** — a per-step commutative multiset digest of the
+//!   pairs met, summing to the full `n(n−1)/2`-pair digest per sweep;
+//! * **contention** — the per-(step, channel) word-load table on the
+//!   keyed topology;
+//! * **deadlock/overlap/recovery freedom** — a concrete topological
+//!   order of each [`CommPlan`] wait-for graph;
+//! * **pool-lease discipline** — the deposit/ack pairing of every leased
+//!   buffer on the recovery plans;
+//!
+//! keyed by `(ordering, n, topology, words, overlap, recovery,
+//! analyzer_version)`. [`check_certificate`] validates a witness in
+//! O(plan) without re-running the prover: layouts are replayed and
+//! bijection-checked, digests recomputed and compared, loads compared
+//! entry-wise against the routed phases, and a topological witness is
+//! checked by verifying that every wait-for edge points forward in the
+//! stored order — the classic O(V+E) certificate for acyclicity, with no
+//! sort and no cycle search.
+//!
+//! Consumption rule (the driver and `sim::distributed` both follow it via
+//! [`CertificateCache::verify_or_prove`]): a cache entry whose key or
+//! `analyzer_version` does not match is a silent **miss** — re-prove and
+//! refresh. A matching key whose *witness* fails validation is a **hard
+//! error** ([`Violation::CertificateMismatch`]): the artifact claims to
+//! certify this exact schedule and does not, so something is tampered
+//! with or stale in a way versioning did not catch.
+
+use crate::contention::verify_contention;
+use crate::coverage::{verify_coverage, verify_restore};
+use crate::deadlock::{build_wait_graph, plan_topo_order, CommModel, CommPlan};
+use crate::permutation::verify_permutation_safety;
+use crate::pool::{verify_pool_discipline, verify_pool_safety, Lease};
+use crate::report::{Check, Violation};
+use crate::AnalysisOptions;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use treesvd_net::{Message, Phase};
+use treesvd_orderings::{JacobiOrdering, Program};
+
+/// Version of the analyzer's proof rules. Bump whenever a prover, a
+/// witness format, or a plan constructor changes semantics: certificates
+/// emitted under a different version are silently re-proved, never
+/// trusted ([`CertificateCache::verify_or_prove`]).
+pub const ANALYZER_VERSION: u32 = 1;
+
+/// The identity of the schedule a certificate certifies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CertKey {
+    /// Ordering name (`JacobiOrdering::name`).
+    pub ordering: String,
+    /// Index count.
+    pub n: usize,
+    /// Topology the contention proof ran on, as `"{kind}/{leaves}"`;
+    /// `None` when no contention proof is part of the bundle.
+    pub topology: Option<String>,
+    /// Words per column used by the contention proof (loads scale with
+    /// it). Normalized to 1 when no topology is keyed.
+    pub words: u64,
+    /// Whether the overlapped (send-ahead) plans are certified.
+    pub overlap: bool,
+    /// Whether the recovery (deposit/ack) plans and the pool-lease
+    /// discipline are certified.
+    pub recovery: bool,
+    /// [`ANALYZER_VERSION`] at emit time.
+    pub version: u32,
+}
+
+impl CertKey {
+    /// The key for analyzing `ord` under `opts` with the given plan
+    /// coverage, at the current analyzer version.
+    pub fn for_analysis(
+        ord: &dyn JacobiOrdering,
+        opts: &AnalysisOptions,
+        overlap: bool,
+        recovery: bool,
+    ) -> Self {
+        let topology = opts.topology.as_ref().map(|t| format!("{}/{}", t.kind(), t.leaves()));
+        let words = if topology.is_some() { opts.words_per_column.max(1) } else { 1 };
+        Self {
+            ordering: ord.name(),
+            n: ord.n(),
+            topology,
+            words,
+            overlap,
+            recovery,
+            version: ANALYZER_VERSION,
+        }
+    }
+
+    /// Cache identity: every key field except the version (a version-
+    /// skewed entry must be *found* so it can be refreshed in place).
+    fn cache_id(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.ordering,
+            self.n,
+            self.topology.as_deref().unwrap_or("-"),
+            self.words,
+            self.overlap,
+            self.recovery
+        )
+    }
+}
+
+/// Which communication plan a deadlock/pool witness belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// `CommPlan::from_program` — the blocking exchange order.
+    Blocking,
+    /// `CommPlan::from_program_overlapped` — the send-ahead order.
+    Overlapped,
+    /// The blocking plan with the deposit/ack recovery protocol.
+    BlockingRecovery,
+    /// The overlapped plan with the deposit/ack recovery protocol.
+    OverlappedRecovery,
+}
+
+impl PlanKind {
+    fn token(self) -> &'static str {
+        match self {
+            PlanKind::Blocking => "blocking",
+            PlanKind::Overlapped => "overlapped",
+            PlanKind::BlockingRecovery => "blocking-recovery",
+            PlanKind::OverlappedRecovery => "overlapped-recovery",
+        }
+    }
+
+    fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "blocking" => Some(PlanKind::Blocking),
+            "overlapped" => Some(PlanKind::Overlapped),
+            "blocking-recovery" => Some(PlanKind::BlockingRecovery),
+            "overlapped-recovery" => Some(PlanKind::OverlappedRecovery),
+            _ => None,
+        }
+    }
+
+    fn build(self, prog: &Program, vectors: bool) -> CommPlan {
+        match self {
+            PlanKind::Blocking => CommPlan::from_program(prog),
+            PlanKind::Overlapped => CommPlan::from_program_overlapped(prog, vectors),
+            PlanKind::BlockingRecovery => CommPlan::from_program(prog).with_recovery(),
+            PlanKind::OverlappedRecovery => {
+                CommPlan::from_program_overlapped(prog, vectors).with_recovery()
+            }
+        }
+    }
+}
+
+/// A topological-order witness for one plan's wait-for graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanWitness {
+    /// Sweep (restore-period index) of the program.
+    pub sweep: usize,
+    /// Which plan constructor.
+    pub kind: PlanKind,
+    /// Whether the plan carries V-phase traffic.
+    pub vectors: bool,
+    /// Communication model the order certifies acyclicity under.
+    pub model: CommModel,
+    /// Global node ids (rank-major program order) in topological order.
+    pub order: Vec<usize>,
+}
+
+/// One entry of the per-(step, channel) contention load table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadEntry {
+    /// Sweep of the phase.
+    pub sweep: usize,
+    /// Step of the phase.
+    pub step: usize,
+    /// Upward (toward the root) or downward channel.
+    pub up: bool,
+    /// Channel level (1 = endpoint).
+    pub level: usize,
+    /// Subtree node the channel sits above.
+    pub node: usize,
+    /// Words crossing the channel in the phase.
+    pub load: u64,
+}
+
+/// A pool-lease witness entry: one deposit/ack pairing on a recovery plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeaseEntry {
+    /// Sweep of the plan.
+    pub sweep: usize,
+    /// Which recovery plan (always a `*Recovery` kind, `vectors = true`
+    /// for the overlapped one).
+    pub kind: PlanKind,
+    /// Store key: original sender.
+    pub src: usize,
+    /// Store key: receiver.
+    pub dst: usize,
+    /// Store key: message tag.
+    pub tag: u64,
+    /// Step of the deposit.
+    pub deposit_step: usize,
+    /// Step of the acknowledging return.
+    pub ack_step: usize,
+}
+
+impl LeaseEntry {
+    fn from_lease(sweep: usize, kind: PlanKind, lease: &Lease) -> Self {
+        Self {
+            sweep,
+            kind,
+            src: lease.src,
+            dst: lease.dst,
+            tag: lease.tag,
+            deposit_step: lease.deposit.step,
+            ack_step: lease.ack.step,
+        }
+    }
+}
+
+/// A serializable bundle of proof witnesses for one schedule
+/// (see the module docs for the per-proof witness formats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProofCertificate {
+    /// What this certificate certifies.
+    pub key: CertKey,
+    /// Processor count (`n/2`).
+    pub processors: usize,
+    /// Sweeps covered (the ordering's restore period).
+    pub period: usize,
+    /// Steps per sweep.
+    pub steps_per_sweep: usize,
+    /// Ownership witness: `layouts[sweep][k]` = the slot→index layout
+    /// before step `k` (index `steps_per_sweep` = the final layout).
+    pub layouts: Vec<Vec<Vec<usize>>>,
+    /// Coverage witness: `pair_digests[sweep][k]` = commutative digest of
+    /// the pairs met at step `k`; the per-sweep sum equals the full
+    /// `n(n−1)/2`-pair digest.
+    pub pair_digests: Vec<Vec<u64>>,
+    /// Contention witness: every nonzero per-(step, channel) load, sorted;
+    /// empty when no topology is keyed.
+    pub loads: Vec<LoadEntry>,
+    /// Worst per-phase contention factor proven (≤ 1.0).
+    pub worst_contention: f64,
+    /// Deadlock witnesses: one topological order per certified plan.
+    pub plans: Vec<PlanWitness>,
+    /// Pool witnesses: the lease table of each certified recovery plan.
+    pub leases: Vec<LeaseEntry>,
+}
+
+// ---------------------------------------------------------------------
+// digests
+
+/// SplitMix64 finalizer — the commutative-sum pair digest's mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pair_hash(a: usize, b: usize) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    mix(((lo as u64) << 32) | hi as u64)
+}
+
+/// Digest of the pairs met at one step, from the layout before the step.
+fn step_digest(layout: &[usize]) -> u64 {
+    layout.chunks(2).fold(0u64, |acc, pair| acc.wrapping_add(pair_hash(pair[0], pair[1])))
+}
+
+/// Digest of the full set of `n(n−1)/2` unordered pairs.
+fn full_digest(n: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            acc = acc.wrapping_add(pair_hash(i, j));
+        }
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// emit
+
+/// The plans a certificate with these key flags must witness, per sweep:
+/// `(kind, vectors, model)` triples.
+fn expected_plans(overlap: bool, recovery: bool) -> Vec<(PlanKind, bool, CommModel)> {
+    let mut plans = vec![(PlanKind::Blocking, false, CommModel::Buffered)];
+    if overlap {
+        for vectors in [false, true] {
+            plans.push((PlanKind::Overlapped, vectors, CommModel::Buffered));
+            plans.push((PlanKind::Overlapped, vectors, CommModel::Rendezvous));
+        }
+    }
+    if recovery {
+        plans.push((PlanKind::BlockingRecovery, false, CommModel::Buffered));
+        if overlap {
+            for vectors in [false, true] {
+                plans.push((PlanKind::OverlappedRecovery, vectors, CommModel::Buffered));
+                plans.push((PlanKind::OverlappedRecovery, vectors, CommModel::Rendezvous));
+            }
+        }
+    }
+    plans
+}
+
+/// The recovery plans whose lease tables a certificate stores, per sweep.
+fn expected_lease_plans(overlap: bool, recovery: bool) -> Vec<(PlanKind, bool)> {
+    let mut plans = Vec::new();
+    if recovery {
+        plans.push((PlanKind::BlockingRecovery, false));
+        if overlap {
+            plans.push((PlanKind::OverlappedRecovery, true));
+        }
+    }
+    plans
+}
+
+/// Run the provers over `ord`'s restore period and package every witness
+/// into a [`ProofCertificate`]. `overlap`/`recovery` select which plan
+/// families are certified (and become part of the key).
+///
+/// # Errors
+/// The first [`Violation`] any prover finds — a certificate is only ever
+/// emitted for a fully verified schedule.
+pub fn emit_certificate(
+    ord: &dyn JacobiOrdering,
+    opts: &AnalysisOptions,
+    overlap: bool,
+    recovery: bool,
+) -> Result<ProofCertificate, Violation> {
+    let key = CertKey::for_analysis(ord, opts, overlap, recovery);
+    let period = ord.restore_period().max(1);
+    let programs = ord.programs(period);
+    let steps_per_sweep = programs.first().map_or(0, |p| p.steps.len());
+
+    // permutation + coverage/restore provers, then the layout witness
+    for prog in &programs {
+        verify_permutation_safety(prog)?;
+        verify_coverage(prog)?;
+    }
+    verify_restore(ord)?;
+    let mut layouts = Vec::with_capacity(period);
+    let mut pair_digests = Vec::with_capacity(period);
+    for prog in &programs {
+        let mut sweep_layouts = prog.layouts();
+        sweep_layouts.push(prog.final_layout());
+        pair_digests
+            .push(sweep_layouts[..prog.steps.len()].iter().map(|l| step_digest(l)).collect());
+        layouts.push(sweep_layouts);
+    }
+
+    // contention prover + load-table witness
+    let mut loads: Vec<LoadEntry> = Vec::new();
+    let mut worst_contention = 0.0f64;
+    if let Some(topo) = &opts.topology {
+        for (sweep, prog) in programs.iter().enumerate() {
+            let proof = verify_contention(prog, topo, opts.words())?;
+            worst_contention = worst_contention.max(proof.max_contention);
+            for (step, pair_step) in prog.steps.iter().enumerate() {
+                let messages: Vec<Message> = pair_step
+                    .move_after
+                    .inter_processor_moves()
+                    .into_iter()
+                    .map(|(f, t)| Message { src: f / 2, dst: t / 2, words: opts.words() })
+                    .collect();
+                let phase = Phase::new(topo, messages);
+                for (channel, load) in phase.channel_loads().iter() {
+                    if load > 0 {
+                        loads.push(LoadEntry {
+                            sweep,
+                            step,
+                            up: channel.up,
+                            level: channel.level,
+                            node: channel.node,
+                            load,
+                        });
+                    }
+                }
+            }
+        }
+        loads.sort_by_key(|e| (e.sweep, e.step, e.level, e.node, e.up));
+    }
+
+    // deadlock provers + topological-order witnesses
+    let mut plans = Vec::new();
+    for (sweep, prog) in programs.iter().enumerate() {
+        for (kind, vectors, model) in expected_plans(overlap, recovery) {
+            let order = plan_topo_order(&kind.build(prog, vectors), model)?;
+            plans.push(PlanWitness { sweep, kind, vectors, model, order });
+        }
+    }
+
+    // pool prover (all recovery paths incl. restart splices) + lease witness
+    let mut leases = Vec::new();
+    if recovery {
+        for (sweep, prog) in programs.iter().enumerate() {
+            for vectors in [false, true] {
+                verify_pool_safety(prog, vectors)?;
+            }
+            for (kind, vectors) in expected_lease_plans(overlap, recovery) {
+                for lease in verify_pool_discipline(&kind.build(prog, vectors))? {
+                    leases.push(LeaseEntry::from_lease(sweep, kind, &lease));
+                }
+            }
+        }
+    }
+
+    Ok(ProofCertificate {
+        key,
+        processors: ord.n() / 2,
+        period,
+        steps_per_sweep,
+        layouts,
+        pair_digests,
+        loads,
+        worst_contention,
+        plans,
+        leases,
+    })
+}
+
+// ---------------------------------------------------------------------
+// check
+
+fn mismatch(check: Check, sweep: usize, step: usize, detail: String) -> Violation {
+    Violation::CertificateMismatch { cert_check: check, sweep, step, detail }
+}
+
+/// Validate every witness in `cert` against the schedule of `ord` under
+/// `opts`, in O(plan), without re-running the provers (no pair-set
+/// tracking, no topological sort, no cycle search). Returns the number of
+/// proof obligations discharged.
+///
+/// The caller is expected to have matched the key already (see
+/// [`CertificateCache::verify_or_prove`]); a key or version disagreement
+/// here is reported as a [`Violation::CertificateMismatch`] like any
+/// other witness failure.
+///
+/// # Errors
+/// [`Violation::CertificateMismatch`] naming the check, sweep, and step
+/// of the first witness entry that disagrees with the schedule.
+pub fn check_certificate(
+    cert: &ProofCertificate,
+    ord: &dyn JacobiOrdering,
+    opts: &AnalysisOptions,
+) -> Result<usize, Violation> {
+    let expected_key = CertKey::for_analysis(ord, opts, cert.key.overlap, cert.key.recovery);
+    if cert.key != expected_key {
+        return Err(mismatch(
+            Check::Permutation,
+            0,
+            0,
+            format!(
+                "certificate key {:?} does not match the requested analysis {expected_key:?}",
+                cert.key
+            ),
+        ));
+    }
+    let period = ord.restore_period().max(1);
+    if cert.period != period {
+        return Err(mismatch(
+            Check::Permutation,
+            0,
+            0,
+            format!(
+                "certificate covers {} sweep(s), ordering restores after {period}",
+                cert.period
+            ),
+        ));
+    }
+    let programs = ord.programs(period);
+    let n = ord.n();
+    let mut obligations = 0usize;
+
+    // --- permutation safety: each witnessed layout is a bijection and the
+    // chain is consistent with the program's movement permutations
+    if cert.layouts.len() != period {
+        return Err(mismatch(Check::Permutation, 0, 0, "layout witness missing sweeps".into()));
+    }
+    for (sweep, prog) in programs.iter().enumerate() {
+        let layouts = &cert.layouts[sweep];
+        if layouts.len() != prog.steps.len() + 1 {
+            return Err(mismatch(
+                Check::Permutation,
+                sweep,
+                0,
+                format!(
+                    "layout witness has {} entries, expected {}",
+                    layouts.len(),
+                    prog.steps.len() + 1
+                ),
+            ));
+        }
+        if layouts[0] != prog.initial_layout {
+            return Err(mismatch(
+                Check::Permutation,
+                sweep,
+                0,
+                "witnessed initial layout differs from the program's".into(),
+            ));
+        }
+        let mut owner = vec![usize::MAX; n];
+        for (step, layout) in layouts.iter().enumerate() {
+            owner.fill(usize::MAX);
+            for (slot, &index) in layout.iter().enumerate() {
+                if index >= n || owner[index] != usize::MAX {
+                    return Err(mismatch(
+                        Check::Permutation,
+                        sweep,
+                        step,
+                        format!(
+                            "witnessed layout is not a bijection at slot {slot} (index {index})"
+                        ),
+                    ));
+                }
+                owner[index] = slot;
+            }
+            if step < prog.steps.len() {
+                let moved = prog.steps[step].move_after.apply(layout);
+                if moved != layouts[step + 1] {
+                    return Err(mismatch(
+                        Check::Permutation,
+                        sweep,
+                        step + 1,
+                        "witnessed layout disagrees with the step's movement permutation".into(),
+                    ));
+                }
+            }
+        }
+        obligations += 1;
+    }
+
+    // --- coverage: recomputed per-step digests match, and each sweep's
+    // digest sum equals the full pair-set digest; the final layout of the
+    // period restores the initial one
+    let full = full_digest(n);
+    for sweep in 0..period {
+        let digests = &cert.pair_digests[sweep];
+        let layouts = &cert.layouts[sweep];
+        if digests.len() != cert.steps_per_sweep {
+            return Err(mismatch(Check::Coverage, sweep, 0, "digest witness truncated".into()));
+        }
+        let mut sum = 0u64;
+        for (step, &digest) in digests.iter().enumerate() {
+            let recomputed = step_digest(&layouts[step]);
+            if recomputed != digest {
+                return Err(mismatch(
+                    Check::Coverage,
+                    sweep,
+                    step,
+                    format!(
+                        "pair digest {digest:#018x} disagrees with the layout's {recomputed:#018x}"
+                    ),
+                ));
+            }
+            sum = sum.wrapping_add(digest);
+        }
+        if sum != full {
+            return Err(mismatch(
+                Check::Coverage,
+                sweep,
+                0,
+                format!("sweep digest {sum:#018x} does not cover the full pair set {full:#018x}"),
+            ));
+        }
+        obligations += 1;
+    }
+    let final_layout = cert.layouts[period - 1].last().expect("layout chain nonempty");
+    if *final_layout != programs[0].initial_layout {
+        return Err(mismatch(
+            Check::Coverage,
+            period - 1,
+            cert.steps_per_sweep,
+            "witnessed final layout does not restore the initial order".into(),
+        ));
+    }
+
+    // --- contention: the witnessed load table matches the routed phases
+    // entry-wise, and the worst factor stays within the endpoint floor
+    if let Some(topo) = &opts.topology {
+        let mut witnessed: HashMap<(usize, usize, bool, usize, usize), u64> = HashMap::new();
+        for e in &cert.loads {
+            witnessed.insert((e.sweep, e.step, e.up, e.level, e.node), e.load);
+        }
+        let mut seen = 0usize;
+        let mut worst = 0.0f64;
+        for (sweep, prog) in programs.iter().enumerate() {
+            for (step, pair_step) in prog.steps.iter().enumerate() {
+                let messages: Vec<Message> = pair_step
+                    .move_after
+                    .inter_processor_moves()
+                    .into_iter()
+                    .map(|(f, t)| Message { src: f / 2, dst: t / 2, words: opts.words() })
+                    .collect();
+                let phase = Phase::new(topo, messages);
+                worst = worst.max(phase.contention(topo));
+                for (channel, load) in phase.channel_loads().iter() {
+                    if load == 0 {
+                        continue;
+                    }
+                    seen += 1;
+                    let key = (sweep, step, channel.up, channel.level, channel.node);
+                    if witnessed.get(&key) != Some(&load) {
+                        return Err(mismatch(
+                            Check::Contention,
+                            sweep,
+                            step,
+                            format!(
+                                "witnessed load {:?} for {} channel level {} node {} disagrees with routed load {load}",
+                                witnessed.get(&key),
+                                if channel.up { "up" } else { "down" },
+                                channel.level,
+                                channel.node
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if seen != cert.loads.len() {
+            return Err(mismatch(
+                Check::Contention,
+                0,
+                0,
+                format!("load witness has {} entries, routing produces {seen}", cert.loads.len()),
+            ));
+        }
+        if worst > 1.0 || cert.worst_contention > 1.0 {
+            return Err(mismatch(
+                Check::Contention,
+                0,
+                0,
+                format!("contention factor {worst:.2} exceeds the endpoint floor"),
+            ));
+        }
+        obligations += 1;
+    }
+
+    // --- deadlock/overlap/recovery: every expected plan has a witnessed
+    // topological order, and every wait-for edge points forward in it
+    let mut by_plan: HashMap<(usize, PlanKind, bool, CommModel), &PlanWitness> = HashMap::new();
+    for w in &cert.plans {
+        by_plan.insert((w.sweep, w.kind, w.vectors, w.model), w);
+    }
+    for (sweep, prog) in programs.iter().enumerate() {
+        for (kind, vectors, model) in expected_plans(cert.key.overlap, cert.key.recovery) {
+            let Some(witness) = by_plan.get(&(sweep, kind, vectors, model)) else {
+                return Err(mismatch(
+                    Check::Deadlock,
+                    sweep,
+                    0,
+                    format!("no topological witness for the {} plan ({model:?})", kind.token()),
+                ));
+            };
+            let plan = kind.build(prog, vectors);
+            let graph = build_wait_graph(&plan, model)?;
+            let node_count = graph.node_count();
+            if witness.order.len() != node_count {
+                return Err(mismatch(
+                    Check::Deadlock,
+                    sweep,
+                    0,
+                    format!(
+                        "topological witness for the {} plan has {} nodes, plan has {node_count}",
+                        kind.token(),
+                        witness.order.len()
+                    ),
+                ));
+            }
+            let mut position = vec![usize::MAX; node_count];
+            for (idx, &node) in witness.order.iter().enumerate() {
+                if node >= node_count || position[node] != usize::MAX {
+                    let step = if node < node_count {
+                        let (rank, pos) = graph.locate(node);
+                        plan.op_ref(rank, pos).step
+                    } else {
+                        0
+                    };
+                    return Err(mismatch(
+                        Check::Deadlock,
+                        sweep,
+                        step,
+                        format!("topological witness is not a permutation at position {idx}"),
+                    ));
+                }
+                position[node] = idx;
+            }
+            for (dep, outs) in graph.edges.iter().enumerate() {
+                for &node in outs {
+                    if position[dep] >= position[node] {
+                        let (rank, pos) = graph.locate(node);
+                        let op = plan.op_ref(rank, pos);
+                        return Err(mismatch(
+                            Check::Deadlock,
+                            sweep,
+                            op.step,
+                            format!("witnessed order places [{op}] before its dependency"),
+                        ));
+                    }
+                }
+            }
+            obligations += 1;
+        }
+    }
+
+    // --- pool leases: the witnessed lease table equals the recomputed
+    // deposit/ack pairing of each certified recovery plan
+    if cert.key.recovery {
+        let mut witnessed: HashMap<(usize, PlanKind), Vec<&LeaseEntry>> = HashMap::new();
+        for lease in &cert.leases {
+            witnessed.entry((lease.sweep, lease.kind)).or_default().push(lease);
+        }
+        for (sweep, prog) in programs.iter().enumerate() {
+            for (kind, vectors) in expected_lease_plans(cert.key.overlap, cert.key.recovery) {
+                let actual: Vec<LeaseEntry> = verify_pool_discipline(&kind.build(prog, vectors))?
+                    .iter()
+                    .map(|l| LeaseEntry::from_lease(sweep, kind, l))
+                    .collect();
+                let entries = witnessed.remove(&(sweep, kind)).unwrap_or_default();
+                let actual_set: std::collections::HashSet<LeaseEntry> =
+                    actual.iter().copied().collect();
+                for &entry in &entries {
+                    if !actual_set.contains(entry) {
+                        return Err(mismatch(
+                            Check::Pool,
+                            sweep,
+                            entry.deposit_step,
+                            format!(
+                                "witnessed lease ({} -> {}, tag {}) does not exist on the {} plan",
+                                entry.src,
+                                entry.dst,
+                                entry.tag,
+                                kind.token()
+                            ),
+                        ));
+                    }
+                }
+                if entries.len() != actual.len() {
+                    let witnessed_set: std::collections::HashSet<LeaseEntry> =
+                        entries.iter().map(|e| **e).collect();
+                    let missing = actual
+                        .iter()
+                        .find(|e| !witnessed_set.contains(e))
+                        .expect("count mismatch implies a missing lease");
+                    return Err(mismatch(
+                        Check::Pool,
+                        sweep,
+                        missing.deposit_step,
+                        format!(
+                            "lease ({} -> {}, tag {}) deposited at step {} is missing from the witness (unreleased?)",
+                            missing.src, missing.dst, missing.tag, missing.deposit_step
+                        ),
+                    ));
+                }
+                obligations += 1;
+            }
+        }
+    }
+
+    Ok(obligations)
+}
+
+// ---------------------------------------------------------------------
+// serialization: a line-based text format (the workspace carries no
+// serialization dependency by design — see DESIGN.md on the shim policy)
+
+const HEADER: &str = "treesvd-proof-certificate v1";
+
+impl ProofCertificate {
+    /// Serialize to the line-based text format parsed by
+    /// [`ProofCertificate::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "ordering {}", self.key.ordering);
+        let _ = writeln!(out, "n {}", self.key.n);
+        let _ = writeln!(out, "topology {}", self.key.topology.as_deref().unwrap_or("none"));
+        let _ = writeln!(out, "words {}", self.key.words);
+        let _ = writeln!(out, "overlap {}", u8::from(self.key.overlap));
+        let _ = writeln!(out, "recovery {}", u8::from(self.key.recovery));
+        let _ = writeln!(out, "version {}", self.key.version);
+        let _ = writeln!(out, "processors {}", self.processors);
+        let _ = writeln!(out, "period {}", self.period);
+        let _ = writeln!(out, "steps {}", self.steps_per_sweep);
+        let _ = writeln!(out, "worst-contention {:016x}", self.worst_contention.to_bits());
+        for (sweep, sweep_layouts) in self.layouts.iter().enumerate() {
+            for (step, layout) in sweep_layouts.iter().enumerate() {
+                let _ = write!(out, "layout {sweep} {step}");
+                for &index in layout {
+                    let _ = write!(out, " {index}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        for (sweep, digests) in self.pair_digests.iter().enumerate() {
+            let _ = write!(out, "pairs {sweep}");
+            for &d in digests {
+                let _ = write!(out, " {d:016x}");
+            }
+            let _ = writeln!(out);
+        }
+        for e in &self.loads {
+            let _ = writeln!(
+                out,
+                "load {} {} {} {} {} {}",
+                e.sweep,
+                e.step,
+                if e.up { "u" } else { "d" },
+                e.level,
+                e.node,
+                e.load
+            );
+        }
+        for w in &self.plans {
+            let model = if w.model == CommModel::Buffered { "b" } else { "r" };
+            let _ =
+                write!(out, "topo {} {} {} {model}", w.sweep, w.kind.token(), u8::from(w.vectors));
+            for &node in &w.order {
+                let _ = write!(out, " {node}");
+            }
+            let _ = writeln!(out);
+        }
+        for l in &self.leases {
+            let _ = writeln!(
+                out,
+                "lease {} {} {} {} {} {} {}",
+                l.sweep,
+                l.kind.token(),
+                l.src,
+                l.dst,
+                l.tag,
+                l.deposit_step,
+                l.ack_step
+            );
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Parse the text format produced by [`ProofCertificate::to_text`].
+    ///
+    /// # Errors
+    /// [`Violation::CertificateMalformed`] with the 1-based line number of
+    /// the first offending line.
+    pub fn parse(text: &str) -> Result<Self, Violation> {
+        let bad = |line: usize, detail: &str| Violation::CertificateMalformed {
+            line,
+            detail: detail.to_string(),
+        };
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| bad(1, "empty certificate"))?;
+        if header.trim() != HEADER {
+            return Err(bad(1, "unrecognized header"));
+        }
+
+        let mut ordering = None;
+        let mut n = None;
+        let mut topology: Option<Option<String>> = None;
+        let mut words = None;
+        let mut overlap = None;
+        let mut recovery = None;
+        let mut version = None;
+        let mut processors = None;
+        let mut period = None;
+        let mut steps = None;
+        let mut worst_contention = None;
+        let mut layout_lines: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        let mut pair_lines: Vec<(usize, Vec<u64>)> = Vec::new();
+        let mut loads: Vec<LoadEntry> = Vec::new();
+        let mut plans: Vec<PlanWitness> = Vec::new();
+        let mut leases: Vec<LeaseEntry> = Vec::new();
+        let mut ended = false;
+
+        for (idx, raw) in lines {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if ended {
+                return Err(bad(lineno, "content after end marker"));
+            }
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            let parse_usize = |s: &str| s.parse::<usize>().map_err(|_| bad(lineno, "bad integer"));
+            let parse_u64 = |s: &str| s.parse::<u64>().map_err(|_| bad(lineno, "bad integer"));
+            let parse_hex =
+                |s: &str| u64::from_str_radix(s, 16).map_err(|_| bad(lineno, "bad hex digest"));
+            match tag {
+                "ordering" => ordering = Some(rest.to_string()),
+                "n" => n = Some(parse_usize(rest)?),
+                "topology" => {
+                    topology = Some(if rest == "none" { None } else { Some(rest.to_string()) });
+                }
+                "words" => words = Some(parse_u64(rest)?),
+                "overlap" => overlap = Some(rest == "1"),
+                "recovery" => recovery = Some(rest == "1"),
+                "version" => {
+                    version = Some(rest.parse::<u32>().map_err(|_| bad(lineno, "bad version"))?);
+                }
+                "processors" => processors = Some(parse_usize(rest)?),
+                "period" => period = Some(parse_usize(rest)?),
+                "steps" => steps = Some(parse_usize(rest)?),
+                "worst-contention" => worst_contention = Some(f64::from_bits(parse_hex(rest)?)),
+                "layout" => {
+                    if fields.len() < 2 {
+                        return Err(bad(lineno, "layout needs sweep, step, and slots"));
+                    }
+                    let sweep = parse_usize(fields[0])?;
+                    let step = parse_usize(fields[1])?;
+                    let layout = fields[2..]
+                        .iter()
+                        .map(|s| parse_usize(s))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    layout_lines.push((sweep, step, layout));
+                }
+                "pairs" => {
+                    if fields.is_empty() {
+                        return Err(bad(lineno, "pairs needs a sweep"));
+                    }
+                    let sweep = parse_usize(fields[0])?;
+                    let digests =
+                        fields[1..].iter().map(|s| parse_hex(s)).collect::<Result<Vec<_>, _>>()?;
+                    pair_lines.push((sweep, digests));
+                }
+                "load" => {
+                    if fields.len() != 6 {
+                        return Err(bad(lineno, "load needs 6 fields"));
+                    }
+                    loads.push(LoadEntry {
+                        sweep: parse_usize(fields[0])?,
+                        step: parse_usize(fields[1])?,
+                        up: match fields[2] {
+                            "u" => true,
+                            "d" => false,
+                            _ => return Err(bad(lineno, "load direction must be u or d")),
+                        },
+                        level: parse_usize(fields[3])?,
+                        node: parse_usize(fields[4])?,
+                        load: parse_u64(fields[5])?,
+                    });
+                }
+                "topo" => {
+                    if fields.len() < 3 {
+                        return Err(bad(lineno, "topo needs sweep, kind, vectors, model"));
+                    }
+                    let sweep = parse_usize(fields[0])?;
+                    let kind = PlanKind::from_token(fields[1])
+                        .ok_or_else(|| bad(lineno, "unknown plan kind"))?;
+                    let vectors = fields[2] == "1";
+                    let model = match fields.get(3) {
+                        Some(&"b") => CommModel::Buffered,
+                        Some(&"r") => CommModel::Rendezvous,
+                        _ => return Err(bad(lineno, "model must be b or r")),
+                    };
+                    let order = fields[4..]
+                        .iter()
+                        .map(|s| parse_usize(s))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    plans.push(PlanWitness { sweep, kind, vectors, model, order });
+                }
+                "lease" => {
+                    if fields.len() != 7 {
+                        return Err(bad(lineno, "lease needs 7 fields"));
+                    }
+                    leases.push(LeaseEntry {
+                        sweep: parse_usize(fields[0])?,
+                        kind: PlanKind::from_token(fields[1])
+                            .ok_or_else(|| bad(lineno, "unknown plan kind"))?,
+                        src: parse_usize(fields[2])?,
+                        dst: parse_usize(fields[3])?,
+                        tag: parse_u64(fields[4])?,
+                        deposit_step: parse_usize(fields[5])?,
+                        ack_step: parse_usize(fields[6])?,
+                    });
+                }
+                "end" => ended = true,
+                _ => return Err(bad(lineno, "unknown record tag")),
+            }
+        }
+        if !ended {
+            return Err(bad(text.lines().count(), "missing end marker"));
+        }
+
+        let missing = |field: &str| Violation::CertificateMalformed {
+            line: 1,
+            detail: format!("missing {field} record"),
+        };
+        let period = period.ok_or_else(|| missing("period"))?;
+        let steps_per_sweep = steps.ok_or_else(|| missing("steps"))?;
+        let mut layouts: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); steps_per_sweep + 1]; period];
+        for (sweep, step, layout) in layout_lines {
+            if sweep >= period || step > steps_per_sweep {
+                return Err(Violation::CertificateMalformed {
+                    line: 1,
+                    detail: format!("layout record out of range (sweep {sweep}, step {step})"),
+                });
+            }
+            layouts[sweep][step] = layout;
+        }
+        let mut pair_digests: Vec<Vec<u64>> = vec![Vec::new(); period];
+        for (sweep, digests) in pair_lines {
+            if sweep >= period {
+                return Err(Violation::CertificateMalformed {
+                    line: 1,
+                    detail: format!("pairs record out of range (sweep {sweep})"),
+                });
+            }
+            pair_digests[sweep] = digests;
+        }
+
+        Ok(ProofCertificate {
+            key: CertKey {
+                ordering: ordering.ok_or_else(|| missing("ordering"))?,
+                n: n.ok_or_else(|| missing("n"))?,
+                topology: topology.ok_or_else(|| missing("topology"))?,
+                words: words.ok_or_else(|| missing("words"))?,
+                overlap: overlap.ok_or_else(|| missing("overlap"))?,
+                recovery: recovery.ok_or_else(|| missing("recovery"))?,
+                version: version.ok_or_else(|| missing("version"))?,
+            },
+            processors: processors.ok_or_else(|| missing("processors"))?,
+            period,
+            steps_per_sweep,
+            layouts,
+            pair_digests,
+            loads,
+            worst_contention: worst_contention.ok_or_else(|| missing("worst-contention"))?,
+            plans,
+            leases,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// cache
+
+/// A process-wide store of validated certificates, shared by the SVD
+/// driver (`SvdOptions::with_certificate_cache`) and the distributed
+/// executor's overlap/recovery gate. Thread-safe; clone the `Arc` it
+/// lives in to share it across solvers.
+///
+/// Consumption rule: a lookup that misses — including a **version skew**,
+/// where a stored certificate was emitted under a different
+/// [`ANALYZER_VERSION`] — silently re-proves and refreshes the entry. A
+/// lookup that hits but whose witness fails [`check_certificate`] is a
+/// hard error.
+#[derive(Debug, Default)]
+pub struct CertificateCache {
+    inner: Mutex<HashMap<String, Arc<ProofCertificate>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CertificateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups that found a current, matching certificate (the prover was
+    /// skipped).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed (including version skews) and re-proved.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fetch the certificate for `key`, if present **and** emitted under
+    /// the same analyzer version. A version-skewed entry is a miss by
+    /// design. Does not touch the hit/miss counters.
+    pub fn get(&self, key: &CertKey) -> Option<Arc<ProofCertificate>> {
+        let inner = self.inner.lock().expect("certificate cache poisoned");
+        inner.get(&key.cache_id()).filter(|c| c.key == *key).cloned()
+    }
+
+    /// Insert (or refresh) a certificate under its own key.
+    pub fn insert(&self, cert: ProofCertificate) -> Arc<ProofCertificate> {
+        let cert = Arc::new(cert);
+        let mut inner = self.inner.lock().expect("certificate cache poisoned");
+        inner.insert(cert.key.cache_id(), Arc::clone(&cert));
+        cert
+    }
+
+    /// The gate entry point: serve the proofs for `(ord, opts, overlap,
+    /// recovery)` from a cached certificate when one validates, otherwise
+    /// run the provers and cache the fresh certificate. Returns the
+    /// number of proof obligations served from the certificate (`0` when
+    /// the prover ran).
+    ///
+    /// # Errors
+    /// * [`Violation::CertificateMismatch`] — a cached entry with a
+    ///   matching key failed witness validation (hard error; the cache
+    ///   entry is left in place for inspection).
+    /// * Any prover [`Violation`] — the schedule itself is bad.
+    pub fn verify_or_prove(
+        &self,
+        ord: &dyn JacobiOrdering,
+        opts: &AnalysisOptions,
+        overlap: bool,
+        recovery: bool,
+    ) -> Result<usize, Violation> {
+        let key = CertKey::for_analysis(ord, opts, overlap, recovery);
+        if let Some(cert) = self.get(&key) {
+            let obligations = check_certificate(&cert, ord, opts)?;
+            self.record_hit();
+            return Ok(obligations);
+        }
+        self.record_miss();
+        let cert = emit_certificate(ord, opts, overlap, recovery)?;
+        self.insert(cert);
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesvd_net::{Topology, TopologyKind};
+    use treesvd_orderings::{FatTreeOrdering, NewRingOrdering, RingOrdering};
+
+    #[test]
+    fn emit_then_check_round_trips() {
+        let ord = FatTreeOrdering::new(16).unwrap();
+        let opts = AnalysisOptions {
+            topology: Some(Topology::new(TopologyKind::PerfectFatTree, 8)),
+            words_per_column: 16,
+        };
+        let cert = emit_certificate(&ord, &opts, true, true).unwrap();
+        let obligations = check_certificate(&cert, &ord, &opts).unwrap();
+        assert!(obligations > 0);
+        // and through the serializer
+        let text = cert.to_text();
+        let parsed = ProofCertificate::parse(&text).unwrap();
+        assert_eq!(parsed, cert);
+        assert_eq!(check_certificate(&parsed, &ord, &opts).unwrap(), obligations);
+    }
+
+    #[test]
+    fn certificate_for_the_wrong_ordering_is_rejected() {
+        let ord = RingOrdering::new(8).unwrap();
+        let other = NewRingOrdering::new(8).unwrap();
+        let opts = AnalysisOptions::default();
+        let cert = emit_certificate(&ord, &opts, true, false).unwrap();
+        assert!(matches!(
+            check_certificate(&cert, &other, &opts),
+            Err(Violation::CertificateMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_hits_skip_the_prover_and_version_skew_reproves() {
+        let ord = FatTreeOrdering::new(8).unwrap();
+        let opts = AnalysisOptions::default();
+        let cache = CertificateCache::new();
+        assert_eq!(cache.verify_or_prove(&ord, &opts, true, true).unwrap(), 0);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let skipped = cache.verify_or_prove(&ord, &opts, true, true).unwrap();
+        assert!(skipped > 0, "warm lookup must serve from the certificate");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // version-skew the stored entry: next lookup silently re-proves
+        // and refreshes it
+        let key = CertKey::for_analysis(&ord, &opts, true, true);
+        let mut stale = (*cache.get(&key).unwrap()).clone();
+        stale.key.version += 1;
+        cache.insert(stale);
+        assert!(cache.get(&key).is_none(), "skewed entry must read as a miss");
+        assert_eq!(cache.verify_or_prove(&ord, &opts, true, true).unwrap(), 0);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert!(cache.get(&key).is_some(), "re-prove refreshes the entry");
+    }
+
+    #[test]
+    fn malformed_text_is_rejected_with_a_line_number() {
+        assert!(matches!(
+            ProofCertificate::parse("not a certificate"),
+            Err(Violation::CertificateMalformed { line: 1, .. })
+        ));
+        let ord = RingOrdering::new(8).unwrap();
+        let cert = emit_certificate(&ord, &AnalysisOptions::default(), false, false).unwrap();
+        let mut text = cert.to_text();
+        text = text.replace("end\n", "");
+        assert!(matches!(
+            ProofCertificate::parse(&text),
+            Err(Violation::CertificateMalformed { .. })
+        ));
+    }
+}

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use treesvd_orderings::Program;
 
 /// Communication semantics for the wait-for analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommModel {
     /// Sends complete immediately (asynchronous/buffered). The executor's
     /// actual semantics.
@@ -93,6 +93,13 @@ pub enum CommOp {
         /// Tag of the received message.
         tag: u64,
     },
+    /// The supervisor wipes the whole retransmission store — the epoch
+    /// boundary between two whole-world attempts (checkpoint restart or a
+    /// degradation-ladder descent). A local store write like
+    /// [`CommOp::Deposit`]; it matters only to the pool-lease analysis
+    /// ([`crate::pool::verify_pool_discipline`]), which forgives deposits
+    /// stranded by an aborted attempt *only* across this boundary.
+    ClearStore,
 }
 
 /// Tag of an overlapped-transport A-phase message (the data column) for
@@ -299,7 +306,7 @@ impl CommPlan {
         self.ops.iter().map(Vec::len).sum()
     }
 
-    fn op_ref(&self, rank: usize, pos: usize) -> OpRef {
+    pub(crate) fn op_ref(&self, rank: usize, pos: usize) -> OpRef {
         let (step, op) = self.ops[rank][pos];
         match op {
             CommOp::Send { to, tag } | CommOp::Deposit { to, tag } => {
@@ -311,17 +318,43 @@ impl CommPlan {
             | CommOp::Ack { to: from, tag } => {
                 OpRef { rank, step, is_send: false, peer: from, tag }
             }
+            CommOp::ClearStore => OpRef { rank, step, is_send: false, peer: rank, tag: 0 },
         }
     }
 }
 
-/// Verify that `plan` is deadlock-free under `model`.
-///
-/// # Errors
-/// [`Violation::UnmatchedRecv`], [`Violation::UnconsumedSend`],
-/// [`Violation::AmbiguousTag`], or [`Violation::WaitCycle`] with the full
-/// wait chain.
-pub fn verify_plan(plan: &CommPlan, model: CommModel) -> Result<(), Violation> {
+/// The wait-for graph of a plan under one [`CommModel`]: global node ids
+/// (rank-major program order) and the dependency edges between them.
+/// Shared by the prover ([`verify_plan`], which topologically sorts it)
+/// and the certificate checker (which only validates that a *witnessed*
+/// topological order respects every edge — O(V+E), no sort, no cycle
+/// search).
+pub(crate) struct WaitGraph {
+    /// `base[r]` = global id of rank `r`'s first op; `base[ranks]` = node count.
+    pub base: Vec<usize>,
+    /// `edges[dep]` = nodes that must wait for `dep` to complete.
+    pub edges: Vec<Vec<usize>>,
+    /// In-degree per node (for Kahn's algorithm).
+    pub indegree: Vec<usize>,
+}
+
+impl WaitGraph {
+    pub fn node_count(&self) -> usize {
+        *self.base.last().expect("base has ranks+1 entries")
+    }
+
+    /// The (rank, pos) coordinates of a global node id.
+    pub fn locate(&self, node: usize) -> (usize, usize) {
+        let ranks = self.base.len() - 1;
+        let rank = (0..ranks).rfind(|&r| self.base[r] <= node).expect("node in range");
+        (rank, node - self.base[rank])
+    }
+}
+
+/// Build the wait-for graph of `plan` under `model`, checking plan
+/// completeness on the way (every receive matched, every send consumed,
+/// tags unambiguous, prefetch posts paired).
+pub(crate) fn build_wait_graph(plan: &CommPlan, model: CommModel) -> Result<WaitGraph, Violation> {
     // global node ids: (rank, position) -> id
     let mut base = vec![0usize; plan.ranks + 1];
     for r in 0..plan.ranks {
@@ -430,30 +463,55 @@ pub fn verify_plan(plan: &CommPlan, model: CommModel) -> Result<(), Violation> {
             }
         }
     }
+    Ok(WaitGraph { base, edges, indegree })
+}
+
+/// Verify that `plan` is deadlock-free under `model`.
+///
+/// # Errors
+/// [`Violation::UnmatchedRecv`], [`Violation::UnconsumedSend`],
+/// [`Violation::AmbiguousTag`], or [`Violation::WaitCycle`] with the full
+/// wait chain.
+pub fn verify_plan(plan: &CommPlan, model: CommModel) -> Result<(), Violation> {
+    plan_topo_order(plan, model).map(|_| ())
+}
+
+/// Prove `plan` deadlock-free under `model` and return a concrete
+/// topological order of its wait-for graph — the witness a
+/// [`ProofCertificate`](crate::ProofCertificate) stores, which
+/// [`check_certificate`](crate::check_certificate) can later validate in
+/// O(V+E) without re-running this sort.
+///
+/// # Errors
+/// As [`verify_plan`].
+pub fn plan_topo_order(plan: &CommPlan, model: CommModel) -> Result<Vec<usize>, Violation> {
+    let graph = build_wait_graph(plan, model)?;
+    let node_count = graph.node_count();
+    let mut indegree = graph.indegree.clone();
 
     // Kahn's algorithm; whatever survives with nonzero indegree is cyclic
     let mut queue: Vec<usize> = (0..node_count).filter(|&v| indegree[v] == 0).collect();
-    let mut done = 0usize;
+    let mut order: Vec<usize> = Vec::with_capacity(node_count);
     while let Some(v) = queue.pop() {
-        done += 1;
-        for &w in &edges[v] {
+        order.push(v);
+        for &w in &graph.edges[v] {
             indegree[w] -= 1;
             if indegree[w] == 0 {
                 queue.push(w);
             }
         }
     }
-    if done == node_count {
-        return Ok(());
+    if order.len() == node_count {
+        return Ok(order);
     }
 
     // extract one concrete cycle among the remaining nodes for the report
     let to_ref = |node: usize| {
-        let rank = (0..plan.ranks).rfind(|&r| base[r] <= node).expect("node in range");
-        plan.op_ref(rank, node - base[rank])
+        let (rank, pos) = graph.locate(node);
+        plan.op_ref(rank, pos)
     };
     let in_cycle: Vec<usize> = (0..node_count).filter(|&v| indegree[v] > 0).collect();
-    let cycle = find_cycle(&edges, &indegree, in_cycle[0]);
+    let cycle = find_cycle(&graph.edges, &indegree, in_cycle[0]);
     Err(Violation::WaitCycle { cycle: cycle.into_iter().map(to_ref).collect() })
 }
 

@@ -2,7 +2,7 @@
 //!
 //! `treesvd-analyze` takes any [`JacobiOrdering`] (or a raw
 //! [`Program`](treesvd_orderings::Program)) and proves — or refutes with a
-//! step-precise diagnostic — the four properties the rest of the workspace
+//! step-precise diagnostic — the five properties the rest of the workspace
 //! silently assumes:
 //!
 //! 1. **Permutation safety** ([`verify_permutation_safety`]): every column
@@ -20,10 +20,21 @@
 //!    dependency graph the distributed executor would realize is complete
 //!    (every receive matched, every send consumed, tags unambiguous) and
 //!    acyclic.
+//! 5. **Pool-lease discipline** ([`verify_pool_safety`]): every pooled
+//!    buffer the recovery protocol deposits for retransmission is
+//!    acknowledged (returned to its pool) exactly once on every path —
+//!    including duplicate delivery and checkpoint restarts.
 //!
-//! [`analyze_ordering`] bundles all four into an [`AnalysisReport`];
+//! [`analyze_ordering`] bundles all five into an [`AnalysisReport`];
 //! [`verify_ordering_schedule`] is the cheap topology-free subset the SVD
 //! driver runs when `SvdOptions::verify_schedule` is enabled.
+//!
+//! Each proof also produces a serializable, independently re-checkable
+//! witness — see the [`certificate`] module: [`emit_certificate`] packages
+//! the witnesses, [`check_certificate`] validates them in O(plan) without
+//! re-running the provers, and [`CertificateCache`] lets the driver and
+//! the distributed executor skip re-proving schedules they have already
+//! certified.
 //!
 //! ```
 //! use treesvd_analyze::{analyze_ordering, AnalysisOptions};
@@ -41,20 +52,28 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod certificate;
 pub mod contention;
 pub mod coverage;
 pub mod deadlock;
 pub mod permutation;
+pub mod pool;
 pub mod report;
 
+pub use certificate::{
+    check_certificate, emit_certificate, CertKey, CertificateCache, ProofCertificate,
+    ANALYZER_VERSION,
+};
 pub use contention::{verify_contention, ContentionProof};
 pub use coverage::{assert_valid_sweep, check_restores_after, verify_coverage, verify_restore};
 pub use deadlock::{
-    overlap_tag_a, overlap_tag_v, verify_deadlock_freedom, verify_overlap_freedom, verify_plan,
-    verify_recovery_freedom, CommModel, CommOp, CommPlan,
+    overlap_tag_a, overlap_tag_v, plan_topo_order, verify_deadlock_freedom, verify_overlap_freedom,
+    verify_plan, verify_recovery_freedom, CommModel, CommOp, CommPlan,
 };
 pub use permutation::verify_permutation_safety;
+pub use pool::{restart_splice, verify_pool_discipline, verify_pool_safety, Lease, PoolProof};
 pub use report::{AnalysisReport, Check, CheckOutcome, OpRef, Violation};
 
 use treesvd_net::Topology;
@@ -77,7 +96,7 @@ impl AnalysisOptions {
     }
 }
 
-/// Run all four checks over every sweep of the ordering's restore period
+/// Run all five checks over every sweep of the ordering's restore period
 /// and collect the verdicts into a single report.
 pub fn analyze_ordering(ord: &dyn JacobiOrdering, opts: &AnalysisOptions) -> AnalysisReport {
     let period = ord.restore_period().max(1);
@@ -139,6 +158,19 @@ pub fn analyze_ordering(ord: &dyn JacobiOrdering, opts: &AnalysisOptions) -> Ana
         });
     outcomes.push((Check::Deadlock, deadlock));
 
+    let pool = programs
+        .iter()
+        .try_for_each(|prog| {
+            verify_pool_safety(prog, true)?;
+            verify_pool_safety(prog, false).map(|_| ())
+        })
+        .map(|()| {
+            "every leased buffer returned exactly once on all recovery paths \
+             (incl. duplicate delivery and checkpoint restarts)"
+                .to_string()
+        });
+    outcomes.push((Check::Pool, pool));
+
     AnalysisReport {
         ordering: ord.name(),
         n,
@@ -147,7 +179,60 @@ pub fn analyze_ordering(ord: &dyn JacobiOrdering, opts: &AnalysisOptions) -> Ana
         steps_per_sweep,
         outcomes,
         max_contention,
+        cert_skips: 0,
     }
+}
+
+/// [`analyze_ordering`] with a certificate cache in front of the provers.
+///
+/// On a cache hit the witnesses are validated with [`check_certificate`]
+/// and the report's [`AnalysisReport::cert_skips`] counts the proof
+/// obligations served without re-proving. On a miss (including an
+/// [`ANALYZER_VERSION`] skew) the provers run as usual and, when the
+/// schedule verifies, a fresh certificate is emitted into the cache.
+///
+/// # Errors
+/// [`Violation::CertificateMismatch`] when a cached certificate with a
+/// matching key fails witness validation — a hard error by design (the
+/// artifact claims to certify this exact schedule and does not).
+pub fn analyze_ordering_cached(
+    ord: &dyn JacobiOrdering,
+    opts: &AnalysisOptions,
+    cache: &CertificateCache,
+) -> Result<AnalysisReport, Violation> {
+    let key = CertKey::for_analysis(ord, opts, true, true);
+    if let Some(cert) = cache.get(&key) {
+        let cert_skips = check_certificate(&cert, ord, opts)?;
+        cache.record_hit();
+        let n = ord.n();
+        let outcomes = Check::ALL
+            .iter()
+            .map(|&check| {
+                let msg = if check == Check::Contention && opts.topology.is_none() {
+                    "not checked (no topology given)".to_string()
+                } else {
+                    "witness validated against a cached proof certificate".to_string()
+                };
+                (check, Ok(msg))
+            })
+            .collect();
+        return Ok(AnalysisReport {
+            ordering: ord.name(),
+            n,
+            processors: n / 2,
+            sweeps: cert.period,
+            steps_per_sweep: cert.steps_per_sweep,
+            outcomes,
+            max_contention: opts.topology.as_ref().map(|_| cert.worst_contention),
+            cert_skips,
+        });
+    }
+    cache.record_miss();
+    let report = analyze_ordering(ord, opts);
+    if report.is_verified() {
+        cache.insert(emit_certificate(ord, opts, true, true)?);
+    }
+    Ok(report)
 }
 
 /// The topology-free subset of the checks (permutation safety, coverage,

@@ -9,7 +9,7 @@ use std::fmt;
 use treesvd_net::routing::Channel;
 use treesvd_orderings::{ColIndex, Slot};
 
-/// The four static checks of the schedule verifier.
+/// The five static checks of the schedule verifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Check {
     /// Each column index is owned by exactly one processor at every step
@@ -24,12 +24,15 @@ pub enum Check {
     /// The send/recv dependency graph implied by the schedule is acyclic
     /// and every receive has a matching send.
     Deadlock,
+    /// Every `MsgBuf` leased from the retransmission store (a `Deposit`)
+    /// is returned exactly once (an `Ack`) on every recovery path.
+    Pool,
 }
 
 impl Check {
     /// All checks, in report order.
-    pub const ALL: [Check; 4] =
-        [Check::Permutation, Check::Coverage, Check::Contention, Check::Deadlock];
+    pub const ALL: [Check; 5] =
+        [Check::Permutation, Check::Coverage, Check::Contention, Check::Deadlock, Check::Pool];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -38,6 +41,7 @@ impl Check {
             Check::Coverage => "coverage/restore",
             Check::Contention => "contention",
             Check::Deadlock => "deadlock-freedom",
+            Check::Pool => "pool-lease",
         }
     }
 }
@@ -198,6 +202,46 @@ pub enum Violation {
         /// The dangling post.
         op: OpRef,
     },
+    /// A deposited buffer lease (`Deposit`) is never returned (`Ack`)
+    /// before the store epoch ends: the pooled `MsgBuf` copy leaks.
+    BufferLeak {
+        /// The dangling deposit.
+        op: OpRef,
+    },
+    /// A lease is returned twice within one store epoch: the second ack
+    /// would release a buffer the pool no longer owns.
+    DoubleReturn {
+        /// The second (offending) return.
+        op: OpRef,
+        /// The first return of the same lease.
+        first: OpRef,
+    },
+    /// A return (`Ack`) with no matching deposit in the current store
+    /// epoch: the pool would be handed a buffer it never leased.
+    ReturnWithoutLease {
+        /// The unmatched return.
+        op: OpRef,
+    },
+    /// A certificate witness entry disagrees with the schedule it claims
+    /// to certify — the certificate is stale or tampered with; the caller
+    /// must hard-fail (or re-prove from scratch) rather than trust it.
+    CertificateMismatch {
+        /// The check whose witness failed validation.
+        cert_check: Check,
+        /// Sweep (restore-period index) of the offending witness entry.
+        sweep: usize,
+        /// Step of the offending witness entry within that sweep.
+        step: usize,
+        /// What disagreed.
+        detail: String,
+    },
+    /// A serialized certificate could not be parsed.
+    CertificateMalformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -219,6 +263,13 @@ impl Violation {
             | Violation::WaitCycle { .. }
             | Violation::PrefetchMissing { .. }
             | Violation::PrefetchUnused { .. } => Check::Deadlock,
+            Violation::BufferLeak { .. }
+            | Violation::DoubleReturn { .. }
+            | Violation::ReturnWithoutLease { .. } => Check::Pool,
+            Violation::CertificateMismatch { cert_check, .. } => *cert_check,
+            // a malformed certificate invalidates the whole bundle before
+            // any witness can be attributed; report it under the first check
+            Violation::CertificateMalformed { .. } => Check::Permutation,
         }
     }
 }
@@ -293,6 +344,22 @@ impl fmt::Display for Violation {
             Violation::PrefetchUnused { op } => {
                 write!(f, "{op} posts a prefetch that no completion consumes (wrong destination?)")
             }
+            Violation::BufferLeak { op } => {
+                write!(f, "{op} deposits a retransmission copy that is never acknowledged: the pooled buffer leaks")
+            }
+            Violation::DoubleReturn { op, first } => {
+                write!(f, "{op} returns a lease already released by [{first}]: double return to the pool")
+            }
+            Violation::ReturnWithoutLease { op } => {
+                write!(f, "{op} acknowledges a deposit that was never made in this store epoch")
+            }
+            Violation::CertificateMismatch { cert_check, sweep, step, detail } => write!(
+                f,
+                "certificate witness for {cert_check} disagrees at sweep {sweep} step {step}: {detail}"
+            ),
+            Violation::CertificateMalformed { line, detail } => {
+                write!(f, "malformed certificate at line {line}: {detail}")
+            }
         }
     }
 }
@@ -320,6 +387,10 @@ pub struct AnalysisReport {
     /// Worst per-phase contention factor observed (when a topology was
     /// given); ≤ 1.0 means the zero-contention claim holds.
     pub max_contention: Option<f64>,
+    /// Number of proof obligations served from a validated
+    /// [`ProofCertificate`](crate::ProofCertificate) instead of re-running
+    /// the prover. `0` whenever the prover actually ran.
+    pub cert_skips: usize,
 }
 
 impl AnalysisReport {
@@ -346,6 +417,9 @@ impl fmt::Display for AnalysisReport {
                 Ok(msg) => writeln!(f, "  {:<20} OK   {msg}", check.name())?,
                 Err(v) => writeln!(f, "  {:<20} FAIL {v}", check.name())?,
             }
+        }
+        if self.cert_skips > 0 {
+            writeln!(f, "  ({} proof(s) served from a validated certificate)", self.cert_skips)?;
         }
         Ok(())
     }

@@ -25,6 +25,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod eigen;
 pub mod lstsq;

@@ -4,6 +4,7 @@
 //! treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
 //!             [--distributed] [--processors P] [--sigma-out FILE]
 //! treesvd analyze [--ordering NAME] [--n N] [--topology NAME] [--groups M]
+//!                 [--emit-cert FILE | --check-cert FILE]
 //! treesvd batch --order N --count K [--rows M] [--seed S] [--lanes L] [--scalar]
 //! treesvd lstsq <matrix-file> <rhs-file> [--rcond X]
 //! treesvd cond <matrix-file>
@@ -16,6 +17,7 @@
 //! touching any matrix data, exiting non-zero when a check fails.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod args;
 mod io;

@@ -111,11 +111,24 @@ impl HestenesSvd {
 
     /// Build the ordering and, when `verify_schedule` is set, gate it
     /// through the static schedule verifier before any matrix data is
-    /// touched.
+    /// touched. With a certificate cache configured, a warm run consumes
+    /// the cached [`ProofCertificate`](treesvd_analyze::ProofCertificate)
+    /// — witness validation instead of re-proving; mismatch on a matching
+    /// key is a hard error, version skew silently re-proves.
     fn checked_ordering(&self, n_padded: usize) -> Result<Box<dyn JacobiOrdering>, SvdError> {
         let ordering = self.build_ordering(n_padded)?;
         if self.options.verify_schedule {
-            treesvd_analyze::verify_ordering_schedule(ordering.as_ref())?;
+            match &self.options.certificate_cache {
+                Some(cache) => {
+                    cache.verify_or_prove(
+                        ordering.as_ref(),
+                        &treesvd_analyze::AnalysisOptions::default(),
+                        true,
+                        true,
+                    )?;
+                }
+                None => treesvd_analyze::verify_ordering_schedule(ordering.as_ref())?,
+            }
         }
         Ok(ordering)
     }
@@ -262,6 +275,7 @@ impl HestenesSvd {
             overlap: self.options.overlap,
             policy: self.options.effective_policy(),
             fault: self.options.chaos.clone(),
+            cert_cache: self.options.certificate_cache.clone(),
         };
         let outcome = treesvd_sim::distributed_svd_with(
             ordering.as_ref(),
@@ -635,6 +649,33 @@ mod distributed_tests {
         assert_eq!(on.svd.sigma, off.svd.sigma);
         assert_eq!(on.svd.u, off.svd.u);
         assert_eq!(on.svd.v, off.svd.v);
+    }
+
+    #[test]
+    fn warm_certificate_run_skips_prover_and_is_bitwise_identical() {
+        let a = generate::random_uniform(18, 8, 36);
+        let cache = std::sync::Arc::new(treesvd_analyze::CertificateCache::new());
+        let opts = || {
+            SvdOptions::default()
+                .with_verify_schedule(true)
+                .with_certificate_cache(std::sync::Arc::clone(&cache))
+        };
+        // cold: the provers run and emit the certificate
+        let cold = HestenesSvd::new(opts()).compute_distributed(&a).unwrap();
+        assert_eq!(cache.hits(), 0, "first run must prove from scratch");
+        let cold_misses = cache.misses();
+        assert!(cold_misses > 0);
+        // warm: served from the validated certificate, bitwise identical
+        let warm = HestenesSvd::new(opts()).compute_distributed(&a).unwrap();
+        assert!(cache.hits() > 0, "warm run must consume the certificate");
+        assert_eq!(cache.misses(), cold_misses, "warm run must not re-prove");
+        assert_eq!(cold.sweeps, warm.sweeps);
+        assert_eq!(cold.svd.sigma, warm.svd.sigma);
+        assert_eq!(cold.svd.u, warm.svd.u);
+        assert_eq!(cold.svd.v, warm.svd.v);
+        // a certificate-free run stays bitwise identical too
+        let bare = HestenesSvd::new(SvdOptions::default()).compute_distributed(&a).unwrap();
+        assert_eq!(bare.svd.sigma, warm.svd.sigma);
     }
 
     #[test]

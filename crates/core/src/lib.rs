@@ -38,6 +38,7 @@
 //! used to cross-check every ordering.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod blocked;
 pub mod driver;

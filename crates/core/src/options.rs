@@ -133,6 +133,15 @@ pub struct SvdOptions {
     /// (chaos testing). Replayable: the same seed injects the identical
     /// fault sequence. Ignored by the simulated/sequential paths.
     pub chaos: Option<FaultPlan>,
+    /// Proof-certificate cache shared with the schedule verifier and the
+    /// distributed executor's overlap/recovery gate. When set, a repeat
+    /// run over the same `(ordering, n)` consumes the cached
+    /// [`ProofCertificate`](treesvd_analyze::ProofCertificate) — witness
+    /// validation in O(plan) instead of re-running the provers — with
+    /// identical results either way. A matching certificate that fails
+    /// validation is a hard error; a version-skewed one silently
+    /// re-proves and refreshes the cache. `None` re-proves every run.
+    pub certificate_cache: Option<std::sync::Arc<treesvd_analyze::CertificateCache>>,
 }
 
 impl Default for SvdOptions {
@@ -154,6 +163,7 @@ impl Default for SvdOptions {
             threads: None,
             fault_policy: None,
             chaos: None,
+            certificate_cache: None,
         }
     }
 }
@@ -254,6 +264,18 @@ impl SvdOptions {
         let mut policy = self.effective_policy();
         policy.max_retries = max_retries;
         self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Share a proof-certificate cache across runs: the schedule
+    /// verifier and the distributed executor's overlap/recovery gate
+    /// consume validated certificates instead of re-proving (see
+    /// [`SvdOptions::certificate_cache`]).
+    pub fn with_certificate_cache(
+        mut self,
+        cache: std::sync::Arc<treesvd_analyze::CertificateCache>,
+    ) -> Self {
+        self.certificate_cache = Some(cache);
         self
     }
 

@@ -73,7 +73,8 @@ use crate::machine::Machine;
 use crate::recovery::{CheckpointStore, DistError, FaultPolicy, HealthReport, RankCkpt};
 use std::sync::Arc;
 use treesvd_analyze::{
-    overlap_tag_a, overlap_tag_v, verify_overlap_freedom, verify_recovery_freedom,
+    overlap_tag_a, overlap_tag_v, verify_overlap_freedom, verify_pool_safety,
+    verify_recovery_freedom, AnalysisOptions, CertificateCache, Violation,
 };
 use treesvd_comm::{
     allreduce_sum, allreduce_sum_in_place, Communicator, FaultInjector, FaultPlan, MsgBuf,
@@ -116,6 +117,15 @@ pub struct DistConfig {
     /// Seeded fault plan to arm, if any. `None` runs fault-free with no
     /// interposition at all.
     pub fault: Option<FaultPlan>,
+    /// Certificate cache for the overlap/recovery gate. When set, the
+    /// gate consumes a validated [`ProofCertificate`] instead of
+    /// re-running the analyzer's provers on every call; a matching
+    /// certificate that fails witness validation is a hard
+    /// [`DistError::BadCertificate`]. `None` re-proves every time (the
+    /// pre-certificate behavior).
+    ///
+    /// [`ProofCertificate`]: treesvd_analyze::ProofCertificate
+    pub cert_cache: Option<Arc<CertificateCache>>,
 }
 
 impl Default for DistConfig {
@@ -127,6 +137,7 @@ impl Default for DistConfig {
             overlap: true,
             policy: FaultPolicy::default(),
             fault: None,
+            cert_cache: None,
         }
     }
 }
@@ -841,7 +852,7 @@ fn run_attempt(
         let programs = Arc::clone(programs);
         let checkpoints = checkpoints.clone();
         let base_rotations = bases[rank];
-        handles.push(std::thread::spawn(move || {
+        handles.push(crate::par::spawn_worker(format!("treesvd-rank-{rank}"), move || {
             worker(
                 &mut comm,
                 WorkerTask {
@@ -1017,19 +1028,34 @@ pub fn distributed_svd_with(
     // overlap only runs on the zero-copy transport, and only once the
     // analyzer has proved the send-ahead plan deadlock-free under both
     // buffered and rendezvous semantics; with recovery armed the stricter
-    // proof (send-ahead *plus* the deposit/ack retransmission protocol)
-    // gates it instead. One restore period covers every distinct
-    // per-sweep program the ordering generates.
+    // proofs (send-ahead *plus* the deposit/ack retransmission protocol,
+    // plus the pool-lease discipline on every recovery path) gate it
+    // instead. One restore period covers every distinct per-sweep program
+    // the ordering generates. With a certificate cache configured, the
+    // gate consumes a validated certificate instead of re-proving; a
+    // matching certificate that fails witness validation is a hard error.
     let period = ordering.restore_period().max(1).min(programs.len());
-    let overlap_ok = cfg.overlap
-        && cfg.transport == Transport::ZeroCopy
-        && programs[..period].iter().all(|p| {
-            if recovery {
-                verify_recovery_freedom(p, accumulate_v).is_ok()
-            } else {
-                verify_overlap_freedom(p, accumulate_v).is_ok()
+    let overlap_requested = cfg.overlap && cfg.transport == Transport::ZeroCopy;
+    let overlap_ok = overlap_requested
+        && match &cfg.cert_cache {
+            Some(cache) => {
+                match cache.verify_or_prove(ordering, &AnalysisOptions::default(), true, recovery) {
+                    Ok(_) => true,
+                    Err(v @ Violation::CertificateMismatch { .. }) => {
+                        return Err(DistError::BadCertificate { detail: v.to_string() });
+                    }
+                    Err(_) => false,
+                }
             }
-        });
+            None => programs[..period].iter().all(|p| {
+                if recovery {
+                    verify_recovery_freedom(p, accumulate_v).is_ok()
+                        && verify_pool_safety(p, accumulate_v).is_ok()
+                } else {
+                    verify_overlap_freedom(p, accumulate_v).is_ok()
+                }
+            }),
+        };
 
     let store = ColumnStore::from_columns(columns, accumulate_v);
     let initial: Vec<SlotData> = store.slots;

@@ -68,6 +68,10 @@ trait Job {
 /// or fully executed before the referent's frame is popped — the
 /// reclaim-or-wait protocol in [`join`]/[`par_sum_indexed`] guarantees it.
 fn erase<'a>(job: &'a (dyn Job + 'a)) -> *const (dyn Job + 'static) {
+    // SAFETY: only the lifetime brand changes — same pointer, same vtable.
+    // The 'static claim is never acted on: every dereference happens
+    // before the referent's frame is popped, per the caller contract
+    // above (reclaim-or-wait).
     unsafe {
         std::mem::transmute::<*const (dyn Job + 'a), *const (dyn Job + 'static)>(
             job as *const (dyn Job + 'a),
@@ -146,6 +150,25 @@ fn pool() -> &'static Pool {
         }
         pool
     })
+}
+
+/// Spawn a dedicated, named OS thread *outside* the fork/join pool.
+///
+/// This is the one sanctioned long-lived thread seam in the workspace
+/// besides `treesvd-comm` itself (the `treesvd-lint` source audit
+/// enforces it): the distributed executor's rank workers live for a whole
+/// attempt and block on receives, so they must never occupy pool workers
+/// — a pool worker parked in a receive would deadlock the fork/join
+/// traffic of the ranks still computing.
+///
+/// # Panics
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn_worker<T, F>(name: String, f: F) -> std::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::Builder::new().name(name).spawn(f).expect("failed to spawn dedicated worker")
 }
 
 /// A fork's stack-allocated state: the closure to run, the slot its result

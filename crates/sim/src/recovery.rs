@@ -165,6 +165,15 @@ pub enum DistError {
         /// Ladder rungs attempted, in order.
         rungs: Vec<&'static str>,
     },
+    /// A cached proof certificate whose key matches this exact run failed
+    /// witness validation. Hard error by design: the artifact claims to
+    /// certify this schedule and does not, so it is tampered with or
+    /// stale in a way the analyzer version did not catch — never silently
+    /// re-prove over it.
+    BadCertificate {
+        /// The analyzer's step-precise diagnostic.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -175,6 +184,9 @@ impl fmt::Display for DistError {
             }
             Self::Crashed { rank, sweep } => {
                 write!(f, "rank {rank} crashed at the start of sweep {sweep}")
+            }
+            Self::BadCertificate { detail } => {
+                write!(f, "proof certificate rejected: {detail}")
             }
             Self::Unrecoverable { last, restarts, rungs } => {
                 write!(
@@ -192,7 +204,7 @@ impl std::error::Error for DistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Recv { err, .. } => Some(err),
-            Self::Crashed { .. } => None,
+            Self::Crashed { .. } | Self::BadCertificate { .. } => None,
             Self::Unrecoverable { last, .. } => Some(last),
         }
     }

@@ -1,32 +1,66 @@
 #!/usr/bin/env bash
-# Workspace lint gate: formatting, clippy at deny-warnings, and the
-# treesvd-analyze schedule verifier run over every built-in ordering
-# (see docs/ANALYSIS.md). Fails on the first violation.
+# Workspace lint gate: formatting, clippy at deny-warnings, the
+# treesvd-lint source audit (with a negative fixture), the hb-tracker
+# race-detector suite, and the treesvd-analyze schedule verifier run
+# over every built-in ordering — including a certificate emit → check
+# round-trip per ordering (see docs/ANALYSIS.md). Fails on the first
+# violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== fmt: cargo fmt --all --check =="
 cargo fmt --all --check
 
-echo "== clippy: workspace, all targets, deny warnings =="
-cargo clippy --workspace --all-targets -- -D warnings
+# One clippy pass per target set: the plain workspace plus every
+# feature-gated configuration that compiles differently.
+clippy_targets=(
+    "--workspace --all-targets"
+    "-p treesvd-comm --all-targets --features hb-tracker"
+    "-p treesvd-batch --all-targets"
+)
+for target in "${clippy_targets[@]}"; do
+    echo "== clippy: $target, deny warnings =="
+    # shellcheck disable=SC2086 # word-splitting the target spec is intended
+    cargo clippy $target -- -D warnings
+done
 
-echo "== clippy: treesvd-comm with hb-tracker, deny warnings =="
-cargo clippy -p treesvd-comm --all-targets --features hb-tracker -- -D warnings
+echo "== treesvd-lint: source audit (SAFETY adjacency, forbid consistency, thread seams) =="
+cargo build -q --release -p treesvd-analyze --bin treesvd-lint
+TREESVD_LINT=target/release/treesvd-lint
+"$TREESVD_LINT" --root .
 
-echo "== clippy: treesvd-batch (SoA lane kernels + engine), deny warnings =="
-cargo clippy -p treesvd-batch --all-targets -- -D warnings
+echo "== treesvd-lint: negative fixture (uncommented unsafe must be flagged) =="
+fixture=$(mktemp -d)
+trap 'rm -rf "$fixture"' EXIT
+mkdir -p "$fixture/crates/fixture/src"
+printf 'pub fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n' \
+    > "$fixture/crates/fixture/src/lib.rs"
+if "$TREESVD_LINT" --root "$fixture" >/dev/null 2>&1; then
+    echo "lint.sh: treesvd-lint FAILED to flag an uncommented unsafe block" >&2
+    exit 1
+fi
+
+echo "== hb-tracker: vector-clock race-detector suite =="
+cargo test -q -p treesvd-comm --features hb-tracker
 
 echo "== analyzer self-check: every built-in ordering =="
 cargo build -q --release -p treesvd-cli
 TREESVD=target/release/treesvd
+certdir=$(mktemp -d)
+trap 'rm -rf "$fixture" "$certdir"' EXIT
 
 # Each ordering at a representative size, on the topology the paper runs
 # it on. The tree-structured orderings need powers of two; the rest take
-# any even n.
+# any even n. Every configuration also emits a proof certificate and
+# immediately fast-checks it — the O(plan) validator must accept what
+# the provers just proved.
+cert_index=0
 run_check() {
-    echo "-- treesvd analyze $*"
-    "$TREESVD" analyze "$@" >/dev/null
+    cert="$certdir/ordering-$cert_index.cert"
+    cert_index=$((cert_index + 1))
+    echo "-- treesvd analyze $* (+ cert round-trip)"
+    "$TREESVD" analyze "$@" --emit-cert "$cert" >/dev/null
+    "$TREESVD" analyze "$@" --check-cert "$cert" >/dev/null
 }
 run_check --ordering ring          --n 32 --topology perfect
 run_check --ordering round-robin   --n 32 --topology perfect

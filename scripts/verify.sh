@@ -27,6 +27,14 @@ cargo run --release -p treesvd-bench --bin bench_distributed -- --smoke
 echo "== bench smoke: batched SoA engine vs per-problem sequential loop (8x8 x 100k) =="
 cargo run --release -p treesvd-bench --bin bench_batched -- --smoke
 
+echo "== certificate smoke: warm driver run must skip the provers, bitwise-identical =="
+# the cold run proves and emits a certificate; the warm run validates it
+# instead of re-proving (hit/miss counters assert the skip) and must
+# reproduce sigma/U/V bitwise (see docs/ANALYSIS.md, "Certificates and
+# the fast checker")
+cargo test -q --release -p treesvd-core --lib -- --exact \
+    driver::distributed_tests::warm_certificate_run_skips_prover_and_is_bitwise_identical
+
 echo "== chaos soak: seeded fault plans must recover bitwise (96x16, P=8) =="
 # fixed seeds, bounded wall time; also gates zero steady-state payload
 # allocations with an armed-but-inert plan (see DESIGN.md §12)
