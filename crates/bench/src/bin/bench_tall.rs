@@ -1,0 +1,186 @@
+//! Machine-readable tall-skinny benchmarks: QR front-end vs direct Jacobi.
+//!
+//! ```text
+//! cargo run --release -p treesvd-bench --bin bench_tall            # full run,
+//!                                                                  # writes BENCH_tall.json
+//! cargo run --release -p treesvd-bench --bin bench_tall -- --smoke # quick gate, no file
+//! ```
+//!
+//! The full run times `blocked_svd` (Gram kernel, `P = 4`, vectors on) on
+//! extreme-aspect matrices twice per shape: directly, and with the
+//! tall-skinny QR front-end engaged (`A = QR`, Jacobi sweeps on the `n×n`
+//! factor `R`, `U ← Q·U_R`). Direct Jacobi pays `O(m·n²)` per sweep on the
+//! full column height; the front-end pays the `O(m·n²)` factorization once
+//! and then sweeps on `n`-row columns, so the gap widens with `m/n` and
+//! with the sweep count. Median wall-clock seconds and the derived
+//! speedups go to `BENCH_tall.json` at the repository root.
+//!
+//! The smoke run is the regression gate wired into `scripts/verify.sh`:
+//! at `m/n = 128` the front-end must beat direct Jacobi outright, the
+//! whole pipeline (TSQR + sweeps + back-transform) must be
+//! allocation-free after warm-up, and both paths must agree on the
+//! spectrum.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use treesvd_core::{blocked_svd, BlockKernel, BlockedOptions, BlockedRun, SvdOptions};
+use treesvd_matrix::{generate, Matrix};
+
+/// Processors for the blocked driver (`2P` block slots, `n = 8c`).
+const PROCESSORS: usize = 4;
+
+fn opts_for(frontend: bool) -> BlockedOptions {
+    let mut svd = SvdOptions::default().with_block_kernel(BlockKernel::Gram).with_vectors(true);
+    if frontend {
+        svd = svd.with_qr_frontend(true);
+    }
+    BlockedOptions { processors: PROCESSORS, svd }
+}
+
+/// Median wall-clock seconds over `samples` runs, plus the final run for
+/// sweep/allocation/engagement introspection.
+fn time_blocked(a: &Matrix, opts: &BlockedOptions, samples: usize) -> (f64, BlockedRun) {
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let t = Instant::now();
+        let run = blocked_svd(a, opts).expect("blocked_svd");
+        times.push(t.elapsed().as_secs_f64());
+        last = Some(run);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], last.unwrap())
+}
+
+/// Largest relative disagreement between two sigma vectors.
+fn sigma_gap(a: &[f64], b: &[f64]) -> f64 {
+    let scale = a.first().copied().unwrap_or(1.0).max(1e-300);
+    a.iter().zip(b).map(|(x, y)| (x - y).abs() / scale).fold(0.0, f64::max)
+}
+
+struct Record {
+    m: usize,
+    n: usize,
+    direct_s: f64,
+    frontend_s: f64,
+    direct_sweeps: usize,
+    frontend_sweeps: usize,
+    sigma_gap: f64,
+}
+
+fn run_shape(m: usize, n: usize, samples: usize, seed: u64) -> Record {
+    let a = generate::random_uniform(m, n, seed);
+    let (direct_s, direct) = time_blocked(&a, &opts_for(false), samples);
+    let (frontend_s, fe) = time_blocked(&a, &opts_for(true), samples);
+    assert!(!direct.qr_frontend, "direct path must not engage the front-end");
+    assert!(fe.qr_frontend, "front-end must engage at m/n = {}", m / n);
+    assert_eq!(fe.steady_alloc_events, 0, "front-end pipeline allocated in steady state");
+    Record {
+        m,
+        n,
+        direct_s,
+        frontend_s,
+        direct_sweeps: direct.sweeps,
+        frontend_sweeps: fe.sweeps,
+        sigma_gap: sigma_gap(&direct.svd.sigma, &fe.svd.sigma),
+    }
+}
+
+fn full_run(seed: u64) {
+    // (rows, cols, timed samples): one sample at the largest shape, where a
+    // single direct run is already minutes of wall-clock.
+    let shapes = [(16384usize, 128usize, 3usize), (65536, 256, 1), (262144, 256, 1)];
+    let mut records = Vec::new();
+
+    for &(m, n, samples) in &shapes {
+        let r = run_shape(m, n, samples, seed);
+        eprintln!(
+            "{m:6}x{n}: direct {:.3} s ({} sweeps) vs qr front-end {:.3} s ({} sweeps) \
+             = {:.2}x, sigma gap {:.1e}",
+            r.direct_s,
+            r.direct_sweeps,
+            r.frontend_s,
+            r.frontend_sweeps,
+            r.direct_s / r.frontend_s,
+            r.sigma_gap
+        );
+        records.push(r);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p treesvd-bench --bin bench_tall\",\n",
+    );
+    let _ = writeln!(json, "  \"meta\": {},", treesvd_bench::meta::meta_json(seed));
+    let _ = writeln!(json, "  \"processors\": {PROCESSORS},");
+    json.push_str("  \"unit\": \"seconds (median wall-clock, full blocked_svd, vectors on)\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"m\": {}, \"n\": {}, \"aspect\": {}, \"direct_seconds\": {:.6}, \
+             \"frontend_seconds\": {:.6}, \"direct_sweeps\": {}, \"frontend_sweeps\": {}, \
+             \"sigma_gap\": {:.3e}}}{comma}",
+            r.m,
+            r.n,
+            r.m / r.n,
+            r.direct_s,
+            r.frontend_s,
+            r.direct_sweeps,
+            r.frontend_sweeps,
+            r.sigma_gap
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"frontend_speedup_over_direct\": {\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}x{}\": {:.2}{comma}", r.m, r.n, r.direct_s / r.frontend_s);
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tall.json");
+    std::fs::write(out, &json).expect("write BENCH_tall.json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+
+    let headline = records.last().map(|r| r.direct_s / r.frontend_s).unwrap_or(f64::NAN);
+    eprintln!("front-end speedup at 262144x256: {headline:.2}x");
+}
+
+/// Quick gate at `m/n = 128`: the QR front-end must beat direct Jacobi
+/// outright, stay allocation-free in steady state, and agree with the
+/// direct spectrum to near machine precision.
+fn smoke_run(seed: u64) -> bool {
+    const M: usize = 8192;
+    const N: usize = 64; // c = 8 at P = 4
+    let r = run_shape(M, N, 1, seed);
+
+    let fast_enough = r.frontend_s < r.direct_s;
+    let accurate = r.sigma_gap < 1e-10;
+    println!(
+        "smoke {M}x{N} (m/n = {}): qr front-end {:.1} ms vs direct {:.1} ms ({:.2}x), \
+         sigma gap {:.1e} — {}",
+        M / N,
+        r.frontend_s * 1e3,
+        r.direct_s * 1e3,
+        r.direct_s / r.frontend_s,
+        r.sigma_gap,
+        if fast_enough && accurate { "PASS" } else { "FAIL" }
+    );
+    fast_enough && accurate
+}
+
+fn main() {
+    let seed = treesvd_bench::meta::seed_from_args();
+    if std::env::args().any(|a| a == "--smoke") {
+        if !smoke_run(seed) {
+            std::process::exit(1);
+        }
+    } else {
+        full_run(seed);
+    }
+}

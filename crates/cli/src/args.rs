@@ -3,7 +3,8 @@
 use crate::io;
 use std::path::PathBuf;
 use treesvd_core::{
-    blocked_svd, BlockKernel, BlockedOptions, HestenesSvd, OrderingKind, SvdOptions, TopologyKind,
+    blocked_svd, BlockKernel, BlockedOptions, HestenesSvd, HierBlocking, OrderingKind, SvdOptions,
+    TopologyKind,
 };
 
 /// Usage text shown on errors.
@@ -12,6 +13,7 @@ usage:
   treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
               [--distributed] [--no-overlap] [--processors P]
               [--block-kernel NAME] [--threads N]
+              [--qr-frontend] [--qr-crossover X] [--hier-block auto|off|W]
               [--chaos SEED] [--recv-timeout MS] [--max-retries N]
               [--sigma-out FILE] [--u-out FILE] [--v-out FILE]
   treesvd analyze [--ordering NAME] [--n N] [--topology NAME]
@@ -32,6 +34,15 @@ block kernels (with --processors): pairwise | gram   (default: gram)
             (bitwise-identical results; overlap is on by default)
 --threads N caps the host worker lanes (default: machine parallelism,
             or the TREESVD_THREADS environment variable)
+--qr-frontend enables the tall-skinny QR front-end: past the aspect
+            crossover the sweeps run on the small n×n factor R and U is
+            back-transformed through the TSQR tree (never forming Q)
+--qr-crossover X sets the m/n ratio at which the front-end engages
+            (default 8; requires --qr-frontend)
+--hier-block auto|off|W controls cache-level blocking of the blocked
+            driver's meetings: auto (default) probes L2 (TREESVD_L2
+            override honored), off is flat, W splits unions wider than
+            W columns
 --chaos SEED arms the seeded fault-injection plan on the distributed
             executor (requires --distributed); recovery must reproduce
             the fault-free run bitwise or fail with a diagnostic
@@ -149,6 +160,21 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     let max_retries = take_flag(&mut args, "--max-retries")?
         .map(|r| r.parse::<u32>().map_err(|e| format!("--max-retries: {e}")))
         .transpose()?;
+    let qr_frontend = take_switch(&mut args, "--qr-frontend");
+    let qr_crossover = take_flag(&mut args, "--qr-crossover")?
+        .map(|x| x.parse::<f64>().map_err(|e| format!("--qr-crossover: {e}")))
+        .transpose()?;
+    if qr_crossover.is_some() && !qr_frontend {
+        return Err("--qr-crossover only applies with --qr-frontend".to_string());
+    }
+    let hier = match take_flag(&mut args, "--hier-block")?.as_deref() {
+        None | Some("auto") => HierBlocking::Auto,
+        Some("off") => HierBlocking::Off,
+        Some(w) => HierBlocking::Cols(
+            w.parse::<usize>()
+                .map_err(|_| format!("--hier-block: auto, off, or a width, got {w:?}"))?,
+        ),
+    };
     let no_vectors = take_switch(&mut args, "--no-vectors");
     let distributed = take_switch(&mut args, "--distributed");
     let no_overlap = take_switch(&mut args, "--no-overlap");
@@ -168,7 +194,12 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
         .with_vectors(!no_vectors)
         .with_block_kernel(block_kernel)
         .with_overlap(!no_overlap)
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_qr_frontend(qr_frontend)
+        .with_hier_blocking(hier);
+    if let Some(x) = qr_crossover {
+        opts = opts.with_qr_crossover(x);
+    }
     if let Some(seed) = chaos {
         opts = opts.with_chaos(seed);
     }
@@ -180,13 +211,14 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     }
 
     let mut out = String::new();
+    let fe_tag = |engaged: bool| if engaged { ", qr front-end" } else { "" };
     let (svd, sweeps, extra) = if let Some(p) = processors {
         let run = blocked_svd(&a, &BlockedOptions { processors: p, svd: opts })
             .map_err(|e| e.to_string())?;
-        (run.svd, run.sweeps, format!("block size {}", run.block_size))
+        (run.svd, run.sweeps, format!("block size {}{}", run.block_size, fe_tag(run.qr_frontend)))
     } else if distributed {
         let run = HestenesSvd::new(opts).compute_distributed(&a).map_err(|e| e.to_string())?;
-        let mut extra = "distributed executor".to_string();
+        let mut extra = format!("distributed executor{}", fe_tag(run.qr_frontend));
         if let Some(health) = &run.health {
             let f = health.faults;
             extra.push_str(&format!(
@@ -211,7 +243,15 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
         (run.svd, run.sweeps, extra)
     } else {
         let run = HestenesSvd::new(opts).compute(&a).map_err(|e| e.to_string())?;
-        (run.svd, run.sweeps, format!("simulated time {:.3e} on {topology}", run.simulated_time))
+        (
+            run.svd,
+            run.sweeps,
+            format!(
+                "simulated time {:.3e} on {topology}{}",
+                run.simulated_time,
+                fe_tag(run.qr_frontend)
+            ),
+        )
     };
     let sigma = svd.sigma.clone();
 
@@ -528,6 +568,80 @@ mod tests {
         }
         assert!(run(&argv(&["svd", p.to_str().unwrap(), "--block-kernel", "nope"])).is_err());
         assert!(run(&argv(&["svd", p.to_str().unwrap(), "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn qr_frontend_flags_engage_and_validate() {
+        // a 12×2 matrix: aspect 6, so crossover 4 engages and default 8
+        // does not
+        let rows: String = (0..12).map(|i| format!("{} {}\n", i + 1, (i % 3) as f64)).collect();
+        let p = write_temp("tall.txt", &rows);
+        let plain = run(&argv(&["svd", p.to_str().unwrap()])).unwrap();
+        assert!(!plain.contains("qr front-end"));
+        let fe = run(&argv(&["svd", p.to_str().unwrap(), "--qr-frontend", "--qr-crossover", "4"]))
+            .unwrap();
+        assert!(fe.contains("qr front-end"), "{fe}");
+        let sigmas = |s: &str| -> Vec<f64> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .filter_map(|l| l.trim().parse::<f64>().ok())
+                .collect()
+        };
+        for (a, b) in sigmas(&plain).iter().zip(sigmas(&fe).iter()) {
+            assert!((a - b).abs() < 1e-9 * a.max(1.0), "{a} vs {b}");
+        }
+        // default crossover 8 leaves a 6:1 matrix on the direct path
+        let off = run(&argv(&["svd", p.to_str().unwrap(), "--qr-frontend"])).unwrap();
+        assert!(!off.contains("qr front-end"), "{off}");
+        // the blocked driver reports the front-end too
+        let blk = run(&argv(&[
+            "svd",
+            p.to_str().unwrap(),
+            "--processors",
+            "1",
+            "--qr-frontend",
+            "--qr-crossover",
+            "2",
+        ]))
+        .unwrap();
+        assert!(blk.contains("block size") && blk.contains("qr front-end"), "{blk}");
+        // validation
+        assert!(run(&argv(&["svd", p.to_str().unwrap(), "--qr-crossover", "4"])).is_err());
+        assert!(run(&argv(&[
+            "svd",
+            p.to_str().unwrap(),
+            "--qr-frontend",
+            "--qr-crossover",
+            "wat"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn hier_block_flag_parses_and_matches_flat() {
+        let p = write_temp("hier.txt", "2 0 0 0\n0 3 0 0\n0 0 1 0\n0 0 0 4\n1 1 1 1\n");
+        let sigmas = |s: &str| -> Vec<f64> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .filter_map(|l| l.trim().parse::<f64>().ok())
+                .collect()
+        };
+        let base = run(&argv(&["svd", p.to_str().unwrap(), "--processors", "1"])).unwrap();
+        for mode in ["auto", "off", "4"] {
+            let out = run(&argv(&[
+                "svd",
+                p.to_str().unwrap(),
+                "--processors",
+                "1",
+                "--hier-block",
+                mode,
+            ]))
+            .unwrap();
+            for (a, b) in sigmas(&base).iter().zip(sigmas(&out).iter()) {
+                assert!((a - b).abs() < 1e-9 * a.max(1.0), "mode {mode}: {a} vs {b}");
+            }
+        }
+        assert!(run(&argv(&["svd", p.to_str().unwrap(), "--hier-block", "sideways"])).is_err());
     }
 
     #[test]

@@ -42,7 +42,7 @@
 //! sweep the driver performs no allocation (block movement swaps
 //! pre-allocated buffers, and the Gram/`W`/tile scratches are reused).
 
-use crate::options::{BlockKernel, OrderingChoice, SvdError, SvdOptions};
+use crate::options::{BlockKernel, HierBlocking, OrderingChoice, SvdError, SvdOptions};
 use crate::result::{complete_orthonormal, Svd};
 use treesvd_matrix::ops;
 use treesvd_matrix::rotation::{
@@ -83,8 +83,15 @@ pub struct BlockedRun {
     pub total_rotations: usize,
     /// Scratch allocation events after the first sweep (warm-up). Zero in
     /// steady state: every meeting reuses its lane's Gram/`W`/tile arena
-    /// and block movement swaps pre-allocated buffers.
+    /// and block movement swaps pre-allocated buffers. When the QR
+    /// front-end engaged, the factorization's own steady-state counter
+    /// ([`treesvd_matrix::qr::QrStats::steady_alloc_events`]) is folded
+    /// in, so this stays the single zero-alloc gate for the whole
+    /// pipeline.
     pub steady_alloc_events: u64,
+    /// Whether the tall-skinny QR front-end engaged (the sweeps ran on
+    /// the `n×n` factor `R`; see [`SvdOptions::qr_frontend`]).
+    pub qr_frontend: bool,
 }
 
 /// One block slot: `c` columns of `A` (and optionally of the accumulated
@@ -134,6 +141,9 @@ struct MeetCtx {
     threshold: f64,
     sort: bool,
     kernel: BlockKernel,
+    /// Union width above which a Gram meeting splits into cache-sized
+    /// sub-block pairs (`usize::MAX` disables the hierarchical level).
+    hier_cols: usize,
 }
 
 /// Compute the SVD of `a` on an undersized machine of `opts.processors`
@@ -145,14 +155,33 @@ struct MeetCtx {
 /// # Panics
 /// Panics if `opts.processors == 0`.
 pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdError> {
+    blocked_svd_inner(a, opts, true)
+}
+
+/// The blocked driver behind the front-end gate: `allow_frontend` is
+/// dropped for the recursive solve on `R` (square, but a degenerate
+/// crossover setting must not re-enter the factorization).
+pub(crate) fn blocked_svd_inner(
+    a: &Matrix,
+    opts: &BlockedOptions,
+    allow_frontend: bool,
+) -> Result<BlockedRun, SvdError> {
     assert!(opts.processors > 0, "need at least one processor");
     if a.rows() == 0 || a.cols() == 0 {
         return Err(SvdError::EmptyMatrix);
     }
     if a.rows() < a.cols() {
         let at = a.transpose();
-        let mut run = blocked_svd(&at, opts)?;
+        let mut run = blocked_svd_inner(&at, opts, allow_frontend)?;
         std::mem::swap(&mut run.svd.u, &mut run.svd.v);
+        return Ok(run);
+    }
+    if allow_frontend && crate::tall::engages(&opts.svd, a.rows(), a.cols()) {
+        let qr = crate::tall::factor(a, &opts.svd)?;
+        let mut run = blocked_svd_inner(qr.r(), opts, false)?;
+        run.svd.u = crate::tall::back_transform(&qr, &run.svd.u, crate::tall::lanes(&opts.svd));
+        run.steady_alloc_events += qr.stats().steady_alloc_events;
+        run.qr_frontend = true;
         return Ok(run);
     }
 
@@ -193,12 +222,24 @@ pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdE
         })
         .collect();
 
+    // Cache-level (hierarchical) blocking threshold: a union panel wider
+    // than this is met as cyclic passes over sub-block pairs whose
+    // working set (two sub-panels of `m`-length columns) fits in roughly
+    // a quarter of L2, keeping the Gram kernel's panel reads cache-
+    // resident — Novaković's multi-level scheme (arXiv 1401.2720).
+    let hier_cols = match opts.svd.hier {
+        HierBlocking::Off => usize::MAX,
+        HierBlocking::Cols(w) => w.max(4),
+        HierBlocking::Auto => ((treesvd_matrix::cache::l2_bytes() / 4) / (8 * m)).max(8),
+    };
+
     let ctx = MeetCtx {
         m,
         v_len: if vectors { n_pad } else { 0 },
         threshold: opts.svd.threshold.unwrap_or(n_pad as f64 * f64::EPSILON),
         sort: matches!(opts.svd.sort, treesvd_sim::SortMode::Descending),
         kernel: opts.svd.block_kernel,
+        hier_cols,
     };
 
     // Adaptive dispatch over the persistent pool: fork only when a step's
@@ -316,6 +357,7 @@ pub fn blocked_svd(a: &Matrix, opts: &BlockedOptions) -> Result<BlockedRun, SvdE
         block_size: c,
         total_rotations,
         steady_alloc_events,
+        qr_frontend: false,
     })
 }
 
@@ -432,23 +474,135 @@ fn pairwise_meeting(lo: &mut BlockSlot, hi: &mut BlockSlot, ctx: &MeetCtx) -> (u
     (rotations, swaps)
 }
 
-/// The Gram (block Jacobi) meeting: build `G = [X Y]ᵀ[X Y]`, run the same
-/// cyclic sorted pass on `G` in cache while accumulating the orthogonal
-/// update `W`, then apply `[X Y] ← [X Y]·W` (and the `V` panel) as one
-/// blocked panel multiply. The rotation and interchange decisions are
-/// computed from exactly the Gram quantities the pairwise path measures,
-/// so both kernels agree on what a meeting does (up to rounding in how the
-/// updates are realized). Returns (rotations, interchanges).
+/// The Gram (block Jacobi) meeting. Below the hierarchical threshold the
+/// whole union is met in one pass ([`gram_union`]); above it the union is
+/// split into cache-sized sub-blocks and one cyclic pass runs the
+/// in-cache kernel over every sub-block *pair* — each sub-meeting again
+/// fully orthogonalizes and sorts its own union, so covering all pairs
+/// covers every column pair of the meeting and the termination rule (no
+/// rotation, no interchange anywhere) is evaluated on exactly the same
+/// quantities as the flat path. Returns (rotations, interchanges).
 fn gram_meeting(
     lo: &mut BlockSlot,
     hi: &mut BlockSlot,
     ctx: &MeetCtx,
     scratch: &mut MeetingScratch,
 ) -> (usize, usize) {
-    let k = (lo.a.len() + hi.a.len()) / ctx.m;
+    let cx = lo.a.len() / ctx.m;
+    let cy = hi.a.len() / ctx.m;
+    if cx + cy <= ctx.hier_cols {
+        return gram_union(&mut lo.a, &mut hi.a, &mut lo.v, &mut hi.v, ctx, scratch);
+    }
+    hierarchical_meeting(lo, hi, cx, cy, ctx, scratch)
+}
+
+/// Two disjoint column ranges `[s0, s0+w0)` and `[s1, s1+w1)` (with
+/// `s0 + w0 ≤ s1`) of one column-major panel, as mutable slices.
+fn two_ranges(
+    buf: &mut [f64],
+    rows: usize,
+    s0: usize,
+    w0: usize,
+    s1: usize,
+    w1: usize,
+) -> (&mut [f64], &mut [f64]) {
+    if rows == 0 {
+        return buf.split_at_mut(0); // vectors off: both empty
+    }
+    debug_assert!(s0 + w0 <= s1);
+    let (head, tail) = buf.split_at_mut(s1 * rows);
+    (&mut head[s0 * rows..(s0 + w0) * rows], &mut tail[..w1 * rows])
+}
+
+/// The hierarchical (cache-level) meeting: sub-blocks of half the
+/// threshold width, enumerated in label order (`lo`'s columns first, so
+/// the sorted-storage rule still sorts the whole union), met pairwise by
+/// the in-cache Gram kernel.
+fn hierarchical_meeting(
+    lo: &mut BlockSlot,
+    hi: &mut BlockSlot,
+    cx: usize,
+    cy: usize,
+    ctx: &MeetCtx,
+    scratch: &mut MeetingScratch,
+) -> (usize, usize) {
+    let cb = (ctx.hier_cols / 2).max(2);
+    let nbx = cx.div_ceil(cb);
+    let nby = cy.div_ceil(cb);
+    // sub-block b → (lives in hi, first column, width); never straddles
+    // the lo/hi boundary, so every range is one contiguous slice
+    let locate = |b: usize| -> (bool, usize, usize) {
+        if b < nbx {
+            let s = b * cb;
+            (false, s, cb.min(cx - s))
+        } else {
+            let s = (b - nbx) * cb;
+            (true, s, cb.min(cy - s))
+        }
+    };
+    let vr = |s: usize, w: usize| {
+        if ctx.v_len > 0 {
+            s * ctx.v_len..(s + w) * ctx.v_len
+        } else {
+            0..0
+        }
+    };
+    let nb = nbx + nby;
+    let mut rotations = 0usize;
+    let mut swaps = 0usize;
+    for p in 0..nb {
+        for q in (p + 1)..nb {
+            let (q_in_hi, sq, wq) = locate(q);
+            let (p_in_hi, sp, wp) = locate(p);
+            let (r, s) = match (p_in_hi, q_in_hi) {
+                (false, false) => {
+                    let (xa, ya) = two_ranges(&mut lo.a, ctx.m, sp, wp, sq, wq);
+                    let (xv, yv) = two_ranges(&mut lo.v, ctx.v_len, sp, wp, sq, wq);
+                    gram_union(xa, ya, xv, yv, ctx, scratch)
+                }
+                (true, true) => {
+                    let (xa, ya) = two_ranges(&mut hi.a, ctx.m, sp, wp, sq, wq);
+                    let (xv, yv) = two_ranges(&mut hi.v, ctx.v_len, sp, wp, sq, wq);
+                    gram_union(xa, ya, xv, yv, ctx, scratch)
+                }
+                (false, true) => gram_union(
+                    &mut lo.a[sp * ctx.m..(sp + wp) * ctx.m],
+                    &mut hi.a[sq * ctx.m..(sq + wq) * ctx.m],
+                    &mut lo.v[vr(sp, wp)],
+                    &mut hi.v[vr(sq, wq)],
+                    ctx,
+                    scratch,
+                ),
+                (true, false) => unreachable!("sub-blocks are enumerated lo-first"),
+            };
+            rotations += r;
+            swaps += s;
+        }
+    }
+    (rotations, swaps)
+}
+
+/// One flat Gram meeting over the union `[X Y]` given as raw column
+/// panels (`xa`/`ya` the `A` columns, `xv`/`yv` the matching `V` columns,
+/// empty when vectors are off): build `G = [X Y]ᵀ[X Y]`, run the cyclic
+/// sorted pass on `G` in cache while accumulating the orthogonal update
+/// `W`, then apply `[X Y] ← [X Y]·W` (and the `V` panel) as one blocked
+/// panel multiply. The rotation and interchange decisions are computed
+/// from exactly the Gram quantities the pairwise path measures, so both
+/// kernels agree on what a meeting does (up to rounding in how the
+/// updates are realized). Returns (rotations, interchanges).
+fn gram_union(
+    xa: &mut [f64],
+    ya: &mut [f64],
+    xv: &mut [f64],
+    yv: &mut [f64],
+    ctx: &MeetCtx,
+    scratch: &mut MeetingScratch,
+) -> (usize, usize) {
+    let k = (xa.len() + ya.len()) / ctx.m;
     scratch.ensure(k);
     let MeetingScratch { g, w, tile, .. } = scratch;
-    ops::gram_block(&lo.a, &hi.a, ctx.m, g);
+    ops::gram_block(xa, ya, ctx.m, g);
     w.fill(0.0);
     for d in 0..k {
         w[d + k * d] = 1.0;
@@ -536,9 +690,9 @@ fn gram_meeting(
     }
 
     if rotations > 0 || swaps > 0 {
-        ops::panel_update(&mut lo.a, &mut hi.a, ctx.m, w, tile);
+        ops::panel_update(xa, ya, ctx.m, w, tile);
         if ctx.v_len > 0 {
-            ops::panel_update(&mut lo.v, &mut hi.v, ctx.v_len, w, tile);
+            ops::panel_update(xv, yv, ctx.v_len, w, tile);
         }
     }
     (rotations, swaps)
@@ -702,6 +856,65 @@ mod tests {
                 assert!(run.svd.orthogonality() < 1e-10, "P = {procs} kernel = {kernel}");
             }
         }
+    }
+
+    #[test]
+    fn hierarchical_meetings_match_flat_gram() {
+        // force the cache-level split with a tiny threshold: c = 8 gives
+        // 16-column unions, split into sub-blocks of 4
+        let a = generate::random_uniform(48, 32, 16);
+        let flat = {
+            let mut o = opts_with(2, BlockKernel::Gram);
+            o.svd = o.svd.with_hier_blocking(HierBlocking::Off);
+            blocked_svd(&a, &o).unwrap()
+        };
+        let hier = {
+            let mut o = opts_with(2, BlockKernel::Gram);
+            o.svd = o.svd.with_hier_blocking(HierBlocking::Cols(8));
+            blocked_svd(&a, &o).unwrap()
+        };
+        assert!(
+            checks::spectrum_distance(&flat.svd.sigma, &hier.svd.sigma) < 1e-9,
+            "spectra diverge: {:?} vs {:?}",
+            flat.svd.sigma,
+            hier.svd.sigma
+        );
+        assert!(hier.svd.residual(&a) < 1e-10);
+        assert!(hier.svd.orthogonality() < 1e-10);
+        assert!(checks::is_nonincreasing(&hier.svd.sigma), "meetings must still sort the union");
+        assert_eq!(flat.svd.rank, hier.svd.rank);
+    }
+
+    #[test]
+    fn hierarchical_stays_zero_alloc_and_converges_on_hard_cases() {
+        // rank-deficient + forced splits + the pool path
+        let a = generate::rank_deficient(64, 24, 11, 17);
+        let mut o = opts_with(2, BlockKernel::Gram);
+        o.svd = o.svd.with_hier_blocking(HierBlocking::Cols(6));
+        o.svd.serial_cutoff = 0;
+        let run = blocked_svd(&a, &o).unwrap();
+        assert_eq!(run.svd.rank, 11);
+        assert!(run.sweeps > 1, "need a steady-state sweep to measure");
+        assert_eq!(run.steady_alloc_events, 0);
+        assert!(run.svd.orthogonality() < 1e-10);
+    }
+
+    #[test]
+    fn auto_hier_is_inert_on_small_problems() {
+        // Auto only engages when a union panel outgrows L2/4; at m = 40
+        // the threshold is hundreds of columns, so Auto ≡ Off here and
+        // results are bitwise identical
+        let a = generate::random_uniform(40, 32, 18);
+        let auto = blocked_svd(&a, &opts_with(2, BlockKernel::Gram)).unwrap();
+        let off = {
+            let mut o = opts_with(2, BlockKernel::Gram);
+            o.svd = o.svd.with_hier_blocking(HierBlocking::Off);
+            blocked_svd(&a, &o).unwrap()
+        };
+        assert_eq!(auto.svd.sigma, off.svd.sigma);
+        assert_eq!(auto.svd.u, off.svd.u);
+        assert_eq!(auto.svd.v, off.svd.v);
+        assert_eq!(auto.sweeps, off.sweeps);
     }
 
     #[test]

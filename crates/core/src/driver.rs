@@ -42,6 +42,10 @@ pub struct SvdRun {
     /// Recovery summary of a distributed run (injected faults, retries,
     /// restarts, ladder descents). `None` on the simulated path.
     pub health: Option<treesvd_sim::HealthReport>,
+    /// Whether the tall-skinny QR front-end engaged: the sweeps ran on
+    /// the `n×n` factor `R` and `U` was back-transformed through `Q`
+    /// (see [`SvdOptions::qr_frontend`]).
+    pub qr_frontend: bool,
 }
 
 impl SvdRun {
@@ -91,10 +95,10 @@ impl HestenesSvd {
             return Err(SvdError::EmptyMatrix);
         }
         if a.rows() >= a.cols() {
-            self.compute_tall(a, false)
+            self.compute_tall(a, false, true)
         } else {
             let at = a.transpose();
-            let mut run = self.compute_tall(&at, true)?;
+            let mut run = self.compute_tall(&at, true, true)?;
             // A = U Σ Vᵀ with Aᵀ = V Σ Uᵀ: swap the factors back
             std::mem::swap(&mut run.svd.u, &mut run.svd.v);
             Ok(run)
@@ -146,9 +150,40 @@ impl HestenesSvd {
         self.build_ordering(pow2).map(|_| pow2)
     }
 
-    fn compute_tall(&self, a: &Matrix, transposed: bool) -> Result<SvdRun, SvdError> {
+    /// Run the chosen Jacobi driver on `A = QR`'s small factor `R`, then
+    /// back-transform `U ← Q·U_R` (the tall-skinny front-end; see
+    /// [`crate::tall`]). The inner solve runs with the front-end barred:
+    /// `R` is square, and the guard must hold even for degenerate
+    /// crossover settings.
+    fn frontend_run(
+        &self,
+        a: &Matrix,
+        transposed: bool,
+        distributed: bool,
+    ) -> Result<SvdRun, SvdError> {
+        let qr = crate::tall::factor(a, &self.options)?;
+        let mut run = if distributed {
+            self.compute_distributed_inner(qr.r(), false)?
+        } else {
+            self.compute_tall(qr.r(), false, false)?
+        };
+        run.svd.u = crate::tall::back_transform(&qr, &run.svd.u, crate::tall::lanes(&self.options));
+        run.transposed = transposed;
+        run.qr_frontend = true;
+        Ok(run)
+    }
+
+    fn compute_tall(
+        &self,
+        a: &Matrix,
+        transposed: bool,
+        allow_frontend: bool,
+    ) -> Result<SvdRun, SvdError> {
         let (m, n) = a.shape();
         debug_assert!(m >= n);
+        if allow_frontend && crate::tall::engages(&self.options, m, n) {
+            return self.frontend_run(a, transposed, false);
+        }
         let n_pad = self.padded_size(n)?;
         let ordering = self.checked_ordering(n_pad)?;
 
@@ -223,6 +258,7 @@ impl HestenesSvd {
             padded_n: n_pad,
             off_history,
             health: None,
+            qr_frontend: false,
         })
     }
 
@@ -245,17 +281,28 @@ impl HestenesSvd {
     /// the executor fails past its recovery budget — carrying the failing
     /// rank, sweep, step, and message context.
     pub fn compute_distributed(&self, a: &Matrix) -> Result<SvdRun, SvdError> {
+        self.compute_distributed_inner(a, true)
+    }
+
+    fn compute_distributed_inner(
+        &self,
+        a: &Matrix,
+        allow_frontend: bool,
+    ) -> Result<SvdRun, SvdError> {
         if a.rows() == 0 || a.cols() == 0 {
             return Err(SvdError::EmptyMatrix);
         }
         if a.rows() < a.cols() {
             let at = a.transpose();
-            let mut run = self.compute_distributed(&at)?;
+            let mut run = self.compute_distributed_inner(&at, allow_frontend)?;
             std::mem::swap(&mut run.svd.u, &mut run.svd.v);
             run.transposed = true;
             return Ok(run);
         }
         let (m, n) = a.shape();
+        if allow_frontend && crate::tall::engages(&self.options, m, n) {
+            return self.frontend_run(a, false, true);
+        }
         let n_pad = self.padded_size(n)?;
         let ordering = self.checked_ordering(n_pad)?;
         let mut columns = a.clone().into_columns();
@@ -301,6 +348,7 @@ impl HestenesSvd {
             padded_n: n_pad,
             off_history: Vec::new(),
             health: Some(outcome.health),
+            qr_frontend: false,
         })
     }
 

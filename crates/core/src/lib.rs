@@ -46,10 +46,11 @@ pub mod options;
 mod proptests;
 pub mod result;
 pub mod sequential;
+pub mod tall;
 
 pub use blocked::{blocked_svd, BlockedOptions, BlockedRun};
 pub use driver::{HestenesSvd, SvdRun};
-pub use options::{BlockKernel, OrderingChoice, SvdError, SvdOptions};
+pub use options::{BlockKernel, HierBlocking, OrderingChoice, SvdError, SvdOptions};
 pub use result::{complete_orthonormal, Svd};
 
 // convenient re-exports for downstream users

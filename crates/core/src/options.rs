@@ -65,6 +65,39 @@ impl fmt::Display for BlockKernel {
     }
 }
 
+/// Outer (cache-level) blocking of the blocked driver's Gram meetings.
+///
+/// A meeting's union panel is `m × 2c` doubles; once it outgrows the L2
+/// cache the Gram sweep re-reads every column from DRAM and the kernel's
+/// advantage collapses (the `c = 32` falloff in `BENCH_blocked.json`).
+/// Hierarchical blocking splits such a union into cache-sized sub-blocks
+/// and cycles the in-cache Gram kernel over all sub-block pairs —
+/// Novaković's multi-level scheme (arXiv 1401.2720) grafted onto the
+/// paper's tree ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HierBlocking {
+    /// Engage automatically when a union panel outgrows a quarter of the
+    /// probed L2 size ([`treesvd_matrix::cache::l2_bytes`], overridable
+    /// via `TREESVD_L2`).
+    #[default]
+    Auto,
+    /// Never split meetings (the pre-hierarchical behavior).
+    Off,
+    /// Engage when the union column count exceeds this width; sub-blocks
+    /// are half this wide.
+    Cols(usize),
+}
+
+impl fmt::Display for HierBlocking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierBlocking::Auto => write!(f, "auto"),
+            HierBlocking::Off => write!(f, "off"),
+            HierBlocking::Cols(c) => write!(f, "{c}"),
+        }
+    }
+}
+
 /// Options for [`HestenesSvd`](crate::HestenesSvd).
 #[derive(Debug)]
 pub struct SvdOptions {
@@ -142,6 +175,23 @@ pub struct SvdOptions {
     /// validation is a hard error; a version-skewed one silently
     /// re-proves and refreshes the cache. `None` re-proves every run.
     pub certificate_cache: Option<std::sync::Arc<treesvd_analyze::CertificateCache>>,
+    /// Tall-skinny QR front-end: when the aspect ratio `m/n` reaches
+    /// [`SvdOptions::qr_crossover`], factor `A = QR` with the TSQR tree
+    /// ([`treesvd_matrix::qr`]), run the Jacobi driver on the `n×n`
+    /// factor `R`, and back-transform `U ← Q·U_R` without ever forming
+    /// `Q`. Wide inputs (`m < n`) go through the same path on `Aᵀ`.
+    /// Default `false` (bitwise-identical to the pre-front-end drivers).
+    pub qr_frontend: bool,
+    /// Aspect-ratio crossover for the front-end: engage when
+    /// `m ≥ qr_crossover · n`. The QR stage costs `≈ 2mn²` flops and the
+    /// back-transform `≈ 2mn·k`, versus Jacobi sweeps that stream
+    /// `O(mn·log n)` words per sweep — the break-even sits near 4–8 on
+    /// bandwidth-bound machines, so the default is 8.
+    pub qr_crossover: f64,
+    /// Panel width (compact-WY block size) of the front-end's tiled QR.
+    pub qr_panel: usize,
+    /// Outer cache-level blocking of the blocked driver's meetings.
+    pub hier: HierBlocking,
 }
 
 impl Default for SvdOptions {
@@ -164,6 +214,10 @@ impl Default for SvdOptions {
             fault_policy: None,
             chaos: None,
             certificate_cache: None,
+            qr_frontend: false,
+            qr_crossover: 8.0,
+            qr_panel: 32,
+            hier: HierBlocking::default(),
         }
     }
 }
@@ -287,6 +341,31 @@ impl SvdOptions {
         self
     }
 
+    /// Enable (or disable) the tall-skinny QR front-end.
+    pub fn with_qr_frontend(mut self, enabled: bool) -> Self {
+        self.qr_frontend = enabled;
+        self
+    }
+
+    /// Set the front-end's aspect-ratio crossover (engage when
+    /// `m ≥ crossover · n`). Values ≤ 1 engage on every non-wide input.
+    pub fn with_qr_crossover(mut self, crossover: f64) -> Self {
+        self.qr_crossover = crossover;
+        self
+    }
+
+    /// Set the front-end's QR panel width.
+    pub fn with_qr_panel(mut self, panel: usize) -> Self {
+        self.qr_panel = panel.max(1);
+        self
+    }
+
+    /// Select the blocked driver's outer cache-level blocking policy.
+    pub fn with_hier_blocking(mut self, hier: HierBlocking) -> Self {
+        self.hier = hier;
+        self
+    }
+
     /// The recovery policy a distributed run will actually use: the
     /// explicit one, else the chaos profile when a chaos plan is armed,
     /// else the fail-fast default.
@@ -404,6 +483,31 @@ mod tests {
         assert_eq!(SvdOptions::default().block_kernel, BlockKernel::Gram);
         assert_eq!(BlockKernel::Gram.to_string(), "gram");
         assert_eq!(BlockKernel::Pairwise.to_string(), "pairwise");
+    }
+
+    #[test]
+    fn qr_frontend_defaults_and_builders() {
+        let o = SvdOptions::default();
+        assert!(!o.qr_frontend, "front-end must be opt-in");
+        assert_eq!(o.qr_crossover, 8.0);
+        assert_eq!(o.qr_panel, 32);
+        assert_eq!(o.hier, HierBlocking::Auto);
+        let o = o
+            .with_qr_frontend(true)
+            .with_qr_crossover(2.5)
+            .with_qr_panel(0)
+            .with_hier_blocking(HierBlocking::Cols(48));
+        assert!(o.qr_frontend);
+        assert_eq!(o.qr_crossover, 2.5);
+        assert_eq!(o.qr_panel, 1, "panel width is floored at 1");
+        assert_eq!(o.hier, HierBlocking::Cols(48));
+    }
+
+    #[test]
+    fn hier_blocking_displays() {
+        assert_eq!(HierBlocking::Auto.to_string(), "auto");
+        assert_eq!(HierBlocking::Off.to_string(), "off");
+        assert_eq!(HierBlocking::Cols(64).to_string(), "64");
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Cache-size probing for the multi-level blocking decisions.
+//!
+//! The hierarchical blocked driver and the tall-skinny QR front-end both
+//! size their working sets against the per-core L2 cache: a blocked
+//! meeting whose union panel spills out of L2 re-reads every column from
+//! DRAM `O(c)` times, which is exactly the `c = 32` falloff recorded in
+//! `BENCH_blocked.json`. Rather than hardcoding a block width, callers ask
+//! [`l2_bytes`] once and derive their tile shapes from it.
+//!
+//! Probe order:
+//! 1. the `TREESVD_L2` environment variable (bytes, with optional
+//!    `K`/`M` suffix) — the override for benchmarking and for machines
+//!    whose sysfs is absent or wrong;
+//! 2. `/sys/devices/system/cpu/cpu0/cache/index2/size` (Linux);
+//! 3. a conservative 512 KiB fallback.
+//!
+//! The probe runs once and is cached for the process lifetime.
+
+use std::sync::OnceLock;
+
+/// Conservative fallback when no probe source is available: half a MiB of
+/// L2 is the smallest size on any machine this workspace targets.
+pub const L2_FALLBACK_BYTES: usize = 512 * 1024;
+
+/// Parse a cache-size string: plain bytes, or with a `K`/`M` (KiB/MiB)
+/// suffix as sysfs reports (`"1024K"`). Returns `None` for anything
+/// non-positive or unparsable.
+pub fn parse_cache_size(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, mult) = match t.char_indices().find(|(_, c)| !c.is_ascii_digit()) {
+        None => (t, 1usize),
+        Some((i, c)) => {
+            let mult = match c.to_ascii_uppercase() {
+                'K' => 1024,
+                'M' => 1024 * 1024,
+                _ => return None,
+            };
+            // nothing but the one suffix letter may follow the digits
+            if t[i + 1..].trim() != "" {
+                return None;
+            }
+            (&t[..i], mult)
+        }
+    };
+    let n: usize = digits.parse().ok()?;
+    if n == 0 {
+        None
+    } else {
+        n.checked_mul(mult)
+    }
+}
+
+fn probe_l2() -> usize {
+    if let Ok(v) = std::env::var("TREESVD_L2") {
+        if let Some(b) = parse_cache_size(&v) {
+            return b;
+        }
+    }
+    if let Ok(s) = std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cache/index2/size") {
+        if let Some(b) = parse_cache_size(&s) {
+            return b;
+        }
+    }
+    L2_FALLBACK_BYTES
+}
+
+/// Per-core L2 cache size in bytes: `TREESVD_L2` override, else the
+/// sysfs probe, else [`L2_FALLBACK_BYTES`]. Probed once per process.
+pub fn l2_bytes() -> usize {
+    static L2: OnceLock<usize> = OnceLock::new();
+    *L2.get_or_init(probe_l2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_bytes_and_suffixes() {
+        assert_eq!(parse_cache_size("524288"), Some(524288));
+        assert_eq!(parse_cache_size("1024K"), Some(1024 * 1024));
+        assert_eq!(parse_cache_size(" 2M \n"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_cache_size("1m"), Some(1024 * 1024));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("0"), None);
+        assert_eq!(parse_cache_size("12G"), None);
+        assert_eq!(parse_cache_size("K12"), None);
+        assert_eq!(parse_cache_size("12KB"), None);
+        assert_eq!(parse_cache_size("-4"), None);
+    }
+
+    #[test]
+    fn probe_returns_something_sane() {
+        let b = l2_bytes();
+        assert!(b >= 64 * 1024, "implausibly small L2: {b}");
+        assert!(b <= 1024 * 1024 * 1024, "implausibly large L2: {b}");
+    }
+}

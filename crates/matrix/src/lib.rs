@@ -35,6 +35,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod cache;
 pub mod checks;
 pub mod error;
 pub mod generate;
@@ -42,6 +43,7 @@ pub mod matrix;
 pub mod ops;
 #[cfg(test)]
 mod proptests;
+pub mod qr;
 pub mod rng;
 pub mod rotation;
 pub mod soa;

@@ -312,6 +312,15 @@ impl Matrix {
         &self.data
     }
 
+    /// The raw column-major data, mutably. Column `j` occupies
+    /// `[j·rows, (j+1)·rows)`; the blocked kernels (panel updates, the
+    /// tall-skinny QR's apply-Q) operate on such contiguous column
+    /// groups directly.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consume the matrix, returning its columns as owned vectors.
     ///
     /// Used by the simulator to distribute columns over leaf processors.

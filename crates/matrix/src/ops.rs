@@ -1063,6 +1063,195 @@ pub fn panel_update(x: &mut [f64], y: &mut [f64], m: usize, w: &[f64], tile: &mu
     }
 }
 
+/// `out (ka×kb, column-major) = AᵀB` for two strided column-major
+/// panels: column `j` of `A` is `a[j·lda .. j·lda + rows]` and likewise
+/// for `B`. The panels may be sub-views of larger matrices (`lda`,
+/// `ldb` ≥ `rows`), which is how the tall-skinny QR applies a block
+/// reflector to a row-band of the trailing matrix without copying it.
+///
+/// Computed in 2×2 register blocks by the same [`dot4`] micro-kernel as
+/// [`gram_block`] (four reductions per pass, every column load shared by
+/// two of them), with single-[`dot`] edges for odd `ka`/`kb`.
+///
+/// # Panics
+/// Panics if a panel is too short for its `(rows, ld, k)` view, if a
+/// leading dimension is smaller than `rows`, or if `out.len() != ka·kb`.
+#[allow(clippy::too_many_arguments)] // a strided-view GEMM is inherently (ptr, ld, k) × 3
+pub fn gemm_tn(
+    rows: usize,
+    a: &[f64],
+    lda: usize,
+    ka: usize,
+    b: &[f64],
+    ldb: usize,
+    kb: usize,
+    out: &mut [f64],
+) {
+    assert!(lda >= rows && ldb >= rows, "gemm_tn: leading dimension < rows");
+    assert_eq!(out.len(), ka * kb, "gemm_tn: output must be ka×kb");
+    if ka == 0 || kb == 0 {
+        return;
+    }
+    assert!(a.len() >= (ka - 1) * lda + rows, "gemm_tn: a too short");
+    assert!(b.len() >= (kb - 1) * ldb + rows, "gemm_tn: b too short");
+    let col_a = |i: usize| &a[i * lda..i * lda + rows];
+    let col_b = |j: usize| &b[j * ldb..j * ldb + rows];
+    let (kae, kbe) = (ka & !1, kb & !1);
+    for j in (0..kbe).step_by(2) {
+        let (bj0, bj1) = (col_b(j), col_b(j + 1));
+        for i in (0..kae).step_by(2) {
+            let d = dot4(col_a(i), col_a(i + 1), bj0, bj1);
+            out[i + ka * j] = d[0];
+            out[i + 1 + ka * j] = d[1];
+            out[i + ka * (j + 1)] = d[2];
+            out[i + 1 + ka * (j + 1)] = d[3];
+        }
+        if ka != kae {
+            out[ka - 1 + ka * j] = dot(col_a(ka - 1), bj0);
+            out[ka - 1 + ka * (j + 1)] = dot(col_a(ka - 1), bj1);
+        }
+    }
+    if kb != kbe {
+        let bj = col_b(kb - 1);
+        for i in 0..ka {
+            out[i + ka * (kb - 1)] = dot(col_a(i), bj);
+        }
+    }
+}
+
+/// Rank-`p` accumulation `C ← C + α·A·W` for a strided column-major
+/// output: `A` is `rows×p` (column stride `lda`), `W` is a dense `p×q`
+/// column-major coefficient block, and column `j` of `C` is
+/// `c[j·ldc .. j·ldc + rows]`. This is the second half of a compact-WY
+/// block-reflector application (`C ← C − V·(TᵀVᵀC)`), expressed on the
+/// same [`wsum4`]/[`wsum4x2`] micro-kernels as [`panel_update`]:
+/// row-tiled by [`PANEL_TILE`] so the `A` tile stays cache-resident
+/// across all `q` output columns, two outputs per pass when possible so
+/// every source load is shared.
+///
+/// # Panics
+/// Panics if a panel is too short for its view, a leading dimension is
+/// smaller than `rows`, or `w.len() != p·q`.
+#[allow(clippy::too_many_arguments)] // a strided-view GEMM is inherently (ptr, ld, k) × 3
+pub fn gemm_acc(
+    rows: usize,
+    a: &[f64],
+    lda: usize,
+    p: usize,
+    w: &[f64],
+    q: usize,
+    alpha: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    assert!(lda >= rows && ldc >= rows, "gemm_acc: leading dimension < rows");
+    assert_eq!(w.len(), p * q, "gemm_acc: w must be p×q");
+    if p == 0 || q == 0 || rows == 0 {
+        return;
+    }
+    assert!(a.len() >= (p - 1) * lda + rows, "gemm_acc: a too short");
+    assert!(c.len() >= (q - 1) * ldc + rows, "gemm_acc: c too short");
+    let mut r0 = 0;
+    while r0 < rows {
+        let tb = (rows - r0).min(PANEL_TILE);
+        let src_of = |i: usize| &a[i * lda + r0..i * lda + r0 + tb];
+        let mut j = 0;
+        // pairs of output columns share every source load
+        while j + 1 < q {
+            let (wj, wj1) = (&w[p * j..p * (j + 1)], &w[p * (j + 1)..p * (j + 2)]);
+            let (head, tail) = c.split_at_mut((j + 1) * ldc);
+            let out_a = &mut head[j * ldc + r0..j * ldc + r0 + tb];
+            let out_b = &mut tail[r0..r0 + tb];
+            let mut wsa = [0.0f64; 4];
+            let mut wsb = [0.0f64; 4];
+            let mut idx = [0usize; 4];
+            let mut fill = 0usize;
+            for i in 0..p {
+                let (wa, wb) = (alpha * wj[i], alpha * wj1[i]);
+                if wa == 0.0 && wb == 0.0 {
+                    continue;
+                }
+                wsa[fill] = wa;
+                wsb[fill] = wb;
+                idx[fill] = i;
+                fill += 1;
+                if fill == 4 {
+                    wsum4x2::<false>(
+                        wsa,
+                        wsb,
+                        src_of(idx[0]),
+                        src_of(idx[1]),
+                        src_of(idx[2]),
+                        src_of(idx[3]),
+                        out_a,
+                        out_b,
+                    );
+                    fill = 0;
+                }
+            }
+            if fill > 0 {
+                for slot in fill..4 {
+                    wsa[slot] = 0.0;
+                    wsb[slot] = 0.0;
+                    idx[slot] = idx[0];
+                }
+                wsum4x2::<false>(
+                    wsa,
+                    wsb,
+                    src_of(idx[0]),
+                    src_of(idx[1]),
+                    src_of(idx[2]),
+                    src_of(idx[3]),
+                    out_a,
+                    out_b,
+                );
+            }
+            j += 2;
+        }
+        if j < q {
+            let wj = &w[p * j..p * (j + 1)];
+            let out = &mut c[j * ldc + r0..j * ldc + r0 + tb];
+            let mut ws = [0.0f64; 4];
+            let mut idx = [0usize; 4];
+            let mut fill = 0usize;
+            for (i, &wij) in wj.iter().enumerate() {
+                if wij == 0.0 {
+                    continue;
+                }
+                ws[fill] = alpha * wij;
+                idx[fill] = i;
+                fill += 1;
+                if fill == 4 {
+                    wsum4::<false>(
+                        ws,
+                        src_of(idx[0]),
+                        src_of(idx[1]),
+                        src_of(idx[2]),
+                        src_of(idx[3]),
+                        out,
+                    );
+                    fill = 0;
+                }
+            }
+            if fill > 0 {
+                for slot in fill..4 {
+                    ws[slot] = 0.0;
+                    idx[slot] = idx[0];
+                }
+                wsum4::<false>(
+                    ws,
+                    src_of(idx[0]),
+                    src_of(idx[1]),
+                    src_of(idx[2]),
+                    src_of(idx[3]),
+                    out,
+                );
+            }
+        }
+        r0 += tb;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1284,5 +1473,70 @@ mod tests {
         let mut y = [0.0; 3];
         scaled_copy(0.5, &x, &mut y);
         assert_eq!(y, [0.5, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive_on_strided_views() {
+        // odd/even panel widths, leading dimensions larger than rows
+        for (rows, lda, ka, ldb, kb) in
+            [(7, 7, 3, 7, 3), (16, 20, 4, 16, 5), (33, 40, 5, 35, 4), (130, 131, 2, 133, 7)]
+        {
+            let a = test_panel(lda, ka, 11);
+            let b = test_panel(ldb, kb, 12);
+            let mut out = vec![0.0; ka * kb];
+            gemm_tn(rows, &a, lda, ka, &b, ldb, kb, &mut out);
+            for j in 0..kb {
+                for i in 0..ka {
+                    let want = naive::dot(&a[i * lda..i * lda + rows], &b[j * ldb..j * ldb + rows]);
+                    let got = out[i + ka * j];
+                    assert!(
+                        (got - want).abs() <= 1e-11 * (rows as f64),
+                        "({rows},{ka},{kb}) entry ({i},{j}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_acc_matches_naive_accumulation() {
+        for (rows, lda, p, ldc, q, alpha) in [
+            (9, 9, 3, 9, 2, -1.0),
+            (PANEL_TILE + 5, PANEL_TILE + 5, 6, PANEL_TILE + 9, 5, -1.0),
+            (40, 64, 5, 48, 1, 0.5),
+            (17, 17, 1, 17, 4, 2.0),
+        ] {
+            let a = test_panel(lda, p, 21);
+            let w = test_panel(p, q, 22);
+            let c0 = test_panel(ldc, q, 23);
+            let mut c = c0.clone();
+            gemm_acc(rows, &a, lda, p, &w, q, alpha, &mut c, ldc);
+            for j in 0..q {
+                for r in 0..ldc {
+                    let want = if r < rows {
+                        let mix: f64 = (0..p).map(|i| a[i * lda + r] * w[i + p * j]).sum();
+                        c0[j * ldc + r] + alpha * mix
+                    } else {
+                        c0[j * ldc + r] // rows past the view are untouched
+                    };
+                    let got = c[j * ldc + r];
+                    assert!(
+                        (got - want).abs() <= 1e-11 * (p.max(1) as f64),
+                        "({rows},{p},{q}) col {j} row {r}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_acc_zero_weights_are_exact_noops() {
+        let (rows, p, q) = (12, 4, 3);
+        let a = test_panel(rows, p, 31);
+        let w = vec![0.0; p * q];
+        let c0 = test_panel(rows, q, 32);
+        let mut c = c0.clone();
+        gemm_acc(rows, &a, rows, p, &w, q, -1.0, &mut c, rows);
+        assert_eq!(c, c0);
     }
 }

@@ -257,6 +257,15 @@ where
     (ra, rb)
 }
 
+/// Dyn-compatible [`join`]: run both mutable closures, the second on the
+/// persistent pool, returning when both are done. This is the adapter the
+/// `treesvd_matrix::qr::Joiner` trait object plugs into — the matrix
+/// crate sits *below* this one and cannot name the pool, so the QR
+/// front-end hands its fork–join needs down through `&dyn` closures.
+pub fn join_dyn(a: &mut (dyn FnMut() + Send), b: &mut (dyn FnMut() + Send)) {
+    join(a, b);
+}
+
 /// Parallel sum of `f(i)` over `i in 0..count` using up to `tasks` lanes of
 /// the persistent pool with a strided index assignment (balances
 /// triangular loops). Falls back to a serial loop for `tasks <= 1`.
@@ -335,6 +344,17 @@ mod tests {
         // the pool survives a panicked job
         let (a, b) = join(|| 1, || 2);
         assert_eq!(a + b, 3);
+    }
+
+    #[test]
+    fn join_dyn_runs_both_closures() {
+        let (mut a, mut b) = (0u64, 0u64);
+        {
+            let mut fa = || a = 7;
+            let mut fb = || b = 11;
+            join_dyn(&mut fa, &mut fb);
+        }
+        assert_eq!((a, b), (7, 11));
     }
 
     #[test]

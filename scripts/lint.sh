@@ -17,6 +17,10 @@ clippy_targets=(
     "--workspace --all-targets"
     "-p treesvd-comm --all-targets --features hb-tracker"
     "-p treesvd-batch --all-targets"
+    # the tall-skinny QR front-end paths (matrix::qr / core::tall and the
+    # bench_tall gate) get their own pass so they stay covered even if the
+    # workspace set is ever narrowed
+    "-p treesvd-matrix -p treesvd-core -p treesvd-bench --all-targets"
 )
 for target in "${clippy_targets[@]}"; do
     echo "== clippy: $target, deny warnings =="

@@ -27,6 +27,9 @@ cargo run --release -p treesvd-bench --bin bench_distributed -- --smoke
 echo "== bench smoke: batched SoA engine vs per-problem sequential loop (8x8 x 100k) =="
 cargo run --release -p treesvd-bench --bin bench_batched -- --smoke
 
+echo "== bench smoke: tall-skinny QR front-end vs direct Jacobi (8192x64, m/n=128) =="
+cargo run --release -p treesvd-bench --bin bench_tall -- --smoke
+
 echo "== certificate smoke: warm driver run must skip the provers, bitwise-identical =="
 # the cold run proves and emits a certificate; the warm run validates it
 # instead of re-proving (hit/miss counters assert the skip) and must
