@@ -1,0 +1,476 @@
+//! Machine-readable auto-tuner benchmarks: `SvdOptions::auto()` against
+//! fixed hand-picked configs and against the untuned defaults.
+//!
+//! ```text
+//! cargo run --release -p treesvd-bench --bin bench_auto            # full run,
+//!                                                                  # writes BENCH_auto.json
+//! cargo run --release -p treesvd-bench --bin bench_auto -- --smoke # quick gate, no file
+//! ```
+//!
+//! The full run walks a (shape × P) grid of nine points in three
+//! families and, at every point, times the auto-tuned path against that
+//! point's fixed candidate set and against the untuned default:
+//!
+//! - **blocked** points: fixed = the blocked driver with the Gram and the
+//!   pairwise meeting kernels; default = the simulated driver with stock
+//!   options (what an untuned caller gets).
+//! - **tall** points: fixed = the direct path and the QR front-end at
+//!   crossover 4; default = the direct path (the front-end is opt-in
+//!   without the tuner).
+//! - **distributed-pinned** points: the driver is pinned to the
+//!   distributed executor and only the overlap decision is tuned
+//!   (`overlap` left unset, so the executor consults the cost model);
+//!   fixed = overlap pinned on / pinned off; default = overlap on (the
+//!   pre-tuner default that lost to zero-copy at small P).
+//!
+//! Gates, asserted by the full run and the `--smoke` subset alike:
+//! auto within 5% of the best fixed config at every point; auto strictly
+//! faster than the untuned default on ≥ 2 points, among them a small-P
+//! distributed point where the tuner correctly disables overlap; and the
+//! warm tuning path (second `plan_for` on a cached key) makes zero heap
+//! allocations and re-runs no calibration probe.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use treesvd_core::{
+    auto_svd_for, blocked_svd, BlockKernel, BlockedOptions, HestenesSvd, OrderingKind, SvdOptions,
+    TuneProblem,
+};
+use treesvd_matrix::{generate, Matrix};
+
+/// Heap-allocation counter wrapped around the system allocator, so the
+/// smoke gate can prove the warm tuning path touches the heap zero times.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method defers verbatim to `System` after bumping an
+// atomic counter — the counter has no effect on the allocator contract,
+// so `System`'s own guarantees (validity of returned pointers, layout
+// handling) carry over unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: defers verbatim to `System` after bumping an atomic counter
+    // (no effect on the allocator contract), so the caller's obligations
+    // and `System`'s guarantees pass through unchanged.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; passed
+        // through to `System` unchanged.
+        unsafe { System.alloc(layout) }
+    }
+    // SAFETY: as `alloc` — counter bump, then `System` verbatim.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: as `alloc` — same layout, same contract, `System` does
+        // the zeroing.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    // SAFETY: as `alloc` — counter bump, then `System` verbatim.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` come from a prior allocation through
+        // this same wrapper, i.e. from `System`, which `realloc` requires.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    // SAFETY: uncounted pass-through — frees are not allocation events.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` via this wrapper with
+        // the same `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Which comparison family a grid point belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    Blocked,
+    Tall,
+    DistributedPinned,
+}
+
+impl Family {
+    fn label(self) -> &'static str {
+        match self {
+            Family::Blocked => "blocked",
+            Family::Tall => "tall",
+            Family::DistributedPinned => "distributed-pinned",
+        }
+    }
+}
+
+struct Point {
+    family: Family,
+    m: usize,
+    n: usize,
+    processors: usize,
+}
+
+struct PointResult {
+    family: Family,
+    m: usize,
+    n: usize,
+    processors: usize,
+    auto_seconds: f64,
+    auto_driver: &'static str,
+    auto_kernel: &'static str,
+    auto_overlap: bool,
+    fixed: Vec<(&'static str, f64)>,
+    default_seconds: f64,
+    best_fixed: &'static str,
+    best_fixed_seconds: f64,
+    within_5pct: bool,
+    beats_default: bool,
+}
+
+/// A named, repeatable solver configuration to be timed.
+type Config<'a> = (&'static str, Box<dyn FnMut() + 'a>);
+
+/// Median wall-clock seconds per configuration, with the samples
+/// interleaved round-robin across the configs (and one warm-up pass
+/// first): sequential per-config blocks let scheduler/thermal drift pull
+/// two *identical* code paths several percent apart, which a 5% gate
+/// cannot tolerate.
+fn time_round_robin(configs: &mut [Config<'_>], samples: usize) -> Vec<f64> {
+    for (_, f) in configs.iter_mut() {
+        f();
+    }
+    let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); configs.len()];
+    for _ in 0..samples {
+        for (i, (_, f)) in configs.iter_mut().enumerate() {
+            let t = Instant::now();
+            f();
+            times[i].push(t.elapsed().as_secs_f64());
+        }
+    }
+    times
+        .into_iter()
+        .map(|mut t| {
+            t.sort_by(f64::total_cmp);
+            t[samples / 2]
+        })
+        .collect()
+}
+
+fn run_blocked(a: &Matrix, p: usize, kernel: BlockKernel) {
+    let opts =
+        BlockedOptions { processors: p, svd: SvdOptions::default().with_block_kernel(kernel) };
+    let run = blocked_svd(a, &opts).expect("blocked_svd");
+    std::hint::black_box(run.sweeps);
+}
+
+fn run_default(a: &Matrix) {
+    let run = HestenesSvd::new(SvdOptions::default()).compute(a).expect("compute");
+    std::hint::black_box(run.sweeps);
+}
+
+fn run_frontend(a: &Matrix) {
+    let opts = SvdOptions::default().with_qr_frontend(true).with_qr_crossover(4.0);
+    let run = HestenesSvd::new(opts).compute(a).expect("compute");
+    std::hint::black_box(run.sweeps);
+}
+
+fn run_distributed(a: &Matrix, overlap: Option<bool>) {
+    let mut opts = SvdOptions::default().with_ordering(OrderingKind::NewRing);
+    if let Some(ov) = overlap {
+        opts = opts.with_overlap(ov);
+    }
+    let run = HestenesSvd::new(opts).compute_distributed(a).expect("compute_distributed");
+    std::hint::black_box(run.sweeps);
+}
+
+fn run_auto(a: &Matrix, problem: &TuneProblem) {
+    let run = auto_svd_for(a, problem).expect("auto_svd_for");
+    std::hint::black_box(run.sweeps);
+}
+
+/// Time every configuration at one grid point and judge the gates.
+fn measure_point(pt: &Point, samples: usize, seed: u64) -> PointResult {
+    let a = generate::random_uniform(pt.m, pt.n, seed);
+    let problem = TuneProblem::new(pt.m, pt.n).with_processors(pt.processors);
+    // warm the decision cache so the timed auto runs exercise the steady
+    // state (first call pays the one-shot probes + model)
+    let plan = treesvd_tune::plan_for(&problem);
+
+    let kernel_name = match plan.kernel {
+        treesvd_core::KernelSel::Gram => "gram",
+        treesvd_core::KernelSel::Pairwise => "pairwise",
+    };
+    // config 0 is always the auto path; the last index named here is the
+    // untuned default (it may alias a fixed config, timed once)
+    let (auto_seconds, auto_driver, auto_kernel, auto_overlap, fixed, default_seconds) = match pt
+        .family
+    {
+        Family::Blocked => {
+            let mut configs: Vec<Config<'_>> = vec![
+                ("auto", Box::new(|| run_auto(&a, &problem))),
+                ("blocked-gram", Box::new(|| run_blocked(&a, pt.processors, BlockKernel::Gram))),
+                (
+                    "blocked-pairwise",
+                    Box::new(|| run_blocked(&a, pt.processors, BlockKernel::Pairwise)),
+                ),
+                ("default", Box::new(|| run_default(&a))),
+            ];
+            let t = time_round_robin(&mut configs, samples);
+            (
+                t[0],
+                plan.driver.name(),
+                kernel_name,
+                plan.overlap,
+                vec![("blocked-gram", t[1]), ("blocked-pairwise", t[2])],
+                t[3],
+            )
+        }
+        Family::Tall => {
+            let mut configs: Vec<Config<'_>> = vec![
+                ("auto", Box::new(|| run_auto(&a, &problem))),
+                ("direct", Box::new(|| run_default(&a))),
+                ("qr-frontend", Box::new(|| run_frontend(&a))),
+            ];
+            let t = time_round_robin(&mut configs, samples);
+            // the direct path IS the untuned default (front-end is
+            // opt-in without the tuner)
+            (
+                t[0],
+                plan.driver.name(),
+                kernel_name,
+                plan.overlap,
+                vec![("direct", t[1]), ("qr-frontend", t[2])],
+                t[1],
+            )
+        }
+        Family::DistributedPinned => {
+            // driver pinned; only the overlap policy is under test —
+            // `overlap: None` is what the tuner-advised path runs,
+            // and overlap-on is the pre-tuner default
+            let mut configs: Vec<Config<'_>> = vec![
+                ("auto", Box::new(|| run_distributed(&a, None))),
+                ("overlap-on", Box::new(|| run_distributed(&a, Some(true)))),
+                ("overlap-off", Box::new(|| run_distributed(&a, Some(false)))),
+            ];
+            let t = time_round_robin(&mut configs, samples);
+            let advised = treesvd_tune::advise_overlap(
+                pt.m,
+                pt.n,
+                true,
+                treesvd_core::TopologyKind::PerfectFatTree,
+            );
+            (
+                t[0],
+                "distributed",
+                "-",
+                advised,
+                vec![("overlap-on", t[1]), ("overlap-off", t[2])],
+                t[1],
+            )
+        }
+    };
+
+    let (best_fixed, best_fixed_seconds) =
+        fixed.iter().copied().min_by(|x, y| x.1.total_cmp(&y.1)).expect("fixed set is non-empty");
+    PointResult {
+        family: pt.family,
+        m: pt.m,
+        n: pt.n,
+        processors: pt.processors,
+        auto_seconds,
+        auto_driver,
+        auto_kernel,
+        auto_overlap,
+        fixed,
+        default_seconds,
+        best_fixed,
+        best_fixed_seconds,
+        within_5pct: auto_seconds <= best_fixed_seconds * 1.05,
+        beats_default: auto_seconds < default_seconds,
+    }
+}
+
+fn report(r: &PointResult) {
+    let fixed: Vec<String> =
+        r.fixed.iter().map(|(l, s)| format!("{l} {:.1} ms", s * 1e3)).collect();
+    eprintln!(
+        "{:<18} {:>5}x{:<3} P={:<2} auto {:.1} ms ({}, {}, overlap {}) vs [{}] \
+         default {:.1} ms — {}{}",
+        r.family.label(),
+        r.m,
+        r.n,
+        r.processors,
+        r.auto_seconds * 1e3,
+        r.auto_driver,
+        r.auto_kernel,
+        r.auto_overlap,
+        fixed.join(", "),
+        r.default_seconds * 1e3,
+        if r.within_5pct { "within 5% of best fixed" } else { "SLOWER than best fixed +5%" },
+        if r.beats_default { ", beats default" } else { "" },
+    );
+}
+
+/// Judge the cross-point gates over a measured grid.
+fn grid_gates(results: &[PointResult]) -> (bool, usize, bool) {
+    let within_everywhere = results.iter().all(|r| r.within_5pct);
+    let strict_wins = results.iter().filter(|r| r.beats_default).count();
+    let small_p_dist_off = results.iter().any(|r| {
+        r.family == Family::DistributedPinned
+            && r.processors <= 8
+            && !r.auto_overlap
+            && r.beats_default
+    });
+    (within_everywhere, strict_wins, small_p_dist_off)
+}
+
+/// Warm-path gate: a second `plan_for` on an already-planned key must hit
+/// the cache, re-run no probe, and make zero heap allocations.
+fn warm_path_gate() -> bool {
+    let problem = TuneProblem::new(3000, 40).with_processors(4);
+    let cold = treesvd_tune::plan_for(&problem); // plan + (at most once) probes
+    let probes_before = treesvd_tune::calib::probe_runs();
+    let hits_before = treesvd_tune::cache::global().hits();
+    let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let warm = treesvd_tune::plan_for(&problem);
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
+    let hit = treesvd_tune::cache::global().hits() > hits_before;
+    let no_reprobe = treesvd_tune::calib::probe_runs() == probes_before;
+    let identical = cold == warm;
+    println!(
+        "warm tuning path: {allocs} heap allocations, cache hit {hit}, \
+         probe re-runs {} , plan identical {identical} — {}",
+        !no_reprobe,
+        if allocs == 0 && hit && no_reprobe && identical { "PASS" } else { "FAIL" }
+    );
+    allocs == 0 && hit && no_reprobe && identical
+}
+
+fn full_grid() -> Vec<Point> {
+    vec![
+        Point { family: Family::Blocked, m: 256, n: 64, processors: 4 },
+        Point { family: Family::Blocked, m: 512, n: 48, processors: 4 },
+        Point { family: Family::Blocked, m: 1024, n: 64, processors: 8 },
+        Point { family: Family::Blocked, m: 512, n: 96, processors: 8 },
+        Point { family: Family::Tall, m: 4096, n: 16, processors: 4 },
+        Point { family: Family::Tall, m: 2048, n: 12, processors: 4 },
+        Point { family: Family::DistributedPinned, m: 4096, n: 16, processors: 8 },
+        Point { family: Family::DistributedPinned, m: 2048, n: 16, processors: 8 },
+        Point { family: Family::DistributedPinned, m: 2048, n: 32, processors: 16 },
+    ]
+}
+
+fn full_run(seed: u64) -> bool {
+    let mut results = Vec::new();
+    for pt in &full_grid() {
+        // the distributed deltas are the tightest margins on the grid
+        // (overlap bookkeeping is microseconds per step); extra samples
+        // keep the medians out of scheduler noise
+        let samples = if pt.family == Family::DistributedPinned { 9 } else { 5 };
+        let r = measure_point(pt, samples, seed);
+        report(&r);
+        results.push(r);
+    }
+    let (within, wins, small_p) = grid_gates(&results);
+    let warm_ok = warm_path_gate();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p treesvd-bench --bin bench_auto\",\n",
+    );
+    let _ =
+        writeln!(json, "  \"meta\": {},", treesvd_bench::meta::meta_json_calibrated(seed, None));
+    json.push_str("  \"unit\": \"seconds (median wall-clock, full solve, vectors on)\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let mut fixed = String::new();
+        for (j, (label, s)) in r.fixed.iter().enumerate() {
+            let sep = if j + 1 < r.fixed.len() { ", " } else { "" };
+            let _ = write!(fixed, "\"{label}\": {s:.6}{sep}");
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"family\": \"{}\", \"m\": {}, \"n\": {}, \"processors\": {}, \
+             \"auto_seconds\": {:.6}, \"auto_driver\": \"{}\", \"auto_kernel\": \"{}\", \
+             \"auto_overlap\": {}, \"fixed\": {{{fixed}}}, \
+             \"best_fixed\": \"{}\", \"best_fixed_seconds\": {:.6}, \
+             \"default_seconds\": {:.6}, \"auto_within_5pct\": {}, \
+             \"auto_beats_default\": {}}}{comma}",
+            r.family.label(),
+            r.m,
+            r.n,
+            r.processors,
+            r.auto_seconds,
+            r.auto_driver,
+            r.auto_kernel,
+            r.auto_overlap,
+            r.best_fixed,
+            r.best_fixed_seconds,
+            r.default_seconds,
+            r.within_5pct,
+            r.beats_default,
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"gates\": {{\"auto_within_5pct_everywhere\": {within}, \
+         \"strict_wins_vs_default\": {wins}, \
+         \"small_p_distributed_overlap_off_win\": {small_p}, \
+         \"warm_path_zero_alloc_probe_free\": {warm_ok}}}\n"
+    );
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_auto.json");
+    std::fs::write(out, &json).expect("write BENCH_auto.json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+
+    let pass = within && wins >= 2 && small_p && warm_ok;
+    println!(
+        "gates: within-5%-everywhere {within}, strict wins vs default {wins} (need ≥ 2), \
+         small-P distributed overlap-off win {small_p}, warm path {warm_ok} — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    pass
+}
+
+/// Quick gate for `scripts/verify.sh`: a three-point sub-grid (one per
+/// family, shrunk shapes) plus the warm-path gate.
+fn smoke_run(seed: u64) -> bool {
+    let grid = [
+        Point { family: Family::Blocked, m: 256, n: 64, processors: 4 },
+        Point { family: Family::Tall, m: 2048, n: 12, processors: 4 },
+        // the recorded regression point: new-ring P=8 at m=4096, where
+        // unconditional overlap lost ~15% to plain zero-copy
+        Point { family: Family::DistributedPinned, m: 4096, n: 16, processors: 8 },
+    ];
+    let mut results = Vec::new();
+    for pt in &grid {
+        let samples = if pt.family == Family::DistributedPinned { 7 } else { 3 };
+        let r = measure_point(pt, samples, seed);
+        report(&r);
+        results.push(r);
+    }
+    let (within, wins, small_p) = grid_gates(&results);
+    let warm_ok = warm_path_gate();
+    let pass = within && wins >= 1 && small_p && warm_ok;
+    println!(
+        "smoke gates: within-5%-of-best-fixed {within}, strict wins vs default {wins} \
+         (need ≥ 1), small-P distributed overlap-off win {small_p}, \
+         warm path zero-alloc + probe-free {warm_ok} — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    pass
+}
+
+fn main() {
+    let seed = treesvd_bench::meta::seed_from_args();
+    let ok =
+        if std::env::args().any(|a| a == "--smoke") { smoke_run(seed) } else { full_run(seed) };
+    if !ok {
+        std::process::exit(1);
+    }
+}

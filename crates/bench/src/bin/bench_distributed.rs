@@ -139,12 +139,38 @@ fn full_run(seed: u64) {
         }
     }
 
+    // The per-step price of the overlapped schedule, observed as the
+    // median (overlap − zero-copy) wall-clock delta per schedule step —
+    // the one tuner constant a microprobe cannot reach. Steps per sweep
+    // ≈ n rounds for these orderings.
+    let mut step_deltas: Vec<f64> = Vec::new();
+    for &kind in &orderings {
+        for &n in &sizes {
+            let zc = find(&records, kind, n, Config::ZeroCopy);
+            let ov = find(&records, kind, n, Config::ZeroCopyOverlap);
+            let sweeps = records
+                .iter()
+                .find(|r| r.ordering == kind && r.n == n && r.config == Config::ZeroCopyOverlap)
+                .map_or(0, |r| r.sweeps);
+            let steps = (sweeps * n) as f64;
+            if ov.is_finite() && zc.is_finite() && ov > zc && steps > 0.0 {
+                step_deltas.push((ov - zc) * 1e9 / steps);
+            }
+        }
+    }
+    step_deltas.sort_by(f64::total_cmp);
+    let overlap_step_ns = step_deltas.get(step_deltas.len() / 2).copied();
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
         "  \"generated_by\": \"cargo run --release -p treesvd-bench --bin bench_distributed\",\n",
     );
-    let _ = writeln!(json, "  \"meta\": {},", treesvd_bench::meta::meta_json(seed));
+    let _ = writeln!(
+        json,
+        "  \"meta\": {},",
+        treesvd_bench::meta::meta_json_calibrated(seed, overlap_step_ns)
+    );
     let _ = writeln!(json, "  \"matrix_rows\": {M},");
     json.push_str(
         "  \"unit\": \"seconds (median wall-clock, full distributed_svd, vectors on)\",\n",

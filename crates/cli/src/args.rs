@@ -10,7 +10,8 @@ use treesvd_core::{
 /// Usage text shown on errors.
 pub const USAGE: &str = "\
 usage:
-  treesvd svd <matrix-file> [--ordering NAME] [--topology NAME] [--no-vectors]
+  treesvd svd <matrix-file> [--auto] [--ordering NAME] [--topology NAME]
+              [--no-vectors]
               [--distributed] [--no-overlap] [--processors P]
               [--block-kernel NAME] [--threads N]
               [--qr-frontend] [--qr-crossover X] [--hier-block auto|off|W]
@@ -30,8 +31,15 @@ orderings:  ring | round-robin | fat-tree | new-ring | modified-ring |
 topologies: perfect | fat-tree | cm5 | binary | skinny-above-K
             (default: perfect for svd; none for analyze)
 block kernels (with --processors): pairwise | gram   (default: gram)
---no-overlap disables comm/compute overlap in the distributed executor
-            (bitwise-identical results; overlap is on by default)
+--auto lets the calibrated cost model pick the whole execution config
+            (driver, ordering, kernel, block width, threads, overlap, QR
+            crossover, hierarchical blocking); combine only with the
+            problem statement — --topology, --no-vectors, and --processors
+            as a parallelism budget. Pinning a config flag (--ordering,
+            --block-kernel, --no-overlap, …) alongside --auto is an error
+--no-overlap pins comm/compute overlap off in the distributed executor
+            (bitwise-identical results; when the flag is absent the
+            calibrated cost model decides per shape)
 --threads N caps the host worker lanes (default: machine parallelism,
             or the TREESVD_THREADS environment variable)
 --qr-frontend enables the tall-skinny QR front-end: past the aspect
@@ -125,8 +133,10 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
 
 fn cmd_svd(rest: &[String]) -> Result<String, String> {
     let mut args = rest.to_vec();
-    let ordering = match take_flag(&mut args, "--ordering")? {
-        Some(name) => parse_ordering(&name)?,
+    let auto = take_switch(&mut args, "--auto");
+    let ordering_flag = take_flag(&mut args, "--ordering")?;
+    let ordering = match ordering_flag.as_deref() {
+        Some(name) => parse_ordering(name)?,
         None => OrderingKind::FatTree,
     };
     let topology = match take_flag(&mut args, "--topology")? {
@@ -139,7 +149,8 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     let processors = take_flag(&mut args, "--processors")?
         .map(|p| p.parse::<usize>().map_err(|e| format!("--processors: {e}")))
         .transpose()?;
-    let block_kernel = match take_flag(&mut args, "--block-kernel")?.as_deref() {
+    let block_kernel_flag = take_flag(&mut args, "--block-kernel")?;
+    let block_kernel = match block_kernel_flag.as_deref() {
         None => BlockKernel::Gram,
         Some("gram") => BlockKernel::Gram,
         Some("pairwise") => BlockKernel::Pairwise,
@@ -167,7 +178,8 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     if qr_crossover.is_some() && !qr_frontend {
         return Err("--qr-crossover only applies with --qr-frontend".to_string());
     }
-    let hier = match take_flag(&mut args, "--hier-block")?.as_deref() {
+    let hier_flag = take_flag(&mut args, "--hier-block")?;
+    let hier = match hier_flag.as_deref() {
         None | Some("auto") => HierBlocking::Auto,
         Some("off") => HierBlocking::Off,
         Some(w) => HierBlocking::Cols(
@@ -178,6 +190,30 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     let no_vectors = take_switch(&mut args, "--no-vectors");
     let distributed = take_switch(&mut args, "--distributed");
     let no_overlap = take_switch(&mut args, "--no-overlap");
+    if auto {
+        // --auto delegates the whole execution config to the tuner; only
+        // the problem statement (matrix, --topology, --processors budget,
+        // --no-vectors) and output flags may accompany it.
+        let pinned = [
+            ("--ordering", ordering_flag.is_some()),
+            ("--block-kernel", block_kernel_flag.is_some()),
+            ("--no-overlap", no_overlap),
+            ("--threads", threads.is_some()),
+            ("--qr-frontend", qr_frontend),
+            ("--qr-crossover", qr_crossover.is_some()),
+            ("--hier-block", hier_flag.is_some()),
+            ("--distributed", distributed),
+            ("--chaos", chaos.is_some()),
+            ("--recv-timeout", recv_timeout.is_some()),
+            ("--max-retries", max_retries.is_some()),
+        ];
+        if let Some((flag, _)) = pinned.iter().find(|(_, set)| *set) {
+            return Err(format!(
+                "--auto selects the full execution config, but {flag} pins part of it by hand; \
+                 drop {flag} to let the tuner decide, or drop --auto to keep your explicit config"
+            ));
+        }
+    }
     if !distributed && (chaos.is_some() || recv_timeout.is_some() || max_retries.is_some()) {
         return Err(
             "--chaos / --recv-timeout / --max-retries only apply with --distributed".to_string()
@@ -193,10 +229,14 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
         .with_topology(topology)
         .with_vectors(!no_vectors)
         .with_block_kernel(block_kernel)
-        .with_overlap(!no_overlap)
         .with_threads(threads)
         .with_qr_frontend(qr_frontend)
         .with_hier_blocking(hier);
+    if no_overlap {
+        // pin overlap off; when the flag is absent the option stays unset
+        // and the distributed executor asks the cost model
+        opts = opts.with_overlap(false);
+    }
     if let Some(x) = qr_crossover {
         opts = opts.with_qr_crossover(x);
     }
@@ -212,10 +252,38 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
 
     let mut out = String::new();
     let fe_tag = |engaged: bool| if engaged { ", qr front-end" } else { "" };
-    let (svd, sweeps, extra) = if let Some(p) = processors {
+    let (svd, sweeps, ordering_name, extra) = if auto {
+        let mut problem = treesvd_core::TuneProblem::new(a.rows(), a.cols())
+            .with_vectors(!no_vectors)
+            .with_topology(topology);
+        if let Some(p) = processors {
+            problem = problem.with_processors(p);
+        }
+        let run = treesvd_core::auto_svd_for(&a, &problem).map_err(|e| e.to_string())?;
+        let plan = run.plan;
+        let kernel = match plan.kernel {
+            treesvd_core::KernelSel::Gram => "gram",
+            treesvd_core::KernelSel::Pairwise => "pairwise",
+        };
+        let extra = format!(
+            "auto plan: {} driver, {kernel} kernel, overlap {}, {} thread(s), \
+             predicted {:.3e} ns{}",
+            plan.driver.name(),
+            if plan.overlap { "on" } else { "off" },
+            plan.threads,
+            plan.predicted_ns,
+            fe_tag(run.qr_frontend)
+        );
+        (run.svd, run.sweeps, plan.ordering.name(), extra)
+    } else if let Some(p) = processors {
         let run = blocked_svd(&a, &BlockedOptions { processors: p, svd: opts })
             .map_err(|e| e.to_string())?;
-        (run.svd, run.sweeps, format!("block size {}{}", run.block_size, fe_tag(run.qr_frontend)))
+        (
+            run.svd,
+            run.sweeps,
+            ordering.name(),
+            format!("block size {}{}", run.block_size, fe_tag(run.qr_frontend)),
+        )
     } else if distributed {
         let run = HestenesSvd::new(opts).compute_distributed(&a).map_err(|e| e.to_string())?;
         let mut extra = format!("distributed executor{}", fe_tag(run.qr_frontend));
@@ -240,12 +308,13 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
                 extra.push_str(&format!(", fell back past [{}]", health.fallbacks.join(" → ")));
             }
         }
-        (run.svd, run.sweeps, extra)
+        (run.svd, run.sweeps, ordering.name(), extra)
     } else {
         let run = HestenesSvd::new(opts).compute(&a).map_err(|e| e.to_string())?;
         (
             run.svd,
             run.sweeps,
+            ordering.name(),
             format!(
                 "simulated time {:.3e} on {topology}{}",
                 run.simulated_time,
@@ -256,10 +325,9 @@ fn cmd_svd(rest: &[String]) -> Result<String, String> {
     let sigma = svd.sigma.clone();
 
     out.push_str(&format!(
-        "# {}x{} matrix, ordering {}, {sweeps} sweeps, {extra}\n",
+        "# {}x{} matrix, ordering {ordering_name}, {sweeps} sweeps, {extra}\n",
         a.rows(),
         a.cols(),
-        ordering.name()
     ));
     out.push_str("# singular values (descending):\n");
     out.push_str(&io::format_vector(&sigma));
@@ -477,6 +545,63 @@ mod tests {
         let p = dir.join(name);
         std::fs::write(&p, content).unwrap();
         p
+    }
+
+    #[test]
+    fn auto_runs_and_reports_its_plan() {
+        let p = write_temp("auto.txt", "3 0\n0 4\n1 1\n");
+        let out = run(&argv(&["svd", p.to_str().unwrap(), "--auto"])).unwrap();
+        assert!(out.contains("auto plan:"), "{out}");
+        assert!(out.contains("driver"), "{out}");
+        // the tuner changes how, never what: spectrum matches the default path
+        let base = run(&argv(&["svd", p.to_str().unwrap()])).unwrap();
+        let sigmas = |s: &str| -> Vec<f64> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .filter_map(|l| l.trim().parse::<f64>().ok())
+                .collect()
+        };
+        for (a, b) in sigmas(&base).iter().zip(sigmas(&out).iter()) {
+            assert!((a - b).abs() < 1e-9 * a.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn auto_accepts_the_problem_statement_flags() {
+        let p = write_temp("auto_ps.txt", "2 0 0\n0 3 0\n0 0 5\n1 1 1\n");
+        let out = run(&argv(&[
+            "svd",
+            p.to_str().unwrap(),
+            "--auto",
+            "--no-vectors",
+            "--processors",
+            "2",
+            "--topology",
+            "cm5",
+        ]))
+        .unwrap();
+        assert!(out.contains("auto plan:"), "{out}");
+    }
+
+    #[test]
+    fn auto_rejects_hand_pinned_config_flags() {
+        let p = write_temp("auto_conflict.txt", "1 0\n0 2\n");
+        for flags in [
+            &["--ordering", "ring"][..],
+            &["--block-kernel", "gram"],
+            &["--no-overlap"],
+            &["--threads", "2"],
+            &["--qr-frontend"],
+            &["--hier-block", "off"],
+            &["--distributed"],
+            &["--distributed", "--chaos", "7"],
+        ] {
+            let mut a = argv(&["svd", p.to_str().unwrap(), "--auto"]);
+            a.extend(flags.iter().map(|s| s.to_string()));
+            let err = run(&a).unwrap_err();
+            assert!(err.contains("--auto"), "{flags:?}: {err}");
+            assert!(err.contains(flags[0]), "{flags:?}: {err}");
+        }
     }
 
     #[test]

@@ -54,5 +54,5 @@ pub use fault::{
 };
 #[cfg(feature = "hb-tracker")]
 pub use hb::RaceViolation;
-pub use pool::{BufferPool, MsgBuf};
+pub use pool::{loopback_channel, BufferPool, MsgBuf};
 pub use world::{Communicator, RecvError, ThreadWorld, WorldConfig};

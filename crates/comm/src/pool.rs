@@ -143,6 +143,15 @@ impl BufferPool {
     }
 }
 
+/// An anonymous in-process channel carrying [`MsgBuf`] payloads — the
+/// zero-copy transport's raw hop. Exposed so the tuner's calibration
+/// probe can time the fixed per-message cost without constructing
+/// channels outside this crate (the analyzer's modelled thread seam).
+#[must_use]
+pub fn loopback_channel() -> (Sender<MsgBuf>, Receiver<MsgBuf>) {
+    channel()
+}
+
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferPool")

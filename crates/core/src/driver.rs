@@ -315,11 +315,19 @@ impl HestenesSvd {
             serial_cutoff: self.options.serial_cutoff,
             threads: self.options.threads.unwrap_or(0),
         };
+        // Overlap: honor an explicit pin; otherwise ask the calibrated
+        // cost model (which turns it off where the zero-copy transport
+        // leaves nothing to hide — the recorded small-P regression). The
+        // executor still engages overlap only behind the analyzer's
+        // deadlock-freedom proof; results are bitwise-identical either way.
+        let overlap = self.options.overlap.unwrap_or_else(|| {
+            treesvd_tune::advise_overlap(m, n_pad, self.options.vectors, self.options.topology)
+        });
         let dist_cfg = treesvd_sim::DistConfig {
             exec: config,
             max_sweeps: self.options.max_sweeps,
             transport: treesvd_sim::Transport::ZeroCopy,
-            overlap: self.options.overlap,
+            overlap,
             policy: self.options.effective_policy(),
             fault: self.options.chaos.clone(),
             cert_cache: self.options.certificate_cache.clone(),

@@ -40,6 +40,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod auto;
 pub mod blocked;
 pub mod driver;
 pub mod options;
@@ -48,6 +49,7 @@ pub mod result;
 pub mod sequential;
 pub mod tall;
 
+pub use auto::{auto_svd, auto_svd_for, options_from_plan, AutoRun};
 pub use blocked::{blocked_svd, BlockedOptions, BlockedRun};
 pub use driver::{HestenesSvd, SvdRun};
 pub use options::{BlockKernel, HierBlocking, OrderingChoice, SvdError, SvdOptions};
@@ -61,3 +63,4 @@ pub use treesvd_sim::SortMode;
 pub use treesvd_sim::{
     DistError, FaultPlan, FaultPolicy, FaultSnapshot, HealthReport, StallEvent, StallKind,
 };
+pub use treesvd_tune::{DriverSel, KernelSel, TransportSel, TunePlan, TuneProblem};

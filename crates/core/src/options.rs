@@ -148,8 +148,12 @@ pub struct SvdOptions {
     /// defer each arrival to its point of use one step later. Only takes
     /// effect after `treesvd-analyze` proves the overlapped plan
     /// deadlock-free for the ordering; bitwise-identical results either
-    /// way. Default: `true`.
-    pub overlap: bool,
+    /// way. Default: `None` — the driver consults the calibrated cost
+    /// model ([`treesvd_tune::advise_overlap`]), which turns overlap
+    /// *off* where the zero-copy transport leaves it nothing to hide
+    /// (the recorded small-P regression in `BENCH_distributed.json`).
+    /// `Some(_)` pins the choice.
+    pub overlap: Option<bool>,
     /// Host-thread budget: caps the fork lanes used by the executor, the
     /// blocked driver, and `off_measure`. `None` uses
     /// [`par::num_threads`](treesvd_sim::par::num_threads) (which honors
@@ -209,7 +213,7 @@ impl Default for SvdOptions {
             serial_cutoff: treesvd_sim::ExecConfig::DEFAULT_SERIAL_CUTOFF,
             verify_schedule: false,
             block_kernel: BlockKernel::default(),
-            overlap: true,
+            overlap: None,
             threads: None,
             fault_policy: None,
             chaos: None,
@@ -284,9 +288,11 @@ impl SvdOptions {
         self
     }
 
-    /// Enable or disable comm/compute overlap in the distributed executor.
+    /// Pin comm/compute overlap in the distributed executor on or off
+    /// (the default, unpinned, lets the calibrated cost model decide per
+    /// problem).
     pub fn with_overlap(mut self, overlap: bool) -> Self {
-        self.overlap = overlap;
+        self.overlap = Some(overlap);
         self
     }
 
@@ -455,6 +461,7 @@ mod tests {
         assert_eq!(o.topology, TopologyKind::PerfectFatTree);
         assert_eq!(o.sort, SortMode::Descending);
         assert!(o.vectors);
+        assert_eq!(o.overlap, None, "overlap defaults to model-decided");
     }
 
     #[test]
@@ -474,7 +481,7 @@ mod tests {
         assert_eq!(o.sort, SortMode::None);
         assert!(!o.vectors);
         assert_eq!(o.block_kernel, BlockKernel::Pairwise);
-        assert!(!o.overlap);
+        assert_eq!(o.overlap, Some(false), "with_overlap pins the choice");
         assert_eq!(o.threads, Some(2));
     }
 

@@ -106,6 +106,44 @@ proptest! {
         }
     }
 
+    /// Tuner transparency: `SvdOptions::auto()` output is bitwise-identical
+    /// to handing the *same* config to the *same* driver explicitly — the
+    /// tuner selects, it never perturbs. Fuzzes shapes (including tall
+    /// aspect ratios that engage the QR front-end), processor budgets, and
+    /// the vectors flag.
+    #[test]
+    fn auto_is_bitwise_identical_to_the_explicit_config(
+        n in 4usize..24,
+        aspect in 1usize..12,
+        p in 1usize..6,
+        vectors_bit in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        use crate::auto::{auto_svd_for, options_from_plan, run_plan};
+        use treesvd_tune::{plan_for, TuneProblem};
+        let vectors = vectors_bit == 1;
+        let m = n * aspect + 1;
+        let a = generate::random_uniform(m, n, seed);
+        let problem = TuneProblem::new(m, n).with_processors(p).with_vectors(vectors);
+        let auto = auto_svd_for(&a, &problem).unwrap();
+        // hand-build the exact same options the plan implies and dispatch
+        // the same driver explicitly
+        let plan = plan_for(&problem);
+        let explicit = run_plan(&a, &plan, options_from_plan(&plan, &problem)).unwrap();
+        prop_assert_eq!(auto.sweeps, explicit.sweeps);
+        prop_assert_eq!(&auto.svd.sigma, &explicit.svd.sigma,
+            "sigma not bitwise-identical: m={} n={} p={} seed={}", m, n, p, seed);
+        prop_assert_eq!(&auto.svd.u, &explicit.svd.u,
+            "U not bitwise-identical: m={} n={} p={} seed={}", m, n, p, seed);
+        prop_assert_eq!(&auto.svd.v, &explicit.svd.v,
+            "V not bitwise-identical: m={} n={} p={} seed={}", m, n, p, seed);
+        // and the auto path actually solves the problem (reconstruction
+        // needs the factors, so only when vectors are accumulated)
+        if vectors {
+            prop_assert!(auto.svd.residual(&a) < 1e-8);
+        }
+    }
+
     /// Rank-deficient panels (zero directions inside blocks) do not split
     /// the kernels apart either: same rank, same spectrum.
     #[test]

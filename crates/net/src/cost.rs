@@ -20,15 +20,26 @@ pub struct CostModel {
     pub beta: f64,
     /// Per-hop switch latency.
     pub hop: f64,
-    /// Time per floating-point operation (for compute phases).
+    /// Time per floating-point operation (for streaming compute: long
+    /// column traversals that miss cache on every pass).
     pub gamma: f64,
+    /// Time per floating-point operation for cache-blocked panel kernels
+    /// (Gram build, `[X Y]·W` panel product, compact-WY updates). On real
+    /// hardware these run closer to peak than streaming rotations, which
+    /// is why the Gram meeting beats pairwise despite similar flop counts.
+    pub gamma_panel: f64,
+    /// Per-step bookkeeping overhead of the overlapped (split-rotation)
+    /// distributed schedule: posting early receives, harvesting
+    /// `try_recv`, and scheduling the A/V halves separately. Overlap only
+    /// pays when the serialization it hides exceeds this.
+    pub nu: f64,
 }
 
 impl Default for CostModel {
     /// A ratio set loosely inspired by CM-5-class machines: startup ≫ per
-    /// word ≫ per flop.
+    /// word ≫ per flop, with panel flops cheaper than streaming flops.
     fn default() -> Self {
-        CostModel { alpha: 100.0, beta: 1.0, hop: 5.0, gamma: 0.05 }
+        CostModel { alpha: 100.0, beta: 1.0, hop: 5.0, gamma: 0.05, gamma_panel: 0.02, nu: 40.0 }
     }
 }
 
@@ -81,6 +92,49 @@ impl CostModel {
     pub fn rotation_cost(&self, m: usize) -> f64 {
         self.gamma * (14 * m) as f64
     }
+
+    /// Compute cost of one *pairwise* blocked meeting: two width-`c`
+    /// panels of column length `m` meet and every cross/intra pair among
+    /// the `2c` columns is orthogonalized by a streamed Hestenes rotation
+    /// (`14m` flops), plus the `8·v_rows` V-update per pair when singular
+    /// vectors are accumulated (`v_rows = 0` otherwise).
+    pub fn pairwise_meeting_cost(&self, c: usize, m: usize, v_rows: usize) -> f64 {
+        let k = 2 * c;
+        let pairs = (k * (k - 1) / 2) as f64;
+        self.gamma * pairs * (14 * m + 8 * v_rows) as f64
+    }
+
+    /// Compute cost of one *Gram* blocked meeting over the same `2c`
+    /// columns: build the `2c×2c` Gram matrix (`k²m` flops), run an
+    /// in-cache Jacobi on it (O(k³), charged at the streaming rate — it
+    /// is tiny), then apply the accumulated rotation as one panel product
+    /// to A (and V when `v_rows > 0`), `2k²·rows` flops each. Panel flops
+    /// are charged at `gamma_panel` only while the working set fits the
+    /// cache (`in_cache`); an oversized panel degrades to streaming rate,
+    /// which is exactly what the hierarchical-blocking level exists to
+    /// avoid.
+    pub fn gram_meeting_cost(&self, c: usize, m: usize, v_rows: usize, in_cache: bool) -> f64 {
+        let k = (2 * c) as f64;
+        let panel_flops = k * k * m as f64 + 2.0 * k * k * (m + v_rows) as f64;
+        let incache_flops = 4.0 * k * k * k;
+        let g_panel = if in_cache { self.gamma_panel } else { self.gamma };
+        g_panel * panel_flops + self.gamma * incache_flops
+    }
+
+    /// Time for one full schedule step that moves `phase` and computes
+    /// `compute` time of work per processor. Without overlap the step is
+    /// strictly serial: communicate, then compute. With the overlapped
+    /// schedule the serialization drains behind the compute (only the
+    /// larger of the two is paid, after the unhideable latency), but the
+    /// step is charged the per-step overlap bookkeeping `nu`.
+    pub fn step_cost(&self, topo: &Topology, phase: &Phase, compute: f64, overlap: bool) -> f64 {
+        let pc = self.phase_cost(topo, phase);
+        if overlap {
+            pc.latency + compute.max(pc.serialization) + self.nu
+        } else {
+            pc.time + compute
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +144,23 @@ mod tests {
     use crate::traffic::Message;
 
     fn model() -> CostModel {
-        CostModel { alpha: 10.0, beta: 1.0, hop: 2.0, gamma: 0.1 }
+        CostModel { alpha: 10.0, beta: 1.0, hop: 2.0, gamma: 0.1, gamma_panel: 0.04, nu: 4.0 }
+    }
+
+    /// One far exchange phase on a `p`-leaf fat-tree: leaf `i` swaps
+    /// `words`-word columns with leaf `i + p/2`.
+    fn far_exchange(p: usize, words: u64) -> (Topology, Phase) {
+        let topo = Topology::new(TopologyKind::PerfectFatTree, p);
+        let msgs = (0..p / 2)
+            .flat_map(|i| {
+                [
+                    Message { src: i, dst: i + p / 2, words },
+                    Message { src: i + p / 2, dst: i, words },
+                ]
+            })
+            .collect();
+        let phase = Phase::new(&topo, msgs);
+        (topo, phase)
     }
 
     #[test]
@@ -147,5 +217,90 @@ mod tests {
         let d = CostModel::default();
         assert!(d.alpha > d.beta);
         assert!(d.beta > d.gamma);
+        assert!(d.gamma_panel < d.gamma, "panel flops must be cheaper than streaming flops");
+        assert!(d.nu < d.alpha);
+    }
+
+    /// PhaseCost is monotone in the column length m (message words).
+    #[test]
+    fn phase_cost_monotone_in_m() {
+        let mdl = model();
+        let mut last = 0.0;
+        for m in [64, 128, 256, 512, 1024] {
+            let (topo, phase) = far_exchange(8, m);
+            let c = mdl.phase_cost(&topo, &phase);
+            assert!(c.time >= last, "phase time must not shrink as m grows (m={m})");
+            assert!(c.serialization > 0.0);
+            last = c.time;
+        }
+    }
+
+    /// PhaseCost is monotone in P: a far exchange over more leaves climbs
+    /// higher in the tree, so both latency and total time grow.
+    #[test]
+    fn phase_cost_monotone_in_p() {
+        let mdl = model();
+        let mut last_time = 0.0;
+        let mut last_level = 0;
+        for p in [4, 8, 16, 32] {
+            let (topo, phase) = far_exchange(p, 128);
+            let c = mdl.phase_cost(&topo, &phase);
+            assert!(c.time >= last_time, "phase time must not shrink as P grows (p={p})");
+            assert!(c.max_level > last_level, "far exchange must climb with P (p={p})");
+            last_time = c.time;
+            last_level = c.max_level;
+        }
+    }
+
+    /// Meeting costs are monotone in the block width c (and therefore in
+    /// n at fixed P, since c = n / 2P).
+    #[test]
+    fn meeting_costs_monotone_in_c() {
+        let mdl = model();
+        let mut last_pw = 0.0;
+        let mut last_gr = 0.0;
+        for c in [1, 2, 4, 8, 16] {
+            let pw = mdl.pairwise_meeting_cost(c, 256, 64);
+            let gr = mdl.gram_meeting_cost(c, 256, 64, true);
+            assert!(pw > last_pw, "pairwise cost must grow with c (c={c})");
+            assert!(gr > last_gr, "gram cost must grow with c (c={c})");
+            last_pw = pw;
+            last_gr = gr;
+        }
+    }
+
+    /// In-cache Gram panels are charged the panel rate; once the panel
+    /// falls out of cache the advantage over pairwise must shrink.
+    #[test]
+    fn gram_in_cache_beats_out_of_cache() {
+        let mdl = model();
+        let hot = mdl.gram_meeting_cost(8, 4096, 4096, true);
+        let cold = mdl.gram_meeting_cost(8, 4096, 4096, false);
+        assert!(hot < cold);
+        let pw = mdl.pairwise_meeting_cost(8, 4096, 4096);
+        assert!(hot < pw, "in-cache gram must beat pairwise: {hot} vs {pw}");
+    }
+
+    /// Overlap pays only when the serialization it hides exceeds the
+    /// per-step bookkeeping `nu` — exactly the small-P regression the
+    /// tuner exists to fix.
+    #[test]
+    fn overlap_step_cost_crossover() {
+        let mdl = model();
+        // Fat messages: serialization dominates, overlap hides it.
+        let (topo, fat) = far_exchange(8, 4096);
+        let compute = mdl.rotation_cost(4096);
+        assert!(
+            mdl.step_cost(&topo, &fat, compute, true) < mdl.step_cost(&topo, &fat, compute, false),
+            "overlap must win when the hidden serialization exceeds nu"
+        );
+        // Thin messages (zero-copy-like): nothing to hide, nu makes
+        // overlap a strict loss.
+        let (topo, thin) = far_exchange(8, 1);
+        assert!(
+            mdl.step_cost(&topo, &thin, compute, true)
+                > mdl.step_cost(&topo, &thin, compute, false),
+            "overlap must lose when there is no serialization to hide"
+        );
     }
 }

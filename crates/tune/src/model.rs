@@ -1,0 +1,472 @@
+//! The decision procedure: score every candidate execution config with
+//! the calibrated cost model and keep the cheapest.
+//!
+//! The model prices three driver families against the *effective* swept
+//! shape (after deciding the QR front-end), in nanoseconds:
+//!
+//! * **blocked** — `2p` block columns of width `c`; each step runs `p`
+//!   concurrent meetings priced by
+//!   [`CostModel::gram_meeting_cost`]/[`pairwise_meeting_cost`]
+//!   (per-phase compute terms), plus a fixed pool fork/join handshake.
+//! * **distributed** — one rank per column pair; each step is one
+//!   rotation plus the transport's fixed message cost, with the
+//!   overlapped variant priced by [`CostModel::step_cost`] semantics
+//!   (latency + max(compute, serialization) + ν).
+//! * **simulated** — the central-router executor: the same rotations,
+//!   chunked over the pool lanes with a per-step barrier and a routing
+//!   term that grows with the padded width.
+//!
+//! Ordering selection reuses the data-free
+//! [`analyze_program`](treesvd_sim::analyze_program) comm analysis (link
+//! words from `phase_cost`) on the problem's topology, so the choice is
+//! the paper's §5 analysis run under the calibrated constants rather
+//! than a hard-coded table.
+
+use treesvd_net::{CostModel, Topology, TopologyKind};
+use treesvd_orderings::OrderingKind;
+use treesvd_sim::{analyze_program, Machine};
+
+use crate::calib::Calibration;
+use crate::plan::{DriverSel, KernelSel, TransportSel, TunePlan, TuneProblem};
+
+/// Thread-spawn cost charged per distributed rank (the executor spawns
+/// fresh rank threads per run; the blocked/simulated pool is persistent).
+const SPAWN_NS: f64 = 25_000.0;
+
+/// Mild penalty on oversubscribed distributed ranks (context switching).
+const OVERSUB_PENALTY: f64 = 1.25;
+
+/// Safety floor on the modeled QR crossover: TSQR constant factors vary
+/// more than the probe battery resolves, so the front-end only engages
+/// where the modeled win is comfortable.
+const MIN_CROSSOVER: f64 = 4.0;
+
+/// Sentinel crossover when the model says the front-end never pays.
+const NEVER_CROSSOVER: f64 = 1.0e9;
+
+/// Empirical sweep-count estimate for one-sided Jacobi at width `n`
+/// (quadratic convergence: grows like log₂ n; the recorded benches sit
+/// at 7–9 sweeps for n ∈ 16..256).
+fn est_sweeps(n: usize) -> f64 {
+    let lg = (usize::BITS - n.max(2).leading_zeros()) as f64;
+    (lg + 2.0).clamp(4.0, 12.0)
+}
+
+/// Per-pair rotation compute: the streamed A-rotation plus the V-row
+/// update when vectors are accumulated.
+fn pair_compute_ns(cm: &CostModel, me: usize, ne: usize, vectors: bool) -> f64 {
+    cm.rotation_cost(me) + if vectors { cm.gamma * (8 * ne) as f64 } else { 0.0 }
+}
+
+/// One scored driver candidate.
+#[derive(Debug, Clone, Copy)]
+struct DriverScore {
+    driver: DriverSel,
+    kernel: KernelSel,
+    block_cols: u16,
+    threads: u16,
+    overlap: bool,
+    total_ns: f64,
+}
+
+/// Score the blocked driver at block-pair count `p`.
+fn score_blocked(
+    cm: &CostModel,
+    cal: &Calibration,
+    me: usize,
+    ne: usize,
+    vectors: bool,
+    p: usize,
+) -> DriverScore {
+    let c = ne.div_ceil(2 * p).max(1);
+    let n_super = 2 * p;
+    let steps = (n_super - 1).max(1) as f64;
+    let vrows = if vectors { ne } else { 0 };
+    // A union panel (and the V panel riding with it) must stay
+    // cache-resident for the Gram kernel's panel rate to hold; the
+    // hierarchical level (always planned as Auto) restores residency for
+    // oversized unions at a small strip-cycling overhead.
+    let union_bytes = 8 * 2 * c * (me + vrows + 2 * c);
+    let resident = union_bytes <= cal.l2_bytes;
+    let (kernel, mut meeting) = if c >= 2 {
+        (KernelSel::Gram, cm.gram_meeting_cost(c, me, vrows, true))
+    } else {
+        (KernelSel::Pairwise, cm.pairwise_meeting_cost(c, me, vrows))
+    };
+    if kernel == KernelSel::Gram && !resident {
+        // hier strip cycling: extra pass over the union per strip level
+        meeting *= 1.15;
+    }
+    // p meetings run concurrently on p pool lanes (candidates keep
+    // p ≤ P), plus one fork/join handshake per step.
+    let step = meeting + 2.0 * cm.alpha;
+    DriverScore {
+        driver: DriverSel::Blocked { processors: p.min(u16::MAX as usize) as u16 },
+        kernel,
+        block_cols: c.min(u16::MAX as usize) as u16,
+        threads: p.min(u16::MAX as usize) as u16,
+        overlap: false,
+        total_ns: est_sweeps(ne) * steps * step,
+    }
+}
+
+/// Score the thread-per-rank distributed executor (zero-copy transport;
+/// the legacy copy-transport is priced inside the overlap decision and
+/// never wins in-process).
+fn score_distributed(
+    cm: &CostModel,
+    me: usize,
+    ne_pad: usize,
+    vectors: bool,
+    p: usize,
+) -> DriverScore {
+    let ranks = (ne_pad / 2).max(1);
+    let q = ranks.div_ceil(p.max(1)) as f64;
+    let comp =
+        pair_compute_ns(cm, me, ne_pad, vectors) * q * if q > 1.0 { OVERSUB_PENALTY } else { 1.0 };
+    let overlap = overlap_decision(cm, me, ne_pad, vectors, TransportSel::ZeroCopy);
+    let step = if overlap {
+        cm.alpha + comp.max(zero_copy_serialization_ns(cm)) + cm.nu
+    } else {
+        comp + 2.0 * cm.alpha
+    };
+    let steps = (ne_pad - 1).max(1) as f64;
+    DriverScore {
+        driver: DriverSel::Distributed,
+        kernel: KernelSel::Pairwise,
+        block_cols: 1,
+        threads: ranks.min(u16::MAX as usize) as u16,
+        overlap,
+        total_ns: est_sweeps(ne_pad) * steps * step + SPAWN_NS * ranks as f64,
+    }
+}
+
+/// Score the central-router simulated executor.
+fn score_simulated(
+    cm: &CostModel,
+    me: usize,
+    ne_pad: usize,
+    vectors: bool,
+    p: usize,
+) -> DriverScore {
+    let pairs = (ne_pad / 2).max(1);
+    let lanes = p.clamp(1, pairs);
+    let chunks = pairs.div_ceil(lanes) as f64;
+    let comp = pair_compute_ns(cm, me, ne_pad, vectors);
+    // per-step: chunked rotations + pool fork/join + routing bookkeeping
+    let step = chunks * comp + 2.0 * cm.alpha + 0.05 * cm.alpha * ne_pad as f64;
+    let steps = (ne_pad - 1).max(1) as f64;
+    DriverScore {
+        driver: DriverSel::Simulated,
+        kernel: KernelSel::Pairwise,
+        block_cols: 1,
+        threads: lanes.min(u16::MAX as usize) as u16,
+        overlap: false,
+        total_ns: est_sweeps(ne_pad) * steps * step,
+    }
+}
+
+/// What one zero-copy message serializes onto the link: a pointer-sized
+/// header, not the payload.
+fn zero_copy_serialization_ns(cm: &CostModel) -> f64 {
+    8.0 * cm.beta
+}
+
+/// Should the distributed executor run the overlapped schedule? Overlap
+/// hides `min(compute, serialization)` per step and costs ν of
+/// bookkeeping — it pays only when the hidden serialization beats ν.
+/// Zero-copy messages serialize almost nothing (the payload moves by
+/// pointer), which is exactly why overlap *loses* at the recorded small-P
+/// points; a payload-copying transport with long columns flips the sign.
+pub(crate) fn overlap_decision(
+    cm: &CostModel,
+    me: usize,
+    ne_pad: usize,
+    vectors: bool,
+    transport: TransportSel,
+) -> bool {
+    let comp = pair_compute_ns(cm, me, ne_pad, vectors);
+    let serialization = match transport {
+        TransportSel::ZeroCopy => zero_copy_serialization_ns(cm),
+        TransportSel::Legacy => {
+            let words = me + if vectors { ne_pad } else { 0 };
+            words as f64 * cm.beta
+        }
+    };
+    comp.min(serialization) > cm.nu
+}
+
+/// Choose the ordering for a sweep unit of `n_eff` columns by replaying
+/// each buildable ordering's sweep program through the data-free comm
+/// analysis on the problem's topology (calibrated `phase_cost` +
+/// `rotation_cost`). Falls back to the first buildable kind of the
+/// paper's preference order when the unit is too large to analyze or the
+/// leaf count is not a power of two (the `Topology` constructor's
+/// requirement).
+fn pick_ordering(topology: TopologyKind, n_eff: usize, words: u64, cm: &CostModel) -> OrderingKind {
+    const PREFERENCE: [OrderingKind; 5] = [
+        OrderingKind::FatTree,
+        OrderingKind::NewRing,
+        OrderingKind::ModifiedRing,
+        OrderingKind::Ring,
+        OrderingKind::RoundRobin,
+    ];
+    let fallback =
+        PREFERENCE.into_iter().find(|k| k.build(n_eff).is_ok()).unwrap_or(OrderingKind::RoundRobin);
+    let leaves = n_eff / 2;
+    if !leaves.is_power_of_two() || leaves < 2 || n_eff > 256 {
+        return fallback;
+    }
+    let machine = Machine::new(Topology::new(topology, leaves), *cm);
+    let mut best: Option<(OrderingKind, f64)> = None;
+    for kind in OrderingKind::ALL {
+        let Ok(ord) = kind.build(n_eff) else { continue };
+        let prog = ord.sweep_program(0, &ord.initial_layout());
+        let rep = analyze_program(&machine, &prog, words);
+        let t = rep.total_time();
+        if best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((kind, t));
+        }
+    }
+    best.map_or(fallback, |(k, _)| k)
+}
+
+/// The ordering for the blocked driver's super-column sweep: the first
+/// buildable kind of the convergence preference order (rotation order is
+/// all an in-process ordering changes).
+fn blocked_ordering(n_super: usize) -> OrderingKind {
+    [
+        OrderingKind::FatTree,
+        OrderingKind::NewRing,
+        OrderingKind::ModifiedRing,
+        OrderingKind::Ring,
+        OrderingKind::RoundRobin,
+    ]
+    .into_iter()
+    .find(|k| k.build(n_super).is_ok())
+    .unwrap_or(OrderingKind::RoundRobin)
+}
+
+/// The model's QR-front-end aspect crossover for a width-`nn` problem:
+/// the smallest `m/n` where factoring `A = QR` and sweeping `R` beats
+/// sweeping `A` directly. Per sweep the direct path streams
+/// `14·pairs·me` A-flops; the front-end replaces `me` by `nn` at a
+/// one-time `(2 + 2·vectors)·me·nn²` panel-flop toll (QR + the
+/// back-transform `U ← Q·U_R`), charged at 1.5× the panel rate for the
+/// TSQR tree's reduction overhead.
+fn qr_crossover_aspect(cm: &CostModel, nn: usize, vectors: bool) -> f64 {
+    if nn < 2 {
+        return NEVER_CROSSOVER;
+    }
+    let pairs = (nn * (nn - 1) / 2) as f64;
+    let sweeps = est_sweeps(nn);
+    // the direct path's per-row-unit sweep cost (the blocked Gram driver
+    // streams panels, so the panel rate applies)
+    let sweep_slope = sweeps * 14.0 * pairs * cm.gamma_panel;
+    let toll_slope =
+        (2.0 + if vectors { 2.0 } else { 0.0 }) * (nn * nn) as f64 * cm.gamma_panel * 1.5;
+    let coeff = sweep_slope - toll_slope;
+    if coeff <= 0.0 {
+        return NEVER_CROSSOVER;
+    }
+    // break-even me: sweep_slope·(me − nn) = toll_slope·me
+    let break_even_rows = sweep_slope * nn as f64 / coeff;
+    (break_even_rows / nn as f64).max(MIN_CROSSOVER)
+}
+
+/// Run the full decision procedure (the cold path behind
+/// [`plan_for`](crate::plan_for)).
+#[must_use]
+pub fn compute_plan(problem: &TuneProblem, cal: &Calibration) -> TunePlan {
+    let cm = cal.cost_model();
+    let (mm, nn) = problem.normalized_shape();
+    let (mm, nn) = (mm.max(1), nn.max(1));
+    let p = problem.processors.max(1);
+
+    // 1) QR front-end: crossover from the model; engagement per actual
+    //    aspect (the same `engages` rule the drivers apply).
+    let crossover = qr_crossover_aspect(&cm, nn, problem.vectors);
+    let engaged = mm > nn && (mm as f64) >= crossover * nn as f64;
+    let (me, ne) = if engaged { (nn, nn) } else { (mm, nn) };
+    let frontend_toll = if engaged {
+        (2.0 + if problem.vectors { 2.0 } else { 0.0 })
+            * (mm * nn * nn) as f64
+            * cm.gamma_panel
+            * 1.5
+    } else {
+        0.0
+    };
+    let ne_pad = ne + ne % 2;
+
+    // 2) Driver family: every blocked block-pair count p' ≤ min(P, ne/2)
+    //    (powers of two plus P itself), the distributed executor, and the
+    //    simulated executor.
+    let mut candidates: Vec<DriverScore> = Vec::new();
+    let p_cap = p.min(ne / 2);
+    let mut bp = 1;
+    while bp <= p_cap {
+        candidates.push(score_blocked(&cm, cal, me, ne, problem.vectors, bp));
+        bp *= 2;
+    }
+    if p_cap >= 1 && !p_cap.is_power_of_two() {
+        candidates.push(score_blocked(&cm, cal, me, ne, problem.vectors, p_cap));
+    }
+    if ne_pad >= 2 {
+        candidates.push(score_distributed(&cm, me, ne_pad, problem.vectors, p));
+        candidates.push(score_simulated(&cm, me, ne_pad, problem.vectors, p));
+    }
+    let best = candidates
+        .into_iter()
+        .min_by(|a, b| a.total_ns.total_cmp(&b.total_ns))
+        .unwrap_or_else(|| score_simulated(&cm, me, ne_pad.max(2), problem.vectors, p));
+
+    // 3) Ordering for the winner's sweep unit. The blocked driver's
+    //    meetings are in-process pool handoffs — no link ever carries the
+    //    panels, so the ordering's only observable effect is rotation
+    //    order, i.e. convergence; keep the default tree ordering there
+    //    (measured best sweep counts: the comm-minimal llb pick costs an
+    //    extra sweep on the recorded blocked shapes). The simulated and
+    //    distributed executors do pay per-message costs, so their
+    //    ordering comes from the comm analysis.
+    let ordering = match best.driver {
+        DriverSel::Blocked { processors } => blocked_ordering(2 * processors as usize),
+        _ => pick_ordering(problem.topology, ne_pad, (me as u64).max(1), &cm),
+    };
+
+    // The candidate's thread count follows the stated budget `P` (it is
+    // the machine the model priced), but the *pool request* must never
+    // oversubscribe the physical host: extra workers on a saturated core
+    // only buy context switches. Measured on a 1-core host: an
+    // oversubscribed 4-lane pool cost ~8% against the same config at the
+    // host's own lane count.
+    let host = treesvd_sim::par::num_threads().clamp(1, u16::MAX as usize) as u16;
+
+    TunePlan {
+        driver: best.driver,
+        ordering,
+        kernel: best.kernel,
+        block_cols: best.block_cols,
+        threads: best.threads.min(host).max(1),
+        transport: TransportSel::ZeroCopy,
+        overlap: best.overlap,
+        qr_frontend: true,
+        qr_crossover: crossover,
+        hier_cols: 0,
+        predicted_ns: best.total_ns + frontend_toll,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        Calibration::builtin()
+    }
+
+    #[test]
+    fn sweeps_estimate_is_monotone_and_clamped() {
+        assert!(est_sweeps(16) <= est_sweeps(64));
+        assert!(est_sweeps(2) >= 4.0);
+        assert!(est_sweeps(1 << 20) <= 12.0);
+    }
+
+    #[test]
+    fn zero_copy_overlap_is_off_at_small_p() {
+        // the recorded regression: new-ring P=8, m=4096 — overlap lost to
+        // plain zero-copy, so the calibrated model must turn it off
+        let cm = cal().cost_model();
+        assert!(!overlap_decision(&cm, 4096, 16, true, TransportSel::ZeroCopy));
+        assert!(!overlap_decision(&cm, 4096, 32, true, TransportSel::ZeroCopy));
+    }
+
+    #[test]
+    fn copying_transport_with_long_columns_flips_overlap_on() {
+        let cm = cal().cost_model();
+        assert!(overlap_decision(&cm, 1 << 20, 64, true, TransportSel::Legacy));
+        assert!(!overlap_decision(&cm, 256, 64, true, TransportSel::Legacy));
+    }
+
+    #[test]
+    fn square_shapes_prefer_the_blocked_gram_driver() {
+        let plan = compute_plan(&TuneProblem::new(1024, 128).with_processors(4), &cal());
+        assert!(matches!(plan.driver, DriverSel::Blocked { .. }), "{plan:?}");
+        assert_eq!(plan.kernel, KernelSel::Gram);
+        assert!(plan.block_cols >= 2);
+        assert_eq!(plan.transport, TransportSel::ZeroCopy);
+        assert!(plan.predicted_ns > 0.0);
+    }
+
+    #[test]
+    fn tall_shapes_engage_the_frontend() {
+        let tall = TuneProblem::new(1 << 15, 64).with_processors(4);
+        let plan = compute_plan(&tall, &cal());
+        assert!(plan.qr_frontend);
+        assert!(
+            (tall.m as f64) >= plan.qr_crossover * tall.n as f64,
+            "aspect 512 must clear the modeled crossover {}",
+            plan.qr_crossover
+        );
+        // and the crossover respects the safety floor
+        assert!(plan.qr_crossover >= MIN_CROSSOVER);
+    }
+
+    #[test]
+    fn wide_inputs_normalize_to_the_transpose() {
+        let a = compute_plan(&TuneProblem::new(64, 1 << 15).with_processors(4), &cal());
+        let b = compute_plan(&TuneProblem::new(1 << 15, 64).with_processors(4), &cal());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let p = TuneProblem::new(2000, 100).with_processors(8);
+        assert_eq!(compute_plan(&p, &cal()), compute_plan(&p, &cal()));
+    }
+
+    #[test]
+    fn ordering_comes_from_the_comm_analysis() {
+        // On a perfect fat tree a localized tree-family ordering must win
+        // the analysis for a pow2 sweep unit (the llb variant localizes
+        // hardest and takes it at every measured size; ring/round-robin
+        // traffic hits the root every step and must lose).
+        let cm = cal().cost_model();
+        let kind = pick_ordering(TopologyKind::PerfectFatTree, 16, 1024, &cm);
+        assert!(
+            matches!(kind, OrderingKind::Llb | OrderingKind::FatTree | OrderingKind::Hybrid),
+            "{kind:?}"
+        );
+        // unanalyzable sizes fall back to a buildable kind
+        let kind = pick_ordering(TopologyKind::PerfectFatTree, 6, 1024, &cm);
+        assert!(kind.build(6).is_ok());
+    }
+
+    #[test]
+    fn blocked_plans_keep_the_convergence_proven_tree_ordering() {
+        let plan = compute_plan(&TuneProblem::new(256, 64).with_processors(4), &cal());
+        assert!(matches!(plan.driver, DriverSel::Blocked { .. }), "{plan:?}");
+        assert_eq!(plan.ordering, OrderingKind::FatTree);
+    }
+
+    #[test]
+    fn thread_requests_never_oversubscribe_the_host() {
+        let host = treesvd_sim::par::num_threads().max(1);
+        for (m, n, p) in [(256, 64, 4), (4096, 16, 8), (1024, 128, 32)] {
+            let plan = compute_plan(&TuneProblem::new(m, n).with_processors(p), &cal());
+            assert!((plan.threads as usize) <= host, "{plan:?} vs host {host}");
+            assert!(plan.threads >= 1);
+        }
+    }
+
+    #[test]
+    fn tiny_block_widths_fall_back_to_pairwise() {
+        // ne/2P = 1 ⇒ c = 1: the Gram kernel's panel machinery has
+        // nothing to amortize, the plan must keep the streaming kernel
+        let plan = compute_plan(&TuneProblem::new(4096, 8).with_processors(4), &cal());
+        if let DriverSel::Blocked { .. } = plan.driver {
+            if plan.block_cols == 1 {
+                assert_eq!(plan.kernel, KernelSel::Pairwise);
+            }
+        }
+    }
+}

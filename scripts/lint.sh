@@ -21,6 +21,8 @@ clippy_targets=(
     # bench_tall gate) get their own pass so they stay covered even if the
     # workspace set is ever narrowed
     "-p treesvd-matrix -p treesvd-core -p treesvd-bench --all-targets"
+    # the auto-tuner (model, calibration, cache) and its bench_auto gate
+    "-p treesvd-tune -p treesvd-bench --all-targets"
 )
 for target in "${clippy_targets[@]}"; do
     echo "== clippy: $target, deny warnings =="

@@ -30,6 +30,13 @@ cargo run --release -p treesvd-bench --bin bench_batched -- --smoke
 echo "== bench smoke: tall-skinny QR front-end vs direct Jacobi (8192x64, m/n=128) =="
 cargo run --release -p treesvd-bench --bin bench_tall -- --smoke
 
+echo "== bench smoke: auto-tuner vs fixed configs + warm-path zero-alloc gate =="
+# auto within 5% of the best fixed config at each probe point, strictly
+# beating the untuned default somewhere (incl. the small-P distributed
+# point with overlap correctly disabled), and the second plan_for on a
+# cached key makes zero heap allocations and re-runs no probe
+cargo run --release -p treesvd-bench --bin bench_auto -- --smoke
+
 echo "== certificate smoke: warm driver run must skip the provers, bitwise-identical =="
 # the cold run proves and emits a certificate; the warm run validates it
 # instead of re-proving (hit/miss counters assert the skip) and must
